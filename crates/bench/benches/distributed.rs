@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the end-to-end distributed runs — one group per
+//! paper table/figure, at a reduced scale so `cargo bench` stays tractable
+//! (the full-scale regeneration is `cargo run --release -p mnd-bench --bin
+//! repro`).
+//!
+//! What these measure is the *wall-clock* cost of simulating each
+//! experiment; the *simulated* times the paper's tables report come from
+//! the run reports and are printed by the repro binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnd_device::NodePlatform;
+use mnd_graph::presets::Preset;
+use mnd_hypar::HyParConfig;
+use mnd_mst::MndMstRunner;
+use mnd_pregel::{pregel_msf, BspConfig};
+
+const BENCH_SCALE: u64 = 32768;
+
+fn cfg() -> HyParConfig {
+    HyParConfig::default().with_sim_scale(BENCH_SCALE as f64)
+}
+
+/// Table 3: Pregel+ vs MND-MST, one run each per graph (16 ranks).
+fn bench_table3(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("table3_bsp_vs_dnc");
+    grp.sample_size(10);
+    for p in [Preset::RoadUsa, Preset::Arabic2005] {
+        let el = p.generate(BENCH_SCALE, 42);
+        grp.bench_with_input(BenchmarkId::new("pregel", p.name()), &el, |b, el| {
+            b.iter(|| {
+                pregel_msf(
+                    el,
+                    16,
+                    &NodePlatform::amd_cluster(),
+                    &BspConfig::default().with_sim_scale(BENCH_SCALE as f64),
+                )
+            })
+        });
+        grp.bench_with_input(BenchmarkId::new("mnd_mst", p.name()), &el, |b, el| {
+            b.iter(|| MndMstRunner::new(16).with_config(cfg()).run(el))
+        });
+    }
+    grp.finish();
+}
+
+/// Table 4 / Figures 4+6: node-count scaling of the full driver.
+fn bench_scaling(c: &mut Criterion) {
+    let el = Preset::It2004.generate(BENCH_SCALE, 42);
+    let mut grp = c.benchmark_group("table4_fig6_scaling");
+    grp.sample_size(10);
+    for nodes in [1usize, 4, 8, 16] {
+        grp.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| MndMstRunner::new(nodes).with_config(cfg()).run(&el))
+        });
+    }
+    grp.finish();
+}
+
+/// Figure 8: CPU-only vs hybrid execution of the full driver.
+fn bench_hybrid(c: &mut Criterion) {
+    let el = Preset::It2004.generate(BENCH_SCALE, 42);
+    let mut grp = c.benchmark_group("fig8_hybrid");
+    grp.sample_size(10);
+    for (name, gpu) in [("cpu_only", false), ("cpu_gpu", true)] {
+        grp.bench_with_input(BenchmarkId::from_parameter(name), &gpu, |b, &gpu| {
+            b.iter(|| {
+                MndMstRunner::new(8)
+                    .with_platform(NodePlatform::cray_xc40(gpu))
+                    .with_config(cfg())
+                    .run(&el)
+            })
+        });
+    }
+    grp.finish();
+}
+
+/// §3.4 group-size ablation through the full driver.
+fn bench_group_sizes(c: &mut Criterion) {
+    let el = Preset::Arabic2005.generate(BENCH_SCALE, 42);
+    let mut grp = c.benchmark_group("ablation_group_size");
+    grp.sample_size(10);
+    for gs in [2usize, 4, 8, 16] {
+        grp.bench_with_input(BenchmarkId::from_parameter(gs), &gs, |b, &gs| {
+            b.iter(|| {
+                let config = HyParConfig { group_size: gs, ..cfg() };
+                MndMstRunner::new(16).with_config(config).run(&el)
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_table3, bench_scaling, bench_hybrid, bench_group_sizes);
+criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! `repro` — regenerates every table and figure of the MND-MST paper.
+//!
+//! ```text
+//! repro [--scale N] [--seed S] [--no-verify] [--nodes N] <experiment>...
+//! repro all            # everything (slow)
+//! repro table3 fig8    # selected experiments
+//! ```
+//!
+//! Experiments: table2 table3 table4 fig4 fig5 fig6 fig7 fig8
+//! ablation-group ablation-excp ablation-thresh calibration
+
+use mnd_bench::fmt::{pct, print_table, secs, write_csv};
+use mnd_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExpContext::default();
+    let mut nranks = 16usize;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => {
+                csv_dir = Some(it.next().expect("--csv DIR").into());
+            }
+            "--scale" => {
+                ctx.scale = it.next().expect("--scale N").parse().expect("numeric scale");
+            }
+            "--seed" => {
+                ctx.seed = it.next().expect("--seed S").parse().expect("numeric seed");
+            }
+            "--nodes" => {
+                nranks = it.next().expect("--nodes N").parse().expect("numeric nodes");
+            }
+            "--no-verify" => ctx.verify = false,
+            "--help" | "-h" => {
+                println!("usage: repro [--scale N] [--seed S] [--nodes N] [--no-verify] [--csv DIR] <exp>...");
+                println!("experiments: all table2 table3 table4 fig4 fig5 fig6 fig7 fig8");
+                println!("             ablation-group ablation-excp ablation-thresh ablation-locality");
+                println!("             ablation-weights ablation-network calibration");
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".into());
+    }
+    let all = experiments.iter().any(|e| e == "all");
+    let want = |name: &str| all || experiments.iter().any(|e| e == name);
+    let emit = |csv_name: &str, title: &str, header: &[&str], rows: &[Vec<String>]| {
+        print_table(title, header, rows);
+        if let Some(dir) = &csv_dir {
+            match write_csv(dir, csv_name, header, rows) {
+                Ok(p) => println!("(csv: {})", p.display()),
+                Err(e) => eprintln!("csv write failed: {e}"),
+            }
+        }
+    };
+
+    println!(
+        "# MND-MST reproduction — scale 1/{}, seed {}, verify {}",
+        ctx.scale, ctx.seed, ctx.verify
+    );
+    println!("(times are simulated seconds at paper scale; see DESIGN.md)");
+
+    if want("table2") {
+        let rows = table2(&ctx);
+        emit(
+            "table2",
+            "Table 2: graph stand-ins (scaled 1/N of the paper's graphs)",
+            &["graph", "|V|", "|E|", "avg deg", "max deg", "diam", "paper avg deg"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.graph.into(),
+                        r.vertices.to_string(),
+                        r.edges.to_string(),
+                        format!("{:.2}", r.avg_degree),
+                        r.max_degree.to_string(),
+                        r.diameter.to_string(),
+                        format!("{:.2}", r.paper_avg_degree),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("table3") {
+        let rows = table3(&ctx, nranks);
+        emit(
+            "table3",
+            &format!("Table 3: Pregel+ vs MND-MST ({nranks} nodes, CPU only)"),
+            &["graph", "Pregel+ exe", "Pregel+ comm", "MND exe", "MND comm", "improv", "comm red"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.graph.into(),
+                        secs(r.pregel_exe),
+                        secs(r.pregel_comm),
+                        secs(r.mnd_exe),
+                        secs(r.mnd_comm),
+                        pct(r.improvement()),
+                        pct(r.comm_reduction()),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("table4") {
+        let rows = table4(&ctx);
+        emit(
+            "table4",
+            "Table 4: MND-MST with increasing node counts (AMD cluster)",
+            &["graph", "nodes", "exe time"],
+            &rows
+                .iter()
+                .map(|r| vec![r.graph.into(), r.nodes.to_string(), secs(r.mnd_exe)])
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("fig4") {
+        let rows = fig4(&ctx);
+        emit(
+            "fig4",
+            "Figure 4: inter-node scalability, Pregel+ vs MND-MST",
+            &["graph", "nodes", "Pregel+ exe", "MND exe"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.graph.into(),
+                        r.nodes.to_string(),
+                        r.pregel_exe.map(secs).unwrap_or_else(|| "-".into()),
+                        secs(r.mnd_exe),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("fig5") {
+        let rows = fig5(&ctx);
+        emit(
+            "fig5",
+            "Figure 5: computation vs communication",
+            &["graph", "nodes", "system", "comp", "comm", "comm frac"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.graph.into(),
+                        r.nodes.to_string(),
+                        r.system.into(),
+                        secs(r.comp),
+                        secs(r.comm),
+                        pct(r.comm_fraction()),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("fig6") {
+        let rows = fig6(&ctx);
+        emit(
+            "fig6",
+            "Figure 6: CPU-only MND-MST scalability (Cray)",
+            &["graph", "nodes", "exe time"],
+            &rows
+                .iter()
+                .map(|r| vec![r.graph.into(), r.nodes.to_string(), secs(r.mnd_exe)])
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("fig7") {
+        let rows = fig7(&ctx);
+        emit(
+            "fig7",
+            "Figure 7: execution time per phase (Cray, CPU only)",
+            &["graph", "nodes", "indComp", "merge", "postProcess", "comm"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.graph.into(),
+                        r.nodes.to_string(),
+                        secs(r.ind_comp),
+                        secs(r.merge),
+                        secs(r.post_process),
+                        secs(r.comm),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("fig8") {
+        let rows = fig8(&ctx);
+        emit(
+            "fig8",
+            "Figure 8: MND-MST CPU-only vs CPU-GPU (Cray)",
+            &["graph", "nodes", "CPU-only", "CPU+GPU", "GPU benefit"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.graph.into(),
+                        r.nodes.to_string(),
+                        secs(r.cpu_only),
+                        secs(r.cpu_gpu),
+                        pct(r.improvement()),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    for (name, rows) in [
+        ("ablation-group", want("ablation-group").then(|| ablation_group(&ctx, nranks))),
+        ("ablation-excp", want("ablation-excp").then(|| ablation_excp(&ctx, nranks))),
+        ("ablation-thresh", want("ablation-thresh").then(|| ablation_thresh(&ctx, nranks))),
+        ("ablation-locality", want("ablation-locality").then(|| ablation_locality(&ctx, nranks))),
+        ("ablation-weights", want("ablation-weights").then(|| ablation_weights(&ctx, nranks))),
+        ("ablation-network", want("ablation-network").then(|| ablation_network(&ctx, nranks))),
+    ] {
+        if let Some(rows) = rows {
+            emit(
+                name,
+                &format!("Ablation: {name}"),
+                &["variant", "exe", "comm", "rounds"],
+                &rows
+                    .iter()
+                    .map(|r| {
+                        vec![r.variant.clone(), secs(r.exe), secs(r.comm), r.rounds.to_string()]
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    if want("calibration") {
+        let rows = calibration(&ctx);
+        emit(
+            "calibration",
+            "Calibration (§4.3.1): CPU/GPU split per graph",
+            &["graph", "gpu speedup", "cpu fraction", "memory limited"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.graph.into(),
+                        format!("{:.2}x", r.gpu_speedup),
+                        format!("{:.2}", r.cpu_fraction),
+                        r.memory_limited.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Minimal fixed-width table printing and CSV export for the repro
+//! binary.
+
+/// Prints a header + rows as an aligned ASCII table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::from("| ");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$} | ", c, w = widths[i]));
+        }
+        s
+    };
+    println!("{}", line(header.iter().map(|s| s.to_string()).collect()));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", line(sep));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Writes rows as a CSV file (quoting is unnecessary: all cell content is
+/// numeric or identifier-like). Returns the path written.
+pub fn write_csv(
+    dir: &std::path::Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Formats seconds with 2 decimals (the paper's tables use seconds).
+pub fn secs(t: f64) -> String {
+    format!("{t:.2}")
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(secs(1.234), "1.23");
+        assert_eq!(pct(0.42), "42%");
+    }
+
+    #[test]
+    fn csv_writes_and_round_trips() {
+        let dir = std::env::temp_dir().join("mnd_csv_test");
+        let p = write_csv(
+            &dir,
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "x".into()], vec!["2".into(), "y".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(content, "a,b\n1,x\n2,y\n");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

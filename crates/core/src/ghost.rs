@@ -1,0 +1,206 @@
+//! The ghost directory: who currently holds which component.
+//!
+//! The paper's `ghostList` is "a hash table indexed on the processor id of
+//! the ghost vertex" (§3.1). [`GhostDirectory`] is the equivalent
+//! structure, generalised to survive the hierarchical merge: it maps a
+//! component id to the rank where it is resident.
+//!
+//! * At level 0 the owner of component `c` (= vertex `c`) follows from the
+//!   1D partition, so the directory is seeded from the vertex ranges.
+//! * When segments of components move between ranks, every move is
+//!   announced (the driver allgathers `(component, new owner)` deltas) and
+//!   applied with [`GhostDirectory::apply_moves`].
+//! * Relabels shrink the id space: when `old` merges into `new`, `old`
+//!   disappears; [`GhostDirectory::apply_relabels`] drops the stale entry.
+//!
+//! [`relabel_buckets`] computes the paper's ghost-parent message: for each
+//! rename `(old, new)` performed locally, a pair is sent to the owner of
+//! every ghost component adjacent to `old` — exactly the processors whose
+//! holdings reference `old` (each edge is held by the resident ranks of
+//! both endpoints; see DESIGN.md).
+
+use std::collections::HashMap;
+
+use mnd_graph::partition::{owner_of, VertexRange};
+use mnd_kernels::cgraph::{CGraph, CompId};
+
+/// Component → resident rank map.
+#[derive(Clone, Debug, Default)]
+pub struct GhostDirectory {
+    ranges: Vec<VertexRange>,
+    /// Overrides of the range-derived owner (components that moved).
+    moved: HashMap<CompId, u32>,
+}
+
+impl GhostDirectory {
+    /// Seeds the directory from the level-0 partition.
+    pub fn from_ranges(ranges: Vec<VertexRange>) -> Self {
+        GhostDirectory { ranges, moved: HashMap::new() }
+    }
+
+    /// Current owner of component `c`.
+    pub fn owner(&self, c: CompId) -> u32 {
+        if let Some(&r) = self.moved.get(&c) {
+            return r;
+        }
+        owner_of(&self.ranges, c) as u32
+    }
+
+    /// Applies announced moves (`component -> new owner`).
+    pub fn apply_moves(&mut self, moves: &[(CompId, u32)]) {
+        for &(c, r) in moves {
+            // Keep the map small: an override equal to the range owner can
+            // be dropped.
+            if owner_of(&self.ranges, c) as u32 == r {
+                self.moved.remove(&c);
+            } else {
+                self.moved.insert(c, r);
+            }
+        }
+    }
+
+    /// Forgets ids that were merged away (`(old, new)` relabels: `old`
+    /// no longer exists anywhere).
+    pub fn apply_relabels(&mut self, relabels: &[(CompId, CompId)]) {
+        for &(old, _) in relabels {
+            self.moved.remove(&old);
+        }
+    }
+
+    /// Number of move overrides currently tracked (diagnostics).
+    pub fn num_overrides(&self) -> usize {
+        self.moved.len()
+    }
+}
+
+/// Builds the per-destination ghost-parent buckets for a holding's relabels:
+/// pair `(old, new)` goes to every distinct owner of a ghost component
+/// adjacent to `old` in `cg` (after the relabel was applied locally, `old`
+/// endpoints have already been renamed to `new`, so adjacency is probed via
+/// `new`).
+///
+/// Returns `nranks` buckets (the own-rank bucket stays empty).
+pub fn relabel_buckets(
+    cg: &CGraph,
+    relabels: &[(CompId, CompId)],
+    dir: &GhostDirectory,
+    my_rank: usize,
+    nranks: usize,
+) -> Vec<Vec<(CompId, CompId)>> {
+    let mut buckets: Vec<Vec<(CompId, CompId)>> = (0..nranks).map(|_| Vec::new()).collect();
+    if relabels.is_empty() {
+        return buckets;
+    }
+    // new id -> list of old ids that became it.
+    let mut renames_into: HashMap<CompId, Vec<CompId>> = HashMap::new();
+    for &(old, new) in relabels {
+        renames_into.entry(new).or_default().push(old);
+    }
+    // For every edge touching a renamed component, the ghost endpoint's
+    // owner needs all (old, new) pairs of that component.
+    let mut seen: std::collections::HashSet<(u32, CompId, CompId)> = std::collections::HashSet::new();
+    for e in cg.edges() {
+        for (this_end, other_end) in [(e.a, e.b), (e.b, e.a)] {
+            let Some(olds) = renames_into.get(&this_end) else { continue };
+            if cg.is_resident(other_end) {
+                continue; // neighbour lives here: already renamed locally
+            }
+            let owner = dir.owner(other_end);
+            if owner as usize == my_rank {
+                continue;
+            }
+            for &old in olds {
+                if seen.insert((owner, old, this_end)) {
+                    buckets[owner as usize].push((old, this_end));
+                }
+            }
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::types::WEdge;
+    use mnd_kernels::cgraph::CEdge;
+
+    fn ranges4() -> Vec<VertexRange> {
+        (0..4)
+            .map(|i| VertexRange { start: i * 10, end: (i + 1) * 10 })
+            .collect()
+    }
+
+    #[test]
+    fn range_owner_lookup() {
+        let d = GhostDirectory::from_ranges(ranges4());
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(15), 1);
+        assert_eq!(d.owner(39), 3);
+    }
+
+    #[test]
+    fn moves_override_and_collapse() {
+        let mut d = GhostDirectory::from_ranges(ranges4());
+        d.apply_moves(&[(15, 3)]);
+        assert_eq!(d.owner(15), 3);
+        assert_eq!(d.num_overrides(), 1);
+        // Moving back to the natural owner drops the override.
+        d.apply_moves(&[(15, 1)]);
+        assert_eq!(d.owner(15), 1);
+        assert_eq!(d.num_overrides(), 0);
+    }
+
+    #[test]
+    fn relabels_clean_stale_overrides() {
+        let mut d = GhostDirectory::from_ranges(ranges4());
+        d.apply_moves(&[(22, 0)]);
+        d.apply_relabels(&[(22, 20)]);
+        assert_eq!(d.num_overrides(), 0);
+    }
+
+    #[test]
+    fn buckets_target_ghost_owners_only() {
+        // Rank 0 holds comps {0, 5}; it renamed 5 -> 0. Its edges: 0~12
+        // (ghost, owner 1), 0~35 (ghost, owner 3), 0~5 impossible (merged).
+        let cg = CGraph::from_parts(
+            vec![0],
+            vec![
+                CEdge::new(0, 12, WEdge::new(3, 12, 5)),
+                CEdge::new(0, 35, WEdge::new(5, 35, 7)),
+            ],
+            vec![],
+        );
+        let d = GhostDirectory::from_ranges(ranges4());
+        let buckets = relabel_buckets(&cg, &[(5, 0)], &d, 0, 4);
+        assert_eq!(buckets[1], vec![(5, 0)]);
+        assert_eq!(buckets[3], vec![(5, 0)]);
+        assert!(buckets[0].is_empty() && buckets[2].is_empty());
+    }
+
+    #[test]
+    fn buckets_dedup_per_destination() {
+        // Two edges to ghosts owned by the same rank: one pair, not two.
+        let cg = CGraph::from_parts(
+            vec![0],
+            vec![
+                CEdge::new(0, 12, WEdge::new(3, 12, 5)),
+                CEdge::new(0, 13, WEdge::new(4, 13, 6)),
+            ],
+            vec![],
+        );
+        let d = GhostDirectory::from_ranges(ranges4());
+        let buckets = relabel_buckets(&cg, &[(5, 0), (3, 0)], &d, 0, 4);
+        let mut b1 = buckets[1].clone();
+        b1.sort_unstable();
+        assert_eq!(b1, vec![(3, 0), (5, 0)]);
+    }
+
+    #[test]
+    fn empty_relabels_produce_empty_buckets() {
+        let cg = CGraph::new();
+        let d = GhostDirectory::from_ranges(ranges4());
+        let buckets = relabel_buckets(&cg, &[], &d, 0, 4);
+        assert!(buckets.iter().all(|b| b.is_empty()));
+    }
+}

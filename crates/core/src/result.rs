@@ -1,0 +1,121 @@
+//! Run reports: the global MSF plus the simulated-time breakdowns the
+//! paper's tables and figures are built from.
+
+use mnd_kernels::msf::MsfResult;
+use mnd_net::RankStats;
+
+/// Per-rank split of simulated compute time into the paper's phases
+/// (Figure 7 plots exactly these three, with communication as the fourth
+/// bar segment).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Independent computations (`indComp`), including intra-node device
+    /// merges and transfers.
+    pub ind_comp: f64,
+    /// Data-structure reduction sweeps (self/multi-edge removal) and other
+    /// merge-side compute.
+    pub merge: f64,
+    /// Final post-processing kernel.
+    pub post_process: f64,
+    /// Communication (waiting + send/recv busy time).
+    pub comm: f64,
+}
+
+impl PhaseTimes {
+    /// Total attributed time.
+    pub fn total(&self) -> f64 {
+        self.ind_comp + self.merge + self.post_process + self.comm
+    }
+}
+
+/// The outcome of one distributed MND-MST run.
+#[derive(Clone, Debug)]
+pub struct MndMstReport {
+    /// The global minimum spanning forest (unique; comparable to Kruskal).
+    pub msf: MsfResult,
+    /// Simulated makespan: max final virtual clock across ranks.
+    pub total_time: f64,
+    /// Max communication time across ranks (the paper's "Comm Time").
+    pub comm_time: f64,
+    /// Per-rank phase breakdown.
+    pub phases: Vec<PhaseTimes>,
+    /// Per-rank raw messaging statistics.
+    pub rank_stats: Vec<RankStats>,
+    /// Merging levels executed (log_{group} P rounds of the hierarchy).
+    pub levels: usize,
+    /// Total ring-exchange rounds across levels (max over ranks).
+    pub exchange_rounds: usize,
+    /// Largest holding observed on any rank, in paper-scale bytes — the
+    /// quantity the hierarchical merge promises stays under node memory.
+    pub max_holding_bytes: u64,
+    /// Number of ranks.
+    pub nranks: usize,
+}
+
+impl MndMstReport {
+    /// Mean communication fraction across ranks.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.rank_stats.is_empty() {
+            return 0.0;
+        }
+        let s: f64 = self.rank_stats.iter().map(|r| r.comm_fraction()).sum();
+        s / self.rank_stats.len() as f64
+    }
+
+    /// Total bytes sent across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.rank_stats.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Aggregated phase times (max across ranks per phase — phases run
+    /// concurrently, so the slowest rank bounds each).
+    pub fn phase_max(&self) -> PhaseTimes {
+        let mut m = PhaseTimes::default();
+        for p in &self.phases {
+            m.ind_comp = m.ind_comp.max(p.ind_comp);
+            m.merge = m.merge.max(p.merge);
+            m.post_process = m.post_process.max(p.post_process);
+            m.comm = m.comm.max(p.comm);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_totals() {
+        let p = PhaseTimes { ind_comp: 1.0, merge: 0.5, post_process: 0.25, comm: 0.25 };
+        assert_eq!(p.total(), 2.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = MndMstReport {
+            msf: MsfResult { edges: vec![], weight: 0, num_components: 1 },
+            total_time: 2.0,
+            comm_time: 0.5,
+            phases: vec![
+                PhaseTimes { ind_comp: 1.0, merge: 0.1, post_process: 0.0, comm: 0.2 },
+                PhaseTimes { ind_comp: 0.8, merge: 0.3, post_process: 0.5, comm: 0.1 },
+            ],
+            rank_stats: vec![
+                RankStats { compute_time: 1.0, comm_time: 1.0, bytes_sent: 10, ..Default::default() },
+                RankStats { compute_time: 3.0, comm_time: 1.0, bytes_sent: 20, ..Default::default() },
+            ],
+            levels: 2,
+            exchange_rounds: 3,
+            max_holding_bytes: 100,
+            nranks: 2,
+        };
+        assert_eq!(report.total_bytes(), 30);
+        let pm = report.phase_max();
+        assert_eq!(pm.ind_comp, 1.0);
+        assert_eq!(pm.merge, 0.3);
+        assert_eq!(pm.post_process, 0.5);
+        // comm fractions: 0.5 and 0.25 -> mean 0.375
+        assert!((report.comm_fraction() - 0.375).abs() < 1e-12);
+    }
+}

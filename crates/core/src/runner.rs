@@ -1,0 +1,558 @@
+//! The distributed MND-MST driver (Algorithm 1 of the paper).
+//!
+//! One [`MndMstRunner::run`] call simulates a whole cluster execution:
+//! it spins up `nranks` rank threads over `mnd-net`, runs partitioning →
+//! independent computations → mergeParts → hierarchical merging →
+//! post-processing, and returns the global MSF together with simulated
+//! per-phase times.
+//!
+//! ## Lockstep discipline
+//!
+//! Every global collective (degree allreduce, ghost alltoallv, ownership
+//! allgather, group-size allreduce) is executed by **all** ranks on every
+//! round, including ranks that have already merged their data away — their
+//! holdings are simply empty, so their contributions are empty. This keeps
+//! the communication graph deterministic, mirrors how collectives work on
+//! a real MPI job, and lets per-group decisions (§4.3.4) be taken from
+//! globally replicated data without extra coordination messages.
+
+use std::sync::Arc;
+
+use mnd_device::NodePlatform;
+use mnd_graph::partition::partition_1d_by_degrees;
+use mnd_graph::types::WEdge;
+use mnd_graph::{CsrGraph, EdgeList};
+use mnd_hypar::api::{ind_comp, part_graph, post_process};
+use mnd_hypar::runtime::{should_recurse, ExchangeMonitor};
+use mnd_hypar::HyParConfig;
+use mnd_kernels::cgraph::{CGraph, CompId};
+use mnd_kernels::msf::MsfResult;
+use mnd_kernels::reduce::{apply_ghost_parents, reduce_holding};
+use mnd_net::{Cluster, Comm, Group, Tag};
+
+use crate::ghost::{relabel_buckets, GhostDirectory};
+use crate::result::{MndMstReport, PhaseTimes};
+use crate::segment::{choose_segment, SegmentMsg};
+
+/// Ring-segment messages.
+const TAG_SEG: Tag = Tag::user(1);
+/// Whole-holding transfers to the group leader.
+const TAG_MERGE: Tag = Tag::user(2);
+
+/// Configuration + entry point for distributed runs.
+#[derive(Clone, Debug)]
+pub struct MndMstRunner {
+    /// Number of simulated cluster nodes (one rank per node).
+    pub nranks: usize,
+    /// Node hardware + interconnect.
+    pub platform: NodePlatform,
+    /// HyPar runtime configuration.
+    pub config: HyParConfig,
+    /// Maximum ghost pairs per exchange phase (§3.1/§3.3: boundary
+    /// communication happens "in multiple phases" to bound message sizes).
+    pub ghost_phase_size: usize,
+    /// Cap on recursion rounds inside one computation step (§4.3.3).
+    pub max_recursion_rounds: usize,
+}
+
+impl MndMstRunner {
+    /// A CPU-only runner on the AMD-cluster platform with paper defaults.
+    pub fn new(nranks: usize) -> Self {
+        MndMstRunner {
+            nranks,
+            platform: NodePlatform::amd_cluster(),
+            config: HyParConfig::default(),
+            ghost_phase_size: 1 << 16,
+            max_recursion_rounds: 3,
+        }
+    }
+
+    /// Replaces the platform (e.g. `NodePlatform::cray_xc40(true)`).
+    pub fn with_platform(mut self, platform: NodePlatform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Replaces the HyPar configuration.
+    pub fn with_config(mut self, config: HyParConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the full distributed algorithm on `el` and reports.
+    ///
+    /// The result is validated structurally (component counts) here;
+    /// edge-for-edge oracle comparison lives in the tests.
+    ///
+    /// # Panics
+    ///
+    /// If `nranks == 0`, or on internal invariant violations (a rank
+    /// thread panicking is re-raised with its rank id).
+    pub fn run(&self, el: &EdgeList) -> MndMstReport {
+        assert!(self.nranks >= 1);
+        let csr = Arc::new(CsrGraph::from_edge_list(el));
+        let el_arc = Arc::new(el.clone());
+        let network = self.platform.network.scaled(self.config.sim_scale);
+        let cluster = Cluster::new(self.nranks, network);
+
+        let outcomes = cluster.run(|comm| self.rank_main(comm, &csr, &el_arc));
+
+        let total_time = Cluster::makespan(&outcomes);
+        let mut msf: Option<MsfResult> = None;
+        let mut phases = Vec::with_capacity(self.nranks);
+        let mut rank_stats = Vec::with_capacity(self.nranks);
+        let mut levels = 0;
+        let mut exchange_rounds = 0;
+        let mut max_holding_bytes = 0u64;
+        for o in &outcomes {
+            let r = &o.result;
+            if let Some(m) = &r.msf {
+                msf = Some(m.clone());
+            }
+            let mut ph = r.phases;
+            ph.comm = o.stats.comm_time;
+            phases.push(ph);
+            rank_stats.push(o.stats);
+            levels = levels.max(r.levels);
+            exchange_rounds = exchange_rounds.max(r.exchange_rounds);
+            max_holding_bytes = max_holding_bytes.max(r.max_holding_bytes);
+        }
+        let comm_time = rank_stats.iter().map(|s| s.comm_time).fold(0.0, f64::max);
+        MndMstReport {
+            msf: msf.expect("rank 0 always produces the final MSF"),
+            total_time,
+            comm_time,
+            phases,
+            rank_stats,
+            levels,
+            exchange_rounds,
+            max_holding_bytes,
+            nranks: self.nranks,
+        }
+    }
+
+    /// Seconds a single linear sweep over `items` costs on this node's CPU
+    /// (used to charge partitioning/reduction work).
+    fn sweep_seconds(&self, items: u64) -> f64 {
+        let m = &self.platform.cpu;
+        items as f64 * self.config.sim_scale / (m.edge_throughput * m.efficiency)
+    }
+
+    /// The per-rank program.
+    fn rank_main(&self, comm: &Comm, csr: &CsrGraph, el: &EdgeList) -> RankResult {
+        let me = comm.rank();
+        let p = comm.size();
+        let cfg = &self.config;
+        let mut phases = PhaseTimes::default();
+        let mut msf_local: Vec<WEdge> = Vec::new();
+
+        // ---- Partitioning (§3.1): Gemini-style slice read + degree
+        // allreduce + 1D cuts. ----
+        let m_edges = el.len();
+        let lo = me * m_edges / p;
+        let hi = (me + 1) * m_edges / p;
+        let mut partial = vec![0u64; el.num_vertices() as usize];
+        for e in &el.edges()[lo..hi] {
+            partial[e.u as usize] += 1;
+            partial[e.v as usize] += 1;
+        }
+        let t = self.sweep_seconds((hi - lo) as u64);
+        comm.compute(t);
+        phases.merge += t;
+        let degrees = comm.allreduce_vec_u64(partial, |a, b| a + b);
+        let ranges = partition_1d_by_degrees(&degrees, p, 0.0);
+        let my_range = ranges[me];
+
+        // Intra-node device split (§4.3.1), calibrated on the local
+        // partition's induced subgraph.
+        let split = if self.platform.is_hybrid() {
+            let keep: Vec<u32> = my_range.iter().collect();
+            let local = csr.induced_subgraph(&keep);
+            let part = part_graph(&local, 1, &self.platform, cfg);
+            // Calibration runs 5-10 small kernels on both devices; charge a
+            // sweep over the sampled edges.
+            let sampled = (local.num_undirected_edges() as f64
+                * cfg.calibration_frac
+                * cfg.calibration_samples as f64) as u64;
+            let t = self.sweep_seconds(sampled);
+            comm.compute(t);
+            phases.merge += t;
+            part.split
+        } else {
+            mnd_device::DeviceSplit::cpu_only()
+        };
+
+        // ---- Holding + ghost information. ----
+        let mut cg = CGraph::from_partition(csr, my_range);
+        let t = self.sweep_seconds(cg.edges().len() as u64);
+        comm.compute(t);
+        phases.merge += t;
+        let mut dir = GhostDirectory::from_ranges(ranges.clone());
+        let mut max_holding = self.paper_bytes(&cg);
+
+        // makeGhostInformation: exchange boundary vertex ids so every rank
+        // can build its ghostList hash table (§3.1). Our GhostDirectory
+        // derives owners from the ranges, so the payload itself is only
+        // used as a consistency check — but the exchange is performed for
+        // its (phased) communication cost, like the paper's.
+        {
+            let mut buckets: Vec<Vec<CompId>> = (0..p).map(|_| Vec::new()).collect();
+            for e in cg.edges() {
+                for (mine, ghost) in [(e.a, e.b), (e.b, e.a)] {
+                    if cg.is_resident(mine) && !cg.is_resident(ghost) {
+                        let owner = dir.owner(ghost) as usize;
+                        if owner != me {
+                            buckets[owner].push(mine);
+                        }
+                    }
+                }
+            }
+            for b in &mut buckets {
+                b.sort_unstable();
+                b.dedup();
+            }
+            let received = comm.alltoallv_phased(buckets, self.ghost_phase_size);
+            // Consistency: every vertex a neighbour reports as its boundary
+            // must be non-resident here and owned by that neighbour.
+            for (src, verts) in received.iter().enumerate() {
+                for &v in verts {
+                    debug_assert_eq!(dir.owner(v) as usize, src, "ghost table mismatch");
+                }
+            }
+        }
+
+        // ---- Level-0 computation. ----
+        let mut exchange_rounds = 0usize;
+        let mut levels = 0usize;
+        self.computation_step(comm, &mut cg, &mut dir, &split, &mut phases, &mut msf_local);
+        max_holding = max_holding.max(self.paper_bytes(&cg));
+
+        // ---- Hierarchical merging (§3.4). ----
+        let mut active: Vec<usize> = (0..p).collect();
+        while active.len() > 1 {
+            levels += 1;
+            // group_size 1 would make every rank its own leader and the
+            // hierarchy would never shrink; 2 is the smallest group that
+            // makes progress (the paper studies 2/4/8/16).
+            let groups = Group::partition(&active, cfg.group_size.max(2));
+            let my_group = Group::find(&groups, me).cloned();
+            let mut monitors: Vec<ExchangeMonitor> =
+                groups.iter().map(|_| ExchangeMonitor::new()).collect();
+
+            // --- Ring-exchange rounds (all ranks in lockstep). ---
+            loop {
+                // Replicated group sizes: one slot per group.
+                let mut sizes = vec![0u64; groups.len()];
+                if let Some(g) = &my_group {
+                    let gi = groups.iter().position(|x| x == g).expect("own group");
+                    sizes[gi] = cg.edges().len() as u64;
+                }
+                let totals = comm.allreduce_vec_u64(sizes, |a, b| a + b);
+                // Every rank evaluates every group's §4.3.4 decision from
+                // the same data -> identical flags everywhere.
+                let flags: Vec<bool> = groups
+                    .iter()
+                    .zip(monitors.iter_mut())
+                    .zip(totals.iter())
+                    .map(|((g, mon), &total)| {
+                        !g.is_singleton() && mon.observe_and_continue(cfg, total)
+                    })
+                    .collect();
+                if !flags.iter().any(|&f| f) {
+                    break;
+                }
+
+                // Ring shift within exchanging groups.
+                let mut my_moves: Vec<(CompId, u32)> = Vec::new();
+                let mut received_any = false;
+                if let Some(g) = &my_group {
+                    let gi = groups.iter().position(|x| x == g).expect("own group");
+                    if flags[gi] {
+                        exchange_rounds += 1;
+                        let left = g.left_of(me);
+                        let right = g.right_of(me);
+                        let cap = self.segment_cap_bytes();
+                        let take = choose_segment(&cg, cap);
+                        let seg = cg.split_off(&take);
+                        let msg = SegmentMsg::from_holding(seg);
+                        my_moves = take.iter().map(|&c| (c, left as u32)).collect();
+                        let bytes = msg.wire_bytes();
+                        let incoming: SegmentMsg =
+                            comm.send_recv(left, TAG_SEG, msg, bytes, right, TAG_SEG);
+                        if !incoming.is_empty() {
+                            received_any = true;
+                            cg.absorb(incoming.into_holding());
+                        }
+                    }
+                }
+                // Ownership announcements (global, includes empties).
+                let all_moves = comm.allgather_vec(my_moves);
+                for moves in &all_moves {
+                    dir.apply_moves(moves);
+                }
+                if received_any {
+                    // New residents can unfreeze old borders.
+                    cg.clear_frozen();
+                }
+                max_holding = max_holding.max(self.paper_bytes(&cg));
+
+                // Collaborative merging: indComp + ghost + reduce.
+                self.computation_step(comm, &mut cg, &mut dir, &split, &mut phases, &mut msf_local);
+            }
+
+            // --- Merge each group to its leader. ---
+            let mut my_moves: Vec<(CompId, u32)> = Vec::new();
+            if let Some(g) = &my_group {
+                let leader = g.leader();
+                if me == leader {
+                    for &member in g.members() {
+                        if member == me {
+                            continue;
+                        }
+                        let msg: SegmentMsg = comm.recv(member, TAG_MERGE);
+                        if !msg.is_empty() {
+                            cg.absorb(msg.into_holding());
+                        }
+                    }
+                    cg.clear_frozen();
+                } else {
+                    let whole = std::mem::take(&mut cg);
+                    my_moves = whole.resident().iter().map(|&c| (c, leader as u32)).collect();
+                    let msg = SegmentMsg::from_holding(whole);
+                    let bytes = msg.wire_bytes();
+                    comm.send_sized(leader, TAG_MERGE, msg, bytes);
+                }
+            }
+            let all_moves = comm.allgather_vec(my_moves);
+            for moves in &all_moves {
+                dir.apply_moves(moves);
+            }
+            max_holding = max_holding.max(self.paper_bytes(&cg));
+
+            active = groups.iter().map(|g| g.leader()).collect();
+
+            // Leaders run independent computations on the merged data
+            // before the next level ("We again perform independent
+            // computation steps on the leader nodes").
+            if active.len() > 1 {
+                self.computation_step(comm, &mut cg, &mut dir, &split, &mut phases, &mut msf_local);
+            }
+        }
+
+        // ---- Post-processing on the last rank (always rank 0: leaders are
+        // first group members). ----
+        let final_rank = 0usize;
+        if me == final_rank && !cg.is_empty() {
+            debug_assert_eq!(
+                cg.num_cut_edges(),
+                0,
+                "final holding must be self-contained"
+            );
+            let (edges, t) = post_process(&mut cg, &self.platform, cfg);
+            comm.compute(t);
+            phases.post_process += t;
+            msf_local.extend(edges);
+        }
+
+        // ---- Gather the MSF at rank 0. ----
+        let gathered = comm.gather_vec(final_rank, msf_local);
+        let msf = gathered.map(|parts| {
+            let all: Vec<WEdge> = parts.into_iter().flatten().collect();
+            MsfResult::from_edges(el.num_vertices(), all)
+        });
+
+        RankResult { msf, phases, levels, exchange_rounds, max_holding_bytes: max_holding }
+    }
+
+    /// One computation step: (recursively) indComp on the node's devices,
+    /// ghost-parent exchange, self/multi-edge reduction. Called in lockstep
+    /// by every rank; empty holdings make every part a no-op. Recursion
+    /// (§4.3.3) repeats the step while the *global* maximum reduced size
+    /// stays over the threshold and progress continues.
+    fn computation_step(
+        &self,
+        comm: &Comm,
+        cg: &mut CGraph,
+        dir: &mut GhostDirectory,
+        split: &mnd_device::DeviceSplit,
+        phases: &mut PhaseTimes,
+        msf_local: &mut Vec<WEdge>,
+    ) {
+        let cfg = &self.config;
+        let me = comm.rank();
+        let p = comm.size();
+        for _round in 0..self.max_recursion_rounds.max(1) {
+            // Independent computations on the node's device(s).
+            let run = ind_comp(cg, &self.platform, split, cfg);
+            let t = run.compute_time + run.transfer_time;
+            comm.compute(t);
+            phases.ind_comp += t;
+            let unions = run.msf_edges.len() as u64;
+            msf_local.extend(run.msf_edges.iter().copied());
+
+            // Ghost-parent exchange (§3.3), phased.
+            let buckets = relabel_buckets(cg, &run.relabel, dir, me, p);
+            let received = comm.alltoallv_phased(buckets, self.ghost_phase_size);
+            dir.apply_relabels(&run.relabel);
+            for pairs in &received {
+                if !pairs.is_empty() {
+                    apply_ghost_parents(cg, pairs);
+                    dir.apply_relabels(pairs);
+                }
+            }
+
+            // Reduce: self-edge removal + multi-edge removal.
+            let stats = reduce_holding(cg);
+            let t = self.sweep_seconds(stats.edges_before);
+            comm.compute(t);
+            phases.merge += t;
+
+            // Global recursion decision (§4.3.3): recurse while any rank's
+            // reduced holding is still over the threshold AND any rank made
+            // progress (otherwise another round cannot contract more).
+            let max_edges = comm.allreduce_u64(cg.edges().len() as u64, u64::max);
+            let total_unions = comm.allreduce_u64(unions, |a, b| a + b);
+            if total_unions == 0 || !should_recurse(cfg, max_edges) {
+                break;
+            }
+        }
+    }
+
+    /// Paper-scale bytes of a holding (the memory the full-size run would
+    /// occupy).
+    fn paper_bytes(&self, cg: &CGraph) -> u64 {
+        (cg.approx_bytes() as f64 * self.config.sim_scale) as u64
+    }
+
+    /// Per-segment byte cap: a quarter of node memory (at paper scale), so
+    /// a receiver holding its own data plus one segment stays far below
+    /// capacity — the §3.4 accommodation guarantee.
+    fn segment_cap_bytes(&self) -> u64 {
+        let node_mem = self.platform.cpu.mem_bytes;
+        ((node_mem / 4) as f64 / self.config.sim_scale) as u64
+    }
+}
+
+/// What one rank hands back from the simulation.
+#[derive(Clone, Debug)]
+struct RankResult {
+    msf: Option<MsfResult>,
+    phases: PhaseTimes,
+    levels: usize,
+    exchange_rounds: usize,
+    max_holding_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::gen;
+    use mnd_kernels::oracle::kruskal_msf;
+
+    fn check(el: &EdgeList, nranks: usize) -> MndMstReport {
+        let report = MndMstRunner::new(nranks).run(el);
+        let oracle = kruskal_msf(el);
+        assert_eq!(report.msf, oracle, "nranks={nranks}");
+        report
+    }
+
+    #[test]
+    fn single_rank_matches_oracle() {
+        check(&gen::gnm(300, 1200, 1), 1);
+    }
+
+    #[test]
+    fn two_ranks_match_oracle() {
+        check(&gen::gnm(300, 1200, 2), 2);
+    }
+
+    #[test]
+    fn many_ranks_many_families() {
+        for (el, name) in [
+            (gen::gnm(400, 1600, 3), "gnm"),
+            (gen::watts_strogatz(300, 6, 0.2, 4), "ws"),
+            (gen::rmat(256, 2048, gen::RmatProbs::GRAPH500, 5), "rmat"),
+            (gen::road_grid(20, 20, 0.02, 0.38, 6), "road"),
+        ] {
+            for nranks in [3, 4, 8] {
+                let report = MndMstRunner::new(nranks).run(&el);
+                let oracle = kruskal_msf(&el);
+                assert_eq!(report.msf, oracle, "{name} nranks={nranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_yield_forests() {
+        let el = gen::disconnected_union(&[
+            gen::path(50, 1),
+            gen::gnm(100, 300, 2),
+            gen::cycle(30, 3),
+        ]);
+        let r = check(&el, 4);
+        assert_eq!(r.msf.num_components, 3);
+    }
+
+    #[test]
+    fn group_sizes_all_work() {
+        let el = gen::gnm(500, 2000, 7);
+        let oracle = kruskal_msf(&el);
+        for gs in [2, 3, 4, 8, 16] {
+            let cfg = HyParConfig { group_size: gs, ..Default::default() };
+            let r = MndMstRunner::new(8).with_config(cfg).run(&el);
+            assert_eq!(r.msf, oracle, "group_size={gs}");
+        }
+    }
+
+    #[test]
+    fn hybrid_platform_matches_oracle() {
+        let el = gen::rmat(512, 4096, gen::RmatProbs::MILD, 9);
+        let oracle = kruskal_msf(&el);
+        let r = MndMstRunner::new(4)
+            .with_platform(NodePlatform::cray_xc40(true))
+            .run(&el);
+        assert_eq!(r.msf, oracle);
+    }
+
+    #[test]
+    fn report_is_populated() {
+        let el = gen::gnm(400, 1600, 11);
+        let r = check(&el, 4);
+        assert!(r.total_time > 0.0);
+        assert!(r.comm_time > 0.0);
+        assert_eq!(r.phases.len(), 4);
+        assert!(r.levels >= 1);
+        assert!(r.max_holding_bytes > 0);
+        let pm = r.phase_max();
+        assert!(pm.ind_comp > 0.0);
+        assert!(pm.post_process > 0.0);
+    }
+
+    #[test]
+    fn deterministic_results_and_times() {
+        let el = gen::gnm(300, 1500, 13);
+        let a = MndMstRunner::new(4).run(&el);
+        let b = MndMstRunner::new(4).run(&el);
+        assert_eq!(a.msf, b.msf);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.comm_time, b.comm_time);
+    }
+
+    #[test]
+    fn edgeless_and_tiny_inputs() {
+        let empty = EdgeList::new(8);
+        let r = MndMstRunner::new(4).run(&empty);
+        assert!(r.msf.edges.is_empty());
+        assert_eq!(r.msf.num_components, 8);
+        let single = gen::path(2, 1);
+        let r = MndMstRunner::new(4).run(&single);
+        assert_eq!(r.msf.edges.len(), 1);
+    }
+
+    #[test]
+    fn more_ranks_than_vertices() {
+        let el = gen::path(5, 3);
+        let r = MndMstRunner::new(8).run(&el);
+        assert_eq!(r.msf, kruskal_msf(&el));
+    }
+}

@@ -1,0 +1,163 @@
+//! Segment selection for the ring exchange (§3.4).
+//!
+//! "The processors in a group divide their components into segments and
+//! exchange the segments. The segments are formed such that a processor
+//! will be able to accommodate at least one segment it receives from
+//! another processor in addition to the segments that it contains."
+//!
+//! A segment here is a suffix of the holder's resident components carrying
+//! roughly half of its incident edges, additionally capped so the segment's
+//! (paper-scale) bytes fit within the receiver's guaranteed headroom.
+
+use mnd_kernels::cgraph::{CEdge, CGraph, CompId};
+
+/// A segment in flight between two ranks: resident components, their
+/// edges (boundary edges are copies — see `CGraph::split_off`), and the
+/// frozen marks that travel along.
+#[derive(Clone, Debug)]
+pub struct SegmentMsg {
+    /// Component ids moving to the receiver.
+    pub resident: Vec<CompId>,
+    /// Edges incident to those components.
+    pub edges: Vec<CEdge>,
+    /// Frozen subset of `resident`.
+    pub frozen: Vec<CompId>,
+}
+
+impl SegmentMsg {
+    /// An empty segment (sent by converged/empty holders so the ring stays
+    /// in lockstep).
+    pub fn empty() -> Self {
+        SegmentMsg { resident: Vec::new(), edges: Vec::new(), frozen: Vec::new() }
+    }
+
+    /// Wire size in bytes for the cost model.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.resident.len() * 4 + self.edges.len() * std::mem::size_of::<CEdge>() + self.frozen.len() * 4)
+            as u64
+    }
+
+    /// True if nothing moves.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Converts a split-off holding into a message.
+    pub fn from_holding(cg: CGraph) -> Self {
+        // Destructure via accessors (CGraph fields are private).
+        SegmentMsg {
+            resident: cg.resident().to_vec(),
+            frozen: cg.frozen().to_vec(),
+            edges: cg.edges().to_vec(),
+        }
+    }
+
+    /// Converts back into a holding at the receiver.
+    pub fn into_holding(self) -> CGraph {
+        let mut resident = self.resident;
+        resident.sort_unstable();
+        resident.dedup();
+        CGraph::from_parts(resident, self.edges, self.frozen)
+    }
+}
+
+/// Picks the components of the next outgoing segment: the suffix of the
+/// resident list holding at most half of the incident edges, capped at
+/// `max_bytes` (estimated as edges × edge size).
+///
+/// Returns an empty vector when the holder has fewer than 2 components
+/// (nothing sensible to send).
+pub fn choose_segment(cg: &CGraph, max_bytes: u64) -> Vec<CompId> {
+    if cg.num_resident() < 2 {
+        return Vec::new();
+    }
+    let mut incident: std::collections::HashMap<CompId, u64> = std::collections::HashMap::new();
+    for e in cg.edges() {
+        *incident.entry(e.a).or_insert(0) += 1;
+        *incident.entry(e.b).or_insert(0) += 1;
+    }
+    let total: u64 = cg.resident().iter().map(|c| incident.get(c).copied().unwrap_or(0)).sum();
+    let edge_bytes = std::mem::size_of::<CEdge>() as u64;
+    let budget_edges = (max_bytes / edge_bytes.max(1)).max(1);
+    let target = (total / 2).min(budget_edges);
+
+    let mut acc = 0u64;
+    let mut take = Vec::new();
+    // Walk the suffix but never take everything: the holder keeps at least
+    // one component so it still participates in collaborative merging.
+    for &c in cg.resident().iter().rev().take(cg.num_resident() - 1) {
+        let w = incident.get(&c).copied().unwrap_or(0);
+        if !take.is_empty() && acc + w > target {
+            break;
+        }
+        take.push(c);
+        acc += w;
+        if acc >= target {
+            break;
+        }
+    }
+    take.sort_unstable();
+    take
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::gen;
+
+    fn holding(seed: u64) -> CGraph {
+        CGraph::from_edge_list(&gen::gnm(100, 500, seed))
+    }
+
+    #[test]
+    fn segment_round_trips_through_message() {
+        let mut cg = holding(1);
+        let take = choose_segment(&cg, u64::MAX);
+        assert!(!take.is_empty());
+        let seg = cg.split_off(&take);
+        let before = seg.clone();
+        let msg = SegmentMsg::from_holding(seg);
+        assert!(msg.wire_bytes() > 0);
+        let back = msg.into_holding();
+        assert_eq!(back, before);
+    }
+
+    #[test]
+    fn segment_takes_roughly_half_edges() {
+        let cg = holding(2);
+        let take = choose_segment(&cg, u64::MAX);
+        let frac = take.len() as f64 / cg.num_resident() as f64;
+        assert!((0.25..0.75).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn byte_cap_limits_segment() {
+        let cg = holding(3);
+        let small = choose_segment(&cg, 200); // ~10 edges worth
+        let large = choose_segment(&cg, u64::MAX);
+        assert!(small.len() <= large.len());
+        assert!(!small.is_empty());
+    }
+
+    #[test]
+    fn holder_always_keeps_a_component() {
+        let cg = holding(4);
+        let take = choose_segment(&cg, u64::MAX);
+        assert!(take.len() < cg.num_resident());
+    }
+
+    #[test]
+    fn tiny_holdings_send_nothing() {
+        let cg = CGraph::from_parts(vec![7], vec![], vec![]);
+        assert!(choose_segment(&cg, u64::MAX).is_empty());
+        assert!(choose_segment(&CGraph::new(), u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn empty_message_is_empty() {
+        let m = SegmentMsg::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.wire_bytes(), 0);
+        assert!(m.into_holding().is_empty());
+    }
+}

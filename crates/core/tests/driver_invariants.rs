@@ -1,0 +1,107 @@
+//! Driver-level invariant tests: multi-seed oracle sweeps, timing
+//! consistency, and cross-application agreement.
+
+use mnd_device::NodePlatform;
+use mnd_graph::{gen, CsrGraph};
+use mnd_hypar::HyParConfig;
+use mnd_kernels::oracle::kruskal_msf;
+use mnd_mst::bfs::distributed_bfs;
+use mnd_mst::{distributed_components, MndMstRunner};
+
+#[test]
+fn ten_seed_oracle_sweep() {
+    for seed in 0..10 {
+        let el = gen::web_crawl(1200, 9000, gen::CrawlParams::default(), seed);
+        let r = MndMstRunner::new(6).run(&el);
+        assert_eq!(r.msf, kruskal_msf(&el), "seed {seed}");
+    }
+}
+
+#[test]
+fn cc_labels_consistent_with_msf_components() {
+    let el = gen::disconnected_union(&[
+        gen::web_crawl(300, 2000, gen::CrawlParams::default(), 1),
+        gen::path(40, 2),
+        gen::cycle(25, 3),
+    ]);
+    let runner = MndMstRunner::new(5);
+    let msf = runner.run(&el).msf;
+    let cc = distributed_components(&el, &runner);
+    assert_eq!(cc.num_components, msf.num_components);
+    // Two vertices share a label iff the forest connects them.
+    let g = CsrGraph::from_edge_list(&el);
+    let oracle = mnd_graph::connected_components(&g);
+    assert_eq!(cc.labels, oracle);
+}
+
+#[test]
+fn bfs_reaches_exactly_the_source_component() {
+    let el = gen::disconnected_union(&[gen::cycle(30, 1), gen::gnm(100, 300, 2)]);
+    let runner = MndMstRunner::new(4);
+    let cc = distributed_components(&el, &runner);
+    let bfs = distributed_bfs(&el, 0, 4, &NodePlatform::amd_cluster(), 1.0);
+    for (v, (&label, &dist)) in cc.labels.iter().zip(bfs.dist.iter()).enumerate() {
+        assert_eq!(
+            label == cc.labels[0],
+            dist != u64::MAX,
+            "vertex {v}: label {label} dist {dist}"
+        );
+    }
+}
+
+#[test]
+fn sim_scale_changes_times_not_results() {
+    let el = gen::web_crawl(1000, 8000, gen::CrawlParams::default(), 7);
+    let base = MndMstRunner::new(4).run(&el);
+    let scaled = MndMstRunner::new(4)
+        .with_config(HyParConfig::default().with_sim_scale(4096.0))
+        .run(&el);
+    assert_eq!(base.msf, scaled.msf, "scale must never affect the forest");
+    assert!(scaled.total_time > base.total_time, "scaled runs charge more time");
+}
+
+#[test]
+fn platform_changes_times_not_results() {
+    let el = gen::web_crawl(1000, 8000, gen::CrawlParams::default(), 9);
+    let a = MndMstRunner::new(4).run(&el);
+    let b = MndMstRunner::new(4)
+        .with_platform(NodePlatform::cray_xc40(false))
+        .run(&el);
+    let c = MndMstRunner::new(4)
+        .with_platform(NodePlatform::cray_xc40(true))
+        .with_config(HyParConfig::default().with_sim_scale(4096.0))
+        .run(&el);
+    assert_eq!(a.msf, b.msf);
+    assert_eq!(a.msf, c.msf);
+}
+
+#[test]
+fn comm_time_grows_with_rank_count_on_fixed_graph() {
+    // More partitions -> more boundary -> no less communication. (Weak
+    // monotonicity: equal is fine, e.g. when everything fits one group.)
+    let el = gen::web_crawl(4000, 30_000, gen::CrawlParams::default(), 11);
+    let comm = |nranks| MndMstRunner::new(nranks).run(&el).comm_time;
+    let c2 = comm(2);
+    let c16 = comm(16);
+    assert!(
+        c16 >= c2 * 0.5,
+        "16-rank comm {c16} unexpectedly below half of 2-rank comm {c2}"
+    );
+}
+
+#[test]
+fn report_counts_match_configuration() {
+    let el = gen::gnm(500, 2000, 13);
+    for nranks in [1, 3, 8] {
+        let r = MndMstRunner::new(nranks).run(&el);
+        assert_eq!(r.nranks, nranks);
+        assert_eq!(r.phases.len(), nranks);
+        assert_eq!(r.rank_stats.len(), nranks);
+        if nranks == 1 {
+            assert_eq!(r.levels, 0, "single rank needs no merge hierarchy");
+            assert_eq!(r.comm_time, 0.0);
+        } else {
+            assert!(r.levels >= 1);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Node platform presets mirroring the paper's two testbeds (§5.1).
+
+use mnd_net::CostModel;
+
+use crate::model::DeviceModel;
+
+/// The devices available on one cluster node, plus the interconnect the
+/// cluster built from such nodes uses.
+#[derive(Clone, Debug)]
+pub struct NodePlatform {
+    /// Short name printed by the harness.
+    pub name: &'static str,
+    /// The node's CPU.
+    pub cpu: DeviceModel,
+    /// The node's accelerator, if any.
+    pub gpu: Option<DeviceModel>,
+    /// Inter-node network cost model.
+    pub network: CostModel,
+}
+
+impl NodePlatform {
+    /// The 16-node AMD Opteron cluster used for the Pregel+ comparison:
+    /// 8 cores/node, 32 GB, no GPU, commodity interconnect.
+    pub fn amd_cluster() -> Self {
+        NodePlatform {
+            name: "amd-cluster",
+            cpu: DeviceModel::cpu_amd_opteron(),
+            gpu: None,
+            network: CostModel::default_cluster(),
+        }
+    }
+
+    /// The Cray XC40: 12-core Xeon + K40 per node, Aries interconnect —
+    /// used CPU-only for Figure 6/7 and CPU+GPU for Figure 8.
+    pub fn cray_xc40(with_gpu: bool) -> Self {
+        NodePlatform {
+            name: if with_gpu { "cray-xc40-gpu" } else { "cray-xc40" },
+            cpu: DeviceModel::cpu_xeon_ivybridge(),
+            gpu: with_gpu.then(DeviceModel::gpu_k40),
+            network: CostModel::cray_aries(),
+        }
+    }
+
+    /// True if this node can run multi-device (CPU+GPU) executions.
+    pub fn is_hybrid(&self) -> bool {
+        self.gpu.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_testbeds() {
+        let amd = NodePlatform::amd_cluster();
+        assert!(!amd.is_hybrid());
+        assert!(matches!(amd.cpu.kind, crate::model::DeviceKind::Cpu { cores: 8 }));
+
+        let cray = NodePlatform::cray_xc40(true);
+        assert!(cray.is_hybrid());
+        assert!(matches!(cray.cpu.kind, crate::model::DeviceKind::Cpu { cores: 12 }));
+        assert!(cray.network.latency < amd.network.latency);
+    }
+
+    #[test]
+    fn cray_cpu_only_variant() {
+        let c = NodePlatform::cray_xc40(false);
+        assert!(!c.is_hybrid());
+        assert_eq!(c.name, "cray-xc40");
+    }
+}

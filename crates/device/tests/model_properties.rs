@@ -1,0 +1,131 @@
+//! Property tests on the device cost models: monotonicity, scale
+//! invariance, and calibration bounds.
+
+use mnd_device::{calibrate_split, DeviceModel, ExecDevice, NodePlatform};
+use mnd_graph::gen;
+use mnd_graph::CsrGraph;
+use mnd_kernels::cgraph::CGraph;
+use mnd_kernels::policy::{ExcpCond, FreezePolicy, IterWork, StopPolicy, WorkProfile};
+use proptest::prelude::*;
+
+fn profile(scans: Vec<u64>) -> WorkProfile {
+    WorkProfile {
+        iters: scans
+            .into_iter()
+            .map(|s| IterWork { active_components: 1, edges_scanned: s, unions: 1 })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// More work never costs less, on any device.
+    #[test]
+    fn kernel_time_is_monotone_in_work(
+        scans in proptest::collection::vec(0u64..1_000_000, 1..6),
+        extra in 1u64..1_000_000,
+        skew in 0.0f64..1.0,
+    ) {
+        for model in [
+            DeviceModel::cpu_amd_opteron(),
+            DeviceModel::cpu_xeon_ivybridge(),
+            DeviceModel::gpu_k40(),
+            DeviceModel::gpu_k40_unbinned(),
+        ] {
+            let base = model.kernel_time(&profile(scans.clone()), skew);
+            let mut more = scans.clone();
+            *more.last_mut().unwrap() += extra;
+            let bigger = model.kernel_time(&profile(more), skew);
+            prop_assert!(bigger >= base, "{}: {bigger} < {base}", model.name);
+        }
+    }
+
+    /// Skew never helps, and hurts the unbinned GPU at least as much as
+    /// the binned one.
+    #[test]
+    fn skew_ordering(skew in 0.0f64..1.0, work in 1_000u64..10_000_000) {
+        let w = profile(vec![work]);
+        let binned = DeviceModel::gpu_k40();
+        let unbinned = DeviceModel::gpu_k40_unbinned();
+        prop_assert!(binned.kernel_time(&w, skew) >= binned.kernel_time(&w, 0.0) - 1e-12);
+        prop_assert!(unbinned.kernel_time(&w, skew) >= binned.kernel_time(&w, skew) - 1e-12);
+        for m in [binned, unbinned] {
+            let occ = m.occupancy(skew);
+            prop_assert!((0.0..=1.0).contains(&occ));
+        }
+    }
+
+    /// Scaling the model by `s` scales pure work time by exactly `s`
+    /// (fixed overheads unchanged) — the simulation-scale contract.
+    #[test]
+    fn work_scale_contract(scale in 1.0f64..10_000.0, work in 10_000u64..1_000_000) {
+        let base = DeviceModel::cpu_xeon_ivybridge();
+        let scaled = base.clone().scaled(scale);
+        let w = profile(vec![work]);
+        let t_base = base.kernel_time(&w, 0.0) - base.iteration_overhead;
+        let t_scaled = scaled.kernel_time(&w, 0.0) - scaled.iteration_overhead;
+        // Subtracting the shared fixed overhead, remaining time is linear
+        // in scale (serial floor included, also linear).
+        prop_assert!((t_scaled / t_base - scale).abs() / scale < 1e-9);
+    }
+
+    /// Calibration always yields a fraction in [0, 1] and is deterministic.
+    #[test]
+    fn calibration_bounds(seed in 0u64..50, n in 50u32..400) {
+        let g = CsrGraph::from_edge_list(&gen::gnm(n, n as u64 * 4, seed));
+        let split = calibrate_split(
+            &g,
+            &DeviceModel::cpu_xeon_ivybridge(),
+            &DeviceModel::gpu_k40(),
+            5,
+            0.1,
+            seed,
+        );
+        prop_assert!((0.0..=1.0).contains(&split.cpu_fraction));
+        prop_assert!(split.gpu_speedup >= 0.0);
+    }
+}
+
+#[test]
+fn exec_device_result_is_model_independent() {
+    // Changing every cost parameter must never change the computed MSF.
+    let el = gen::web_crawl(800, 6000, gen::CrawlParams::default(), 3);
+    let reference = {
+        let mut cg = CGraph::from_edge_list(&el);
+        let mut dev = ExecDevice::new(DeviceModel::cpu_amd_opteron());
+        dev.run_ind_comp(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive)
+            .output
+            .msf_edges
+    };
+    for model in [
+        DeviceModel::cpu_xeon_ivybridge(),
+        DeviceModel::gpu_k40(),
+        DeviceModel::gpu_k40_unbinned(),
+        DeviceModel::gpu_k40().scaled(4096.0),
+    ] {
+        let mut cg = CGraph::from_edge_list(&el);
+        let mut dev = ExecDevice::new(model);
+        let got = dev
+            .run_ind_comp(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive)
+            .output
+            .msf_edges;
+        assert_eq!(got, reference);
+    }
+}
+
+#[test]
+fn platform_presets_are_internally_consistent() {
+    for plat in [
+        NodePlatform::amd_cluster(),
+        NodePlatform::cray_xc40(false),
+        NodePlatform::cray_xc40(true),
+    ] {
+        assert!(plat.cpu.edge_throughput > 0.0);
+        assert!(plat.cpu.efficiency > 0.0 && plat.cpu.efficiency <= 1.0);
+        if let Some(gpu) = &plat.gpu {
+            assert!(gpu.edge_throughput > plat.cpu.edge_throughput, "GPU must out-throughput CPU");
+            assert!(gpu.mem_bytes < plat.cpu.mem_bytes, "device memory < host memory");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Compressed Sparse Row graph representation.
+//!
+//! The paper stores partitions as CSR arrays and splits them with contiguous
+//! 1D cuts (§3.1). [`CsrGraph`] is the symmetric (undirected) CSR: every
+//! undirected edge `{u, v}` appears in both adjacency lists, each arc
+//! carrying the same weight.
+
+use crate::edgelist::EdgeList;
+use crate::types::{EdgeId, VertexId, WEdge, Weight};
+
+/// Symmetric CSR adjacency structure for a weighted undirected graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets`/`weights` for vertex `v`.
+    offsets: Vec<EdgeId>,
+    /// Arc heads.
+    targets: Vec<VertexId>,
+    /// Arc weights (duplicated per direction).
+    weights: Vec<Weight>,
+}
+
+impl CsrGraph {
+    /// Builds the symmetric CSR from canonical undirected edges.
+    ///
+    /// `edges` need not be sorted but must be canonical (no self loops, no
+    /// duplicates) — [`EdgeList::canonicalize`] guarantees this. Runs in
+    /// O(V + E) via counting sort.
+    pub fn from_edges(num_vertices: VertexId, edges: &[WEdge]) -> Self {
+        let n = num_vertices as usize;
+        let mut degree = vec![0u64; n];
+        for e in edges {
+            debug_assert!(!e.is_self_loop(), "self loop {e:?} in CSR input");
+            debug_assert!((e.v as usize) < n, "edge {e:?} out of range {n}");
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let m2 = offsets[n] as usize;
+        let mut targets = vec![0 as VertexId; m2];
+        let mut weights = vec![0 as Weight; m2];
+        let mut cursor = offsets.clone();
+        for e in edges {
+            let cu = cursor[e.u as usize] as usize;
+            targets[cu] = e.v;
+            weights[cu] = e.w;
+            cursor[e.u as usize] += 1;
+            let cv = cursor[e.v as usize] as usize;
+            targets[cv] = e.u;
+            weights[cv] = e.w;
+            cursor[e.v as usize] += 1;
+        }
+        CsrGraph { offsets, targets, weights }
+    }
+
+    /// Builds from an [`EdgeList`].
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        Self::from_edges(el.num_vertices(), el.edges())
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> VertexId {
+        (self.offsets.len() - 1) as VertexId
+    }
+
+    /// Number of directed arcs (2 × undirected edges).
+    #[inline]
+    pub fn num_arcs(&self) -> EdgeId {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_undirected_edges(&self) -> EdgeId {
+        self.num_arcs() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Raw offsets array (`len == num_vertices + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[EdgeId] {
+        &self.offsets
+    }
+
+    /// Neighbours of `v` with arc weights.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Adjacency slice of `v` (targets only).
+    #[inline]
+    pub fn adj(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Iterates all vertices.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices()
+    }
+
+    /// Recovers the canonical undirected edge list (each edge once, from the
+    /// lower endpoint).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut el = EdgeList::new(self.num_vertices());
+        for u in self.vertices() {
+            for (v, w) in self.neighbors(u) {
+                if u < v {
+                    el.push(u, v, w);
+                }
+            }
+        }
+        el.canonicalize();
+        el
+    }
+
+    /// The undirected edges incident to a contiguous vertex range
+    /// `lo..hi`, each reported once. Edges with exactly one endpoint inside
+    /// the range are included (they are that partition's *ghost edges*).
+    pub fn edges_touching_range(&self, lo: VertexId, hi: VertexId) -> Vec<WEdge> {
+        let mut out = Vec::new();
+        for u in lo..hi {
+            for (v, w) in self.neighbors(u) {
+                // Report once: owner of the lower endpoint reports internal
+                // edges; boundary edges are reported by the inside endpoint.
+                let inside_v = v >= lo && v < hi;
+                if !inside_v || u < v {
+                    out.push(WEdge::new(u, v, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Induced subgraph on `keep` (a sorted, deduplicated vertex set),
+    /// relabelled to `0..keep.len()`. Used for §4.3.1 calibration samples.
+    pub fn induced_subgraph(&self, keep: &[VertexId]) -> CsrGraph {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted+dedup");
+        let n_new = keep.len() as VertexId;
+        let mut rank_of = std::collections::HashMap::with_capacity(keep.len());
+        for (i, &v) in keep.iter().enumerate() {
+            rank_of.insert(v, i as VertexId);
+        }
+        let mut edges = Vec::new();
+        for (i, &u) in keep.iter().enumerate() {
+            for (v, w) in self.neighbors(u) {
+                if u < v {
+                    if let Some(&j) = rank_of.get(&v) {
+                        edges.push(WEdge::new(i as VertexId, j, w));
+                    }
+                }
+            }
+        }
+        CsrGraph::from_edges(n_new, &edges)
+    }
+
+    /// Validates structural invariants; returns a description of the first
+    /// violation, if any. Cheap enough to run in tests on every generated
+    /// graph.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices() as usize;
+        if self.offsets.len() != n + 1 {
+            return Err("offsets length != V + 1".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] != 0".into());
+        }
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets not monotone at {v}"));
+            }
+        }
+        if self.targets.len() as u64 != self.num_arcs() || self.weights.len() != self.targets.len() {
+            return Err("targets/weights length mismatch".into());
+        }
+        if !self.num_arcs().is_multiple_of(2) {
+            return Err("odd arc count (asymmetric)".into());
+        }
+        for u in 0..n as VertexId {
+            for (v, w) in self.neighbors(u) {
+                if v as usize >= n {
+                    return Err(format!("target {v} out of range"));
+                }
+                if v == u {
+                    return Err(format!("self loop at {u}"));
+                }
+                // Symmetry: the reverse arc must exist with equal weight.
+                if !self.neighbors(v).any(|(t, wt)| t == u && wt == w) {
+                    return Err(format!("missing reverse arc {v}->{u}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate in-memory size in bytes (for the memory-capacity
+    /// accounting of the hierarchical merge).
+    pub fn approx_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.targets.len() * 4 + self.weights.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[WEdge::new(0, 1, 5), WEdge::new(1, 2, 3), WEdge::new(0, 2, 9)])
+    }
+
+    #[test]
+    fn builds_symmetric_csr() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.num_undirected_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn neighbors_carry_weights_both_ways() {
+        let g = triangle();
+        let mut n0: Vec<_> = g.neighbors(0).collect();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![(1, 5), (2, 9)]);
+        assert!(g.neighbors(2).any(|(t, w)| t == 0 && w == 9));
+    }
+
+    #[test]
+    fn round_trips_edge_list() {
+        let el = EdgeList::from_raw(
+            5,
+            vec![WEdge::new(0, 4, 2), WEdge::new(1, 2, 7), WEdge::new(2, 3, 1)],
+        );
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(g.to_edge_list(), el);
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        let g = CsrGraph::from_edges(4, &[]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 0);
+        g.validate().unwrap();
+        let g = CsrGraph::from_edges(4, &[WEdge::new(0, 1, 1)]);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn edges_touching_range_reports_internal_once_and_ghosts() {
+        // 0-1-2-3 path, range 1..3 (vertices 1, 2).
+        let g = CsrGraph::from_edges(
+            4,
+            &[WEdge::new(0, 1, 1), WEdge::new(1, 2, 2), WEdge::new(2, 3, 3)],
+        );
+        let mut es = g.edges_touching_range(1, 3);
+        es.sort_unstable();
+        assert_eq!(es, vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 2), WEdge::new(2, 3, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = CsrGraph::from_edges(
+            5,
+            &[WEdge::new(0, 2, 1), WEdge::new(2, 4, 2), WEdge::new(1, 3, 3)],
+        );
+        let sub = g.induced_subgraph(&[0, 2, 4]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_undirected_edges(), 2);
+        assert!(sub.neighbors(0).any(|(t, w)| t == 1 && w == 1)); // 0-2 -> 0-1
+        assert!(sub.neighbors(1).any(|(t, w)| t == 2 && w == 2)); // 2-4 -> 1-2
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let mut g = triangle();
+        g.weights[0] ^= 1; // break symmetry of one arc weight
+        assert!(g.validate().is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Weighted edge lists: the interchange format between generators, I/O and
+//! the CSR builder.
+//!
+//! All of the paper's input graphs are "converted to undirected graphs and
+//! assigned random weights" (§5.1). [`EdgeList`] mirrors that pipeline:
+//! generators may emit directed, duplicated or self-loop edges, and
+//! [`EdgeList::canonicalize`] normalises them into a simple weighted
+//! undirected graph with a deterministic weight per vertex pair.
+
+use crate::types::{VertexId, WEdge, Weight};
+
+/// A list of canonical weighted undirected edges plus the vertex-count bound.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    num_vertices: VertexId,
+    edges: Vec<WEdge>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: VertexId) -> Self {
+        EdgeList { num_vertices, edges: Vec::new() }
+    }
+
+    /// Creates an edge list from raw edges, canonicalising on the way in
+    /// (self loops dropped, duplicates collapsed to the minimum weight).
+    pub fn from_raw(num_vertices: VertexId, raw: Vec<WEdge>) -> Self {
+        let mut el = EdgeList { num_vertices, edges: raw };
+        el.canonicalize();
+        el
+    }
+
+    /// Number of vertices (an upper bound on ids + 1; isolated vertices are
+    /// allowed).
+    #[inline]
+    pub fn num_vertices(&self) -> VertexId {
+        self.num_vertices
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if there are no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The canonical edges.
+    #[inline]
+    pub fn edges(&self) -> &[WEdge] {
+        &self.edges
+    }
+
+    /// Consumes the list, returning the edges.
+    pub fn into_edges(self) -> Vec<WEdge> {
+        self.edges
+    }
+
+    /// Adds an edge (canonicalised). Call [`Self::canonicalize`] afterwards
+    /// if duplicates or self loops may have been introduced.
+    #[inline]
+    pub fn push(&mut self, a: VertexId, b: VertexId, w: Weight) {
+        debug_assert!(a < self.num_vertices && b < self.num_vertices);
+        self.edges.push(WEdge::new(a, b, w));
+    }
+
+    /// Normalises the list into a simple undirected graph:
+    ///
+    /// 1. every edge is stored with `u <= v`,
+    /// 2. self loops are removed (they can never be MST edges),
+    /// 3. parallel edges between the same pair collapse to the **minimum**
+    ///    weight (exactly the paper's "multi-edge removal" applied at input
+    ///    time),
+    /// 4. edges are sorted by `(u, v, w)` for reproducible iteration order.
+    pub fn canonicalize(&mut self) {
+        for e in &mut self.edges {
+            *e = WEdge::new(e.u, e.v, e.w);
+        }
+        self.edges.retain(|e| !e.is_self_loop());
+        self.edges.sort_unstable_by_key(|e| (e.u, e.v, e.w));
+        self.edges.dedup_by(|next, prev| {
+            // List is sorted by (u, v, w): the first edge of each (u, v) run
+            // has the minimum weight, so dropping later duplicates keeps it.
+            next.u == prev.u && next.v == prev.v
+        });
+    }
+
+    /// Re-weights every edge deterministically from a seed and the canonical
+    /// endpoints, emulating the paper's "assigned random weights" step in a
+    /// way that is independent of edge order (important: every rank, device
+    /// and oracle must agree on the weight of an edge it sees).
+    ///
+    /// Weights are in `1..=max_weight`.
+    pub fn assign_random_weights(&mut self, seed: u64, max_weight: Weight) {
+        assert!(max_weight >= 1);
+        for e in &mut self.edges {
+            e.w = pair_weight(seed, e.u, e.v, max_weight);
+        }
+    }
+
+    /// Renumbers vertices by a mapping; edges incident to unmapped vertices
+    /// (`None`) are dropped. Used to build induced subgraphs for the §4.3.1
+    /// device-calibration step.
+    pub fn relabel(&self, new_num_vertices: VertexId, map: impl Fn(VertexId) -> Option<VertexId>) -> EdgeList {
+        let mut out = EdgeList::new(new_num_vertices);
+        for e in &self.edges {
+            if let (Some(a), Some(b)) = (map(e.u), map(e.v)) {
+                debug_assert!(a < new_num_vertices && b < new_num_vertices);
+                out.edges.push(WEdge::new(a, b, e.w));
+            }
+        }
+        out.canonicalize();
+        out
+    }
+
+    /// Merges another edge list into this one (vertex spaces must already
+    /// agree), re-canonicalising.
+    pub fn union(&mut self, other: &EdgeList) {
+        assert_eq!(self.num_vertices, other.num_vertices, "vertex spaces differ");
+        self.edges.extend_from_slice(&other.edges);
+        self.canonicalize();
+    }
+
+    /// Maximum vertex id actually used, or `None` if edgeless.
+    pub fn max_used_vertex(&self) -> Option<VertexId> {
+        self.edges.iter().map(|e| e.v).max()
+    }
+}
+
+/// Deterministic weight for the unordered pair `(u, v)` under `seed`,
+/// uniform-ish in `1..=max_weight`.
+///
+/// This is a fixed-key variant of splitmix64 over the packed pair; quality is
+/// far beyond what an MST needs (we only need "no adversarial structure").
+pub fn pair_weight(seed: u64, u: VertexId, v: VertexId, max_weight: Weight) -> Weight {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    let x = ((a as u64) << 32) | b as u64;
+    let h = splitmix64(x ^ splitmix64(seed));
+    (h % max_weight as u64) as Weight + 1
+}
+
+/// The splitmix64 finaliser. Public so generators can reuse it for
+/// deterministic per-element decisions.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_removes_self_loops_and_dups() {
+        let el = EdgeList::from_raw(
+            5,
+            vec![
+                WEdge::new(1, 0, 9),
+                WEdge::new(0, 1, 4), // duplicate pair, lighter
+                WEdge::new(2, 2, 1), // self loop
+                WEdge::new(3, 4, 7),
+            ],
+        );
+        assert_eq!(el.len(), 2);
+        assert_eq!(el.edges()[0], WEdge::new(0, 1, 4));
+        assert_eq!(el.edges()[1], WEdge::new(3, 4, 7));
+    }
+
+    #[test]
+    fn duplicate_collapse_keeps_min_weight() {
+        let el = EdgeList::from_raw(
+            3,
+            vec![WEdge::new(0, 1, 5), WEdge::new(1, 0, 2), WEdge::new(0, 1, 8)],
+        );
+        assert_eq!(el.len(), 1);
+        assert_eq!(el.edges()[0].w, 2);
+    }
+
+    #[test]
+    fn weights_are_order_independent() {
+        let mut a = EdgeList::from_raw(4, vec![WEdge::new(0, 1, 0), WEdge::new(2, 3, 0)]);
+        let mut b = EdgeList::from_raw(4, vec![WEdge::new(3, 2, 0), WEdge::new(1, 0, 0)]);
+        a.assign_random_weights(99, 1000);
+        b.assign_random_weights(99, 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pair_weight_in_range_and_symmetric() {
+        for i in 0..100u32 {
+            let w = pair_weight(7, i, i + 1, 10);
+            assert!((1..=10).contains(&w));
+            assert_eq!(w, pair_weight(7, i + 1, i, 10));
+        }
+    }
+
+    #[test]
+    fn relabel_builds_induced_subgraph() {
+        let el = EdgeList::from_raw(
+            6,
+            vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 2), WEdge::new(4, 5, 3)],
+        );
+        // Keep only vertices 0..3, identity-mapped.
+        let sub = el.relabel(3, |v| (v < 3).then_some(v));
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.edges()[0], WEdge::new(0, 1, 1));
+        assert_eq!(sub.edges()[1], WEdge::new(1, 2, 2));
+    }
+
+    #[test]
+    fn union_merges_and_dedups() {
+        let mut a = EdgeList::from_raw(4, vec![WEdge::new(0, 1, 3)]);
+        let b = EdgeList::from_raw(4, vec![WEdge::new(0, 1, 1), WEdge::new(2, 3, 2)]);
+        a.union(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.edges()[0].w, 1);
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let el = EdgeList::new(10);
+        assert!(el.is_empty());
+        assert_eq!(el.max_used_vertex(), None);
+    }
+}

@@ -1,0 +1,103 @@
+//! Barabási–Albert preferential attachment — scale-free graphs grown by
+//! degree-proportional attachment. A standard test family complementing
+//! R-MAT (which gets skew from recursion) and the crawl model (which gets
+//! it from explicit hubs): BA's hubs *emerge*, and vertex ids correlate
+//! with age, giving a distinctive mild locality (old↔old edges cluster at
+//! low ids).
+
+use crate::edgelist::{splitmix64, EdgeList};
+use crate::gen::DEFAULT_MAX_WEIGHT;
+use crate::types::VertexId;
+
+/// Grows a BA graph: starts from a small clique, then each new vertex
+/// attaches to `m` existing vertices chosen proportionally to degree
+/// (the classic repeated-endpoint sampling). `m >= 1`, `num_vertices > m`.
+/// Deterministic in `seed`.
+pub fn barabasi_albert(num_vertices: VertexId, m: u32, seed: u64) -> EdgeList {
+    assert!(m >= 1, "attachment count must be >= 1");
+    assert!(num_vertices > m, "need more vertices than attachments");
+    let mut state = splitmix64(seed ^ BA_TAG);
+    let mut next = move || {
+        state = splitmix64(state);
+        state
+    };
+
+    // Endpoint multiset: each edge contributes both endpoints, so sampling
+    // uniformly from it is degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    let mut el = EdgeList::new(num_vertices);
+
+    // Seed clique over the first m+1 vertices.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            el.push(u, v, 0);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in (m + 1)..num_vertices {
+        // Sample m distinct targets (retry on duplicates; m is small).
+        let mut targets: Vec<VertexId> = Vec::with_capacity(m as usize);
+        while targets.len() < m as usize {
+            let t = endpoints[(next() % endpoints.len() as u64) as usize];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            el.push(u, t, 0);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    el.canonicalize();
+    el.assign_random_weights(seed, DEFAULT_MAX_WEIGHT);
+    el
+}
+
+const BA_TAG: u64 = 0x4241_4C42; // "BALB"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::num_components;
+    use crate::stats::graph_stats;
+    use crate::CsrGraph;
+
+    #[test]
+    fn size_and_connectivity() {
+        let el = barabasi_albert(1000, 3, 7);
+        // Clique (4 choose 2) = 6, plus 3 per later vertex.
+        assert_eq!(el.len(), 6 + 3 * (1000 - 4));
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(num_components(&g), 1, "BA graphs are connected by construction");
+    }
+
+    #[test]
+    fn power_law_hubs_emerge() {
+        let el = barabasi_albert(5000, 2, 3);
+        let g = CsrGraph::from_edge_list(&el);
+        let s = graph_stats(&g, 1, 1);
+        assert!(
+            s.max_degree as f64 > 10.0 * s.avg_degree,
+            "max {} avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
+        // Hubs are the oldest vertices.
+        let oldest_max = (0..50).map(|v| g.degree(v)).max().unwrap();
+        let newest_max = (4950..5000).map(|v| g.degree(v)).max().unwrap();
+        assert!(oldest_max > 5 * newest_max);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(300, 2, 9), barabasi_albert(300, 2, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn rejects_degenerate_sizes() {
+        barabasi_albert(3, 3, 0);
+    }
+}

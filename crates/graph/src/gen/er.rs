@@ -1,0 +1,57 @@
+//! Erdős–Rényi G(n, m) generator — uniform random graphs, useful as a
+//! structure-free control in tests and ablations.
+
+use crate::edgelist::{splitmix64, EdgeList};
+use crate::gen::DEFAULT_MAX_WEIGHT;
+use crate::types::{VertexId, WEdge};
+
+/// Generates a uniform random graph with `num_vertices` and approximately
+/// `num_edges` undirected edges (duplicates/self loops canonicalised away).
+/// Deterministic in `seed`.
+pub fn gnm(num_vertices: VertexId, num_edges: u64, seed: u64) -> EdgeList {
+    assert!(num_vertices >= 1);
+    let mut raw = Vec::with_capacity(num_edges as usize);
+    let mut state = splitmix64(seed ^ ER_TAG);
+    let mut next = move || {
+        state = splitmix64(state);
+        state
+    };
+    for _ in 0..num_edges {
+        let u = (next() % num_vertices as u64) as VertexId;
+        let v = (next() % num_vertices as u64) as VertexId;
+        if u != v {
+            raw.push(WEdge::new(u, v, 0));
+        }
+    }
+    let mut el = EdgeList::from_raw(num_vertices, raw);
+    el.assign_random_weights(seed, DEFAULT_MAX_WEIGHT);
+    el
+}
+
+const ER_TAG: u64 = 0x4552_4e4d; // "ERNM"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_canonical() {
+        let a = gnm(100, 500, 5);
+        assert_eq!(a, gnm(100, 500, 5));
+        for e in a.edges() {
+            assert!(e.u < e.v && e.v < 100);
+        }
+    }
+
+    #[test]
+    fn edge_count_close_to_requested() {
+        let el = gnm(1000, 5000, 9);
+        // Collisions/self loops remove a few percent at this density.
+        assert!(el.len() > 4700 && el.len() <= 5000, "got {}", el.len());
+    }
+
+    #[test]
+    fn single_vertex_graph_is_edgeless() {
+        assert!(gnm(1, 100, 0).is_empty());
+    }
+}

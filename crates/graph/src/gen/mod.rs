@@ -1,0 +1,33 @@
+//! Synthetic graph generators.
+//!
+//! The paper's evaluation inputs (Table 2) are web crawls with power-law
+//! degree distributions plus the road_usa network. These generators produce
+//! scaled stand-ins with matching degree signatures; [`crate::presets`] wires
+//! them to the specific Table 2 rows.
+//!
+//! All generators are deterministic in their seed, emit an
+//! [`EdgeList`](crate::EdgeList) that
+//! has already been canonicalised, and assign deterministic per-pair random
+//! weights (see [`crate::edgelist::pair_weight`]).
+
+mod ba;
+mod crawl;
+mod er;
+mod rmat;
+mod road;
+mod smallworld;
+mod special;
+
+pub use ba::barabasi_albert;
+pub use crawl::{cut_fraction, web_crawl, CrawlParams};
+pub use er::gnm;
+pub use rmat::{rmat, RmatProbs};
+pub use road::road_grid;
+pub use smallworld::watts_strogatz;
+pub use special::{complete, cycle, disconnected_union, path, star};
+
+/// Default weight range used by all generators (`1..=DEFAULT_MAX_WEIGHT`).
+///
+/// Wide enough that ties are rare on our graph sizes, which keeps MSTs
+/// "interesting", while tie-breaking by endpoints keeps them unique anyway.
+pub const DEFAULT_MAX_WEIGHT: crate::types::Weight = 1 << 20;

@@ -1,0 +1,84 @@
+//! Watts–Strogatz small-world generator — ring lattice with rewiring.
+//!
+//! Used in tests and ablations as a family that is connected, regular-ish,
+//! and has tunable locality (1D-partition-friendly at low rewiring, hostile
+//! at high rewiring — a good probe for the paper's claim that contiguous 1D
+//! partitioning preserves natural locality, §3.1).
+
+use crate::edgelist::{splitmix64, EdgeList};
+use crate::gen::DEFAULT_MAX_WEIGHT;
+use crate::types::VertexId;
+
+/// Watts–Strogatz: `num_vertices` on a ring, each joined to `k/2` neighbours
+/// on each side, each edge rewired with probability `beta`. `k` must be even
+/// and `< num_vertices`. Deterministic in `seed`.
+pub fn watts_strogatz(num_vertices: VertexId, k: u32, beta: f64, seed: u64) -> EdgeList {
+    assert!(k.is_multiple_of(2), "k must be even");
+    assert!(k < num_vertices, "k must be < num_vertices");
+    assert!((0.0..=1.0).contains(&beta));
+    let n = num_vertices as u64;
+    let mut el = EdgeList::new(num_vertices);
+    let mut state = splitmix64(seed ^ WS_TAG);
+    let mut next = move || {
+        state = splitmix64(state);
+        state
+    };
+
+    for u in 0..n {
+        for j in 1..=(k / 2) as u64 {
+            let v = (u + j) % n;
+            let rewire = ((next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < beta;
+            let target = if rewire {
+                // Uniform target avoiding self loop; duplicates handled by
+                // canonicalisation (matches the classic formulation closely
+                // enough for a test-family generator).
+                let mut t = next() % n;
+                if t == u {
+                    t = (t + 1) % n;
+                }
+                t
+            } else {
+                v
+            };
+            el.push(u as VertexId, target as VertexId, 0);
+        }
+    }
+    el.canonicalize();
+    el.assign_random_weights(seed, DEFAULT_MAX_WEIGHT);
+    el
+}
+
+const WS_TAG: u64 = 0x5753_4d57; // "WSMW"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::num_components;
+    use crate::CsrGraph;
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let el = watts_strogatz(10, 4, 0.0, 1);
+        assert_eq!(el.len(), 20); // n * k / 2
+        let g = CsrGraph::from_edge_list(&el);
+        for v in 0..10 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn ring_is_connected_even_after_rewiring() {
+        for beta in [0.0, 0.1, 0.5] {
+            let el = watts_strogatz(200, 6, beta, 3);
+            let g = CsrGraph::from_edge_list(&el);
+            // With k=6 the graph stays connected w.h.p.; deterministic seed
+            // makes this a stable assertion rather than a flaky one.
+            assert_eq!(num_components(&g), 1, "beta={beta}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(50, 4, 0.3, 9), watts_strogatz(50, 4, 0.3, 9));
+    }
+}

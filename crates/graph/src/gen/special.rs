@@ -1,0 +1,134 @@
+//! Small deterministic graph families used throughout the test suites:
+//! paths, cycles, stars, complete graphs and disconnected unions.
+//!
+//! These have MSTs that are easy to reason about by hand, which makes them
+//! the right fixtures for kernel unit tests (e.g. the MST of a path is the
+//! path; the MSF of a disconnected union is the union of per-part MSTs).
+
+use crate::edgelist::EdgeList;
+use crate::gen::DEFAULT_MAX_WEIGHT;
+use crate::types::{VertexId, WEdge};
+
+/// Path 0-1-2-…-(n-1). Weights deterministic from `seed`.
+pub fn path(n: VertexId, seed: u64) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(v - 1, v, 0);
+    }
+    el.canonicalize();
+    el.assign_random_weights(seed, DEFAULT_MAX_WEIGHT);
+    el
+}
+
+/// Cycle over `n >= 3` vertices.
+pub fn cycle(n: VertexId, seed: u64) -> EdgeList {
+    assert!(n >= 3, "cycle needs >= 3 vertices");
+    let mut el = path(n, seed);
+    let mut edges = el.into_edges();
+    edges.push(WEdge::new(0, n - 1, 0));
+    el = EdgeList::from_raw(n, edges);
+    el.assign_random_weights(seed, DEFAULT_MAX_WEIGHT);
+    el
+}
+
+/// Star: vertex 0 joined to all others — the degenerate hub that stresses
+/// the degree-binned GPU schedule and LALP-style mirroring.
+pub fn star(n: VertexId, seed: u64) -> EdgeList {
+    assert!(n >= 2);
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(0, v, 0);
+    }
+    el.canonicalize();
+    el.assign_random_weights(seed, DEFAULT_MAX_WEIGHT);
+    el
+}
+
+/// Complete graph K_n (keep `n` small; this is O(n²)).
+pub fn complete(n: VertexId, seed: u64) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            el.push(u, v, 0);
+        }
+    }
+    el.canonicalize();
+    el.assign_random_weights(seed, DEFAULT_MAX_WEIGHT);
+    el
+}
+
+/// Disjoint union of the given edge lists, renumbered into one vertex space.
+/// The result is disconnected (assuming each part is nonempty), exercising
+/// the minimum spanning *forest* paths of every kernel.
+pub fn disconnected_union(parts: &[EdgeList]) -> EdgeList {
+    let total: u64 = parts.iter().map(|p| p.num_vertices() as u64).sum();
+    assert!(total <= VertexId::MAX as u64);
+    let mut el = EdgeList::new(total as VertexId);
+    let mut base: VertexId = 0;
+    let mut edges = Vec::new();
+    for p in parts {
+        for e in p.edges() {
+            edges.push(WEdge::new(e.u + base, e.v + base, e.w));
+        }
+        base += p.num_vertices();
+    }
+    el = EdgeList::from_raw(el.num_vertices(), edges);
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::num_components;
+    use crate::CsrGraph;
+
+    #[test]
+    fn path_shape() {
+        let el = path(5, 0);
+        assert_eq!(el.len(), 4);
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let el = cycle(6, 0);
+        assert_eq!(el.len(), 6);
+        let g = CsrGraph::from_edge_list(&el);
+        for v in 0..6 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let el = star(8, 0);
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(g.degree(0), 7);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let el = complete(5, 0);
+        assert_eq!(el.len(), 10);
+    }
+
+    #[test]
+    fn union_is_disconnected() {
+        let u = disconnected_union(&[path(4, 1), cycle(5, 2), star(3, 3)]);
+        assert_eq!(u.num_vertices(), 12);
+        let g = CsrGraph::from_edge_list(&u);
+        assert_eq!(num_components(&g), 3);
+    }
+
+    #[test]
+    fn union_preserves_weights() {
+        let p = path(3, 7);
+        let u = disconnected_union(&[p.clone(), p.clone()]);
+        assert_eq!(u.edges()[0].w, p.edges()[0].w);
+        // Second copy is shifted by 3 but carries the same weights.
+        assert_eq!(u.edges()[2].w, p.edges()[0].w);
+    }
+}

@@ -1,0 +1,202 @@
+//! Edge-list I/O: a whitespace text format (`u v w` per line, `#` comments)
+//! and a compact little-endian binary format with a magic header.
+//!
+//! The paper reads its inputs with Gemini's parallel reader (each MPI rank
+//! reads an offset slice of the file). [`read_binary_slice`] mirrors that:
+//! it reads only the `rank`-th of `nranks` equal record slices, which is the
+//! API the distributed driver uses to emulate parallel input.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::edgelist::EdgeList;
+use crate::types::{VertexId, WEdge};
+
+/// Magic bytes of the binary format ("MNDG" + version 1).
+const MAGIC: &[u8; 8] = b"MNDG\0\0\0\x01";
+/// Bytes per binary edge record: u32 u, u32 v, u32 w.
+const RECORD: u64 = 12;
+
+/// Writes the text format.
+pub fn write_text<W: Write>(el: &EdgeList, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "# mnd-graph edge list: {} vertices {} edges", el.num_vertices(), el.len())?;
+    writeln!(w, "{}", el.num_vertices())?;
+    for e in el.edges() {
+        writeln!(w, "{} {} {}", e.u, e.v, e.w)?;
+    }
+    w.flush()
+}
+
+/// Reads the text format (canonicalising on the way in).
+pub fn read_text<R: Read>(input: R) -> io::Result<EdgeList> {
+    let r = BufReader::new(input);
+    let mut num_vertices: Option<VertexId> = None;
+    let mut edges = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if num_vertices.is_none() {
+            num_vertices = Some(parse(line, "vertex count")?);
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: VertexId = parse(it.next().unwrap_or(""), "u")?;
+        let v: VertexId = parse(it.next().unwrap_or(""), "v")?;
+        let w = parse(it.next().unwrap_or("1"), "w")?;
+        edges.push(WEdge::new(u, v, w));
+    }
+    let n = num_vertices.ok_or_else(|| bad("missing vertex count line"))?;
+    for e in &edges {
+        if e.v >= n {
+            return Err(bad(&format!("edge {e:?} exceeds vertex count {n}")));
+        }
+    }
+    Ok(EdgeList::from_raw(n, edges))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> io::Result<T> {
+    s.parse().map_err(|_| bad(&format!("bad {what}: {s:?}")))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Writes the binary format.
+pub fn write_binary<W: Write>(el: &EdgeList, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    w.write_all(MAGIC)?;
+    w.write_all(&el.num_vertices().to_le_bytes())?;
+    w.write_all(&(el.len() as u64).to_le_bytes())?;
+    for e in el.edges() {
+        w.write_all(&e.u.to_le_bytes())?;
+        w.write_all(&e.v.to_le_bytes())?;
+        w.write_all(&e.w.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the whole binary file.
+pub fn read_binary<R: Read>(mut input: R) -> io::Result<EdgeList> {
+    let (n, m) = read_binary_header(&mut input)?;
+    let mut edges = Vec::with_capacity(m as usize);
+    let mut buf = [0u8; RECORD as usize];
+    for _ in 0..m {
+        input.read_exact(&mut buf)?;
+        edges.push(decode(&buf));
+    }
+    Ok(EdgeList::from_raw(n, edges))
+}
+
+fn read_binary_header<R: Read>(input: &mut R) -> io::Result<(VertexId, u64)> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an mnd-graph binary file"));
+    }
+    let mut b4 = [0u8; 4];
+    input.read_exact(&mut b4)?;
+    let n = VertexId::from_le_bytes(b4);
+    let mut b8 = [0u8; 8];
+    input.read_exact(&mut b8)?;
+    Ok((n, u64::from_le_bytes(b8)))
+}
+
+/// Gemini-style parallel read: returns the `rank`-th of `nranks` contiguous
+/// record slices of the file plus the global vertex count. Every rank calls
+/// this with the same path; the union of all slices is the whole edge list.
+pub fn read_binary_slice<P: AsRef<Path>>(path: P, rank: usize, nranks: usize) -> io::Result<(VertexId, Vec<WEdge>)> {
+    assert!(rank < nranks && nranks >= 1);
+    let mut f = std::fs::File::open(path)?;
+    let (n, m) = read_binary_header(&mut f)?;
+    let per = m / nranks as u64;
+    let extra = m % nranks as u64;
+    // First `extra` ranks take one extra record.
+    let start = rank as u64 * per + (rank as u64).min(extra);
+    let count = per + if (rank as u64) < extra { 1 } else { 0 };
+    let header = (MAGIC.len() + 4 + 8) as u64;
+    f.seek(SeekFrom::Start(header + start * RECORD))?;
+    let mut out = Vec::with_capacity(count as usize);
+    let mut buf = [0u8; RECORD as usize];
+    for _ in 0..count {
+        f.read_exact(&mut buf)?;
+        out.push(decode(&buf));
+    }
+    Ok((n, out))
+}
+
+fn decode(buf: &[u8; RECORD as usize]) -> WEdge {
+    let u = VertexId::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    let v = VertexId::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let w = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    WEdge::new(u, v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn text_round_trip() {
+        let el = gen::gnm(50, 200, 4);
+        let mut buf = Vec::new();
+        write_text(&el, &mut buf).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(el, back);
+    }
+
+    #[test]
+    fn text_rejects_out_of_range_edges() {
+        let input = "3\n0 5 1\n";
+        assert!(read_text(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn text_defaults_weight_to_one() {
+        let input = "# comment\n4\n0 1\n2 3 9\n";
+        let el = read_text(input.as_bytes()).unwrap();
+        assert_eq!(el.edges()[0].w, 1);
+        assert_eq!(el.edges()[1].w, 9);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let el = gen::rmat(64, 512, gen::RmatProbs::GRAPH500, 11);
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(el, back);
+    }
+
+    #[test]
+    fn binary_rejects_wrong_magic() {
+        let buf = b"NOTGRAPH........".to_vec();
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn parallel_slices_cover_file() {
+        let el = gen::gnm(40, 123, 8);
+        let dir = std::env::temp_dir().join("mnd_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slices.bin");
+        write_binary(&el, std::fs::File::create(&path).unwrap()).unwrap();
+
+        for nranks in [1usize, 3, 5, 16] {
+            let mut all = Vec::new();
+            for rank in 0..nranks {
+                let (n, slice) = read_binary_slice(&path, rank, nranks).unwrap();
+                assert_eq!(n, 40);
+                all.extend(slice);
+            }
+            let rebuilt = EdgeList::from_raw(40, all);
+            assert_eq!(rebuilt, el, "nranks={nranks}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,269 @@
+//! Readers for common external graph formats, so the library runs on the
+//! paper's *actual* inputs when they are available:
+//!
+//! * **DIMACS** `.gr` (9th DIMACS shortest-path challenge) — the format
+//!   road_usa ships in (`c`/`p sp n m`/`a u v w` lines, 1-based ids,
+//!   directed arcs that we fold to undirected edges);
+//! * **METIS** — the common partitioning-community format (header
+//!   `n m [fmt]`, then one adjacency line per vertex, 1-based);
+//! * **edge-list text** — plain `u v [w]` lines with no header (SNAP-style),
+//!   ids 0-based, vertex count inferred.
+//!
+//! All readers canonicalise (undirected, no self loops, parallel edges
+//! collapsed to the minimum weight) and, where the source format has no
+//! weights, leave weight 1 — callers wanting the paper's "assigned random
+//! weights" preprocessing follow with
+//! [`EdgeList::assign_random_weights`].
+
+use std::io::{self, BufRead, BufReader, Read};
+
+use crate::edgelist::EdgeList;
+use crate::types::{VertexId, WEdge, Weight};
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads DIMACS `.gr`: `c` comments, one `p sp <n> <m>` header, `a <u> <v>
+/// <w>` arcs with 1-based vertex ids.
+pub fn read_dimacs<R: Read>(input: R) -> io::Result<EdgeList> {
+    let r = BufReader::new(input);
+    let mut n: Option<VertexId> = None;
+    let mut edges: Vec<WEdge> = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        match line.chars().next() {
+            None | Some('c') => continue,
+            Some('p') => {
+                let mut it = line.split_whitespace();
+                let (_p, sp) = (it.next(), it.next());
+                if sp != Some("sp") {
+                    return Err(bad(format!("line {}: expected 'p sp n m'", lineno + 1)));
+                }
+                let nv: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(format!("line {}: bad vertex count", lineno + 1)))?;
+                if nv > VertexId::MAX as u64 {
+                    return Err(bad("vertex count exceeds u32".into()));
+                }
+                n = Some(nv as VertexId);
+            }
+            Some('a') => {
+                let nv = n.ok_or_else(|| bad("arc before 'p sp' header".into()))?;
+                let mut it = line.split_whitespace().skip(1);
+                let u: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(format!("line {}: bad arc source", lineno + 1)))?;
+                let v: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(format!("line {}: bad arc target", lineno + 1)))?;
+                let w: Weight = it.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+                if u == 0 || v == 0 || u > nv as u64 || v > nv as u64 {
+                    return Err(bad(format!("line {}: arc ids out of 1..={nv}", lineno + 1)));
+                }
+                edges.push(WEdge::new((u - 1) as VertexId, (v - 1) as VertexId, w));
+            }
+            Some(other) => {
+                return Err(bad(format!("line {}: unknown record '{other}'", lineno + 1)));
+            }
+        }
+    }
+    let n = n.ok_or_else(|| bad("missing 'p sp' header".into()))?;
+    Ok(EdgeList::from_raw(n, edges))
+}
+
+/// Reads METIS: header `n m [fmt [ncon]]`, then vertex `i`'s adjacency on
+/// line `i` (1-based neighbour ids). `fmt` 0/none = unweighted; 1 = edge
+/// weights (`v1 w1 v2 w2 …`); vertex weights (`fmt >= 10`) unsupported.
+pub fn read_metis<R: Read>(input: R) -> io::Result<EdgeList> {
+    let r = BufReader::new(input);
+    let mut lines = r.lines().map_while(Result::ok).filter(|l| {
+        let t = l.trim();
+        !t.is_empty() && !t.starts_with('%')
+    });
+    let header = lines.next().ok_or_else(|| bad("empty METIS file".into()))?;
+    let mut it = header.split_whitespace();
+    let n: u64 = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad vertex count".into()))?;
+    let _m: u64 = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad edge count".into()))?;
+    let fmt = it.next().unwrap_or("0");
+    let edge_weighted = match fmt {
+        "0" | "00" => false,
+        "1" | "01" => true,
+        other => return Err(bad(format!("unsupported METIS fmt {other:?}"))),
+    };
+    if n > VertexId::MAX as u64 {
+        return Err(bad("vertex count exceeds u32".into()));
+    }
+    let mut edges = Vec::new();
+    let mut u: VertexId = 0;
+    for line in lines {
+        if u as u64 >= n {
+            return Err(bad("more adjacency lines than vertices".into()));
+        }
+        let mut toks = line.split_whitespace();
+        while let Some(vt) = toks.next() {
+            let v: u64 = vt.parse().map_err(|_| bad(format!("vertex {u}: bad neighbour {vt:?}")))?;
+            if v == 0 || v > n {
+                return Err(bad(format!("vertex {u}: neighbour {v} out of 1..={n}")));
+            }
+            let w: Weight = if edge_weighted {
+                toks.next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(format!("vertex {u}: missing edge weight")))?
+            } else {
+                1
+            };
+            edges.push(WEdge::new(u, (v - 1) as VertexId, w));
+        }
+        u += 1;
+    }
+    if (u as u64) != n {
+        return Err(bad(format!("expected {n} adjacency lines, got {u}")));
+    }
+    Ok(EdgeList::from_raw(n as VertexId, edges))
+}
+
+/// Reads SNAP-style plain edge lists: `u v [w]` per line, `#` comments,
+/// 0-based ids, vertex count = max id + 1.
+pub fn read_snap<R: Read>(input: R) -> io::Result<EdgeList> {
+    let r = BufReader::new(input);
+    let mut edges: Vec<WEdge> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("line {}: bad source", lineno + 1)))?;
+        let v: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("line {}: bad target", lineno + 1)))?;
+        let w: Weight = it.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+        max_id = max_id.max(u).max(v);
+        if max_id >= VertexId::MAX as u64 {
+            return Err(bad("vertex ids exceed u32".into()));
+        }
+        edges.push(WEdge::new(u as VertexId, v as VertexId, w));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as VertexId + 1 };
+    Ok(EdgeList::from_raw(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_round_trip_semantics() {
+        let input = "c road fragment\n\
+                     p sp 4 5\n\
+                     a 1 2 10\n\
+                     a 2 1 10\n\
+                     a 2 3 5\n\
+                     a 3 4 2\n\
+                     a 4 1 9\n";
+        let el = read_dimacs(input.as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 4);
+        assert_eq!(el.len(), 4); // the reverse arc collapses
+        assert!(el.edges().contains(&WEdge::new(0, 1, 10)));
+        assert!(el.edges().contains(&WEdge::new(2, 3, 2)));
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed() {
+        assert!(read_dimacs("a 1 2 3\n".as_bytes()).is_err()); // arc before header
+        assert!(read_dimacs("p sp 2 1\na 1 5 1\n".as_bytes()).is_err()); // id range
+        assert!(read_dimacs("p tw 2 1\n".as_bytes()).is_err()); // wrong problem
+        assert!(read_dimacs("p sp 2 1\nz nonsense\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metis_unweighted() {
+        // Triangle plus pendant: 4 vertices, 4 edges.
+        let input = "4 4\n2 3\n1 3\n1 2 4\n3\n";
+        let el = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 4);
+        assert_eq!(el.len(), 4);
+        assert!(el.edges().iter().all(|e| e.w == 1));
+    }
+
+    #[test]
+    fn metis_edge_weighted() {
+        let input = "% comment\n3 3 1\n2 7 3 4\n1 7 3 1\n1 4 2 1\n";
+        let el = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(el.len(), 3);
+        assert!(el.edges().contains(&WEdge::new(0, 1, 7)));
+        assert!(el.edges().contains(&WEdge::new(0, 2, 4)));
+    }
+
+    #[test]
+    fn metis_rejects_malformed() {
+        assert!(read_metis("".as_bytes()).is_err());
+        assert!(read_metis("2 1\n2\n1\n3\n".as_bytes()).is_err()); // extra line
+        assert!(read_metis("2 1 9\n2\n1\n".as_bytes()).is_err()); // fmt 9
+        assert!(read_metis("2 1\n5\n\u{20}\n".as_bytes()).is_err()); // id range
+    }
+
+    #[test]
+    fn snap_basic_and_weighted() {
+        let input = "# comment\n0 3\n3 1 9\n1 0\n";
+        let el = read_snap(input.as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 4);
+        assert_eq!(el.len(), 3);
+        assert!(el.edges().contains(&WEdge::new(1, 3, 9)));
+    }
+
+    #[test]
+    fn snap_empty_is_empty() {
+        let el = read_snap("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 0);
+    }
+
+    #[test]
+    fn formats_feed_the_mst_pipeline() {
+        // End-to-end: DIMACS text → MSF.
+        let input = "p sp 5 6\na 1 2 4\na 2 3 1\na 3 4 7\na 4 5 2\na 5 1 3\na 2 4 6\n";
+        let el = read_dimacs(input.as_bytes()).unwrap();
+        let msf = crate::io_formats::tests::kruskal_weight(&el);
+        assert_eq!(msf, 1 + 2 + 3 + 4); // edges (2,3),(4,5),(5,1),(1,2)
+    }
+
+    // Minimal local Kruskal so this crate's tests stay dependency-free.
+    fn kruskal_weight(el: &EdgeList) -> u64 {
+        let mut edges = el.edges().to_vec();
+        edges.sort_unstable();
+        let mut parent: Vec<u32> = (0..el.num_vertices()).collect();
+        fn find(p: &mut [u32], mut x: u32) -> u32 {
+            while p[x as usize] != x {
+                p[x as usize] = p[p[x as usize] as usize];
+                x = p[x as usize];
+            }
+            x
+        }
+        let mut total = 0u64;
+        for e in edges {
+            let (a, b) = (find(&mut parent, e.u), find(&mut parent, e.v));
+            if a != b {
+                parent[a as usize] = b;
+                total += e.w as u64;
+            }
+        }
+        total
+    }
+}

@@ -1,0 +1,51 @@
+//! # mnd-graph — graph substrate for the MND-MST reproduction
+//!
+//! This crate provides every graph-side building block the MND-MST algorithm
+//! (Panja & Vadhiyar, ICPP 2018) needs:
+//!
+//! * compact **CSR** graphs with `u32` vertex ids and `u64` edge offsets
+//!   ([`CsrGraph`]),
+//! * weighted **edge lists** with canonicalisation and deterministic random
+//!   weights ([`EdgeList`]),
+//! * **generators** for the synthetic stand-ins of the paper's graphs
+//!   ([`gen`], [`presets`]),
+//! * Gemini-style degree-balanced contiguous **1D partitioning**
+//!   ([`partition`]),
+//! * degree/diameter **statistics** ([`stats`]), connectivity
+//!   ([`components`]), and edge-list **I/O** ([`io`]).
+//!
+//! The paper evaluates on billion-edge web crawls (arabic-2005, uk-2007, …)
+//! and the road_usa network. Those inputs do not fit this environment, so
+//! [`presets`] exposes scaled generators whose degree signatures (average
+//! degree, maximum degree, skew) match Table 2 of the paper; see `DESIGN.md`
+//! for the substitution argument.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mnd_graph::{gen, CsrGraph};
+//!
+//! let edges = gen::rmat(1 << 10, 8 << 10, gen::RmatProbs::GRAPH500, 42);
+//! let g = CsrGraph::from_edges(1 << 10, edges.edges());
+//! assert_eq!(g.num_vertices(), 1 << 10);
+//! assert!(g.num_undirected_edges() <= 8 << 10);
+//! ```
+
+pub mod components;
+pub mod csr;
+pub mod edgelist;
+pub mod gen;
+pub mod io;
+pub mod io_formats;
+pub mod partition;
+pub mod presets;
+pub mod stats;
+pub mod transform;
+pub mod types;
+pub mod weights;
+
+pub use components::{connected_components, num_components};
+pub use csr::CsrGraph;
+pub use edgelist::EdgeList;
+pub use partition::{partition_1d, VertexRange};
+pub use types::{EdgeId, VertexId, WEdge, Weight};

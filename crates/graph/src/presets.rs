@@ -1,0 +1,267 @@
+//! Scaled stand-ins for the paper's Table 2 graphs.
+//!
+//! The paper's inputs are billion-edge web crawls plus road_usa. We cannot
+//! hold those; instead each preset generates a graph whose *degree
+//! signature* (average degree, skew, max-degree order) and *locality*
+//! character match the original at a configurable fraction of the size.
+//!
+//! Locality is the property that drives the paper's per-graph behaviour:
+//! contiguous 1D partitions of crawls keep most edges internal (so
+//! independent Boruvka grows big components), while gsh-2015-tpd — a
+//! top-private-domain aggregation with little id locality — shatters into
+//! many frozen components and becomes communication-bound (§5.2, §5.3).
+//! We reproduce that by *scrambling* vertex ids for the gsh stand-in only.
+
+use crate::edgelist::EdgeList;
+use crate::gen::{self, CrawlParams};
+use crate::types::VertexId;
+
+/// One of the six evaluation graphs of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// USA road network: avg deg 2.41, max 9, diameter ~6262.
+    RoadUsa,
+    /// gsh-2015-tpd web graph (top private domains): avg 37.7, max 2.2M,
+    /// little id locality — the paper's hard case.
+    Gsh2015Tpd,
+    /// arabic-2005 crawl: avg 55.5, max 576K.
+    Arabic2005,
+    /// it-2004 crawl: avg 55.0, max 1.3M.
+    It2004,
+    /// sk-2005 crawl: avg 71.5, max 8.6M — heaviest skew.
+    Sk2005,
+    /// uk-2007 crawl: 105M vertices, 6.6B edges — the largest input.
+    Uk2007,
+}
+
+/// Paper-reported specification (Table 2) for reference printing.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    /// Vertices in the real graph.
+    pub vertices: u64,
+    /// Undirected edges in the real graph.
+    pub edges: u64,
+    /// Reported approximate diameter.
+    pub diameter: f64,
+    /// Reported average degree.
+    pub avg_degree: f64,
+    /// Reported maximum degree.
+    pub max_degree: u64,
+}
+
+impl Preset {
+    /// All six presets in Table 2 order.
+    pub const ALL: [Preset; 6] = [
+        Preset::RoadUsa,
+        Preset::Gsh2015Tpd,
+        Preset::Arabic2005,
+        Preset::It2004,
+        Preset::Sk2005,
+        Preset::Uk2007,
+    ];
+
+    /// The graph's name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::RoadUsa => "road_usa",
+            Preset::Gsh2015Tpd => "gsh-2015-tpd",
+            Preset::Arabic2005 => "arabic-2005",
+            Preset::It2004 => "it-2004",
+            Preset::Sk2005 => "sk-2005",
+            Preset::Uk2007 => "uk-2007",
+        }
+    }
+
+    /// Parses a preset from its paper name.
+    pub fn from_name(name: &str) -> Option<Preset> {
+        Preset::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// Table 2 row for the real graph.
+    pub fn paper_row(self) -> PaperRow {
+        match self {
+            Preset::RoadUsa => PaperRow { vertices: 23_900_000, edges: 57_700_000, diameter: 6262.0, avg_degree: 2.41, max_degree: 9 },
+            Preset::Gsh2015Tpd => PaperRow { vertices: 30_800_000, edges: 1_160_000_000, diameter: 9.0, avg_degree: 37.73, max_degree: 2_176_721 },
+            Preset::Arabic2005 => PaperRow { vertices: 22_700_000, edges: 1_260_000_000, diameter: 29.0, avg_degree: 55.50, max_degree: 575_662 },
+            Preset::It2004 => PaperRow { vertices: 41_200_000, edges: 2_270_000_000, diameter: 27.0, avg_degree: 55.01, max_degree: 1_326_756 },
+            Preset::Sk2005 => PaperRow { vertices: 50_600_000, edges: 3_620_000_000, diameter: 17.56, avg_degree: 71.49, max_degree: 8_563_816 },
+            Preset::Uk2007 => PaperRow { vertices: 105_000_000, edges: 6_600_000_000, diameter: 22.78, avg_degree: 62.76, max_degree: 975_419 },
+        }
+    }
+
+    /// True for the weak-locality stand-in (gsh-2015-tpd: a top-private-
+    /// domain aggregation whose vertex order carries far less locality
+    /// than the page-level crawls; modelled with `global_prob = 0.5`).
+    pub fn weak_locality(self) -> bool {
+        matches!(self, Preset::Gsh2015Tpd)
+    }
+
+    /// Generates the stand-in at `1/scale_div` of the paper's size.
+    ///
+    /// `scale_div = 2048` (the default used by the repro harness) yields
+    /// graphs between ~28K edges (road_usa) and ~3.2M edges (uk-2007), all
+    /// of which fit this environment while preserving relative sizes.
+    pub fn generate(self, scale_div: u64, seed: u64) -> EdgeList {
+        assert!(scale_div >= 1);
+        let row = self.paper_row();
+        let seed = seed ^ (self as u64).wrapping_mul(0x9E37_79B9);
+        match self {
+            Preset::RoadUsa => {
+                // Grid with the paper's width/height aspect ~4:3 and enough
+                // diagonals + deletions to hit avg 2.41 / max <= 9.
+                let n_target = (row.vertices / scale_div).max(64);
+                let width = ((n_target as f64 * 4.0 / 3.0).sqrt()).round() as u32;
+                let height = ((n_target as f64) / width as f64).round().max(1.0) as u32;
+                // ~38% deletion brings the lattice's natural avg degree ~4
+                // down to road_usa's 2.41 while staying above the bond
+                // percolation threshold; the deletions strand small islands,
+                // so keep the giant component (road_usa is connected).
+                let el = gen::road_grid(width, height, 0.02, 0.38, seed);
+                crate::transform::largest_component(&el)
+            }
+            _ => {
+                let n = (row.vertices / scale_div).max(64) as VertexId;
+                let m = (row.edges / scale_div).max(128);
+                // Cap density for tiny scales: the canonicaliser collapses
+                // duplicates anyway, but requesting >25% of all pairs wastes
+                // generation work.
+                let m = m.min(n as u64 * n as u64 / 4);
+                // hub_prob tuned so the top hub's share of edges matches the
+                // paper's max_degree / |E| ratio (theta = 2, so the top hub
+                // draws ~num_hubs^{-1/2} of hub traffic).
+                let params = match self {
+                    Preset::Sk2005 => CrawlParams { hub_prob: 0.077, ..Default::default() },
+                    Preset::Gsh2015Tpd => {
+                        CrawlParams { hub_prob: 0.060, global_prob: 0.5, ..Default::default() }
+                    }
+                    Preset::It2004 => CrawlParams { hub_prob: 0.019, ..Default::default() },
+                    Preset::Arabic2005 => CrawlParams { hub_prob: 0.015, ..Default::default() },
+                    _ => CrawlParams { hub_prob: 0.005, ..Default::default() }, // uk-2007
+                };
+                gen::web_crawl(n, m, params, seed)
+            }
+        }
+    }
+}
+
+/// Deterministically permutes vertex ids (bijection) to destroy 1D locality.
+/// Multiplication by a constant coprime with `n` is a bijection mod `n`.
+pub fn scramble_ids(el: &EdgeList, seed: u64) -> EdgeList {
+    let n = el.num_vertices();
+    assert!(n >= 1);
+    let mut mult = (crate::edgelist::splitmix64(seed) % n as u64).max(2) as VertexId | 1;
+    while gcd(mult as u64, n as u64) != 1 {
+        mult += 2;
+    }
+    el.relabel(n, |v| Some(((v as u64 * mult as u64) % n as u64) as VertexId))
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::graph_stats;
+    use crate::CsrGraph;
+
+    #[test]
+    fn names_round_trip() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Preset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn relative_sizes_preserved() {
+        // uk-2007 must remain the biggest, road_usa the edge-smallest.
+        let sizes: Vec<(Preset, usize)> = Preset::ALL
+            .iter()
+            .map(|&p| (p, p.generate(16384, 1).len()))
+            .collect();
+        let uk = sizes.iter().find(|(p, _)| *p == Preset::Uk2007).unwrap().1;
+        let road = sizes.iter().find(|(p, _)| *p == Preset::RoadUsa).unwrap().1;
+        for &(p, m) in &sizes {
+            assert!(m <= uk, "{} bigger than uk-2007", p.name());
+            if p != Preset::RoadUsa {
+                assert!(m >= road, "{} smaller than road_usa", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn road_signature() {
+        let el = Preset::RoadUsa.generate(4096, 7);
+        let g = CsrGraph::from_edge_list(&el);
+        let s = graph_stats(&g, 2, 1);
+        assert!((2.0..2.9).contains(&s.avg_degree), "avg {}", s.avg_degree);
+        assert!(s.max_degree <= 9);
+    }
+
+    #[test]
+    fn crawl_signature_is_skewed() {
+        // At the design scale the top hub's degree should land near
+        // paper_max / scale (hubs scale down with the edge count), sitting
+        // on top of the local-degree floor.
+        let scale = 2048;
+        for p in [Preset::Arabic2005, Preset::It2004] {
+            let el = p.generate(scale, 7);
+            let g = CsrGraph::from_edge_list(&el);
+            let s = graph_stats(&g, 1, 1);
+            let row = p.paper_row();
+            let expected = row.max_degree as f64 / scale as f64 + s.avg_degree;
+            let ratio = s.max_degree as f64 / expected;
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "{}: max degree {} vs expected ~{expected:.0}",
+                p.name(),
+                s.max_degree
+            );
+            // And the hub must stand clearly above the typical vertex.
+            assert!(s.max_degree as f64 > 2.0 * s.avg_degree);
+        }
+    }
+
+    #[test]
+    fn crawls_have_locality_except_gsh() {
+        use crate::gen::cut_fraction;
+        // Locality is a designed property at the default harness scale
+        // (2048); extreme scale-down shrinks partitions below the local
+        // link window and the property degrades, so test where it is used.
+        for p in [Preset::Arabic2005, Preset::It2004, Preset::Uk2007] {
+            let el = p.generate(2048, 3);
+            let f = cut_fraction(&el, 16);
+            assert!(f < 0.35, "{}: cut fraction {f}", p.name());
+        }
+        let gsh = Preset::Gsh2015Tpd.generate(2048, 3);
+        assert!(cut_fraction(&gsh, 16) > 0.4, "gsh must have weak locality");
+    }
+
+    #[test]
+    fn scramble_is_bijective() {
+        let el = Preset::Arabic2005.generate(32768, 3);
+        let s = scramble_ids(&el, 5);
+        assert_eq!(s.len(), el.len());
+        assert_eq!(s.num_vertices(), el.num_vertices());
+        // Total weight is preserved only as a multiset if the weight rides
+        // along with the edge — relabel keeps w.
+        let mut a: Vec<u32> = el.edges().iter().map(|e| e.w).collect();
+        let mut b: Vec<u32> = s.edges().iter().map(|e| e.w).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        for p in [Preset::RoadUsa, Preset::Gsh2015Tpd, Preset::Uk2007] {
+            assert_eq!(p.generate(32768, 9), p.generate(32768, 9));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Degree and diameter statistics — used to print our Table 2 analogue and
+//! to check that preset stand-ins match the paper's degree signatures.
+
+use crate::components::bfs_distances;
+use crate::csr::CsrGraph;
+use crate::edgelist::splitmix64;
+use crate::types::VertexId;
+
+/// Summary statistics in the shape of the paper's Table 2 row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Number of undirected edges.
+    pub num_edges: u64,
+    /// Average degree (arcs / vertices).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: u64,
+    /// Approximate diameter from BFS sweeps (lower bound).
+    pub approx_diameter: u64,
+}
+
+/// Computes [`GraphStats`]. The diameter estimate does `sweeps` rounds of
+/// the classic double-sweep heuristic from pseudo-random start vertices —
+/// a lower bound that is near-exact on road networks and close on crawls.
+pub fn graph_stats(g: &CsrGraph, sweeps: u32, seed: u64) -> GraphStats {
+    let n = g.num_vertices();
+    let max_degree = (0..n).map(|v| g.degree(v)).max().unwrap_or(0);
+    GraphStats {
+        num_vertices: n as u64,
+        num_edges: g.num_undirected_edges(),
+        avg_degree: if n == 0 { 0.0 } else { g.num_arcs() as f64 / n as f64 },
+        max_degree,
+        approx_diameter: approx_diameter(g, sweeps, seed),
+    }
+}
+
+/// Double-sweep diameter lower bound.
+pub fn approx_diameter(g: &CsrGraph, sweeps: u32, seed: u64) -> u64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0u64;
+    let mut state = seed;
+    for _ in 0..sweeps {
+        state = splitmix64(state);
+        let start = (state % n as u64) as VertexId;
+        let d1 = bfs_distances(g, start);
+        // Farthest reachable vertex from `start`…
+        let (far, dist) = d1
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != u64::MAX)
+            .max_by_key(|&(_, &d)| d)
+            .map(|(i, &d)| (i as VertexId, d))
+            .unwrap_or((start, 0));
+        best = best.max(dist);
+        // …then sweep again from there.
+        let d2 = bfs_distances(g, far);
+        let dist2 = d2.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap_or(0);
+        best = best.max(dist2);
+    }
+    best
+}
+
+/// Degree histogram in power-of-two buckets: `hist[i]` counts vertices with
+/// degree in `[2^i, 2^(i+1))`; `hist[0]` counts degree 0 and 1.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<u64> {
+    let mut hist = Vec::new();
+    for v in 0..g.num_vertices() {
+        let d = g.degree(v);
+        let bucket = if d <= 1 { 0 } else { 64 - (d.leading_zeros() as usize) - 1 };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_path() {
+        let g = CsrGraph::from_edge_list(&gen::path(10, 0));
+        let s = graph_stats(&g, 2, 1);
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 9);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.approx_diameter, 9); // double sweep is exact on a path
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let g = CsrGraph::from_edge_list(&gen::star(9, 0));
+        let s = graph_stats(&g, 2, 1);
+        assert_eq!(s.max_degree, 8);
+        assert_eq!(s.approx_diameter, 2);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let g = CsrGraph::from_edge_list(&gen::star(9, 0));
+        let h = degree_histogram(&g);
+        // 8 leaves of degree 1 in bucket 0; hub degree 8 in bucket 3.
+        assert_eq!(h[0], 8);
+        assert_eq!(h[3], 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let s = graph_stats(&g, 1, 0);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Core scalar and edge types shared across the workspace.
+//!
+//! Vertex ids are `u32` (the paper's largest graph has 105M vertices; our
+//! scaled stand-ins are far below `u32::MAX`), edge counts are `u64`
+//! (billion-edge graphs overflow `u32`), and weights are `u32` (the paper
+//! assigns random integer weights to the crawls).
+
+/// A vertex identifier. Dense, zero-based.
+pub type VertexId = u32;
+
+/// An edge identifier / edge count. `u64` because the paper's graphs have up
+/// to 6.6B (directed) edges.
+pub type EdgeId = u64;
+
+/// An edge weight. The paper assigns uniform random weights to the web
+/// crawls; `u32` keeps `WEdge` at 12 bytes and sums fit in `u64`/`u128`.
+pub type Weight = u32;
+
+/// A weighted undirected edge.
+///
+/// Stored **canonically**: `u <= v`. The total order used everywhere in the
+/// workspace is `(w, u, v)`, which makes the minimum spanning forest of any
+/// simple graph *unique* — the property every distributed-vs-oracle test
+/// relies on (see DESIGN.md §5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WEdge {
+    /// Smaller endpoint (after canonicalisation).
+    pub u: VertexId,
+    /// Larger endpoint (after canonicalisation).
+    pub v: VertexId,
+    /// Weight.
+    pub w: Weight,
+}
+
+impl WEdge {
+    /// Creates a canonical edge (endpoints are swapped so `u <= v`).
+    #[inline]
+    pub fn new(a: VertexId, b: VertexId, w: Weight) -> Self {
+        if a <= b {
+            WEdge { u: a, v: b, w }
+        } else {
+            WEdge { u: b, v: a, w }
+        }
+    }
+
+    /// True if the edge is a self loop. Self loops can never be part of an
+    /// MST and are dropped by [`crate::EdgeList::canonicalize`].
+    #[inline]
+    pub fn is_self_loop(&self) -> bool {
+        self.u == self.v
+    }
+
+    /// Endpoint opposite to `x`. Panics in debug builds if `x` is not an
+    /// endpoint.
+    #[inline]
+    pub fn other(&self, x: VertexId) -> VertexId {
+        debug_assert!(x == self.u || x == self.v);
+        if x == self.u {
+            self.v
+        } else {
+            self.u
+        }
+    }
+
+    /// The workspace-wide total order key: `(w, u, v)`.
+    #[inline]
+    pub fn key(&self) -> (Weight, VertexId, VertexId) {
+        (self.w, self.u, self.v)
+    }
+}
+
+impl PartialOrd for WEdge {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WEdge {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl std::fmt::Debug for WEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}-{} w{})", self.u, self.v, self.w)
+    }
+}
+
+/// Sum of weights that cannot overflow for any graph we handle
+/// (`< 2^32` edges of weight `< 2^32` each fits in `u128`; `u64` is already
+/// enough for our scaled graphs but `u128` removes the need to reason about
+/// it).
+pub type WeightSum = u128;
+
+/// Sums edge weights without overflow.
+pub fn total_weight<'a, I: IntoIterator<Item = &'a WEdge>>(edges: I) -> WeightSum {
+    edges.into_iter().map(|e| e.w as WeightSum).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_endpoints() {
+        let e = WEdge::new(7, 3, 10);
+        assert_eq!((e.u, e.v), (3, 7));
+        let e = WEdge::new(3, 7, 10);
+        assert_eq!((e.u, e.v), (3, 7));
+    }
+
+    #[test]
+    fn order_is_weight_then_endpoints() {
+        let a = WEdge::new(0, 1, 5);
+        let b = WEdge::new(0, 2, 5);
+        let c = WEdge::new(9, 10, 4);
+        assert!(c < a);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = WEdge::new(2, 9, 1);
+        assert_eq!(e.other(2), 9);
+        assert_eq!(e.other(9), 2);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(WEdge::new(4, 4, 0).is_self_loop());
+        assert!(!WEdge::new(4, 5, 0).is_self_loop());
+    }
+
+    #[test]
+    fn total_weight_sums() {
+        let es = [WEdge::new(0, 1, 3), WEdge::new(1, 2, 4)];
+        assert_eq!(total_weight(&es), 7);
+    }
+
+    #[test]
+    fn wedge_is_12_bytes() {
+        assert_eq!(std::mem::size_of::<WEdge>(), 12);
+    }
+}

@@ -1,0 +1,115 @@
+//! HyPar runtime configuration (§4.3).
+
+use mnd_kernels::policy::{ExcpCond, FreezePolicy, StopPolicy};
+
+/// All tunables of the HyPar runtime, with the paper's defaults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HyParConfig {
+    /// Hierarchical-merge group size (§3.4: 2/4/8/16 studied, 4 chosen).
+    pub group_size: usize,
+    /// Exception condition for independent computations (§4.1.2).
+    pub excp: ExcpCond,
+    /// Freeze interpretation (paper-literal sticky vs. recheck).
+    pub freeze: FreezePolicy,
+    /// Stop policy for device iterations (§4.3.2: diminishing benefits).
+    pub stop: StopPolicy,
+    /// Recursion threshold in **paper-scale** edges (§4.3.3: re-enter
+    /// partition→indComp→merge while the reduced graph exceeds this; the
+    /// paper uses 100M edges).
+    pub recursion_edge_threshold: u64,
+    /// Hierarchical-merge convergence (§4.3.4): stop ring exchanges and
+    /// merge to the leader once an exchange round shrinks the group's data
+    /// by less than this fraction.
+    pub merge_min_shrink: f64,
+    /// Group data threshold in paper-scale edges: below this the group's
+    /// components are moved to the leader outright (Algorithm 1 line 7's
+    /// `gEdges > threshold` test). §3.4 ties it to node capacity — ring
+    /// exchange runs only "until all the components in a group can be
+    /// accommodated in a single node" — so the default corresponds to a
+    /// 32 GB node at ~20 bytes/edge with headroom for working structures.
+    pub group_edge_threshold: u64,
+    /// Calibration samples for the CPU/GPU ratio (§4.3.1: 5–10).
+    pub calibration_samples: u32,
+    /// Calibration sample size as a fraction of vertices (§4.3.1: 5%).
+    pub calibration_frac: f64,
+    /// Simulation scale: our stand-in graphs are `1/sim_scale` of the
+    /// paper's; device work and message bytes are multiplied by this so
+    /// fixed overheads keep their paper-scale ratios (DESIGN.md).
+    pub sim_scale: f64,
+    /// Maximum ring-exchange rounds per level (a safety valve; the
+    /// convergence test normally fires first).
+    pub max_exchange_rounds: usize,
+    /// Deterministic seed for calibration sampling.
+    pub seed: u64,
+}
+
+impl Default for HyParConfig {
+    fn default() -> Self {
+        HyParConfig {
+            group_size: 4,
+            excp: ExcpCond::BorderEdge,
+            freeze: FreezePolicy::Sticky,
+            stop: StopPolicy::DiminishingBenefit { min_improvement: 0.05 },
+            recursion_edge_threshold: 100_000_000,
+            merge_min_shrink: 0.10,
+            group_edge_threshold: 1_000_000_000,
+            calibration_samples: 6,
+            calibration_frac: 0.05,
+            sim_scale: 1.0,
+            max_exchange_rounds: 8,
+            seed: 0x4D4E_442D,
+        }
+    }
+}
+
+impl HyParConfig {
+    /// Config with a simulation scale (see [`HyParConfig::sim_scale`]).
+    pub fn with_sim_scale(mut self, scale: f64) -> Self {
+        assert!(scale >= 1.0);
+        self.sim_scale = scale;
+        self
+    }
+
+    /// The recursion threshold expressed in *our* (scaled-down) edges.
+    pub fn scaled_recursion_threshold(&self) -> u64 {
+        ((self.recursion_edge_threshold as f64 / self.sim_scale).ceil() as u64).max(1)
+    }
+
+    /// The group-merge threshold in scaled-down edges.
+    pub fn scaled_group_threshold(&self) -> u64 {
+        ((self.group_edge_threshold as f64 / self.sim_scale).ceil() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = HyParConfig::default();
+        assert_eq!(c.group_size, 4);
+        assert_eq!(c.recursion_edge_threshold, 100_000_000);
+        assert_eq!(c.excp, ExcpCond::BorderEdge);
+        assert!((0.0..1.0).contains(&c.calibration_frac));
+    }
+
+    #[test]
+    fn scaled_thresholds_divide_by_sim_scale() {
+        let c = HyParConfig::default().with_sim_scale(2048.0);
+        assert_eq!(c.scaled_recursion_threshold(), (100_000_000f64 / 2048.0).ceil() as u64);
+        assert!(c.scaled_group_threshold() >= 1);
+    }
+
+    #[test]
+    fn thresholds_never_zero() {
+        let c = HyParConfig {
+            recursion_edge_threshold: 1,
+            group_edge_threshold: 1,
+            ..Default::default()
+        }
+        .with_sim_scale(1e9);
+        assert_eq!(c.scaled_recursion_threshold(), 1);
+        assert_eq!(c.scaled_group_threshold(), 1);
+    }
+}

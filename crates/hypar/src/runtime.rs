@@ -1,0 +1,138 @@
+//! Runtime threshold logic (§4.3.3 and §4.3.4): when to recurse into
+//! another partition→indComp→merge round, and when a merging group has
+//! converged and should collapse to its leader.
+
+use crate::config::HyParConfig;
+
+/// §4.3.3: "if the reduced graph after the merge step is sufficiently
+/// large, it is beneficial to invoke independent computations again" —
+/// the paper recurses while the reduced graph exceeds 100M edges.
+pub fn should_recurse(cfg: &HyParConfig, reduced_edges: u64) -> bool {
+    reduced_edges > cfg.scaled_recursion_threshold()
+}
+
+/// §4.3.4 / Algorithm 1 line 7: the group keeps ring-exchanging while its
+/// total data exceeds the threshold…
+pub fn group_should_exchange(cfg: &HyParConfig, group_edges: u64) -> bool {
+    group_edges > cfg.scaled_group_threshold()
+}
+
+/// …and additionally stops early when an exchange+merge round failed to
+/// shrink the data significantly ("if the size of the data does not reduce
+/// significantly, the exchanges … are stopped and the data is merged to
+/// the leader").
+pub fn exchange_converged(cfg: &HyParConfig, edges_before: u64, edges_after: u64) -> bool {
+    if edges_before == 0 {
+        return true;
+    }
+    let shrink = 1.0 - edges_after as f64 / edges_before as f64;
+    shrink < cfg.merge_min_shrink
+}
+
+/// Tracks per-round data sizes of one group's exchange phase and answers
+/// "keep exchanging?" combining all three §4.3.4 criteria plus the safety
+/// cap on rounds.
+#[derive(Clone, Debug, Default)]
+pub struct ExchangeMonitor {
+    history: Vec<u64>,
+}
+
+impl ExchangeMonitor {
+    /// Fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the group's data size after a round and decides whether the
+    /// ring exchange should continue.
+    pub fn observe_and_continue(&mut self, cfg: &HyParConfig, group_edges: u64) -> bool {
+        let prev = self.history.last().copied();
+        self.history.push(group_edges);
+        if self.history.len() > cfg.max_exchange_rounds {
+            return false;
+        }
+        if !group_should_exchange(cfg, group_edges) {
+            return false;
+        }
+        match prev {
+            Some(before) => !exchange_converged(cfg, before, group_edges),
+            None => true,
+        }
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HyParConfig {
+        HyParConfig {
+            recursion_edge_threshold: 1000,
+            group_edge_threshold: 100,
+            merge_min_shrink: 0.10,
+            max_exchange_rounds: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn recursion_threshold() {
+        let c = cfg();
+        assert!(should_recurse(&c, 1001));
+        assert!(!should_recurse(&c, 1000));
+    }
+
+    #[test]
+    fn group_threshold() {
+        let c = cfg();
+        assert!(group_should_exchange(&c, 101));
+        assert!(!group_should_exchange(&c, 100));
+    }
+
+    #[test]
+    fn convergence_detection() {
+        let c = cfg();
+        assert!(!exchange_converged(&c, 1000, 800)); // 20% shrink: keep going
+        assert!(exchange_converged(&c, 1000, 950)); // 5% shrink: converged
+        assert!(exchange_converged(&c, 0, 0));
+    }
+
+    #[test]
+    fn monitor_stops_on_small_data() {
+        let c = cfg();
+        let mut m = ExchangeMonitor::new();
+        assert!(m.observe_and_continue(&c, 500));
+        assert!(!m.observe_and_continue(&c, 80)); // under group threshold
+    }
+
+    #[test]
+    fn monitor_stops_on_plateau() {
+        let c = cfg();
+        let mut m = ExchangeMonitor::new();
+        assert!(m.observe_and_continue(&c, 1000));
+        assert!(m.observe_and_continue(&c, 700));
+        assert!(!m.observe_and_continue(&c, 690)); // <10% shrink
+    }
+
+    #[test]
+    fn monitor_hits_round_cap() {
+        let c = cfg();
+        let mut m = ExchangeMonitor::new();
+        // Always-shrinking data would exchange forever without the cap.
+        let mut keep = true;
+        let mut size = 1_000_000;
+        let mut rounds = 0;
+        while keep {
+            keep = m.observe_and_continue(&c, size);
+            size = (size as f64 * 0.5) as u64;
+            rounds += 1;
+            assert!(rounds < 50, "runaway");
+        }
+        assert!(m.rounds() <= c.max_exchange_rounds + 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests of the HyPar node-local API: hybrid executions must be
+//! result-identical to CPU-only ones, and partitioning must respect the
+//! calibrated ratio.
+
+use mnd_device::{DeviceSplit, NodePlatform};
+use mnd_graph::types::WEdge;
+use mnd_graph::{gen, EdgeList};
+use mnd_hypar::api::{ind_comp, post_process};
+use mnd_hypar::HyParConfig;
+use mnd_kernels::cgraph::CGraph;
+use mnd_kernels::msf::MsfResult;
+use mnd_kernels::oracle::kruskal_msf;
+use proptest::prelude::*;
+
+fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = EdgeList> {
+    (
+        4..max_v,
+        proptest::collection::vec((0u32..max_v, 0u32..max_v, 1u32..500), 1..max_e),
+    )
+        .prop_map(|(n, raw)| {
+            EdgeList::from_raw(
+                n,
+                raw.into_iter().map(|(a, b, w)| WEdge::new(a % n, b % n, w)).collect(),
+            )
+        })
+}
+
+fn cfg() -> HyParConfig {
+    HyParConfig {
+        stop: mnd_kernels::policy::StopPolicy::Exhaustive,
+        ..Default::default()
+    }
+    .with_sim_scale(8192.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whole-graph indComp + postProcess equals Kruskal for every device
+    /// split ratio.
+    #[test]
+    fn hybrid_split_ratio_never_changes_result(
+        el in arb_edges(100, 300),
+        cpu_fraction in 0.05f64..0.95,
+    ) {
+        let oracle = kruskal_msf(&el);
+        let platform = NodePlatform::cray_xc40(true);
+        let config = cfg();
+        let split = DeviceSplit { cpu_fraction, gpu_speedup: 2.0, memory_limited: false };
+        let mut cg = CGraph::from_edge_list(&el);
+        let mut msf = ind_comp(&mut cg, &platform, &split, &config).msf_edges;
+        let (rest, _) = post_process(&mut cg, &platform, &config);
+        msf.extend(rest);
+        prop_assert_eq!(MsfResult::from_edges(el.num_vertices(), msf), oracle);
+    }
+
+    /// CPU-only and hybrid paths produce the same total MSF weight at
+    /// every stage boundary (stronger: identical edges).
+    #[test]
+    fn cpu_only_equals_hybrid(el in arb_edges(80, 240)) {
+        let config = cfg();
+        let run = |platform: NodePlatform, split: DeviceSplit| {
+            let mut cg = CGraph::from_edge_list(&el);
+            let mut msf = ind_comp(&mut cg, &platform, &split, &config).msf_edges;
+            let (rest, _) = post_process(&mut cg, &platform, &config);
+            msf.extend(rest);
+            MsfResult::from_edges(el.num_vertices(), msf)
+        };
+        let cpu = run(NodePlatform::amd_cluster(), DeviceSplit::cpu_only());
+        let hybrid = run(
+            NodePlatform::cray_xc40(true),
+            DeviceSplit { cpu_fraction: 0.4, gpu_speedup: 1.5, memory_limited: false },
+        );
+        prop_assert_eq!(cpu, hybrid);
+    }
+
+    /// Simulated times are finite, non-negative, and scale-monotone.
+    #[test]
+    fn times_are_sane(el in arb_edges(60, 150)) {
+        let platform = NodePlatform::cray_xc40(true);
+        let split = DeviceSplit { cpu_fraction: 0.5, gpu_speedup: 1.0, memory_limited: false };
+        let t = |scale: f64| {
+            let config = HyParConfig::default().with_sim_scale(scale);
+            let mut cg = CGraph::from_edge_list(&el);
+            let out = ind_comp(&mut cg, &platform, &split, &config);
+            out.compute_time + out.transfer_time
+        };
+        let t1 = t(1.0);
+        let t4k = t(4096.0);
+        prop_assert!(t1.is_finite() && t1 >= 0.0);
+        prop_assert!(t4k >= t1, "scaled run must not be cheaper: {t4k} < {t1}");
+    }
+}
+
+#[test]
+fn ind_comp_on_presets_with_default_config() {
+    // Smoke the full node API on every Table 2 stand-in.
+    for p in mnd_graph::presets::Preset::ALL {
+        let el = p.generate(65536, 5);
+        let oracle = kruskal_msf(&el);
+        let platform = NodePlatform::cray_xc40(true);
+        let config = HyParConfig::default().with_sim_scale(65536.0);
+        let mut cg = CGraph::from_edge_list(&el);
+        let split = DeviceSplit { cpu_fraction: 0.5, gpu_speedup: 1.0, memory_limited: false };
+        let mut msf = ind_comp(&mut cg, &platform, &split, &config).msf_edges;
+        let (rest, _) = post_process(&mut cg, &platform, &config);
+        msf.extend(rest);
+        assert_eq!(
+            MsfResult::from_edges(el.num_vertices(), msf),
+            oracle,
+            "{}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn empty_and_singleton_holdings() {
+    let platform = NodePlatform::cray_xc40(true);
+    let config = cfg();
+    let split = DeviceSplit { cpu_fraction: 0.5, gpu_speedup: 1.0, memory_limited: false };
+    let mut cg = CGraph::new();
+    let out = ind_comp(&mut cg, &platform, &split, &config);
+    assert!(out.msf_edges.is_empty());
+    let el = gen::path(1, 0);
+    let mut cg = CGraph::from_edge_list(&el);
+    let out = ind_comp(&mut cg, &platform, &split, &config);
+    assert!(out.msf_edges.is_empty());
+}

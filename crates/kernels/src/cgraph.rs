@@ -1,0 +1,467 @@
+//! The *contracted graph*: components plus inter-component edges with
+//! original-edge provenance.
+//!
+//! After the first round of independent computations, every stage of
+//! MND-MST (self/multi-edge removal, ring segment exchange, leader merges,
+//! post-processing) manipulates graphs whose "vertices" are component ids.
+//! [`CGraph`] is that uniform representation:
+//!
+//! * **resident** components — the ones this processor currently owns,
+//! * **edges** — inter-component edges; each carries the original graph
+//!   edge ([`CEdge::orig`]) so the final MSF can be reported in terms of
+//!   input edges, and so weight ties break identically everywhere.
+//!
+//! An edge may connect a resident component to a *non-resident* one (the
+//! paper's ghost component); such edges are exactly the ones the exception
+//! condition of `indComp` refuses to contract.
+//!
+//! Edge ownership rule (see DESIGN.md): when a segment of components moves
+//! between processors, edges internal to the segment move with it, while
+//! edges linking the segment to components left behind are **duplicated**
+//! (both processors need them to compute min edges and freezes).
+//! [`CGraph::dedup_edges`] removes the duplicates whenever two holdings
+//! recombine — original edges are unique per vertex pair, so identity is
+//! `(orig.u, orig.v)`.
+
+use mnd_graph::partition::VertexRange;
+use mnd_graph::types::{VertexId, WEdge};
+use mnd_graph::{CsrGraph, EdgeList};
+
+/// A component identifier. Components are named by the smallest original
+/// vertex they contain, so ids stay globally consistent without any central
+/// allocator.
+pub type CompId = u32;
+
+/// An inter-component edge: current component endpoints plus the original
+/// graph edge it stands for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct CEdge {
+    /// One component endpoint.
+    pub a: CompId,
+    /// The other component endpoint.
+    pub b: CompId,
+    /// The original graph edge (weight + global tie-break + provenance).
+    pub orig: WEdge,
+}
+
+impl CEdge {
+    /// Creates an edge; component endpoints are stored canonically
+    /// (`a <= b`).
+    #[inline]
+    pub fn new(a: CompId, b: CompId, orig: WEdge) -> Self {
+        if a <= b {
+            CEdge { a, b, orig }
+        } else {
+            CEdge { a: b, b: a, orig }
+        }
+    }
+
+    /// True if both endpoints are the same component.
+    #[inline]
+    pub fn is_self(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// The component endpoint other than `c` (debug-checked).
+    #[inline]
+    pub fn other(&self, c: CompId) -> CompId {
+        debug_assert!(c == self.a || c == self.b);
+        if c == self.a {
+            self.b
+        } else {
+            self.a
+        }
+    }
+
+    /// Total-order key: the original edge's `(w, u, v)`.
+    #[inline]
+    pub fn key(&self) -> (u32, VertexId, VertexId) {
+        self.orig.key()
+    }
+}
+
+impl PartialOrd for CEdge {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CEdge {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl std::fmt::Debug for CEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[c{}~c{} via {:?}]", self.a, self.b, self.orig)
+    }
+}
+
+/// A processor's current holding: resident components and the edges it
+/// knows about.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CGraph {
+    /// Sorted, deduplicated resident component ids.
+    resident: Vec<CompId>,
+    /// Edges held by this processor (each endpoint may be non-resident).
+    edges: Vec<CEdge>,
+    /// Components frozen by a previous `indComp` invocation (sticky across
+    /// stages until a relabel merges them away or they move processors).
+    frozen: Vec<CompId>,
+}
+
+impl CGraph {
+    /// Empty holding.
+    pub fn new() -> Self {
+        CGraph::default()
+    }
+
+    /// Builds the level-0 holding for a partition of the input graph:
+    /// every owned vertex is a singleton component; edges are all edges
+    /// touching the range (cut edges included, held by the inside endpoint;
+    /// internal edges held once).
+    pub fn from_partition(g: &CsrGraph, range: VertexRange) -> Self {
+        let resident: Vec<CompId> = range.iter().collect();
+        let edges = g
+            .edges_touching_range(range.start, range.end)
+            .into_iter()
+            .map(|e| CEdge::new(e.u, e.v, e))
+            .collect();
+        CGraph { resident, edges, frozen: Vec::new() }
+    }
+
+    /// Builds a whole-graph holding (single-device execution): all vertices
+    /// resident, all edges held.
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        CGraph {
+            resident: (0..el.num_vertices()).collect(),
+            edges: el.edges().iter().map(|e| CEdge::new(e.u, e.v, *e)).collect(),
+            frozen: Vec::new(),
+        }
+    }
+
+    /// Constructs from parts (used by segment transfer). `resident` must be
+    /// sorted and deduplicated.
+    pub fn from_parts(resident: Vec<CompId>, edges: Vec<CEdge>, frozen: Vec<CompId>) -> Self {
+        debug_assert!(resident.windows(2).all(|w| w[0] < w[1]));
+        CGraph { resident, edges, frozen }
+    }
+
+    /// Resident component ids (sorted).
+    #[inline]
+    pub fn resident(&self) -> &[CompId] {
+        &self.resident
+    }
+
+    /// Number of resident components.
+    #[inline]
+    pub fn num_resident(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Held edges.
+    #[inline]
+    pub fn edges(&self) -> &[CEdge] {
+        &self.edges
+    }
+
+    /// Mutable access for kernels in this crate and the driver.
+    #[inline]
+    pub fn edges_mut(&mut self) -> &mut Vec<CEdge> {
+        &mut self.edges
+    }
+
+    /// Components frozen by the last independent computation.
+    #[inline]
+    pub fn frozen(&self) -> &[CompId] {
+        &self.frozen
+    }
+
+    /// Replaces the frozen set (kernels call this after an invocation).
+    pub fn set_frozen(&mut self, mut frozen: Vec<CompId>) {
+        frozen.sort_unstable();
+        frozen.dedup();
+        self.frozen = frozen;
+    }
+
+    /// Clears freeze marks (done when residency changes — a component that
+    /// froze on a cut edge may be able to expand once its neighbour becomes
+    /// resident).
+    pub fn clear_frozen(&mut self) {
+        self.frozen.clear();
+    }
+
+    /// True if `c` is resident here.
+    #[inline]
+    pub fn is_resident(&self, c: CompId) -> bool {
+        self.resident.binary_search(&c).is_ok()
+    }
+
+    /// True if the holding has no resident components and no edges.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty() && self.edges.is_empty()
+    }
+
+    /// Number of edges with a non-resident endpoint (the holding's "ghost
+    /// degree" — drives communication volume).
+    pub fn num_cut_edges(&self) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| !self.is_resident(e.a) || !self.is_resident(e.b))
+            .count()
+    }
+
+    /// Replaces the resident set (sorted + deduplicated by this call).
+    pub fn set_resident(&mut self, mut resident: Vec<CompId>) {
+        resident.sort_unstable();
+        resident.dedup();
+        self.resident = resident;
+    }
+
+    /// Applies a component renaming to **all** edge endpoints. `map` returns
+    /// the new id of a component (identity for unknown ids). Resident ids
+    /// and frozen marks are remapped too.
+    pub fn relabel(&mut self, map: impl Fn(CompId) -> CompId) {
+        for e in &mut self.edges {
+            *e = CEdge::new(map(e.a), map(e.b), e.orig);
+        }
+        for r in &mut self.resident {
+            *r = map(*r);
+        }
+        self.resident.sort_unstable();
+        self.resident.dedup();
+        for f in &mut self.frozen {
+            *f = map(*f);
+        }
+        self.frozen.sort_unstable();
+        self.frozen.dedup();
+    }
+
+    /// Removes self edges (endpoints in the same component) — the paper's
+    /// `removeSelfEdges` (§3.3).
+    pub fn remove_self_edges(&mut self) {
+        self.edges.retain(|e| !e.is_self());
+    }
+
+    /// Keeps only the lightest edge between every component pair — the
+    /// paper's `removeMultiEdges` (§3.3), implemented with the same
+    /// hash-table-of-minimums it describes.
+    pub fn remove_multi_edges(&mut self) {
+        let mut best: std::collections::HashMap<(CompId, CompId), CEdge> =
+            std::collections::HashMap::with_capacity(self.edges.len());
+        for &e in &self.edges {
+            debug_assert!(!e.is_self(), "run remove_self_edges first");
+            match best.entry((e.a, e.b)) {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    if e < *o.get() {
+                        o.insert(e);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(e);
+                }
+            }
+        }
+        self.edges = best.into_values().collect();
+        self.sort_edges();
+    }
+
+    /// Removes duplicate holdings of the *same original edge* (arises when
+    /// a moved segment recombines with a holding that kept a boundary copy).
+    pub fn dedup_edges(&mut self) {
+        self.edges.sort_unstable_by_key(|e| (e.orig.u, e.orig.v, e.a, e.b));
+        self.edges.dedup_by_key(|e| (e.orig.u, e.orig.v));
+        self.sort_edges();
+    }
+
+    /// Canonical deterministic edge order (by original-edge key).
+    pub fn sort_edges(&mut self) {
+        self.edges.sort_unstable();
+    }
+
+    /// Absorbs another holding: unions resident sets, concatenates edges,
+    /// dedups same-original edges, merges freeze marks.
+    pub fn absorb(&mut self, other: CGraph) {
+        self.resident.extend(other.resident);
+        self.resident.sort_unstable();
+        self.resident.dedup();
+        self.edges.extend(other.edges);
+        self.dedup_edges();
+        self.frozen.extend(other.frozen);
+        self.frozen.sort_unstable();
+        self.frozen.dedup();
+    }
+
+    /// Splits off the components in `take` (must be a subset of resident)
+    /// into a new holding. Edges fully inside `take` move; boundary edges
+    /// (one endpoint in `take`, one resident endpoint remaining) are
+    /// **copied** to the new holding and retained here; edges with a
+    /// non-resident endpoint in `take`'s perspective follow the same rule.
+    pub fn split_off(&mut self, take: &[CompId]) -> CGraph {
+        let take_set: std::collections::HashSet<CompId> = take.iter().copied().collect();
+        debug_assert!(take.iter().all(|c| self.is_resident(*c)), "take ⊄ resident");
+
+        let mut moved_edges = Vec::new();
+        let mut kept_edges = Vec::new();
+        for &e in &self.edges {
+            let a_in = take_set.contains(&e.a);
+            let b_in = take_set.contains(&e.b);
+            match (a_in, b_in) {
+                (true, true) => moved_edges.push(e),
+                (false, false) => kept_edges.push(e),
+                _ => {
+                    // Boundary edge: the mover always needs it; the holder
+                    // keeps a copy only if its side of the edge remains
+                    // resident (otherwise the edge is pure ghost-to-ghost
+                    // here and would only waste memory).
+                    moved_edges.push(e);
+                    let stay_end = if a_in { e.b } else { e.a };
+                    if self.is_resident(stay_end) {
+                        kept_edges.push(e);
+                    }
+                }
+            }
+        }
+        self.edges = kept_edges;
+        let mut new_resident: Vec<CompId> = take.to_vec();
+        new_resident.sort_unstable();
+        new_resident.dedup();
+        self.resident.retain(|c| !take_set.contains(c));
+        let moved_frozen: Vec<CompId> =
+            self.frozen.iter().copied().filter(|c| take_set.contains(c)).collect();
+        self.frozen.retain(|c| !take_set.contains(c));
+        CGraph { resident: new_resident, edges: moved_edges, frozen: moved_frozen }
+    }
+
+    /// Approximate in-memory footprint in bytes — the quantity the
+    /// hierarchical merge compares against a node's memory capacity.
+    pub fn approx_bytes(&self) -> usize {
+        self.resident.len() * 4 + self.edges.len() * std::mem::size_of::<CEdge>()
+    }
+
+    /// Structural sanity check for tests: resident sorted/deduped, no edge
+    /// duplicated by original identity.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.resident.windows(2).all(|w| w[0] < w[1]) {
+            return Err("resident not sorted+dedup".into());
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
+        for e in &self.edges {
+            if !seen.insert((e.orig.u, e.orig.v)) {
+                return Err(format!("duplicate original edge {:?}", e.orig));
+            }
+        }
+        for f in &self.frozen {
+            if !self.is_resident(*f) {
+                return Err(format!("frozen non-resident component {f}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::gen;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_edge_list(&gen::path(4, 1))
+    }
+
+    #[test]
+    fn from_partition_includes_cut_edges() {
+        let g = path4();
+        let cg = CGraph::from_partition(&g, VertexRange { start: 1, end: 3 });
+        assert_eq!(cg.resident(), &[1, 2]);
+        assert_eq!(cg.edges().len(), 3); // 0-1 (cut), 1-2 (internal), 2-3 (cut)
+        assert_eq!(cg.num_cut_edges(), 2);
+        cg.validate().unwrap();
+    }
+
+    #[test]
+    fn whole_graph_has_no_cut_edges() {
+        let el = gen::gnm(50, 100, 3);
+        let cg = CGraph::from_edge_list(&el);
+        assert_eq!(cg.num_cut_edges(), 0);
+        assert_eq!(cg.num_resident(), 50);
+    }
+
+    #[test]
+    fn relabel_merges_resident_ids() {
+        let g = path4();
+        let mut cg = CGraph::from_partition(&g, VertexRange { start: 0, end: 4 });
+        cg.relabel(|c| if c == 1 { 0 } else { c });
+        assert_eq!(cg.resident(), &[0, 2, 3]);
+        // Edge 0-1 became a self edge.
+        assert_eq!(cg.edges().iter().filter(|e| e.is_self()).count(), 1);
+        cg.remove_self_edges();
+        assert_eq!(cg.edges().len(), 2);
+    }
+
+    #[test]
+    fn multi_edge_removal_keeps_lightest() {
+        let e1 = WEdge::new(0, 2, 5);
+        let e2 = WEdge::new(1, 3, 2);
+        let mut cg = CGraph::from_parts(
+            vec![0, 1],
+            vec![CEdge::new(0, 1, e1), CEdge::new(0, 1, e2)],
+            vec![],
+        );
+        cg.remove_multi_edges();
+        assert_eq!(cg.edges().len(), 1);
+        assert_eq!(cg.edges()[0].orig, e2);
+    }
+
+    #[test]
+    fn split_off_copies_boundary_edges() {
+        // Components 0,1,2 resident; edges 0-1, 1-2, 2-9 (9 non-resident).
+        let mut cg = CGraph::from_parts(
+            vec![0, 1, 2],
+            vec![
+                CEdge::new(0, 1, WEdge::new(0, 1, 1)),
+                CEdge::new(1, 2, WEdge::new(1, 2, 2)),
+                CEdge::new(2, 9, WEdge::new(2, 9, 3)),
+            ],
+            vec![],
+        );
+        let seg = cg.split_off(&[2]);
+        assert_eq!(seg.resident(), &[2]);
+        // Segment takes 1-2 (boundary, copied) and 2-9 (its only resident
+        // endpoint is moving, so it moves as a "boundary" copy as well).
+        assert_eq!(seg.edges().len(), 2);
+        assert_eq!(cg.resident(), &[0, 1]);
+        // Holder keeps 0-1 and the boundary copy of 1-2, but drops 2-9
+        // (after the split neither endpoint 2 nor 9 is resident here).
+        assert_eq!(cg.edges().len(), 2);
+        assert!(cg.edges().iter().any(|e| e.orig == WEdge::new(1, 2, 2)));
+        assert!(!cg.edges().iter().any(|e| e.orig == WEdge::new(2, 9, 3)));
+    }
+
+    #[test]
+    fn absorb_dedups_boundary_copies() {
+        let shared = CEdge::new(1, 2, WEdge::new(1, 2, 2));
+        let mut a = CGraph::from_parts(vec![1], vec![shared], vec![]);
+        let b = CGraph::from_parts(vec![2], vec![shared], vec![]);
+        a.absorb(b);
+        assert_eq!(a.resident(), &[1, 2]);
+        assert_eq!(a.edges().len(), 1);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let empty = CGraph::new();
+        let el = gen::gnm(100, 400, 1);
+        let cg = CGraph::from_edge_list(&el);
+        assert!(cg.approx_bytes() > empty.approx_bytes());
+    }
+
+    #[test]
+    fn validate_catches_duplicates() {
+        let e = CEdge::new(0, 1, WEdge::new(0, 1, 1));
+        let cg = CGraph::from_parts(vec![0, 1], vec![e, e], vec![]);
+        assert!(cg.validate().is_err());
+    }
+}

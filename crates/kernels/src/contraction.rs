@@ -1,0 +1,162 @@
+//! Contraction-based Boruvka (da Silva Sousa, Mariano & Proença, PDP'15).
+//!
+//! The paper's GPU kernel lineage runs Lonestar-GPU → Sousa et al., whose
+//! speedup comes from **physically rebuilding a contracted edge list each
+//! round** instead of rescanning a worklist over stale endpoints: after
+//! the round's unions, every surviving edge is rewritten to its component
+//! endpoints and self edges are dropped, so round `k+1` scans a strictly
+//! smaller, dense array with no `find` calls during the scan.
+//!
+//! [`contraction_boruvka_msf`] is that variant; `benches/kernels.rs`
+//! compares it against the worklist kernel ([`crate::boruvka`]) and the
+//! sorting baselines — reproducing the design-space ablation behind the
+//! paper's §3.5 choice.
+
+use mnd_graph::types::WEdge;
+use mnd_graph::EdgeList;
+
+use crate::msf::MsfResult;
+use crate::policy::{IterWork, WorkProfile};
+
+/// Whole-graph MSF by repeated physical contraction. Produces exactly the
+/// unique MSF (tests assert equality with Kruskal/Boruvka).
+pub fn contraction_boruvka_msf(el: &EdgeList) -> MsfResult {
+    let (res, _) = contraction_boruvka_profiled(el);
+    res
+}
+
+/// As [`contraction_boruvka_msf`], also reporting the per-round work.
+pub fn contraction_boruvka_profiled(el: &EdgeList) -> (MsfResult, WorkProfile) {
+    // Edges carry their current component endpoints; `orig` keeps identity.
+    struct CEdge {
+        a: u32,
+        b: u32,
+        orig: WEdge,
+    }
+    let mut edges: Vec<CEdge> = el
+        .edges()
+        .iter()
+        .map(|e| CEdge { a: e.u, b: e.v, orig: *e })
+        .collect();
+    let mut msf: Vec<WEdge> = Vec::new();
+    let mut work = WorkProfile::default();
+
+    while !edges.is_empty() {
+        let scanned = edges.len() as u64;
+        // Min-edge election per component: labels are dense enough to use
+        // a map keyed by component id (components shrink every round).
+        let mut best: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            for c in [e.a, e.b] {
+                match best.entry(c) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        if edges[i].orig < edges[*o.get()].orig {
+                            o.insert(i);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(i);
+                    }
+                }
+            }
+        }
+        // Union the winners through a per-round DSU over component ids.
+        let mut parent: std::collections::HashMap<u32, u32> =
+            best.keys().map(|&c| (c, c)).collect();
+        fn find(parent: &mut std::collections::HashMap<u32, u32>, mut x: u32) -> u32 {
+            loop {
+                let p = parent[&x];
+                if p == x {
+                    return x;
+                }
+                let gp = parent[&p];
+                parent.insert(x, gp);
+                x = gp;
+            }
+        }
+        let mut unions = 0u64;
+        let mut winners: Vec<usize> = best.into_values().collect();
+        winners.sort_unstable();
+        winners.dedup();
+        for i in winners {
+            let e = &edges[i];
+            let (ra, rb) = (find(&mut parent, e.a), find(&mut parent, e.b));
+            if ra != rb {
+                // Min-id orientation keeps labels canonical.
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent.insert(hi, lo);
+                msf.push(e.orig);
+                unions += 1;
+            }
+        }
+        work.iters.push(IterWork {
+            active_components: parent.len() as u64,
+            edges_scanned: scanned,
+            unions,
+        });
+        if unions == 0 {
+            break;
+        }
+        // Physical contraction: rewrite endpoints, drop self edges.
+        let mut round_root: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let keys: Vec<u32> = parent.keys().copied().collect();
+        for c in keys {
+            let r = find(&mut parent, c);
+            round_root.insert(c, r);
+        }
+        for e in edges.iter_mut() {
+            e.a = *round_root.get(&e.a).unwrap_or(&e.a);
+            e.b = *round_root.get(&e.b).unwrap_or(&e.b);
+        }
+        edges.retain(|e| e.a != e.b);
+    }
+
+    (MsfResult::from_edges(el.num_vertices(), msf), work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boruvka::boruvka_msf;
+    use crate::msf::verify_msf;
+    use crate::oracle::kruskal_msf;
+    use mnd_graph::gen;
+    use mnd_graph::EdgeList;
+
+    #[test]
+    fn matches_oracles_on_families() {
+        for el in [
+            gen::path(40, 1),
+            gen::cycle(30, 2),
+            gen::complete(25, 3),
+            gen::gnm(800, 4000, 4),
+            gen::web_crawl(1000, 8000, gen::CrawlParams::default(), 5),
+            gen::road_grid(20, 20, 0.02, 0.38, 6),
+            gen::disconnected_union(&[gen::path(10, 7), gen::gnm(50, 150, 8)]),
+        ] {
+            let c = contraction_boruvka_msf(&el);
+            assert_eq!(c, kruskal_msf(&el));
+            assert_eq!(c, boruvka_msf(&el));
+            verify_msf(&el, &c).unwrap();
+        }
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        assert!(contraction_boruvka_msf(&EdgeList::new(0)).edges.is_empty());
+        assert_eq!(contraction_boruvka_msf(&EdgeList::new(7)).num_components, 7);
+    }
+
+    #[test]
+    fn edges_shrink_geometrically() {
+        let el = gen::gnm(3000, 15_000, 9);
+        let (res, work) = contraction_boruvka_profiled(&el);
+        verify_msf(&el, &res).unwrap();
+        // Scanned work per round must drop monotonically — the point of
+        // physical contraction.
+        for w in work.iters.windows(2) {
+            assert!(w[1].edges_scanned <= w[0].edges_scanned);
+        }
+        assert!(work.num_iterations() <= 2 * (3000f64).log2().ceil() as usize);
+    }
+}

@@ -1,0 +1,142 @@
+//! Filter-Kruskal (Osipov, Sanders & Singler, ALENEX'09): the practical
+//! sequential MST champion, included as a third oracle/baseline (Sousa et
+//! al., whom the paper builds its GPU kernel on, benchmark against it).
+//!
+//! Quicksort-style recursion on edge weight: below a threshold fall back
+//! to plain Kruskal; otherwise partition edges around a pivot, solve the
+//! light half, **filter** the heavy half (drop edges already intra-
+//! component — the step that skips sorting most heavy edges entirely),
+//! then solve what survives.
+
+use mnd_graph::types::WEdge;
+use mnd_graph::EdgeList;
+
+use crate::dsu::DisjointSets;
+use crate::msf::MsfResult;
+
+/// Below this many edges a recursion leaf just sorts (plain Kruskal).
+const KRUSKAL_THRESHOLD: usize = 1024;
+
+/// Computes the (unique) MSF with Filter-Kruskal.
+pub fn filter_kruskal_msf(el: &EdgeList) -> MsfResult {
+    let mut edges: Vec<WEdge> = el.edges().to_vec();
+    let mut dsu = DisjointSets::new(el.num_vertices() as usize);
+    let mut out = Vec::new();
+    recurse(&mut edges, &mut dsu, &mut out);
+    MsfResult::from_edges(el.num_vertices(), out)
+}
+
+fn recurse(edges: &mut [WEdge], dsu: &mut DisjointSets, out: &mut Vec<WEdge>) {
+    if dsu.num_sets() == 1 || edges.is_empty() {
+        return;
+    }
+    if edges.len() <= KRUSKAL_THRESHOLD {
+        edges.sort_unstable();
+        for e in edges.iter() {
+            if dsu.union(e.u, e.v) {
+                out.push(*e);
+                if dsu.num_sets() == 1 {
+                    return;
+                }
+            }
+        }
+        return;
+    }
+    // Median-of-three pivot on the full (weight, u, v) order so splits stay
+    // balanced even under heavy weight ties.
+    let pivot = {
+        let a = edges[0];
+        let b = edges[edges.len() / 2];
+        let c = edges[edges.len() - 1];
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if c <= lo {
+            lo
+        } else if c >= hi {
+            hi
+        } else {
+            c
+        }
+    };
+    // Partition: light = (<= pivot), heavy = (> pivot). `pivot` itself is
+    // in the light half, which guarantees progress.
+    let split = partition_in_place(edges, |e| *e <= pivot);
+    let (light, heavy) = edges.split_at_mut(split);
+    debug_assert!(!light.is_empty(), "pivot must land in the light half");
+    recurse(light, dsu, out);
+    // Filter: heavy edges whose endpoints already touch are never in the
+    // MSF; drop them before recursing (the algorithm's key saving).
+    let mut keep = 0;
+    for i in 0..heavy.len() {
+        if dsu.find(heavy[i].u) != dsu.find(heavy[i].v) {
+            heavy.swap(keep, i);
+            keep += 1;
+        }
+    }
+    recurse(&mut heavy[..keep], dsu, out);
+}
+
+/// Hoare-style stable-enough partition; returns the light-half length.
+fn partition_in_place(edges: &mut [WEdge], light: impl Fn(&WEdge) -> bool) -> usize {
+    let mut next = 0;
+    for i in 0..edges.len() {
+        if light(&edges[i]) {
+            edges.swap(next, i);
+            next += 1;
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msf::verify_msf;
+    use crate::oracle::kruskal_msf;
+    use mnd_graph::gen;
+
+    #[test]
+    fn matches_kruskal_on_families() {
+        for el in [
+            gen::path(50, 1),
+            gen::cycle(40, 2),
+            gen::complete(40, 3),
+            gen::gnm(2000, 12_000, 4), // above the leaf threshold
+            gen::web_crawl(3000, 20_000, gen::CrawlParams::default(), 5),
+            gen::road_grid(40, 40, 0.02, 0.38, 6),
+        ] {
+            let fk = filter_kruskal_msf(&el);
+            assert_eq!(fk, kruskal_msf(&el));
+            verify_msf(&el, &fk).unwrap();
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_and_trivial() {
+        let u = gen::disconnected_union(&[gen::gnm(500, 3000, 1), gen::path(20, 2)]);
+        assert_eq!(filter_kruskal_msf(&u), kruskal_msf(&u));
+        assert_eq!(filter_kruskal_msf(&mnd_graph::EdgeList::new(0)).edges.len(), 0);
+        assert_eq!(filter_kruskal_msf(&mnd_graph::EdgeList::new(5)).num_components, 5);
+    }
+
+    #[test]
+    fn survives_massive_weight_ties() {
+        // All-equal weights make the pivot degenerate; median-of-three on
+        // the full edge order must still split.
+        let mut el = gen::gnm(3000, 20_000, 9);
+        el.assign_random_weights(3, 2); // weights in {1, 2}
+        assert_eq!(filter_kruskal_msf(&el), kruskal_msf(&el));
+    }
+
+    #[test]
+    fn filter_actually_prunes() {
+        // On a dense graph the MSF needs V-1 of E edges: recursion should
+        // terminate long before touching every heavy edge. We can't observe
+        // the pruning directly, but equality + a generous time bound in a
+        // debug test is a reasonable canary.
+        let el = gen::gnm(2000, 60_000, 11);
+        let t = std::time::Instant::now();
+        let fk = filter_kruskal_msf(&el);
+        assert_eq!(fk, kruskal_msf(&el));
+        assert!(t.elapsed() < std::time::Duration::from_secs(20));
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimum-spanning-forest result types and validity checking.
+//!
+//! Because the workspace-wide edge order `(w, u, v)` is total, every simple
+//! graph has a *unique* MSF; [`verify_msf`] therefore checks candidate
+//! results **edge-for-edge** against the Kruskal oracle, which is a much
+//! stronger test than comparing weights.
+
+use mnd_graph::types::{total_weight, VertexId, WEdge, WeightSum};
+use mnd_graph::EdgeList;
+
+use crate::dsu::DisjointSets;
+use crate::oracle::kruskal_msf;
+
+/// A minimum spanning forest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsfResult {
+    /// Forest edges in canonical sorted order (by `(w, u, v)`).
+    pub edges: Vec<WEdge>,
+    /// Total weight.
+    pub weight: WeightSum,
+    /// Number of connected components of the input graph
+    /// (`edges.len() == V - num_components` for V-vertex inputs counting
+    /// isolated vertices).
+    pub num_components: usize,
+}
+
+impl MsfResult {
+    /// Builds a result from edges, computing weight and the component count
+    /// implied for a graph on `num_vertices` vertices.
+    pub fn from_edges(num_vertices: VertexId, mut edges: Vec<WEdge>) -> Self {
+        edges.sort_unstable();
+        let weight = total_weight(&edges);
+        // components = V - forest edges (each forest edge reduces count by 1).
+        let num_components = num_vertices as usize - edges.len();
+        MsfResult { edges, weight, num_components }
+    }
+}
+
+/// Errors [`verify_msf`] can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MsfError {
+    /// Candidate contains an edge that is not in the input graph (or has the
+    /// wrong weight).
+    ForeignEdge(WEdge),
+    /// Candidate edges contain a cycle.
+    Cycle(WEdge),
+    /// Candidate does not span: expected/actual edge counts differ.
+    WrongEdgeCount { expected: usize, actual: usize },
+    /// Total weight differs from the oracle's.
+    WrongWeight { expected: WeightSum, actual: WeightSum },
+    /// Edge sets differ even though counts and weight match (possible only
+    /// with duplicate weights, which our tie-broken order makes an error).
+    DifferentEdges,
+}
+
+impl std::fmt::Display for MsfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsfError::ForeignEdge(e) => write!(f, "candidate edge {e:?} not in input graph"),
+            MsfError::Cycle(e) => write!(f, "candidate edge {e:?} closes a cycle"),
+            MsfError::WrongEdgeCount { expected, actual } => {
+                write!(f, "expected {expected} forest edges, got {actual}")
+            }
+            MsfError::WrongWeight { expected, actual } => {
+                write!(f, "expected total weight {expected}, got {actual}")
+            }
+            MsfError::DifferentEdges => write!(f, "edge sets differ from unique MSF"),
+        }
+    }
+}
+
+impl std::error::Error for MsfError {}
+
+/// Verifies that `candidate` is exactly the unique MSF of `input`.
+///
+/// Checks, in order: membership of every candidate edge in the input,
+/// acyclicity, edge count vs. the oracle, total weight vs. the oracle, and
+/// finally edge-for-edge equality.
+pub fn verify_msf(input: &EdgeList, candidate: &MsfResult) -> Result<(), MsfError> {
+    // Membership (exact weight too — provenance must be preserved).
+    let graph_edges: std::collections::HashSet<WEdge> = input.edges().iter().copied().collect();
+    for e in &candidate.edges {
+        if !graph_edges.contains(e) {
+            return Err(MsfError::ForeignEdge(*e));
+        }
+    }
+    // Acyclicity.
+    let mut dsu = DisjointSets::new(input.num_vertices() as usize);
+    for e in &candidate.edges {
+        if !dsu.union(e.u, e.v) {
+            return Err(MsfError::Cycle(*e));
+        }
+    }
+    // Oracle comparison.
+    let oracle = kruskal_msf(input);
+    if candidate.edges.len() != oracle.edges.len() {
+        return Err(MsfError::WrongEdgeCount {
+            expected: oracle.edges.len(),
+            actual: candidate.edges.len(),
+        });
+    }
+    if candidate.weight != oracle.weight {
+        return Err(MsfError::WrongWeight { expected: oracle.weight, actual: candidate.weight });
+    }
+    if candidate.edges != oracle.edges {
+        return Err(MsfError::DifferentEdges);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::gen;
+
+    #[test]
+    fn oracle_verifies_itself() {
+        let el = gen::gnm(200, 800, 3);
+        let msf = kruskal_msf(&el);
+        verify_msf(&el, &msf).unwrap();
+    }
+
+    #[test]
+    fn detects_foreign_edge() {
+        let el = gen::path(4, 1);
+        let mut msf = kruskal_msf(&el);
+        msf.edges[0] = WEdge::new(0, 3, 12345);
+        assert!(matches!(verify_msf(&el, &msf), Err(MsfError::ForeignEdge(_))));
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let el = gen::cycle(4, 1);
+        let all = MsfResult::from_edges(4, el.edges().to_vec()); // all 4 cycle edges
+        assert!(matches!(verify_msf(&el, &all), Err(MsfError::Cycle(_))));
+    }
+
+    #[test]
+    fn detects_wrong_count() {
+        let el = gen::path(5, 1);
+        let msf = kruskal_msf(&el);
+        let short = MsfResult::from_edges(5, msf.edges[..3].to_vec());
+        assert!(matches!(verify_msf(&el, &short), Err(MsfError::WrongEdgeCount { .. })));
+    }
+
+    #[test]
+    fn detects_heavier_spanning_tree() {
+        // Cycle: the correct MST drops the heaviest edge; a candidate that
+        // drops a lighter one is spanning + acyclic but heavier.
+        let el = gen::cycle(5, 2);
+        let mut edges = el.edges().to_vec();
+        edges.sort_unstable();
+        let heaviest = *edges.last().unwrap();
+        let lightest = edges[0];
+        let wrong: Vec<WEdge> = el
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| *e != lightest)
+            .collect();
+        assert_eq!(wrong.len(), 4);
+        let cand = MsfResult::from_edges(5, wrong);
+        let err = verify_msf(&el, &cand).unwrap_err();
+        assert!(
+            matches!(err, MsfError::WrongWeight { .. }),
+            "heaviest {heaviest:?}: unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn from_edges_counts_components() {
+        let r = MsfResult::from_edges(10, vec![WEdge::new(0, 1, 1), WEdge::new(2, 3, 1)]);
+        assert_eq!(r.num_components, 8);
+        assert_eq!(r.weight, 2);
+    }
+}

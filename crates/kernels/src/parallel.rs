@@ -1,0 +1,176 @@
+//! Parallel (worklist, data-driven) Boruvka for shared-memory CPUs — the
+//! Galois-style kernel of §3.5, built on rayon and the lock-free union-find.
+//!
+//! The sequential kernel in [`crate::boruvka`] is the semantic reference;
+//! this variant must produce the *identical* MSF (unique under the
+//! workspace edge order), which the tests assert. Structure per iteration:
+//!
+//! 1. **Election** — a parallel sweep over the active edge worklist does a
+//!    lock-free `fetch_min` of the packed `(weight, edge-index)` key into a
+//!    per-component slot ("minimizing atomic accesses" — one atomic per
+//!    edge endpoint, no locks).
+//! 2. **Contraction** — a parallel sweep over components unions the elected
+//!    pairs through the CAS-based [`AtomicDisjointSets`]; the winner of
+//!    each racing union records the MST edge.
+//! 3. **Compaction** — the worklist is rebuilt data-driven style, dropping
+//!    intra-component edges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mnd_graph::types::WEdge;
+use mnd_graph::EdgeList;
+use rayon::prelude::*;
+
+use crate::dsu::AtomicDisjointSets;
+use crate::msf::MsfResult;
+use crate::policy::{IterWork, WorkProfile};
+
+/// Sentinel for "no candidate yet".
+const NONE_KEY: u64 = u64::MAX;
+
+/// Packs `(weight, edge index)` so numeric `min` equals the workspace edge
+/// order, provided edges are pre-sorted by `(w, u, v)`.
+#[inline]
+fn pack(weight: u32, idx: u32) -> u64 {
+    ((weight as u64) << 32) | idx as u64
+}
+
+/// Parallel whole-graph Boruvka MSF. Deterministic: returns exactly the
+/// unique MSF regardless of thread interleaving.
+pub fn par_boruvka_msf(el: &EdgeList) -> MsfResult {
+    let (res, _) = par_boruvka_msf_profiled(el);
+    res
+}
+
+/// As [`par_boruvka_msf`], also returning the per-iteration work profile.
+pub fn par_boruvka_msf_profiled(el: &EdgeList) -> (MsfResult, WorkProfile) {
+    let n = el.num_vertices() as usize;
+    // Sort once so edge index order == total edge order.
+    let mut edges: Vec<WEdge> = el.edges().to_vec();
+    edges.sort_unstable();
+    assert!(edges.len() < u32::MAX as usize, "edge index must fit u32");
+
+    let dsu = AtomicDisjointSets::new(n);
+    let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE_KEY)).collect();
+    let mut worklist: Vec<u32> = (0..edges.len() as u32).collect();
+    let mut msf: Vec<WEdge> = Vec::new();
+    let mut work = WorkProfile::default();
+
+    loop {
+        // --- Election ----------------------------------------------------
+        worklist.par_iter().for_each(|&idx| {
+            let e = edges[idx as usize];
+            let ra = dsu.find(e.u);
+            let rb = dsu.find(e.v);
+            if ra == rb {
+                return;
+            }
+            let key = pack(e.w, idx);
+            best[ra as usize].fetch_min(key, Ordering::AcqRel);
+            best[rb as usize].fetch_min(key, Ordering::AcqRel);
+        });
+
+        // --- Contraction -------------------------------------------------
+        let active = AtomicU64::new(0);
+        let won: Vec<WEdge> = (0..n as u32)
+            .into_par_iter()
+            .filter_map(|c| {
+                let key = best[c as usize].swap(NONE_KEY, Ordering::AcqRel);
+                if key == NONE_KEY {
+                    return None;
+                }
+                active.fetch_add(1, Ordering::Relaxed);
+                let e = edges[(key & 0xFFFF_FFFF) as usize];
+                // Both endpoints' components may have elected this edge;
+                // exactly one union succeeds.
+                if dsu.union(e.u, e.v) {
+                    Some(e)
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let unions = won.len() as u64;
+        work.iters.push(IterWork {
+            active_components: active.load(Ordering::Relaxed),
+            edges_scanned: worklist.len() as u64,
+            unions,
+        });
+        msf.extend(won);
+        if unions == 0 {
+            break;
+        }
+
+        // --- Compaction (data-driven worklist) ---------------------------
+        worklist = worklist
+            .into_par_iter()
+            .filter(|&idx| {
+                let e = edges[idx as usize];
+                dsu.find(e.u) != dsu.find(e.v)
+            })
+            .collect();
+        if worklist.is_empty() {
+            break;
+        }
+    }
+
+    (MsfResult::from_edges(el.num_vertices(), msf), work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boruvka::boruvka_msf;
+    use crate::msf::verify_msf;
+    use mnd_graph::gen;
+
+    #[test]
+    fn matches_sequential_on_families() {
+        for el in [
+            gen::path(30, 1),
+            gen::cycle(25, 2),
+            gen::star(40, 3),
+            gen::complete(12, 4),
+            gen::gnm(500, 2000, 5),
+            gen::watts_strogatz(200, 6, 0.2, 6),
+            gen::rmat(256, 2048, gen::RmatProbs::GRAPH500, 7),
+        ] {
+            let seq = boruvka_msf(&el);
+            let par = par_boruvka_msf(&el);
+            assert_eq!(seq, par);
+            verify_msf(&el, &par).unwrap();
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_and_empty() {
+        let u = gen::disconnected_union(&[gen::path(10, 1), gen::gnm(50, 120, 2)]);
+        let par = par_boruvka_msf(&u);
+        verify_msf(&u, &par).unwrap();
+        let empty = EdgeList::new(5);
+        let r = par_boruvka_msf(&empty);
+        assert!(r.edges.is_empty());
+        assert_eq!(r.num_components, 5);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let el = gen::rmat(512, 4096, gen::RmatProbs::MILD, 9);
+        let a = par_boruvka_msf(&el);
+        let b = par_boruvka_msf(&el);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profile_shows_geometric_shrink() {
+        let el = gen::gnm(1000, 5000, 11);
+        let (res, work) = par_boruvka_msf_profiled(&el);
+        verify_msf(&el, &res).unwrap();
+        assert!(work.num_iterations() <= 16, "iters {}", work.num_iterations());
+        // Scanned work must shrink monotonically (data-driven worklist).
+        for w in work.iters.windows(2) {
+            assert!(w[1].edges_scanned <= w[0].edges_scanned);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Data-structure reduction between computation stages (§3.3): self-edge
+//! removal, ghost-parent application, and multi-edge removal.
+//!
+//! The ghost half works in tandem with the driver: processors exchange
+//! `(old component id, new parent id)` pairs for their boundary components;
+//! [`apply_ghost_parents`] applies the received pairs to the *non-resident*
+//! endpoints of a holding, after which multi-edge removal can collapse
+//! parallel inter-component edges correctly even across processor borders.
+
+use crate::cgraph::{CGraph, CompId};
+
+/// Summary of one reduction pass (reported to the cost model; the paper
+/// charges these operations to the merge phase).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Edges before the pass.
+    pub edges_before: u64,
+    /// Self edges removed.
+    pub self_removed: u64,
+    /// Multi-edges removed.
+    pub multi_removed: u64,
+    /// Edges after the pass.
+    pub edges_after: u64,
+}
+
+/// Runs self-edge removal followed by multi-edge removal on a holding.
+pub fn reduce_holding(cg: &mut CGraph) -> ReduceStats {
+    let before = cg.edges().len() as u64;
+    cg.remove_self_edges();
+    let after_self = cg.edges().len() as u64;
+    cg.remove_multi_edges();
+    let after = cg.edges().len() as u64;
+    ReduceStats {
+        edges_before: before,
+        self_removed: before - after_self,
+        multi_removed: after_self - after,
+        edges_after: after,
+    }
+}
+
+/// Builds the ghost-parent message a processor sends: the `(old, new)`
+/// renaming pairs of its own components, restricted to ids that other
+/// processors may reference. (Sending the full relabel is correct; the
+/// driver restricts to boundary components to model the paper's
+/// boundary-only ghost messages.)
+pub fn ghost_parent_message(relabel: &[(CompId, CompId)]) -> Vec<(CompId, CompId)> {
+    let mut msg = relabel.to_vec();
+    msg.sort_unstable();
+    msg.dedup();
+    msg
+}
+
+/// Applies received ghost-parent pairs to a holding: every edge endpoint
+/// matching an `old` id is renamed to `new`. Resident ids are left alone —
+/// renames of resident components were already committed by the local
+/// kernel; this call is specifically for ghost (non-resident) endpoints.
+pub fn apply_ghost_parents(cg: &mut CGraph, updates: &[(CompId, CompId)]) {
+    if updates.is_empty() {
+        return;
+    }
+    let map: std::collections::HashMap<CompId, CompId> = updates.iter().copied().collect();
+    let resident: Vec<CompId> = cg.resident().to_vec();
+    let is_res = |c: CompId| resident.binary_search(&c).is_ok();
+    cg.relabel(|c| {
+        if is_res(c) {
+            c
+        } else {
+            *map.get(&c).unwrap_or(&c)
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cgraph::CEdge;
+    use mnd_graph::types::WEdge;
+
+    #[test]
+    fn reduce_removes_both_kinds() {
+        let mut cg = CGraph::from_parts(
+            vec![0, 5],
+            vec![
+                CEdge::new(0, 0, WEdge::new(1, 2, 3)),  // self
+                CEdge::new(0, 5, WEdge::new(0, 5, 9)),  // kept? no: heavier multi
+                CEdge::new(0, 5, WEdge::new(2, 6, 4)),  // kept (lightest 0~5)
+            ],
+            vec![],
+        );
+        let stats = reduce_holding(&mut cg);
+        assert_eq!(stats.self_removed, 1);
+        assert_eq!(stats.multi_removed, 1);
+        assert_eq!(stats.edges_after, 1);
+        assert_eq!(cg.edges()[0].orig, WEdge::new(2, 6, 4));
+    }
+
+    #[test]
+    fn ghost_parents_rename_only_non_resident() {
+        let mut cg = CGraph::from_parts(
+            vec![0, 1],
+            vec![
+                CEdge::new(0, 7, WEdge::new(0, 7, 1)), // ghost endpoint 7
+                CEdge::new(1, 0, WEdge::new(0, 1, 2)),
+            ],
+            vec![],
+        );
+        // Remote processor reports 7 -> 5; a malicious/stale pair 1 -> 9
+        // must not touch our resident component 1.
+        apply_ghost_parents(&mut cg, &[(7, 5), (1, 9)]);
+        assert!(cg.edges().iter().any(|e| (e.a, e.b) == (0, 5)));
+        assert!(cg.edges().iter().any(|e| (e.a, e.b) == (0, 1)));
+        assert_eq!(cg.resident(), &[0, 1]);
+    }
+
+    #[test]
+    fn ghost_message_dedups() {
+        let msg = ghost_parent_message(&[(3, 1), (3, 1), (4, 1)]);
+        assert_eq!(msg, vec![(3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn empty_updates_are_noop() {
+        let mut cg = CGraph::from_parts(
+            vec![2],
+            vec![CEdge::new(2, 8, WEdge::new(2, 8, 1))],
+            vec![],
+        );
+        let before = cg.clone();
+        apply_ghost_parents(&mut cg, &[]);
+        assert_eq!(cg, before);
+    }
+}

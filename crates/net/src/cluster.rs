@@ -1,0 +1,166 @@
+//! Spawning and joining the rank threads.
+
+use std::sync::Arc;
+
+use crate::comm::{Comm, Fabric};
+use crate::cost::CostModel;
+use crate::mailbox::Mailbox;
+use crate::stats::RankStats;
+
+/// What one rank produced: its closure result, final virtual clock, and
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct RankOutcome<T> {
+    /// The rank's return value.
+    pub result: T,
+    /// Final virtual time on the rank's clock.
+    pub final_clock: f64,
+    /// Compute/communication accounting.
+    pub stats: RankStats,
+}
+
+/// A simulated cluster: `n` ranks over one cost model.
+pub struct Cluster {
+    nranks: usize,
+    cost: CostModel,
+}
+
+impl Cluster {
+    /// A cluster of `nranks` ranks.
+    pub fn new(nranks: usize, cost: CostModel) -> Self {
+        assert!(nranks >= 1, "need at least one rank");
+        Cluster { nranks, cost }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Runs `f` on every rank concurrently and returns the outcomes in rank
+    /// order. Panics in any rank propagate (with the rank id in the
+    /// message) after all threads are joined.
+    pub fn run<T, F>(&self, f: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        let fabric = Arc::new(Fabric {
+            mailboxes: (0..self.nranks).map(|_| Mailbox::new()).collect(),
+            cost: self.cost,
+        });
+        let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..self.nranks).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = outcomes
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, slot)| {
+                    let fabric = Arc::clone(&fabric);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let comm = Comm::new(rank, fabric.mailboxes.len(), fabric);
+                        let result = f(&comm);
+                        *slot = Some(RankOutcome {
+                            result,
+                            final_clock: comm.now(),
+                            stats: comm.stats(),
+                        });
+                    })
+                })
+                .collect();
+            let mut first_panic = None;
+            for (rank, h) in handles.into_iter().enumerate() {
+                if let Err(e) = h.join() {
+                    first_panic.get_or_insert((rank, e));
+                }
+            }
+            if let Some((rank, e)) = first_panic {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .map(|s| s.as_str())
+                    .or_else(|| e.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                panic!("rank {rank} panicked: {msg}");
+            }
+        });
+
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every rank either completed or we panicked above"))
+            .collect()
+    }
+
+    /// Simulated makespan of a finished run: the max final clock.
+    pub fn makespan<T>(outcomes: &[RankOutcome<T>]) -> f64 {
+        outcomes.iter().map(|o| o.final_clock).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Tag;
+
+    #[test]
+    fn outcomes_in_rank_order() {
+        let out = Cluster::new(5, CostModel::free()).run(|c| c.rank() * 10);
+        let results: Vec<usize> = out.iter().map(|o| o.result).collect();
+        assert_eq!(results, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let out = Cluster::new(3, CostModel::free()).run(|c| {
+            c.compute(c.rank() as f64);
+        });
+        assert_eq!(Cluster::makespan(&out), 2.0);
+    }
+
+    #[test]
+    fn deterministic_clocks_across_runs() {
+        let run = || {
+            Cluster::new(4, CostModel::default_cluster())
+                .run(|c| {
+                    // Ring: everyone sends 1KB to the left, receives from
+                    // the right, twice.
+                    let n = c.size();
+                    let me = c.rank();
+                    for round in 0..2u32 {
+                        let left = (me + n - 1) % n;
+                        let right = (me + 1) % n;
+                        c.send_vec(left, Tag::user(round), vec![0u8; 1024]);
+                        let _: Vec<u8> = c.recv(right, Tag::user(round));
+                        c.compute(1e-4 * (me + 1) as f64);
+                    }
+                    c.now()
+                })
+                .iter()
+                .map(|o| o.result)
+                .collect::<Vec<f64>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "virtual clocks must be schedule-independent");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn rank_panics_propagate_with_id() {
+        Cluster::new(4, CostModel::free()).run(|c| {
+            if c.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_cluster_works() {
+        let out = Cluster::new(1, CostModel::default_cluster()).run(|c| {
+            c.compute(1.0);
+            c.rank()
+        });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].final_clock, 1.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Collective operations, built from point-to-point messages so their
+//! simulated cost (binomial-tree latency, bandwidth terms) emerges from the
+//! same LogGP model as everything else.
+//!
+//! All collectives must be called by **every** rank of the cluster, in the
+//! same order — the usual MPI contract. Tags are taken from the reserved
+//! collective space and matching is FIFO per `(source, tag)`, so back-to-
+//! back collectives of the same kind cannot cross-talk.
+
+use crate::comm::{Comm, Tag};
+
+const TAG_BARRIER: Tag = tag(0);
+const TAG_REDUCE: Tag = tag(1);
+const TAG_BCAST: Tag = tag(2);
+const TAG_GATHER: Tag = tag(3);
+const TAG_ALLTOALL: Tag = tag(4);
+const TAG_REDUCE_VEC: Tag = tag(5);
+const TAG_PHASED: Tag = tag(6);
+
+/// Builds a tag in the reserved collective space (upper half of the tag
+/// range, which [`Tag::user`] rejects).
+const fn tag(id: u32) -> Tag {
+    Tag(0x8000_0000 | id)
+}
+
+impl Comm {
+    /// Synchronises all ranks: no rank leaves before every rank entered.
+    /// Binomial reduce + broadcast of zero-byte tokens.
+    pub fn barrier(&self) {
+        self.reduce_u64_with_tag(0, |a, _| a, 0, TAG_BARRIER);
+        self.broadcast_from(0, if self.rank() == 0 { Some(0u8) } else { None }, TAG_BARRIER);
+    }
+
+    /// Reduces `value` with `op` onto rank `root`; returns `Some(total)` on
+    /// the root, `None` elsewhere.
+    pub fn reduce_u64(&self, value: u64, op: impl Fn(u64, u64) -> u64, root: usize) -> Option<u64> {
+        let v = self.reduce_u64_with_tag(value, op, root, TAG_REDUCE);
+        (self.rank() == root).then_some(v)
+    }
+
+    /// Allreduce: every rank gets the reduction of all values.
+    pub fn allreduce_u64(&self, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        let v = self.reduce_u64_with_tag(value, op, 0, TAG_REDUCE);
+        self.broadcast_from(0, (self.rank() == 0).then_some(v), TAG_BCAST)
+    }
+
+    /// Element-wise vector allreduce (e.g. the Gemini-style global degree
+    /// computation of §3.1). All ranks must pass equal-length vectors.
+    pub fn allreduce_vec_u64(&self, mut value: Vec<u64>, op: impl Fn(u64, u64) -> u64) -> Vec<u64> {
+        let p = self.size();
+        let me = self.rank();
+        // Binomial tree reduce to 0.
+        let mut k = 1usize;
+        while k < p {
+            if me & k != 0 {
+                self.send_vec(me - k, TAG_REDUCE_VEC, value);
+                value = Vec::new();
+                break;
+            } else if me + k < p {
+                let other: Vec<u64> = self.recv(me + k, TAG_REDUCE_VEC);
+                assert_eq!(other.len(), value.len(), "allreduce_vec length mismatch");
+                for (a, b) in value.iter_mut().zip(other) {
+                    *a = op(*a, b);
+                }
+            }
+            k <<= 1;
+        }
+        // Broadcast the result.
+        self.broadcast_from(0, (me == 0).then_some(value), TAG_BCAST)
+    }
+
+    fn reduce_u64_with_tag(
+        &self,
+        value: u64,
+        op: impl Fn(u64, u64) -> u64,
+        root: usize,
+        tag: Tag,
+    ) -> u64 {
+        let p = self.size();
+        let rel = (self.rank() + p - root) % p;
+        let mut acc = value;
+        let mut k = 1usize;
+        while k < p {
+            if rel & k != 0 {
+                let dst = (rel - k + root) % p;
+                self.send(dst, tag, acc);
+                return acc; // non-root contribution delivered
+            } else if rel + k < p {
+                let src = (rel + k + root) % p;
+                let other: u64 = self.recv(src, tag);
+                acc = op(acc, other);
+            }
+            k <<= 1;
+        }
+        acc
+    }
+
+    /// Broadcasts from `root`: the root passes `Some(value)`, everyone else
+    /// `None`; all ranks return the value. Binomial tree.
+    pub fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        self.broadcast_from(root, value, TAG_BCAST)
+    }
+
+    fn broadcast_from<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>, tag: Tag) -> T {
+        let p = self.size();
+        let rel = (self.rank() + p - root) % p;
+        let mut have: Option<T> = value;
+        if rel == 0 {
+            assert!(have.is_some(), "broadcast root must supply the value");
+        }
+        // Highest power of two <= p.
+        let mut top = 1usize;
+        while top << 1 < p {
+            top <<= 1;
+        }
+        // Receive once (if non-root), then forward down the tree.
+        let mut k = top;
+        let bytes = std::mem::size_of::<T>() as u64;
+        while k >= 1 {
+            if rel & (k - 1) == 0 {
+                // Participant at this level.
+                if rel & k != 0 {
+                    // Our parent is rel - k.
+                    if have.is_none() {
+                        let src = (rel - k + root) % p;
+                        let v: T = self.recv(src, tag);
+                        have = Some(v);
+                    }
+                } else if rel + k < p {
+                    if let Some(v) = &have {
+                        let dst = (rel + k + root) % p;
+                        self.send_sized(dst, tag, v.clone(), bytes);
+                    }
+                }
+            }
+            k >>= 1;
+        }
+        have.expect("broadcast value must have propagated")
+    }
+
+    /// Gathers every rank's vector at `root` (rank order). Root returns
+    /// `Some(vec of per-rank vectors)`, others `None`.
+    pub fn gather_vec<T: Send + 'static>(&self, root: usize, value: Vec<T>) -> Option<Vec<Vec<T>>> {
+        if self.rank() == root {
+            let mut value = Some(value);
+            let out: Vec<Vec<T>> = (0..self.size())
+                .map(|src| {
+                    if src == root {
+                        value.take().expect("own contribution consumed once")
+                    } else {
+                        self.recv(src, TAG_GATHER)
+                    }
+                })
+                .collect();
+            Some(out)
+        } else {
+            self.send_vec(root, TAG_GATHER, value);
+            None
+        }
+    }
+
+    /// Allgather: every rank receives every rank's vector, in rank order.
+    pub fn allgather_vec<T: Clone + Send + 'static>(&self, value: Vec<T>) -> Vec<Vec<T>> {
+        let gathered = self.gather_vec(0, value);
+        self.broadcast_from(0, gathered, TAG_BCAST)
+    }
+
+    /// All-to-all personalised exchange in bounded phases: every rank
+    /// splits its buckets into chunks of at most `phase_size` entries and
+    /// the ranks run as many all-to-all rounds as the globally largest
+    /// bucket requires. This is the paper's multi-phase boundary exchange
+    /// (§3.1/§3.3: boundary data is "communicated in multiple phases" to
+    /// bound message sizes).
+    pub fn alltoallv_phased<T: Send + 'static>(
+        &self,
+        mut per_dest: Vec<Vec<T>>,
+        phase_size: usize,
+    ) -> Vec<Vec<T>> {
+        assert!(phase_size >= 1);
+        let p = self.size();
+        assert_eq!(per_dest.len(), p, "alltoallv needs one bucket per rank");
+        let my_phases = per_dest
+            .iter()
+            .map(|b| b.len().div_ceil(phase_size))
+            .max()
+            .unwrap_or(0) as u64;
+        let phases = self.reduce_u64_with_tag(my_phases, u64::max, 0, TAG_PHASED);
+        let phases = self.broadcast_from(0, (self.rank() == 0).then_some(phases), TAG_PHASED);
+        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        for _ in 0..phases {
+            let chunk: Vec<Vec<T>> = per_dest
+                .iter_mut()
+                .map(|b| {
+                    let take = b.len().min(phase_size);
+                    b.drain(..take).collect()
+                })
+                .collect();
+            for (src, items) in self.alltoallv(chunk).into_iter().enumerate() {
+                out[src].extend(items);
+            }
+        }
+        out
+    }
+
+    /// All-to-all personalised exchange: `per_dest[d]` goes to rank `d`;
+    /// returns what every rank sent to us (`result[s]` came from rank `s`).
+    /// The entry for our own rank is passed through locally.
+    ///
+    /// # Panics
+    ///
+    /// If `per_dest.len() != self.size()` (one bucket per rank required),
+    /// or if any rank fails to make the matching collective call.
+    ///
+    /// This is the paper's multi-phase ghost-vertex exchange primitive: the
+    /// driver calls it once per phase with bounded message sizes.
+    pub fn alltoallv<T: Send + 'static>(&self, mut per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.size();
+        let me = self.rank();
+        assert_eq!(per_dest.len(), p, "alltoallv needs one bucket per rank");
+        let mine = std::mem::take(&mut per_dest[me]);
+        // Shifted schedule avoids hot-spotting rank 0 in the model: in step
+        // s we send to (me + s) and receive from (me - s).
+        for s in 1..p {
+            let dst = (me + s) % p;
+            self.send_vec(dst, TAG_ALLTOALL, std::mem::take(&mut per_dest[dst]));
+        }
+        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        out[me] = mine;
+        for s in 1..p {
+            let src = (me + p - s) % p;
+            out[src] = self.recv(src, TAG_ALLTOALL);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cluster::Cluster;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        for p in [1, 2, 3, 5, 8] {
+            let out = Cluster::new(p, CostModel::free()).run(|c| {
+                let sum = c.allreduce_u64(c.rank() as u64 + 1, |a, b| a + b);
+                let max = c.allreduce_u64(c.rank() as u64, u64::max);
+                (sum, max)
+            });
+            let expect_sum = (p as u64) * (p as u64 + 1) / 2;
+            for o in &out {
+                assert_eq!(o.result, (expect_sum, p as u64 - 1), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_only_root_gets_value() {
+        let out = Cluster::new(4, CostModel::free()).run(|c| c.reduce_u64(1, |a, b| a + b, 2));
+        for (r, o) in out.iter().enumerate() {
+            if r == 2 {
+                assert_eq!(o.result, Some(4));
+            } else {
+                assert_eq!(o.result, None);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for root in 0..4 {
+            let out = Cluster::new(4, CostModel::free()).run(|c| {
+                c.broadcast(root, (c.rank() == root).then(|| vec![root as u32; 3]))
+            });
+            for o in &out {
+                assert_eq!(o.result, vec![root as u32; 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let out = Cluster::new(3, CostModel::free()).run(|c| {
+            let local = vec![c.rank() as u64; 4];
+            c.allreduce_vec_u64(local, |a, b| a + b)
+        });
+        for o in &out {
+            assert_eq!(o.result, vec![3; 4]); // 0+1+2
+        }
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_forward() {
+        let out = Cluster::new(4, CostModel::free()).run(|c| {
+            c.compute(c.rank() as f64); // staggered arrival
+            c.barrier();
+            c.now()
+        });
+        // After a free-cost barrier every clock is >= the slowest rank's.
+        for o in &out {
+            assert!(o.result >= 3.0, "clock {}", o.result);
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_buckets() {
+        let out = Cluster::new(4, CostModel::default_cluster()).run(|c| {
+            let me = c.rank();
+            let per_dest: Vec<Vec<u32>> =
+                (0..4).map(|d| vec![(me * 10 + d) as u32]).collect();
+            c.alltoallv(per_dest)
+        });
+        for (me, o) in out.iter().enumerate() {
+            for (src, bucket) in o.result.iter().enumerate() {
+                assert_eq!(bucket, &vec![(src * 10 + me) as u32], "src {src} -> {me}");
+            }
+        }
+    }
+
+    #[test]
+    fn phased_alltoallv_matches_unphased() {
+        for phase_size in [1usize, 3, 100] {
+            let out = Cluster::new(4, CostModel::free()).run(move |c| {
+                let me = c.rank() as u32;
+                let per_dest: Vec<Vec<u32>> =
+                    (0..4).map(|d| (0..7).map(|i| me * 100 + d as u32 * 10 + i).collect()).collect();
+                c.alltoallv_phased(per_dest, phase_size)
+            });
+            for (me, o) in out.iter().enumerate() {
+                for (src, bucket) in o.result.iter().enumerate() {
+                    let expect: Vec<u32> =
+                        (0..7).map(|i| src as u32 * 100 + me as u32 * 10 + i).collect();
+                    assert_eq!(bucket, &expect, "phase_size {phase_size}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phased_alltoallv_charges_more_messages_per_phase() {
+        let msgs = |phase_size: usize| {
+            let out = Cluster::new(3, CostModel::default_cluster()).run(move |c| {
+                let per_dest: Vec<Vec<u8>> = (0..3).map(|_| vec![0u8; 10]).collect();
+                c.alltoallv_phased(per_dest, phase_size);
+                c.stats().messages_sent
+            });
+            out.iter().map(|o| o.result).sum::<u64>()
+        };
+        assert!(msgs(2) > msgs(100), "more phases -> more messages");
+    }
+
+    #[test]
+    fn alltoallv_empty_buckets() {
+        let out = Cluster::new(3, CostModel::free()).run(|c| {
+            let per_dest: Vec<Vec<u8>> = vec![Vec::new(); 3];
+            c.alltoallv(per_dest)
+        });
+        for o in &out {
+            assert!(o.result.iter().all(|b| b.is_empty()));
+        }
+    }
+}

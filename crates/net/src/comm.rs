@@ -1,0 +1,270 @@
+//! The per-rank communicator handle.
+//!
+//! A [`Comm`] is what a rank's closure receives from [`crate::Cluster`]:
+//! its identity (`rank`, `size`), typed point-to-point messaging, the
+//! virtual clock, and accounting. Collectives live in
+//! [`crate::collectives`] as inherent methods implemented over these
+//! primitives.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::cost::CostModel;
+use crate::mailbox::{Envelope, Mailbox};
+use crate::stats::RankStats;
+
+/// Message tag. User code uses [`Tag::user`]; the collectives reserve the
+/// upper tag space so they can never collide with application traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub(crate) u32);
+
+impl Tag {
+    const COLLECTIVE_BASE: u32 = 0x8000_0000;
+
+    /// A user-space tag (`id < 2^31`; the upper half is reserved for the
+    /// collectives in [`crate::collectives`]).
+    pub const fn user(id: u32) -> Tag {
+        assert!(id < Self::COLLECTIVE_BASE, "user tags must be < 2^31");
+        Tag(id)
+    }
+}
+
+/// Shared (read-only) cluster state.
+pub(crate) struct Fabric {
+    pub mailboxes: Vec<Mailbox>,
+    pub cost: CostModel,
+}
+
+/// One rank's state: identity, clock, statistics.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    fabric: Arc<Fabric>,
+    clock: RefCell<f64>,
+    stats: RefCell<RankStats>,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, size: usize, fabric: Arc<Fabric>) -> Self {
+        Comm { rank, size, fabric, clock: RefCell::new(0.0), stats: RefCell::new(RankStats::default()) }
+    }
+
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The cluster's cost model.
+    #[inline]
+    pub fn cost_model(&self) -> CostModel {
+        self.fabric.cost
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        *self.clock.borrow()
+    }
+
+    /// Snapshot of the accumulated statistics.
+    #[inline]
+    pub fn stats(&self) -> RankStats {
+        *self.stats.borrow()
+    }
+
+    /// Advances the clock by `seconds` of modelled computation.
+    pub fn compute(&self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative compute time");
+        *self.clock.borrow_mut() += seconds;
+        self.stats.borrow_mut().compute_time += seconds;
+    }
+
+    /// Advances the clock by `seconds` booked as *communication* — for
+    /// modelled messaging-stack overheads (serialisation, envelopes) that
+    /// are not captured by the per-payload cost model.
+    pub fn charge_comm(&self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative comm time");
+        *self.clock.borrow_mut() += seconds;
+        self.stats.borrow_mut().comm_time += seconds;
+    }
+
+    /// Sends `value` to `dst` with an explicit payload size in bytes.
+    ///
+    /// The sender's clock advances by the send busy time; the message's
+    /// arrival time at `dst` is `now + latency + bytes/bandwidth`.
+    ///
+    /// # Panics
+    ///
+    /// If `dst` is out of range or equal to this rank (use a local variable
+    /// instead of a self-send).
+    pub fn send_sized<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T, bytes: u64) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        assert_ne!(dst, self.rank, "self-send unsupported (use a local variable)");
+        let cost = &self.fabric.cost;
+        let depart = self.now();
+        let busy = cost.send_busy(bytes);
+        *self.clock.borrow_mut() += busy;
+        {
+            let mut s = self.stats.borrow_mut();
+            s.comm_time += busy;
+            s.bytes_sent += bytes;
+            s.messages_sent += 1;
+        }
+        let arrival = depart + cost.transit(bytes);
+        self.fabric.mailboxes[dst].deposit(
+            self.rank,
+            tag,
+            Envelope { payload: Box::new(value), arrival, bytes },
+        );
+    }
+
+    /// Sends a `Vec<T>` sizing the payload as `len * size_of::<T>()`.
+    pub fn send_vec<T: Send + 'static>(&self, dst: usize, tag: Tag, value: Vec<T>) {
+        let bytes = (value.len() * std::mem::size_of::<T>()) as u64;
+        self.send_sized(dst, tag, value, bytes);
+    }
+
+    /// Sends a small fixed-size value (sized by `size_of::<T>()`).
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.send_sized(dst, tag, value, bytes);
+    }
+
+    /// Receives the next message from `(src, tag)`, blocking until it is
+    /// available. The virtual clock advances to at least the message's
+    /// arrival time (the wait is booked as communication), plus the
+    /// receiver overhead.
+    ///
+    /// # Panics
+    ///
+    /// If the payload's type is not `T` (datatype mismatch), if `src` is
+    /// out of range or equal to this rank, or — after a generous wall-clock
+    /// timeout — if the message never arrives (distributed deadlock).
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        assert_ne!(src, self.rank, "self-recv unsupported");
+        let env = self.fabric.mailboxes[self.rank].take(src, tag, self.rank);
+        let cost = &self.fabric.cost;
+        {
+            let mut clock = self.clock.borrow_mut();
+            let mut s = self.stats.borrow_mut();
+            let before = *clock;
+            let ready = env.arrival.max(before);
+            *clock = ready + cost.recv_busy();
+            s.comm_time += *clock - before;
+            s.bytes_received += env.bytes;
+            s.messages_received += 1;
+        }
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving from rank {src} tag {tag:?} (expected {})",
+                self.rank,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Sends to `dst` and receives from `src` — the deadlock-free pairwise
+    /// exchange used by ring steps (send is non-blocking in this model, so
+    /// ordering is safe; the helper exists for readability).
+    pub fn send_recv<T: Send + 'static, U: Send + 'static>(
+        &self,
+        dst: usize,
+        send_tag: Tag,
+        value: T,
+        bytes: u64,
+        src: usize,
+        recv_tag: Tag,
+    ) -> U {
+        self.send_sized(dst, send_tag, value, bytes);
+        self.recv(src, recv_tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+
+    #[test]
+    fn clock_advances_with_compute() {
+        let out = Cluster::new(1, CostModel::free()).run(|c| {
+            c.compute(2.5);
+            c.now()
+        });
+        assert_eq!(out[0].result, 2.5);
+        assert_eq!(out[0].stats.compute_time, 2.5);
+    }
+
+    #[test]
+    fn message_carries_value_and_costs_time() {
+        let cost = CostModel { latency: 1e-3, bandwidth: 1e6, overhead: 0.0, byte_scale: 1.0 };
+        let out = Cluster::new(2, cost).run(|c| {
+            if c.rank() == 0 {
+                c.send_vec(1, Tag::user(0), vec![7u32; 250]); // 1000 bytes
+                0u32
+            } else {
+                let v: Vec<u32> = c.recv(0, Tag::user(0));
+                assert_eq!(v.len(), 250);
+                // Arrival = 0 + 1ms latency + 1ms serialisation.
+                assert!((c.now() - 2e-3).abs() < 1e-9, "clock {}", c.now());
+                v[0]
+            }
+        });
+        assert_eq!(out[1].result, 7);
+        assert_eq!(out[0].stats.bytes_sent, 1000);
+        assert_eq!(out[1].stats.messages_received, 1);
+        assert!(out[1].stats.comm_time > 0.0);
+    }
+
+    #[test]
+    fn receiver_waits_for_late_sender() {
+        let cost = CostModel::free();
+        let out = Cluster::new(2, cost).run(|c| {
+            if c.rank() == 0 {
+                c.compute(5.0); // sender is busy for 5 virtual seconds
+                c.send(1, Tag::user(0), 1u8);
+                c.now()
+            } else {
+                let _: u8 = c.recv(0, Tag::user(0));
+                c.now() // must be >= 5.0 despite doing nothing itself
+            }
+        });
+        assert!(out[1].result >= 5.0);
+        assert_eq!(out[1].stats.comm_time, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        Cluster::new(2, CostModel::free()).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, Tag::user(0), 1u8);
+            } else {
+                let _: u64 = c.recv(0, Tag::user(0));
+            }
+        });
+    }
+
+    #[test]
+    fn non_overtaking_same_key() {
+        let out = Cluster::new(2, CostModel::free()).run(|c| {
+            if c.rank() == 0 {
+                for i in 0..10u32 {
+                    c.send(1, Tag::user(3), i);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| c.recv::<u32>(0, Tag::user(3))).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out[1].result, (0..10).collect::<Vec<_>>());
+    }
+}

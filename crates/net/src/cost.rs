@@ -1,0 +1,126 @@
+//! The LogGP-style communication cost model.
+//!
+//! A message of `b` bytes sent at sender-virtual-time `t` costs:
+//!
+//! * sender: `overhead + b / bandwidth` of busy time (serialisation),
+//! * network: arrives at `t + latency + b / bandwidth`,
+//! * receiver: waits (virtual time) until arrival, then pays `overhead`.
+//!
+//! The defaults approximate the paper's testbeds: a commodity-Ethernet AMD
+//! cluster for the Pregel+ comparison and a Cray XC40 Aries interconnect
+//! for the scalability studies. Absolute values matter less than their
+//! *ratios* to device throughput — DESIGN.md discusses why shapes, not
+//! magnitudes, are the reproduction target.
+
+/// Parameters of the communication model. Times in seconds, bandwidth in
+/// bytes/second.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// One-way network latency (the LogGP `L`).
+    pub latency: f64,
+    /// Point-to-point bandwidth (bytes/s; `1/G` per byte).
+    pub bandwidth: f64,
+    /// Per-message CPU overhead at each end (the LogGP `o`).
+    pub overhead: f64,
+    /// Simulation scale: payload bytes are multiplied by this factor when
+    /// charging time (not when counting stats). Experiments that shrink the
+    /// paper's graphs by `scale_div` set `byte_scale = scale_div` so that
+    /// message costs keep their paper-scale ratio to the fixed latency —
+    /// see DESIGN.md ("simulation scale").
+    pub byte_scale: f64,
+}
+
+impl CostModel {
+    /// Commodity gigabit-Ethernet cluster (the 16-node AMD platform used
+    /// for the Pregel+ comparison): ~50µs latency, ~1 GB/s effective.
+    pub fn default_cluster() -> Self {
+        CostModel { latency: 50e-6, bandwidth: 1.0e9, overhead: 5e-6, byte_scale: 1.0 }
+    }
+
+    /// Cray XC40 Aries interconnect (the multi-device platform): ~1.5µs
+    /// latency, ~8 GB/s effective per peer.
+    pub fn cray_aries() -> Self {
+        CostModel { latency: 1.5e-6, bandwidth: 8.0e9, overhead: 1e-6, byte_scale: 1.0 }
+    }
+
+    /// Intra-node transfer (CPU↔GPU staging over PCIe gen3 x16): ~10µs
+    /// launch/DMA setup, ~12 GB/s.
+    pub fn pcie() -> Self {
+        CostModel { latency: 10e-6, bandwidth: 12.0e9, overhead: 2e-6, byte_scale: 1.0 }
+    }
+
+    /// A zero-cost model (useful in unit tests that only check message
+    /// semantics, not timing).
+    pub fn free() -> Self {
+        CostModel { latency: 0.0, bandwidth: f64::INFINITY, overhead: 0.0, byte_scale: 1.0 }
+    }
+
+    /// Returns this model with a simulation scale applied (see
+    /// [`CostModel::byte_scale`]).
+    pub fn scaled(mut self, byte_scale: f64) -> Self {
+        assert!(byte_scale >= 1.0, "byte_scale must be >= 1");
+        self.byte_scale = byte_scale;
+        self
+    }
+
+    /// Sender busy time for a `bytes`-sized message.
+    #[inline]
+    pub fn send_busy(&self, bytes: u64) -> f64 {
+        self.overhead + bytes as f64 * self.byte_scale / self.bandwidth
+    }
+
+    /// Network transit: arrival delta after the send instant.
+    #[inline]
+    pub fn transit(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 * self.byte_scale / self.bandwidth
+    }
+
+    /// Receiver overhead after arrival.
+    #[inline]
+    pub fn recv_busy(&self) -> f64 {
+        self.overhead
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::default_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_scales_with_bytes() {
+        let c = CostModel { latency: 1e-3, bandwidth: 1e6, overhead: 0.0, byte_scale: 1.0 };
+        assert!((c.transit(0) - 1e-3).abs() < 1e-12);
+        assert!((c.transit(1_000_000) - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_model_is_zero_cost() {
+        let c = CostModel::free();
+        assert_eq!(c.send_busy(1 << 30), 0.0);
+        assert_eq!(c.transit(1 << 30), 0.0);
+        assert_eq!(c.recv_busy(), 0.0);
+    }
+
+    #[test]
+    fn byte_scale_multiplies_payload_cost() {
+        let c = CostModel { latency: 0.0, bandwidth: 1e6, overhead: 0.0, byte_scale: 1.0 };
+        let s = c.scaled(100.0);
+        assert!((s.transit(1000) - 0.1).abs() < 1e-12);
+        assert!((c.transit(1000) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        // Aries must beat Ethernet on both latency and bandwidth.
+        let eth = CostModel::default_cluster();
+        let aries = CostModel::cray_aries();
+        assert!(aries.latency < eth.latency);
+        assert!(aries.bandwidth > eth.bandwidth);
+    }
+}

@@ -1,0 +1,126 @@
+//! Processor groups for the hierarchical merge (§3.4).
+//!
+//! At every merging level the *active* processors are partitioned into
+//! groups of (at most) `group_size` consecutive members. Within a group the
+//! ring exchange sends to the left neighbour and receives from the right
+//! (the paper's orientation), and the group's first member is its leader.
+
+/// An ordered group of rank ids (global ranks, ascending).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    members: Vec<usize>,
+}
+
+impl Group {
+    /// Creates a group from ascending member ranks.
+    pub fn new(members: Vec<usize>) -> Self {
+        assert!(!members.is_empty(), "empty group");
+        assert!(members.windows(2).all(|w| w[0] < w[1]), "members must ascend");
+        Group { members }
+    }
+
+    /// Partitions `active` (ascending rank ids) into groups of at most
+    /// `group_size`. The last group may be smaller.
+    pub fn partition(active: &[usize], group_size: usize) -> Vec<Group> {
+        assert!(group_size >= 1);
+        active
+            .chunks(group_size)
+            .map(|c| Group::new(c.to_vec()))
+            .collect()
+    }
+
+    /// Members in ascending order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True for singleton groups (no exchange possible).
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The group leader (first member) — where the group's components merge
+    /// once the exchange phase converges.
+    pub fn leader(&self) -> usize {
+        self.members[0]
+    }
+
+    /// Position of `rank` within the group, if a member.
+    pub fn position(&self, rank: usize) -> Option<usize> {
+        self.members.binary_search(&rank).ok()
+    }
+
+    /// Ring left neighbour of `rank`: the member it **sends** to
+    /// (`P_(i-1) mod g` in the paper).
+    pub fn left_of(&self, rank: usize) -> usize {
+        let i = self.position(rank).expect("rank not in group");
+        self.members[(i + self.len() - 1) % self.len()]
+    }
+
+    /// Ring right neighbour of `rank`: the member it **receives** from
+    /// (`P_(i+1) mod g`).
+    pub fn right_of(&self, rank: usize) -> usize {
+        let i = self.position(rank).expect("rank not in group");
+        self.members[(i + 1) % self.len()]
+    }
+
+    /// The group containing `rank`, if any.
+    pub fn find(groups: &[Group], rank: usize) -> Option<&Group> {
+        groups.iter().find(|g| g.position(rank).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_chunks_with_ragged_tail() {
+        let active: Vec<usize> = (0..10).collect();
+        let gs = Group::partition(&active, 4);
+        assert_eq!(gs.len(), 3);
+        assert_eq!(gs[0].members(), &[0, 1, 2, 3]);
+        assert_eq!(gs[2].members(), &[8, 9]);
+        assert_eq!(gs[1].leader(), 4);
+    }
+
+    #[test]
+    fn ring_neighbours_wrap() {
+        let g = Group::new(vec![2, 5, 7, 11]);
+        assert_eq!(g.left_of(2), 11);
+        assert_eq!(g.right_of(2), 5);
+        assert_eq!(g.left_of(11), 7);
+        assert_eq!(g.right_of(11), 2);
+    }
+
+    #[test]
+    fn singleton_ring_is_self() {
+        let g = Group::new(vec![3]);
+        assert!(g.is_singleton());
+        assert_eq!(g.left_of(3), 3);
+        assert_eq!(g.right_of(3), 3);
+    }
+
+    #[test]
+    fn find_locates_member() {
+        let gs = Group::partition(&[0, 1, 2, 3, 4, 5], 2);
+        assert_eq!(Group::find(&gs, 4).unwrap().leader(), 4);
+        assert!(Group::find(&gs, 9).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn rejects_unordered_members() {
+        Group::new(vec![3, 1]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-rank mailboxes: the shared transport under [`crate::Comm`].
+//!
+//! Matching is MPI-like: a receive names an exact `(source, tag)` pair, and
+//! messages from the same `(source, tag)` are delivered in send order
+//! (non-overtaking). Payloads travel as `Box<dyn Any>` — the typed facade
+//! in `comm.rs` downcasts and panics with a clear message on mismatch,
+//! which is a programming error (MPI would call it a datatype mismatch).
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::Tag;
+
+/// A message in flight.
+pub struct Envelope {
+    /// Payload (downcast by the typed receive).
+    pub payload: Box<dyn Any + Send>,
+    /// Virtual arrival time at the receiver.
+    pub arrival: f64,
+    /// Payload size under the cost model.
+    pub bytes: u64,
+}
+
+/// Wall-clock guard: a receive that stays empty this long indicates a
+/// deadlock in the distributed algorithm; we panic with the match key so
+/// the offending exchange is identifiable.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+#[derive(Default)]
+struct Queues {
+    by_key: HashMap<(usize, Tag), VecDeque<Envelope>>,
+}
+
+/// One rank's mailbox.
+#[derive(Default)]
+pub struct Mailbox {
+    queues: Mutex<Queues>,
+    signal: Condvar,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Deposits a message from `src` with `tag`.
+    pub fn deposit(&self, src: usize, tag: Tag, env: Envelope) {
+        let mut q = self.queues.lock();
+        q.by_key.entry((src, tag)).or_default().push_back(env);
+        self.signal.notify_all();
+    }
+
+    /// Blocks until a message from `(src, tag)` is available and returns it.
+    pub fn take(&self, src: usize, tag: Tag, my_rank: usize) -> Envelope {
+        let mut q = self.queues.lock();
+        loop {
+            if let Some(queue) = q.by_key.get_mut(&(src, tag)) {
+                if let Some(env) = queue.pop_front() {
+                    return env;
+                }
+            }
+            if self
+                .signal
+                .wait_for(&mut q, RECV_TIMEOUT)
+                .timed_out()
+            {
+                panic!(
+                    "rank {my_rank}: recv from rank {src} tag {tag:?} timed out — \
+                     distributed deadlock (sender never sent, or tag mismatch)"
+                );
+            }
+        }
+    }
+
+    /// Number of queued messages (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.queues.lock().by_key.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(v: u32) -> Envelope {
+        Envelope { payload: Box::new(v), arrival: 0.0, bytes: 4 }
+    }
+
+    #[test]
+    fn fifo_per_key() {
+        let m = Mailbox::new();
+        m.deposit(1, Tag::user(0), env(10));
+        m.deposit(1, Tag::user(0), env(20));
+        let a = m.take(1, Tag::user(0), 0);
+        let b = m.take(1, Tag::user(0), 0);
+        assert_eq!(*a.payload.downcast::<u32>().unwrap(), 10);
+        assert_eq!(*b.payload.downcast::<u32>().unwrap(), 20);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let m = Mailbox::new();
+        m.deposit(2, Tag::user(7), env(99));
+        m.deposit(1, Tag::user(7), env(1));
+        let got = m.take(2, Tag::user(7), 0);
+        assert_eq!(*got.payload.downcast::<u32>().unwrap(), 99);
+        assert_eq!(m.pending(), 1);
+    }
+
+    #[test]
+    fn take_blocks_until_deposit() {
+        use std::sync::Arc;
+        let m = Arc::new(Mailbox::new());
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            let e = m2.take(0, Tag::user(1), 1);
+            *e.payload.downcast::<u32>().unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        m.deposit(0, Tag::user(1), env(42));
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-rank accounting: virtual clock plus compute/communication split.
+
+/// Statistics one rank accumulates over a run. All times are virtual
+/// seconds from the shared cost model, not wall-clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankStats {
+    /// Time spent in modelled computation (`Comm::compute`).
+    pub compute_time: f64,
+    /// Time spent sending, waiting for, and receiving messages.
+    pub comm_time: f64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Messages received.
+    pub messages_received: u64,
+}
+
+impl RankStats {
+    /// Total virtual time attributed (compute + comm). Equals the rank's
+    /// final clock when the rank starts at 0 and every advance is booked.
+    pub fn total_time(&self) -> f64 {
+        self.compute_time + self.comm_time
+    }
+
+    /// Fraction of total time spent communicating (0 when idle).
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total_time();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.comm_time / t
+        }
+    }
+
+    /// Element-wise accumulation (used when merging phase-level snapshots).
+    pub fn add(&mut self, other: &RankStats) {
+        self.compute_time += other.compute_time;
+        self.comm_time += other.comm_time;
+        self.bytes_sent += other.bytes_sent;
+        self.messages_sent += other.messages_sent;
+        self.bytes_received += other.bytes_received;
+        self.messages_received += other.messages_received;
+    }
+
+    /// Difference (`self - earlier`) — used to attribute a phase.
+    pub fn delta_since(&self, earlier: &RankStats) -> RankStats {
+        RankStats {
+            compute_time: self.compute_time - earlier.compute_time,
+            comm_time: self.comm_time - earlier.comm_time,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+            messages_received: self.messages_received - earlier.messages_received,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let s = RankStats { compute_time: 3.0, comm_time: 1.0, ..Default::default() };
+        assert_eq!(s.total_time(), 4.0);
+        assert_eq!(s.comm_fraction(), 0.25);
+        assert_eq!(RankStats::default().comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn add_and_delta_are_inverses() {
+        let mut a = RankStats { compute_time: 1.0, bytes_sent: 10, ..Default::default() };
+        let b = RankStats { compute_time: 2.0, comm_time: 0.5, bytes_sent: 5, messages_sent: 1, ..Default::default() };
+        let before = a;
+        a.add(&b);
+        assert_eq!(a.delta_since(&before), b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests of the collectives: against reference folds, and the
+//! virtual-clock invariants every collective must preserve.
+
+use mnd_net::{Cluster, CostModel, Group, Tag};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_equals_fold(values in proptest::collection::vec(0u64..1000, 1..9)) {
+        let p = values.len();
+        let vals = values.clone();
+        let out = Cluster::new(p, CostModel::free()).run(move |c| {
+            c.allreduce_u64(vals[c.rank()], |a, b| a + b)
+        });
+        let expect: u64 = values.iter().sum();
+        for o in &out {
+            prop_assert_eq!(o.result, expect);
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_min_style_ops(values in proptest::collection::vec(0u64..10_000, 1..8)) {
+        let p = values.len();
+        let vals = values.clone();
+        let out = Cluster::new(p, CostModel::free()).run(move |c| {
+            (
+                c.allreduce_u64(vals[c.rank()], u64::max),
+                c.allreduce_u64(vals[c.rank()], u64::min),
+            )
+        });
+        let mx = *values.iter().max().unwrap();
+        let mn = *values.iter().min().unwrap();
+        for o in &out {
+            prop_assert_eq!(o.result, (mx, mn));
+        }
+    }
+
+    #[test]
+    fn allgather_returns_everything_in_order(
+        lens in proptest::collection::vec(0usize..6, 1..7),
+    ) {
+        let p = lens.len();
+        let lens2 = lens.clone();
+        let out = Cluster::new(p, CostModel::free()).run(move |c| {
+            let mine: Vec<u32> = (0..lens2[c.rank()] as u32).map(|i| c.rank() as u32 * 100 + i).collect();
+            c.allgather_vec(mine)
+        });
+        for o in &out {
+            prop_assert_eq!(o.result.len(), p);
+            for (src, bucket) in o.result.iter().enumerate() {
+                let expect: Vec<u32> = (0..lens[src] as u32).map(|i| src as u32 * 100 + i).collect();
+                prop_assert_eq!(bucket, &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn clocks_never_go_backwards(
+        p in 2usize..6,
+        computes in proptest::collection::vec(0u64..100, 2..10),
+    ) {
+        let computes2 = computes.clone();
+        let out = Cluster::new(p, CostModel::default_cluster()).run(move |c| {
+            let mut last = c.now();
+            let mut monotone = true;
+            for (i, &dt) in computes2.iter().enumerate() {
+                c.compute(dt as f64 * 1e-6);
+                c.barrier();
+                if c.rank() == 0 && i.is_multiple_of(2) {
+                    c.send_vec(1 % c.size(), Tag::user(9), vec![0u8; dt as usize]);
+                } else if c.rank() == 1 % c.size() && i.is_multiple_of(2) {
+                    let _: Vec<u8> = c.recv(0, Tag::user(9));
+                }
+                let now = c.now();
+                monotone &= now >= last;
+                last = now;
+            }
+            monotone
+        });
+        for o in &out {
+            prop_assert!(o.result, "virtual clock went backwards");
+        }
+    }
+
+    #[test]
+    fn broadcast_any_root_any_size(p in 1usize..8, root_seed in 0usize..100, payload in 0u64..1000) {
+        let root = root_seed % p;
+        let out = Cluster::new(p, CostModel::free()).run(move |c| {
+            c.broadcast(root, (c.rank() == root).then_some(payload))
+        });
+        for o in &out {
+            prop_assert_eq!(o.result, payload);
+        }
+    }
+
+    #[test]
+    fn group_partition_is_a_partition(active_len in 1usize..40, gsize in 1usize..10) {
+        let active: Vec<usize> = (0..active_len).map(|i| i * 3).collect();
+        let groups = Group::partition(&active, gsize);
+        let flat: Vec<usize> = groups.iter().flat_map(|g| g.members().to_vec()).collect();
+        prop_assert_eq!(flat, active);
+        for g in &groups {
+            prop_assert!(g.len() <= gsize);
+            // Ring closes: following right_of len times returns home.
+            let mut cur = g.leader();
+            for _ in 0..g.len() {
+                cur = g.right_of(cur);
+            }
+            prop_assert_eq!(cur, g.leader());
+        }
+    }
+}
+
+#[test]
+fn stats_account_every_byte() {
+    // Sum of bytes_sent == sum of bytes_received over any closed exchange.
+    let out = Cluster::new(4, CostModel::default_cluster()).run(|c| {
+        let buckets: Vec<Vec<u64>> = (0..4).map(|d| vec![d as u64; c.rank() + 1]).collect();
+        let _ = c.alltoallv(buckets);
+        c.barrier();
+        c.stats()
+    });
+    let sent: u64 = out.iter().map(|o| o.result.bytes_sent).sum();
+    let recv: u64 = out.iter().map(|o| o.result.bytes_received).sum();
+    assert_eq!(sent, recv);
+}
+
+#[test]
+fn makespan_dominates_all_clocks() {
+    let out = Cluster::new(5, CostModel::default_cluster()).run(|c| {
+        c.compute(c.rank() as f64 * 0.01);
+        c.barrier();
+        c.now()
+    });
+    let makespan = Cluster::makespan(&out);
+    for o in &out {
+        assert!(o.final_clock <= makespan + 1e-12);
+    }
+}

@@ -1,0 +1,226 @@
+//! Level-synchronised BSP BFS — the Pregel textbook algorithm, used as the
+//! counterpart of `mnd_mst::bfs::distributed_bfs` to contrast execution
+//! models on a second application: BSP pays **one superstep per BFS
+//! level**, the divide-and-conquer version one exchange per *border
+//! crossing*.
+
+use std::sync::Arc;
+
+use mnd_device::NodePlatform;
+use mnd_graph::partition::{owner_of, partition_1d};
+use mnd_graph::types::VertexId;
+use mnd_graph::{CsrGraph, EdgeList};
+use mnd_net::{Cluster, Comm, RankStats};
+
+use crate::framework::{superstep_exchange, BspConfig, BspPartitioning, BspStats};
+
+/// Result of a BSP BFS run.
+#[derive(Clone, Debug)]
+pub struct BspBfsReport {
+    /// Hop distances (`u64::MAX` = unreachable).
+    pub dist: Vec<u64>,
+    /// Simulated makespan.
+    pub total_time: f64,
+    /// Max communication time across workers.
+    pub comm_time: f64,
+    /// Supersteps executed (= BFS levels + 1).
+    pub supersteps: u64,
+    /// Per-worker statistics.
+    pub rank_stats: Vec<RankStats>,
+}
+
+/// Runs level-synchronised BFS from `source` on `nranks` BSP workers.
+pub fn pregel_bfs(
+    el: &EdgeList,
+    source: VertexId,
+    nranks: usize,
+    platform: &NodePlatform,
+    cfg: &BspConfig,
+) -> BspBfsReport {
+    assert!(source < el.num_vertices());
+    let csr = Arc::new(CsrGraph::from_edge_list(el));
+    let cluster = Cluster::new(nranks, platform.network.scaled(cfg.sim_scale));
+    let outcomes = cluster.run(|comm| worker_bfs(comm, &csr, source, platform, cfg));
+    let total_time = Cluster::makespan(&outcomes);
+    let mut dist = None;
+    let mut supersteps = 0;
+    let mut rank_stats = Vec::new();
+    for o in &outcomes {
+        let (d, stats) = &o.result;
+        if let Some(d) = d {
+            dist = Some(d.clone());
+        }
+        supersteps = supersteps.max(stats.supersteps);
+        rank_stats.push(o.stats);
+    }
+    let comm_time = rank_stats.iter().map(|s| s.comm_time).fold(0.0, f64::max);
+    BspBfsReport {
+        dist: dist.expect("worker 0 gathers"),
+        total_time,
+        comm_time,
+        supersteps,
+        rank_stats,
+    }
+}
+
+fn worker_bfs(
+    comm: &Comm,
+    csr: &CsrGraph,
+    source: VertexId,
+    platform: &NodePlatform,
+    cfg: &BspConfig,
+) -> (Option<Vec<u64>>, BspStats) {
+    let me = comm.rank();
+    let p = comm.size();
+    let mut stats = BspStats::default();
+    let charge = |items: u64| {
+        let m = &platform.cpu;
+        comm.compute(items as f64 * cfg.sim_scale / (m.edge_throughput * m.efficiency));
+    };
+    // Same partitioning options as the MSF baseline.
+    let hash_mode = cfg.partitioning == BspPartitioning::Hash;
+    let ranges = if hash_mode { Vec::new() } else { partition_1d(csr, p, 0.0) };
+    let owner = |v: VertexId| -> usize {
+        if hash_mode {
+            v as usize % p
+        } else {
+            owner_of(&ranges, v)
+        }
+    };
+    let mine: Vec<VertexId> = if hash_mode {
+        ((me as VertexId)..csr.num_vertices()).step_by(p).collect()
+    } else {
+        ranges[me].iter().collect()
+    };
+    let first = mine.first().copied().unwrap_or(0);
+    let idx = |v: VertexId| -> usize {
+        if hash_mode {
+            (v as usize - me) / p
+        } else {
+            (v - first) as usize
+        }
+    };
+
+    let mut dist = vec![u64::MAX; mine.len()];
+    let mut active: Vec<VertexId> = Vec::new();
+    if owner(source) == me {
+        dist[idx(source)] = 0;
+        active.push(source);
+    }
+
+    // One superstep per level: actives send dist+1 to every neighbour.
+    loop {
+        let mut buckets: Vec<Vec<(VertexId, u64)>> = (0..p).map(|_| Vec::new()).collect();
+        let mut scanned = 0u64;
+        for &u in &active {
+            let du = dist[idx(u)];
+            for (v, _) in csr.neighbors(u) {
+                scanned += 1;
+                buckets[owner(v)].push((v, du + 1));
+            }
+        }
+        charge(scanned);
+        if cfg.combine {
+            for b in buckets.iter_mut() {
+                b.sort_unstable();
+                b.dedup_by_key(|(v, _)| *v);
+            }
+        }
+        let inbound = superstep_exchange(comm, buckets, &mut stats, cfg);
+        active.clear();
+        let mut applied = 0u64;
+        for b in inbound {
+            for (v, d) in b {
+                applied += 1;
+                let dv = &mut dist[idx(v)];
+                if *dv > d {
+                    *dv = d;
+                    active.push(v);
+                }
+            }
+        }
+        charge(applied);
+        if comm.allreduce_u64(active.len() as u64, |a, b| a + b) == 0 {
+            break;
+        }
+    }
+
+    // Gather: distances must come back in global vertex order. With hash
+    // partitioning worker w owns vertices w, w+p, …, so rank 0 interleaves.
+    let gathered = comm.gather_vec(0, dist);
+    let all = gathered.map(|parts| {
+        let n = csr.num_vertices() as usize;
+        let mut out = vec![u64::MAX; n];
+        for (w, part) in parts.into_iter().enumerate() {
+            if hash_mode {
+                for (i, d) in part.into_iter().enumerate() {
+                    out[w + i * p] = d;
+                }
+            } else {
+                let lo = ranges[w].start as usize;
+                for (i, d) in part.into_iter().enumerate() {
+                    out[lo + i] = d;
+                }
+            }
+        }
+        out
+    });
+    (all, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::components::bfs_distances;
+    use mnd_graph::gen;
+
+    fn check(el: &EdgeList, source: VertexId, nranks: usize, cfg: &BspConfig) -> BspBfsReport {
+        let r = pregel_bfs(el, source, nranks, &NodePlatform::amd_cluster(), cfg);
+        let oracle = bfs_distances(&CsrGraph::from_edge_list(el), source);
+        assert_eq!(r.dist, oracle);
+        r
+    }
+
+    #[test]
+    fn matches_sequential_hash_and_range() {
+        let el = gen::gnm(300, 1200, 3);
+        for part in [BspPartitioning::Hash, BspPartitioning::Range1D] {
+            let cfg = BspConfig { partitioning: part, ..Default::default() };
+            for nranks in [1, 4] {
+                check(&el, 0, nranks, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn supersteps_equal_levels_plus_one() {
+        let el = gen::path(100, 5);
+        let r = check(&el, 0, 4, &BspConfig::default());
+        // A 100-vertex path from one end: 99 levels -> 100 supersteps.
+        assert_eq!(r.supersteps, 100);
+    }
+
+    #[test]
+    fn disconnected_unreached() {
+        let u = gen::disconnected_union(&[gen::cycle(10, 1), gen::cycle(10, 2)]);
+        let r = check(&u, 0, 3, &BspConfig::default());
+        assert!(r.dist[10..].iter().all(|&d| d == u64::MAX));
+    }
+
+    #[test]
+    fn dnc_bfs_needs_far_fewer_rounds_than_bsp_levels() {
+        // The model contrast on a second application: a deep graph costs
+        // BSP one superstep per level, the divide-and-conquer BFS one
+        // exchange per border crossing.
+        let el = gen::road_grid(40, 40, 0.02, 0.2, 7);
+        let bsp = check(&el, 0, 4, &BspConfig::default());
+        let dnc = mnd_mst::bfs::distributed_bfs(&el, 0, 4, &NodePlatform::amd_cluster(), 1.0);
+        assert_eq!(bsp.dist, dnc.dist);
+        assert!(
+            dnc.rounds * 5 < bsp.supersteps,
+            "dnc rounds {} vs bsp supersteps {}",
+            dnc.rounds,
+            bsp.supersteps
+        );
+    }
+}

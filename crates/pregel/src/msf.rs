@@ -1,0 +1,434 @@
+//! The BSP minimum-spanning-forest algorithm (Pregel+/GPS style).
+//!
+//! Vertices never move between workers; components are tracked by parent
+//! pointers and resolved with conjoined-tree + pointer-jumping supersteps.
+//! See the crate docs for the round structure.
+
+use std::sync::Arc;
+
+use mnd_device::NodePlatform;
+use mnd_graph::partition::{owner_of, partition_1d};
+use mnd_graph::types::{VertexId, WEdge};
+use mnd_graph::{CsrGraph, EdgeList};
+use mnd_kernels::msf::MsfResult;
+use mnd_net::{Cluster, Comm, RankStats};
+
+use crate::framework::{combine_messages, superstep_exchange, BspConfig, BspPartitioning, BspStats};
+
+/// Outcome of a BSP MSF run — mirrors `MndMstReport` so benches can print
+/// both side by side.
+#[derive(Clone, Debug)]
+pub struct PregelReport {
+    /// The global minimum spanning forest.
+    pub msf: MsfResult,
+    /// Simulated makespan (max final virtual clock).
+    pub total_time: f64,
+    /// Max communication time across workers.
+    pub comm_time: f64,
+    /// Supersteps executed (max across workers — they run in lockstep, so
+    /// all workers report the same number).
+    pub supersteps: u64,
+    /// Boruvka rounds.
+    pub rounds: u64,
+    /// Per-worker raw statistics.
+    pub rank_stats: Vec<RankStats>,
+}
+
+/// One adjacency entry at a worker: the original neighbour vertex, the
+/// neighbour's current supervertex (maintained by update supersteps), and
+/// the original edge.
+#[derive(Clone, Copy, Debug)]
+struct AdjEntry {
+    target_vertex: VertexId,
+    target_super: VertexId,
+    orig: WEdge,
+}
+
+/// Runs the BSP MSF on `nranks` workers over the platform's network and CPU
+/// model. Returns the unique MSF (oracle-comparable) plus simulated times.
+pub fn pregel_msf(
+    el: &EdgeList,
+    nranks: usize,
+    platform: &NodePlatform,
+    cfg: &BspConfig,
+) -> PregelReport {
+    assert!(nranks >= 1);
+    let csr = Arc::new(CsrGraph::from_edge_list(el));
+    let n = el.num_vertices();
+    let network = platform.network.scaled(cfg.sim_scale);
+    let cluster = Cluster::new(nranks, network);
+
+    let outcomes = cluster.run(|comm| worker_main(comm, &csr, n, platform, cfg));
+
+    let total_time = Cluster::makespan(&outcomes);
+    let mut msf = None;
+    let mut supersteps = 0;
+    let mut rounds = 0;
+    let mut rank_stats = Vec::new();
+    for o in &outcomes {
+        let (m, stats) = &o.result;
+        if let Some(m) = m {
+            msf = Some(m.clone());
+        }
+        supersteps = supersteps.max(stats.supersteps);
+        rounds = rounds.max(stats.rounds);
+        rank_stats.push(o.stats);
+    }
+    let comm_time = rank_stats.iter().map(|s| s.comm_time).fold(0.0, f64::max);
+    PregelReport {
+        msf: msf.expect("worker 0 returns the MSF"),
+        total_time,
+        comm_time,
+        supersteps,
+        rounds,
+        rank_stats,
+    }
+}
+
+fn worker_main(
+    comm: &Comm,
+    csr: &CsrGraph,
+    n: VertexId,
+    platform: &NodePlatform,
+    cfg: &BspConfig,
+) -> (Option<MsfResult>, BspStats) {
+    let me = comm.rank();
+    let p = comm.size();
+    let mut stats = BspStats::default();
+    let charge = |comm: &Comm, items: u64| {
+        let m = &platform.cpu;
+        comm.compute(items as f64 * cfg.sim_scale / (m.edge_throughput * m.efficiency));
+    };
+
+    // Vertex-to-worker map: Pregel+'s default hash partitioning, or 1D
+    // ranges for the ablation.
+    let hash_mode = cfg.partitioning == BspPartitioning::Hash;
+    let ranges = if hash_mode { Vec::new() } else { partition_1d(csr, p, 0.0) };
+    let owner = |v: VertexId| -> usize {
+        if hash_mode {
+            v as usize % p
+        } else {
+            owner_of(&ranges, v)
+        }
+    };
+    // Owned vertices in ascending order; `idx` inverts the enumeration.
+    let mine: Vec<VertexId> = if hash_mode {
+        ((me as VertexId)..csr.num_vertices()).step_by(p).collect()
+    } else {
+        ranges[me].iter().collect()
+    };
+    let count = mine.len();
+    let first = mine.first().copied().unwrap_or(0);
+    let idx = move |v: VertexId| -> usize {
+        if hash_mode {
+            (v as usize - me) / p
+        } else {
+            (v - first) as usize
+        }
+    };
+    let mut parent: Vec<VertexId> = mine.clone();
+    let mut adj: Vec<Vec<AdjEntry>> = mine
+        .iter()
+        .map(|&u| {
+            csr.neighbors(u)
+                .map(|(v, w)| AdjEntry {
+                    target_vertex: v,
+                    target_super: v,
+                    orig: WEdge::new(u, v, w),
+                })
+                .collect()
+        })
+        .collect();
+    charge(comm, adj.iter().map(|a| a.len() as u64).sum());
+
+    let mut msf_local: Vec<WEdge> = Vec::new();
+    // Parents as of the last adjacency broadcast: only vertices whose
+    // parent changed re-broadcast (vote-to-halt-style traffic reduction;
+    // receivers keep valid entries for unchanged neighbours).
+    let mut broadcast_parent: Vec<VertexId> = parent.clone();
+
+    loop {
+        // ---- S1: candidate election --------------------------------------
+        let mut cand_msgs: Vec<(VertexId, (WEdge, VertexId))> = Vec::new();
+        let mut scanned = 0u64;
+        for ui in 0..count {
+            let pu = parent[ui];
+            let mut best: Option<(WEdge, VertexId)> = None;
+            for e in &adj[ui] {
+                scanned += 1;
+                if e.target_super == pu {
+                    continue;
+                }
+                match &best {
+                    Some((b, _)) if *b <= e.orig => {}
+                    _ => best = Some((e.orig, e.target_super)),
+                }
+            }
+            if let Some(b) = best {
+                cand_msgs.push((pu, b));
+            }
+        }
+        charge(comm, scanned);
+        let my_candidates = cand_msgs.len() as u64;
+        let total_candidates = comm.allreduce_u64(my_candidates, |a, b| a + b);
+        if total_candidates == 0 {
+            break;
+        }
+        stats.rounds += 1;
+        if cfg.combine {
+            cand_msgs = combine_messages(cand_msgs, |a, b| if a.0 <= b.0 { a } else { b });
+        }
+        let mut buckets: Vec<Vec<(VertexId, WEdge, VertexId)>> = (0..p).map(|_| Vec::new()).collect();
+        for (dest, (e, other)) in cand_msgs {
+            buckets[owner(dest)].push((dest, e, other));
+        }
+        let inbound = superstep_exchange(comm, buckets, &mut stats, cfg);
+
+        // Roots pick the component minimum.
+        let mut best_at: std::collections::HashMap<VertexId, (WEdge, VertexId)> =
+            std::collections::HashMap::new();
+        let mut inbound_count = 0u64;
+        for b in inbound {
+            for (dest, e, other) in b {
+                inbound_count += 1;
+                debug_assert_eq!(owner(dest), me);
+                best_at
+                    .entry(dest)
+                    .and_modify(|cur| {
+                        if e < cur.0 {
+                            *cur = (e, other);
+                        }
+                    })
+                    .or_insert((e, other));
+            }
+        }
+        charge(comm, inbound_count);
+
+        // ---- S2: merge proposals ----------------------------------------
+        // pending[s] = (chosen edge, chosen target supervertex)
+        let mut pending: std::collections::HashMap<VertexId, (WEdge, VertexId)> =
+            std::collections::HashMap::new();
+        let mut buckets: Vec<Vec<(VertexId, VertexId, WEdge)>> = (0..p).map(|_| Vec::new()).collect();
+        for (&s, &(e, t)) in &best_at {
+            debug_assert_eq!(parent[idx(s)], s, "candidates are addressed to roots");
+            pending.insert(s, (e, t));
+            parent[idx(s)] = t; // tentative link; mutual pairs fixed below
+            buckets[owner(t)].push((t, s, e));
+        }
+        let inbound = superstep_exchange(comm, buckets, &mut stats, cfg);
+
+        // ---- S3: conjoined-tree resolution --------------------------------
+        let mut proposals = 0u64;
+        for b in inbound {
+            for (t, s, e) in b {
+                proposals += 1;
+                if let Some(&(my_e, my_t)) = pending.get(&t) {
+                    if my_t == s && my_e == e {
+                        // Mutual: smaller id stays root and keeps the edge;
+                        // larger id drops its duplicate.
+                        if t < s {
+                            parent[idx(t)] = t;
+                        } else {
+                            pending.remove(&t);
+                        }
+                    }
+                }
+            }
+        }
+        charge(comm, proposals);
+        msf_local.extend(pending.values().map(|&(e, _)| e));
+
+        // ---- S4: pointer jumping ------------------------------------------
+        loop {
+            let mut buckets: Vec<Vec<(VertexId, VertexId)>> = (0..p).map(|_| Vec::new()).collect();
+            let mut asked = 0u64;
+            for ui in 0..count {
+                let pu = parent[ui];
+                if pu != mine[ui] {
+                    buckets[owner(pu)].push((pu, mine[ui]));
+                    asked += 1;
+                }
+            }
+            charge(comm, asked);
+            let queries = superstep_exchange(comm, buckets, &mut stats, cfg);
+            let mut buckets: Vec<Vec<(VertexId, VertexId)>> = (0..p).map(|_| Vec::new()).collect();
+            let mut served = 0u64;
+            for b in queries {
+                for (dest_parent, asker) in b {
+                    served += 1;
+                    buckets[owner(asker)].push((asker, parent[idx(dest_parent)]));
+                }
+            }
+            charge(comm, served);
+            let replies = superstep_exchange(comm, buckets, &mut stats, cfg);
+            let mut changed = 0u64;
+            for b in replies {
+                for (asker, gp) in b {
+                    let ui = idx(asker);
+                    if parent[ui] != gp {
+                        parent[ui] = gp;
+                        changed = 1;
+                    }
+                }
+            }
+            if comm.allreduce_u64(changed, u64::max) == 0 {
+                break;
+            }
+        }
+
+        // ---- S5: adjacency relabel ----------------------------------------
+        // LALP: high-degree vertices broadcast one update per destination
+        // worker (mirroring); everyone else messages per live edge — the
+        // Pregel+ design, and the dominant BSP traffic.
+        let mut update_msgs = 0u64;
+        let mut buckets: Vec<Vec<(VertexId, VertexId)>> = (0..p).map(|_| Vec::new()).collect();
+        for ui in 0..count {
+            if adj[ui].is_empty() || parent[ui] == broadcast_parent[ui] {
+                continue;
+            }
+            broadcast_parent[ui] = parent[ui];
+            let u = mine[ui];
+            let mirrored = cfg
+                .mirror_threshold
+                .map(|t| adj[ui].len() as u64 >= t)
+                .unwrap_or(false);
+            if mirrored {
+                let mut dests: Vec<usize> = adj[ui].iter().map(|e| owner(e.target_vertex)).collect();
+                dests.sort_unstable();
+                dests.dedup();
+                for d in dests {
+                    buckets[d].push((u, parent[ui]));
+                    update_msgs += 1;
+                }
+            } else {
+                for e in &adj[ui] {
+                    buckets[owner(e.target_vertex)].push((u, parent[ui]));
+                    update_msgs += 1;
+                }
+            }
+        }
+        let inbound = superstep_exchange(comm, buckets, &mut stats, cfg);
+        charge(comm, update_msgs);
+        // Apply updates with one relabel sweep over the live adjacency.
+        // (Indexing entries by position would go stale across the per-round
+        // pruning below; a keyed map cannot.)
+        let mut new_super: std::collections::HashMap<VertexId, VertexId> =
+            std::collections::HashMap::new();
+        for b in inbound {
+            for (src, ns) in b {
+                new_super.insert(src, ns);
+            }
+        }
+        let mut applied = 0u64;
+        for a in adj.iter_mut() {
+            for e in a.iter_mut() {
+                applied += 1;
+                if let Some(&ns) = new_super.get(&e.target_vertex) {
+                    e.target_super = ns;
+                }
+            }
+        }
+        charge(comm, applied);
+
+        // Prune internal edges (symmetric on both endpoints' workers).
+        let mut pruned_scan = 0u64;
+        for ui in 0..count {
+            let pu = parent[ui];
+            pruned_scan += adj[ui].len() as u64;
+            adj[ui].retain(|e| e.target_super != pu);
+        }
+        charge(comm, pruned_scan);
+    }
+
+    // Gather the forest at worker 0.
+    let gathered = comm.gather_vec(0, msf_local);
+    let msf = gathered.map(|parts| {
+        let all: Vec<WEdge> = parts.into_iter().flatten().collect();
+        MsfResult::from_edges(n, all)
+    });
+    (msf, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::gen;
+    use mnd_kernels::oracle::kruskal_msf;
+
+    fn check(el: &EdgeList, nranks: usize) -> PregelReport {
+        let r = pregel_msf(el, nranks, &NodePlatform::amd_cluster(), &BspConfig::default());
+        assert_eq!(r.msf, kruskal_msf(el), "nranks={nranks}");
+        r
+    }
+
+    #[test]
+    fn matches_oracle_single_worker() {
+        check(&gen::gnm(200, 800, 1), 1);
+    }
+
+    #[test]
+    fn matches_oracle_many_workers_and_families() {
+        for (el, name) in [
+            (gen::gnm(300, 1200, 2), "gnm"),
+            (gen::watts_strogatz(200, 6, 0.2, 3), "ws"),
+            (gen::rmat(256, 2048, gen::RmatProbs::GRAPH500, 4), "rmat"),
+            (gen::road_grid(15, 15, 0.02, 0.38, 5), "road"),
+            (gen::star(100, 6), "star"),
+        ] {
+            for nranks in [2, 4, 7] {
+                let r = pregel_msf(&el, nranks, &NodePlatform::amd_cluster(), &BspConfig::default());
+                assert_eq!(r.msf, kruskal_msf(&el), "{name} nranks={nranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_and_edgeless() {
+        let u = gen::disconnected_union(&[gen::path(20, 1), gen::cycle(15, 2)]);
+        let r = check(&u, 3);
+        assert_eq!(r.msf.num_components, 2);
+        let empty = EdgeList::new(5);
+        let r = pregel_msf(&empty, 2, &NodePlatform::amd_cluster(), &BspConfig::default());
+        assert!(r.msf.edges.is_empty());
+    }
+
+    #[test]
+    fn supersteps_accumulate_and_cost_time() {
+        let el = gen::gnm(400, 1600, 7);
+        let r = check(&el, 4);
+        assert!(r.supersteps > 10, "supersteps {}", r.supersteps);
+        assert!(r.rounds >= 2);
+        assert!(r.comm_time > 0.0);
+        assert!(r.total_time > r.comm_time);
+    }
+
+    #[test]
+    fn mirroring_reduces_messages_on_skewed_graphs() {
+        let el = gen::rmat(512, 8192, gen::RmatProbs::GRAPH500, 9);
+        let plat = NodePlatform::amd_cluster();
+        let mirrored = pregel_msf(
+            &el,
+            4,
+            &plat,
+            &BspConfig { mirror_threshold: Some(16), ..Default::default() },
+        );
+        let plain = pregel_msf(&el, 4, &plat, &BspConfig { mirror_threshold: None, ..Default::default() });
+        assert_eq!(mirrored.msf, plain.msf);
+        let bytes = |r: &PregelReport| r.rank_stats.iter().map(|s| s.bytes_sent).sum::<u64>();
+        assert!(
+            bytes(&mirrored) < bytes(&plain),
+            "mirrored {} !< plain {}",
+            bytes(&mirrored),
+            bytes(&plain)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let el = gen::gnm(300, 1200, 11);
+        let a = check(&el, 4);
+        let b = check(&el, 4);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.supersteps, b.supersteps);
+    }
+}

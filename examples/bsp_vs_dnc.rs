@@ -1,0 +1,58 @@
+//! BSP vs divide-and-conquer head-to-head — the paper's core claim
+//! (Table 3) on one graph.
+//!
+//! Runs the Pregel+-style BSP MSF and MND-MST on the same simulated AMD
+//! cluster and prints execution/communication times plus the superstep
+//! count that explains the gap.
+//!
+//! ```sh
+//! cargo run --release --example bsp_vs_dnc
+//! ```
+
+use mnd::device::NodePlatform;
+use mnd::graph::presets::Preset;
+use mnd::hypar::HyParConfig;
+use mnd::kernels::kruskal_msf;
+use mnd::mst::MndMstRunner;
+use mnd::pregel::{pregel_msf, BspConfig};
+
+fn main() {
+    let scale = 8192;
+    let nodes = 16;
+    let graph = Preset::Arabic2005.generate(scale, 42);
+    println!(
+        "arabic-2005 stand-in (1/{scale}): {} vertices, {} edges, {nodes} nodes",
+        graph.num_vertices(),
+        graph.len()
+    );
+    let oracle = kruskal_msf(&graph);
+
+    let bsp = pregel_msf(
+        &graph,
+        nodes,
+        &NodePlatform::amd_cluster(),
+        &BspConfig::default().with_sim_scale(scale as f64),
+    );
+    assert_eq!(bsp.msf, oracle);
+
+    let mnd = MndMstRunner::new(nodes)
+        .with_config(HyParConfig::default().with_sim_scale(scale as f64))
+        .run(&graph);
+    assert_eq!(mnd.msf, oracle);
+
+    println!("\n             |      exe |     comm | sync points");
+    println!(
+        " Pregel+ BSP | {:>8.3} | {:>8.3} | {} supersteps over {} rounds",
+        bsp.total_time, bsp.comm_time, bsp.supersteps, bsp.rounds
+    );
+    println!(
+        " MND-MST     | {:>8.3} | {:>8.3} | {} merge levels, {} ring rounds",
+        mnd.total_time, mnd.comm_time, mnd.levels, mnd.exchange_rounds
+    );
+    println!(
+        "\nimprovement: {:.0}% exe, {:.0}% comm (paper reports 24-88% / 40-92%)",
+        100.0 * (1.0 - mnd.total_time / bsp.total_time),
+        100.0 * (1.0 - mnd.comm_time / bsp.comm_time),
+    );
+    println!("both results verified against sequential Kruskal ✓");
+}

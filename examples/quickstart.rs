@@ -1,0 +1,41 @@
+//! Quickstart: build a graph, run MND-MST on a simulated 4-node cluster,
+//! and check the result against Kruskal.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mnd::graph::gen;
+use mnd::kernels::kruskal_msf;
+use mnd::mst::MndMstRunner;
+
+fn main() {
+    // A random graph: 10K vertices, ~50K edges, deterministic seed.
+    let graph = gen::gnm(10_000, 50_000, 42);
+    println!(
+        "input: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.len()
+    );
+
+    // Run the distributed algorithm on 4 simulated nodes (threads with a
+    // LogGP-modelled interconnect; see DESIGN.md).
+    let report = MndMstRunner::new(4).run(&graph);
+
+    println!(
+        "MSF: {} edges, total weight {}, {} connected component(s)",
+        report.msf.edges.len(),
+        report.msf.weight,
+        report.msf.num_components
+    );
+    println!(
+        "simulated time: {:.4}s total, {:.4}s communication ({} merging levels)",
+        report.total_time, report.comm_time, report.levels
+    );
+
+    // The MSF is unique under this crate's edge ordering, so we can compare
+    // edge-for-edge with a sequential oracle.
+    let oracle = kruskal_msf(&graph);
+    assert_eq!(report.msf, oracle, "distributed result must equal Kruskal");
+    println!("verified: distributed MSF == sequential Kruskal ✓");
+}

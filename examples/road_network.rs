@@ -1,0 +1,44 @@
+//! Road-network scenario: the paper's road_usa case (§5.3).
+//!
+//! Road networks are the divide-and-conquer-unfriendly input: low degree,
+//! huge diameter, and at high node counts the per-partition components
+//! stay tiny, so the run becomes postProcess- and communication-bound.
+//! This example sweeps node counts on a road-like lattice and prints the
+//! phase breakdown, reproducing the Figure 7(a) shape.
+//!
+//! ```sh
+//! cargo run --release --example road_network
+//! ```
+
+use mnd::graph::gen;
+use mnd::hypar::HyParConfig;
+use mnd::kernels::kruskal_msf;
+use mnd::mst::MndMstRunner;
+
+fn main() {
+    // ~40K-vertex road-like lattice (road_usa's degree signature).
+    let graph = gen::road_grid(230, 175, 0.02, 0.38, 7);
+    let oracle = kruskal_msf(&graph);
+    println!(
+        "road-like graph: {} vertices, {} edges, MSF weight {}",
+        graph.num_vertices(),
+        graph.len(),
+        oracle.weight
+    );
+    // Simulate at 1/1024 of road_usa's scale so overhead:work ratios match
+    // a real deployment (DESIGN.md, "simulation scale").
+    let cfg = HyParConfig::default().with_sim_scale(1024.0);
+
+    println!("\n nodes |   total |  indComp |    merge | postProc |     comm");
+    for nodes in [1usize, 4, 8, 16] {
+        let report = MndMstRunner::new(nodes).with_config(cfg.clone()).run(&graph);
+        assert_eq!(report.msf, oracle);
+        let p = report.phase_max();
+        println!(
+            " {nodes:>5} | {:>7.3} | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3}",
+            report.total_time, p.ind_comp, p.merge, p.post_process, p.comm
+        );
+    }
+    println!("\nExpected shape (paper §5.3): beyond a few nodes the total stops");
+    println!("improving — indComp shrinks but communication + postProcess grow.");
+}

@@ -1,0 +1,259 @@
+//! `mnd-cli` — command-line front end for the MND-MST library.
+//!
+//! ```text
+//! mnd-cli gen   --preset uk-2007 --scale 4096 --out graph.mnd
+//! mnd-cli gen   --kind crawl --vertices 50000 --edges 500000 --out g.mnd
+//! mnd-cli stats --in graph.mnd
+//! mnd-cli run   --in graph.mnd --nodes 8 [--gpu] [--scale 2048] [--verify]
+//! mnd-cli run   --preset arabic-2005 --nodes 16
+//! mnd-cli compare --preset it-2004 --nodes 16
+//! mnd-cli bfs   --preset road_usa --source 0 --nodes 8
+//! mnd-cli cc    --in graph.gr --format dimacs
+//! ```
+//!
+//! `--format` accepts `mnd` (default, this library's binary format),
+//! `dimacs` (.gr), `metis`, and `snap` (plain edge list).
+
+use std::process::ExitCode;
+
+use mnd::device::NodePlatform;
+use mnd::graph::{gen, io, presets::Preset, stats::graph_stats, CsrGraph, EdgeList};
+use mnd::hypar::HyParConfig;
+use mnd::kernels::kruskal_msf;
+use mnd::mst::MndMstRunner;
+use mnd::pregel::{pregel_msf, BspConfig};
+
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+    command: String,
+}
+
+impl Args {
+    fn parse() -> Option<Args> {
+        let mut it = std::env::args().skip(1);
+        let command = it.next()?;
+        let mut flags = std::collections::HashMap::new();
+        while let Some(k) = it.next() {
+            let key = k.strip_prefix("--")?.to_string();
+            // Boolean flags: --gpu / --verify take no value.
+            if key == "gpu" || key == "verify" {
+
+                flags.insert(key, "true".into());
+            } else {
+                flags.insert(key, it.next()?);
+            }
+        }
+        Some(Args { flags, command })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mnd-cli <gen|stats|run|compare|bfs|cc> [flags]");
+    eprintln!("  gen     --out FILE (--preset NAME --scale N | --kind crawl|road|gnm --vertices N --edges M) [--seed S]");
+    eprintln!("  stats   --in FILE | --preset NAME [--scale N] [--format mnd|dimacs|metis|snap]");
+    eprintln!("  run     (--in FILE | --preset NAME) [--nodes N] [--gpu] [--scale N] [--group N] [--verify]");
+    eprintln!("  compare (--in FILE | --preset NAME) [--nodes N] [--scale N]");
+    eprintln!("  bfs     (--in FILE | --preset NAME) [--source V] [--nodes N]");
+    eprintln!("  cc      (--in FILE | --preset NAME) [--nodes N]");
+    eprintln!("presets: {}", Preset::ALL.map(|p| p.name()).join(" "));
+    ExitCode::FAILURE
+}
+
+fn load_graph(args: &Args) -> Result<(EdgeList, u64), String> {
+    let scale = args.get_num("scale", 2048u64);
+    if let Some(path) = args.get("in") {
+        let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let el = match args.get("format").unwrap_or("mnd") {
+            "mnd" => io::read_binary(f),
+            "dimacs" => mnd::graph::io_formats::read_dimacs(f),
+            "metis" => mnd::graph::io_formats::read_metis(f),
+            "snap" => mnd::graph::io_formats::read_snap(f),
+            other => return Err(format!("unknown --format {other:?}")),
+        }
+        .map_err(|e| format!("read {path}: {e}"))?;
+        Ok((el, scale))
+    } else if let Some(name) = args.get("preset") {
+        let p = Preset::from_name(name).ok_or_else(|| format!("unknown preset {name:?}"))?;
+        Ok((p.generate(scale, args.get_num("seed", 42)), scale))
+    } else {
+        Err("need --in FILE or --preset NAME".into())
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let out = args.get("out").ok_or("need --out FILE")?;
+    let seed = args.get_num("seed", 42u64);
+    let el = if args.has("preset") {
+        load_graph(args)?.0
+    } else {
+        let n = args.get_num("vertices", 10_000u32);
+        let m = args.get_num("edges", 50_000u64);
+        match args.get("kind").unwrap_or("crawl") {
+            "crawl" => gen::web_crawl(n, m, gen::CrawlParams::default(), seed),
+            "gnm" => gen::gnm(n, m, seed),
+            "road" => {
+                let w = (n as f64).sqrt() as u32;
+                gen::road_grid(w, n / w.max(1), 0.02, 0.38, seed)
+            }
+            other => return Err(format!("unknown --kind {other:?} (crawl|gnm|road)")),
+        }
+    };
+    let f = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    io::write_binary(&el, f).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} vertices / {} edges to {out}", el.num_vertices(), el.len());
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let (el, _) = load_graph(args)?;
+    let g = CsrGraph::from_edge_list(&el);
+    let s = graph_stats(&g, 4, 1);
+    println!("vertices:      {}", s.num_vertices);
+    println!("edges:         {}", s.num_edges);
+    println!("avg degree:    {:.2}", s.avg_degree);
+    println!("max degree:    {}", s.max_degree);
+    println!("~diameter:     {}", s.approx_diameter);
+    println!("components:    {}", mnd::graph::num_components(&g));
+    println!("cut@16 (1D):   {:.1}%", 100.0 * gen::cut_fraction(&el, 16));
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let (el, scale) = load_graph(args)?;
+    let nodes = args.get_num("nodes", 4usize);
+    let platform = if args.has("gpu") {
+        NodePlatform::cray_xc40(true)
+    } else {
+        NodePlatform::amd_cluster()
+    };
+    let cfg = HyParConfig {
+        group_size: args.get_num("group", 4usize),
+        ..HyParConfig::default().with_sim_scale(scale as f64)
+    };
+    let t0 = std::time::Instant::now();
+    let report = MndMstRunner::new(nodes).with_platform(platform).with_config(cfg).run(&el);
+    let wall = t0.elapsed();
+    println!(
+        "MSF: {} edges, weight {}, {} component(s)",
+        report.msf.edges.len(),
+        report.msf.weight,
+        report.msf.num_components
+    );
+    let pm = report.phase_max();
+    println!(
+        "simulated: total {:.3}s | indComp {:.3} merge {:.3} postProcess {:.3} comm {:.3}",
+        report.total_time, pm.ind_comp, pm.merge, pm.post_process, pm.comm
+    );
+    println!(
+        "merging: {} level(s), {} ring round(s), max holding {} MB paper-scale",
+        report.levels,
+        report.exchange_rounds,
+        report.max_holding_bytes >> 20
+    );
+    println!("wall clock: {wall:.2?}");
+    if args.has("verify") {
+        let oracle = kruskal_msf(&el);
+        if report.msf == oracle {
+            println!("verify: OK (== sequential Kruskal)");
+        } else {
+            return Err("verify FAILED: result differs from Kruskal".into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let (el, scale) = load_graph(args)?;
+    let nodes = args.get_num("nodes", 16usize);
+    let mnd = MndMstRunner::new(nodes)
+        .with_config(HyParConfig::default().with_sim_scale(scale as f64))
+        .run(&el);
+    let bsp = pregel_msf(
+        &el,
+        nodes,
+        &NodePlatform::amd_cluster(),
+        &BspConfig::default().with_sim_scale(scale as f64),
+    );
+    if bsp.msf != mnd.msf {
+        return Err("BSP and MND-MST disagree (bug!)".into());
+    }
+    println!("                exe       comm");
+    println!(" Pregel+ BSP  {:>8.3}  {:>8.3}   ({} supersteps)", bsp.total_time, bsp.comm_time, bsp.supersteps);
+    println!(" MND-MST      {:>8.3}  {:>8.3}   ({} levels)", mnd.total_time, mnd.comm_time, mnd.levels);
+    println!(
+        " improvement  {:>7.1}%  {:>7.1}%",
+        100.0 * (1.0 - mnd.total_time / bsp.total_time),
+        100.0 * (1.0 - mnd.comm_time / bsp.comm_time)
+    );
+    Ok(())
+}
+
+fn cmd_bfs(args: &Args) -> Result<(), String> {
+    let (el, scale) = load_graph(args)?;
+    let nodes = args.get_num("nodes", 4usize);
+    let source = args.get_num("source", 0u32);
+    if source >= el.num_vertices() {
+        return Err(format!("--source {source} out of range"));
+    }
+    let r = mnd::mst::bfs::distributed_bfs(
+        &el,
+        source,
+        nodes,
+        &NodePlatform::amd_cluster(),
+        scale as f64,
+    );
+    let reached = r.dist.iter().filter(|&&d| d != u64::MAX).count();
+    let depth = r.dist.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap_or(0);
+    println!("BFS from {source}: reached {reached}/{} vertices, depth {depth}", el.num_vertices());
+    println!(
+        "simulated {:.3}s ({:.3}s comm), {} border-crossing rounds",
+        r.total_time, r.comm_time, r.rounds
+    );
+    Ok(())
+}
+
+fn cmd_cc(args: &Args) -> Result<(), String> {
+    let (el, scale) = load_graph(args)?;
+    let nodes = args.get_num("nodes", 4usize);
+    let runner = MndMstRunner::new(nodes)
+        .with_config(HyParConfig::default().with_sim_scale(scale as f64));
+    let r = mnd::mst::distributed_components(&el, &runner);
+    println!("{} connected component(s) over {} vertices", r.num_components, el.num_vertices());
+    println!("simulated {:.3}s ({:.3}s comm)", r.total_time, r.comm_time);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(args) = Args::parse() else {
+        return usage();
+    };
+    let result = match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args),
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "bfs" => cmd_bfs(&args),
+        "cc" => cmd_cc(&args),
+        "help" | "--help" | "-h" => return usage(),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # mnd — MND-MST workspace umbrella crate
+//!
+//! Re-exports every subsystem of the MND-MST reproduction (Panja &
+//! Vadhiyar, ICPP 2018) under one roof, and hosts the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`.
+//!
+//! Start with [`mnd_mst`] (the distributed algorithm and its driver) and
+//! [`mnd_graph::presets`] (the paper's evaluation graphs as scaled
+//! stand-ins). See `README.md` for a tour and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use mnd_device as device;
+pub use mnd_graph as graph;
+pub use mnd_hypar as hypar;
+pub use mnd_kernels as kernels;
+pub use mnd_mst as mst;
+pub use mnd_net as net;
+pub use mnd_pregel as pregel;

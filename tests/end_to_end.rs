@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: the full distributed pipeline against
+//! the sequential oracle, across platforms, rank counts and configs.
+
+use mnd::device::NodePlatform;
+use mnd::graph::{gen, presets::Preset, EdgeList};
+use mnd::hypar::HyParConfig;
+use mnd::kernels::{kruskal_msf, verify_msf};
+use mnd::mst::MndMstRunner;
+use mnd::pregel::{pregel_msf, BspConfig};
+
+fn oracle_check(el: &EdgeList, nranks: usize, platform: NodePlatform, cfg: HyParConfig) {
+    let report = MndMstRunner::new(nranks)
+        .with_platform(platform)
+        .with_config(cfg)
+        .run(el);
+    let oracle = kruskal_msf(el);
+    assert_eq!(report.msf, oracle);
+    verify_msf(el, &report.msf).expect("structurally valid MSF");
+}
+
+#[test]
+fn presets_all_verify_on_amd_cluster() {
+    // Every Table 2 stand-in (small scale), 16 ranks, default config.
+    for p in Preset::ALL {
+        let el = p.generate(32768, 11);
+        oracle_check(&el, 16, NodePlatform::amd_cluster(), HyParConfig::default());
+    }
+}
+
+#[test]
+fn presets_verify_on_hybrid_cray() {
+    for p in [Preset::It2004, Preset::RoadUsa, Preset::Gsh2015Tpd] {
+        let el = p.generate(32768, 13);
+        oracle_check(
+            &el,
+            8,
+            NodePlatform::cray_xc40(true),
+            HyParConfig::default().with_sim_scale(32768.0),
+        );
+    }
+}
+
+#[test]
+fn bsp_and_dnc_agree_with_each_other() {
+    for seed in [1, 2, 3] {
+        let el = gen::web_crawl(3000, 30_000, gen::CrawlParams::default(), seed);
+        let bsp = pregel_msf(&el, 6, &NodePlatform::amd_cluster(), &BspConfig::default());
+        let dnc = MndMstRunner::new(6).run(&el);
+        assert_eq!(bsp.msf, dnc.msf, "seed {seed}");
+    }
+}
+
+#[test]
+fn every_rank_count_from_one_to_nine() {
+    let el = gen::gnm(600, 2400, 17);
+    let oracle = kruskal_msf(&el);
+    for nranks in 1..=9 {
+        let r = MndMstRunner::new(nranks).run(&el);
+        assert_eq!(r.msf, oracle, "nranks={nranks}");
+    }
+}
+
+#[test]
+fn group_sizes_and_freeze_policies_compose() {
+    use mnd::kernels::policy::{ExcpCond, FreezePolicy};
+    let el = gen::watts_strogatz(400, 6, 0.3, 19);
+    let oracle = kruskal_msf(&el);
+    for gs in [2, 4, 16] {
+        for freeze in [FreezePolicy::Sticky, FreezePolicy::Recheck] {
+            for excp in [ExcpCond::BorderEdge, ExcpCond::BorderVertex] {
+                let cfg = HyParConfig { group_size: gs, freeze, excp, ..Default::default() };
+                let r = MndMstRunner::new(6).with_config(cfg).run(&el);
+                assert_eq!(r.msf, oracle, "gs={gs} freeze={freeze:?} excp={excp:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn memory_capacity_invariant_holds() {
+    // The hierarchical merge's promise: no holding exceeds node memory
+    // (paper-scale). Run the big stand-in at high sim scale.
+    let el = Preset::Uk2007.generate(16384, 23);
+    let cfg = HyParConfig::default().with_sim_scale(16384.0);
+    let platform = NodePlatform::amd_cluster();
+    let node_mem = platform.cpu.mem_bytes;
+    let r = MndMstRunner::new(16).with_platform(platform).with_config(cfg).run(&el);
+    assert!(
+        r.max_holding_bytes <= node_mem,
+        "holding {} exceeds node memory {}",
+        r.max_holding_bytes,
+        node_mem
+    );
+}
+
+#[test]
+fn forced_ring_exchange_path_stays_correct() {
+    // Tiny group threshold forces the ring-exchange machinery on.
+    let el = gen::web_crawl(2000, 16_000, gen::CrawlParams::default(), 29);
+    let oracle = kruskal_msf(&el);
+    let cfg = HyParConfig {
+        group_edge_threshold: 1, // always exchange until convergence
+        ..HyParConfig::default()
+    };
+    let r = MndMstRunner::new(8).with_config(cfg).run(&el);
+    assert_eq!(r.msf, oracle);
+    assert!(r.exchange_rounds >= 1, "ring path must have been exercised");
+}
+
+#[test]
+fn heavy_weights_and_duplicate_weights() {
+    // All-equal weights: the (w, u, v) order still yields a unique MSF.
+    let mut el = gen::gnm(300, 1500, 31);
+    el.assign_random_weights(7, 1); // every weight == 1
+    let oracle = kruskal_msf(&el);
+    let r = MndMstRunner::new(5).run(&el);
+    assert_eq!(r.msf, oracle);
+    assert!(r.msf.edges.iter().all(|e| e.w == 1));
+}
+
+#[test]
+fn star_and_hub_heavy_graphs() {
+    // A single global hub is the worst case for 1D partitioning.
+    let el = gen::star(5000, 37);
+    let oracle = kruskal_msf(&el);
+    let r = MndMstRunner::new(8).run(&el);
+    assert_eq!(r.msf, oracle);
+    assert_eq!(r.msf.edges.len(), 4999);
+}
+
+#[test]
+fn barabasi_albert_and_weight_distributions() {
+    use mnd::graph::weights::{assign_weights, ALL_DISTRIBUTIONS};
+    let base = gen::barabasi_albert(800, 3, 5);
+    for (name, dist) in ALL_DISTRIBUTIONS {
+        let mut el = base.clone();
+        assign_weights(&mut el, dist, 3);
+        let r = MndMstRunner::new(5).run(&el);
+        assert_eq!(r.msf, kruskal_msf(&el), "{name}");
+    }
+}
+
+#[test]
+fn many_small_components() {
+    let parts: Vec<EdgeList> = (0..40).map(|i| gen::path(10, i as u64)).collect();
+    let el = gen::disconnected_union(&parts);
+    let r = MndMstRunner::new(8).run(&el);
+    assert_eq!(r.msf.num_components, 40);
+    assert_eq!(r.msf, kruskal_msf(&el));
+}
+
+#[test]
+fn report_times_are_consistent() {
+    let el = Preset::Arabic2005.generate(65536, 41);
+    let r = MndMstRunner::new(4)
+        .with_config(HyParConfig::default().with_sim_scale(65536.0))
+        .run(&el);
+    // Makespan bounds every rank's attributed time.
+    for (i, s) in r.rank_stats.iter().enumerate() {
+        assert!(
+            s.total_time() <= r.total_time + 1e-9,
+            "rank {i} attributed {} > makespan {}",
+            s.total_time(),
+            r.total_time
+        );
+    }
+    // Phases decompose compute: ind_comp + merge + post ≈ compute_time.
+    for (p, s) in r.phases.iter().zip(&r.rank_stats) {
+        let phase_compute = p.ind_comp + p.merge + p.post_process;
+        assert!(
+            (phase_compute - s.compute_time).abs() <= 1e-6 * s.compute_time.max(1.0),
+            "phase sum {phase_compute} vs compute {}",
+            s.compute_time
+        );
+    }
+}

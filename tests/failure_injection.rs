@@ -1,0 +1,162 @@
+//! Failure-injection / adversarial-input tests: the full pipeline on
+//! degenerate, hostile, and boundary-condition inputs.
+
+use mnd::graph::{gen, EdgeList, WEdge};
+use mnd::hypar::HyParConfig;
+use mnd::kernels::kruskal_msf;
+use mnd::mst::MndMstRunner;
+use mnd::pregel::{pregel_msf, BspConfig};
+use mnd::device::NodePlatform;
+
+fn both_match_oracle(el: &EdgeList, nranks: usize) {
+    let oracle = kruskal_msf(el);
+    let mnd = MndMstRunner::new(nranks).run(el);
+    assert_eq!(mnd.msf, oracle, "MND-MST");
+    let bsp = pregel_msf(el, nranks, &NodePlatform::amd_cluster(), &BspConfig::default());
+    assert_eq!(bsp.msf, oracle, "BSP");
+}
+
+#[test]
+fn empty_graph_zero_vertices() {
+    let el = EdgeList::new(0);
+    let r = MndMstRunner::new(3).run(&el);
+    assert!(r.msf.edges.is_empty());
+    assert_eq!(r.msf.num_components, 0);
+}
+
+#[test]
+fn single_vertex_no_edges() {
+    both_match_oracle(&EdgeList::new(1), 4);
+}
+
+#[test]
+fn all_isolated_vertices() {
+    let el = EdgeList::new(1000);
+    let r = MndMstRunner::new(8).run(&el);
+    assert_eq!(r.msf.num_components, 1000);
+}
+
+#[test]
+fn single_edge_many_ranks() {
+    let el = EdgeList::from_raw(2, vec![WEdge::new(0, 1, 7)]);
+    both_match_oracle(&el, 8);
+}
+
+#[test]
+fn input_with_self_loops_and_duplicates() {
+    // from_raw canonicalises; the pipeline must cope with the result.
+    let el = EdgeList::from_raw(
+        10,
+        vec![
+            WEdge::new(0, 0, 5),
+            WEdge::new(1, 2, 3),
+            WEdge::new(2, 1, 9), // duplicate pair, heavier
+            WEdge::new(3, 3, 1),
+            WEdge::new(4, 5, 2),
+        ],
+    );
+    both_match_oracle(&el, 4);
+}
+
+#[test]
+fn pathological_weights_extremes() {
+    let el = EdgeList::from_raw(
+        6,
+        vec![
+            WEdge::new(0, 1, u32::MAX),
+            WEdge::new(1, 2, 0),
+            WEdge::new(2, 3, u32::MAX),
+            WEdge::new(3, 4, 1),
+            WEdge::new(4, 5, u32::MAX - 1),
+        ],
+    );
+    both_match_oracle(&el, 3);
+}
+
+#[test]
+fn everything_in_one_partition() {
+    // All edges among the first few vertices: most ranks own edgeless
+    // ranges and must still participate in every collective.
+    let mut el = EdgeList::new(1000);
+    for i in 0..20u32 {
+        for j in (i + 1)..20 {
+            el.push(i, j, 0);
+        }
+    }
+    el.canonicalize();
+    el.assign_random_weights(3, 1000);
+    both_match_oracle(&el, 8);
+}
+
+#[test]
+fn long_path_crossing_every_partition() {
+    // A path is the maximum-cut-edge case for 1D partitioning chains.
+    both_match_oracle(&gen::path(2000, 5), 16);
+}
+
+#[test]
+fn two_cliques_joined_by_one_bridge() {
+    let mut a = gen::complete(30, 1).into_edges();
+    let b = gen::complete(30, 2);
+    for e in b.edges() {
+        a.push(WEdge::new(e.u + 30, e.v + 30, e.w));
+    }
+    a.push(WEdge::new(29, 30, 999_999)); // heavy bridge, still in MST
+    let el = EdgeList::from_raw(60, a);
+    let oracle = kruskal_msf(&el);
+    assert!(oracle.edges.contains(&WEdge::new(29, 30, 999_999)));
+    both_match_oracle(&el, 6);
+}
+
+#[test]
+fn degenerate_config_values() {
+    let el = gen::gnm(200, 800, 9);
+    let oracle = kruskal_msf(&el);
+    // Group size 1: every rank is its own leader; levels degenerate but
+    // must terminate.
+    let cfg = HyParConfig { group_size: 1, ..Default::default() };
+    let r = MndMstRunner::new(4).with_config(cfg).run(&el);
+    assert_eq!(r.msf, oracle);
+    // Group size larger than the cluster.
+    let cfg = HyParConfig { group_size: 64, ..Default::default() };
+    let r = MndMstRunner::new(4).with_config(cfg).run(&el);
+    assert_eq!(r.msf, oracle);
+    // Zero-improvement stop policy threshold (never stop early).
+    let cfg = HyParConfig {
+        stop: mnd::kernels::policy::StopPolicy::DiminishingBenefit { min_improvement: 0.0 },
+        ..Default::default()
+    };
+    let r = MndMstRunner::new(4).with_config(cfg).run(&el);
+    assert_eq!(r.msf, oracle);
+}
+
+#[test]
+fn tiny_ghost_phase_size_forces_many_phases() {
+    let el = gen::web_crawl(1500, 12_000, gen::CrawlParams::default(), 13);
+    let oracle = kruskal_msf(&el);
+    let mut runner = MndMstRunner::new(6);
+    runner.ghost_phase_size = 3; // pathological: tiny phases
+    let r = runner.run(&el);
+    assert_eq!(r.msf, oracle);
+}
+
+#[test]
+fn bsp_with_all_optimisations_off() {
+    let el = gen::gnm(300, 1500, 15);
+    let oracle = kruskal_msf(&el);
+    let cfg = BspConfig {
+        combine: false,
+        mirror_threshold: None,
+        partitioning: mnd::pregel::framework::BspPartitioning::Range1D,
+        ..Default::default()
+    };
+    let r = pregel_msf(&el, 5, &NodePlatform::amd_cluster(), &cfg);
+    assert_eq!(r.msf, oracle);
+}
+
+#[test]
+fn weights_all_equal_distributed_ties() {
+    let mut el = gen::rmat(256, 2048, gen::RmatProbs::MILD, 17);
+    el.assign_random_weights(1, 1); // all weight 1: pure tie-breaking
+    both_match_oracle(&el, 7);
+}
