@@ -82,7 +82,10 @@ fn bench_group_sizes(c: &mut Criterion) {
     for gs in [2usize, 4, 8, 16] {
         grp.bench_with_input(BenchmarkId::from_parameter(gs), &gs, |b, &gs| {
             b.iter(|| {
-                let config = HyParConfig { group_size: gs, ..cfg() };
+                let config = HyParConfig {
+                    group_size: gs,
+                    ..cfg()
+                };
                 MndMstRunner::new(16).with_config(config).run(&el)
             })
         });
@@ -90,5 +93,11 @@ fn bench_group_sizes(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench_table3, bench_scaling, bench_hybrid, bench_group_sizes);
+criterion_group!(
+    benches,
+    bench_table3,
+    bench_scaling,
+    bench_hybrid,
+    bench_group_sizes
+);
 criterion_main!(benches);

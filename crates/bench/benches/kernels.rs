@@ -66,7 +66,12 @@ fn bench_reductions(c: &mut Criterion) {
     // Pre-contract so reductions have self/multi edges to chew on.
     let contracted = {
         let mut cg = CGraph::from_partition(&g, range);
-        local_boruvka(&mut cg, ExcpCond::BorderEdge, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        local_boruvka(
+            &mut cg,
+            ExcpCond::BorderEdge,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         cg
     };
     let mut grp = c.benchmark_group("merge_reductions");
@@ -117,9 +122,7 @@ fn bench_partitioning(c: &mut Criterion) {
     let g = CsrGraph::from_edge_list(&el);
     let mut grp = c.benchmark_group("partitioning");
     grp.sample_size(30);
-    grp.bench_function("csr_build", |b| {
-        b.iter(|| CsrGraph::from_edge_list(&el))
-    });
+    grp.bench_function("csr_build", |b| b.iter(|| CsrGraph::from_edge_list(&el)));
     grp.bench_function("partition_1d_x16", |b| {
         b.iter(|| mnd_graph::partition_1d(&g, 16, 0.0))
     });

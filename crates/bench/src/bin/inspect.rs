@@ -26,10 +26,17 @@ fn main() {
         }
     }
     let Some(preset) = Preset::from_name(&name) else {
-        eprintln!("unknown preset {name:?}; one of: {}", Preset::ALL.map(|p| p.name()).join(" "));
+        eprintln!(
+            "unknown preset {name:?}; one of: {}",
+            Preset::ALL.map(|p| p.name()).join(" ")
+        );
         std::process::exit(1);
     };
-    let ctx = ExpContext { scale, seed: 42, verify: true };
+    let ctx = ExpContext {
+        scale,
+        seed: 42,
+        verify: true,
+    };
     let el = ctx.graph(preset);
     println!(
         "{name} @1/{scale}: V={} E={} cut@{nodes}={:.0}%",
@@ -37,7 +44,11 @@ fn main() {
         el.len(),
         100.0 * mnd_graph::gen::cut_fraction(&el, nodes as u32)
     );
-    let platform = if gpu { NodePlatform::cray_xc40(true) } else { NodePlatform::amd_cluster() };
+    let platform = if gpu {
+        NodePlatform::cray_xc40(true)
+    } else {
+        NodePlatform::amd_cluster()
+    };
     let r = run_mnd(&ctx, &el, nodes, platform, ctx.hypar());
     println!(
         "total={:.3}s comm(max)={:.3}s levels={} ring-rounds={} max-holding={}MB",

@@ -25,19 +25,29 @@ fn main() {
                 csv_dir = Some(it.next().expect("--csv DIR").into());
             }
             "--scale" => {
-                ctx.scale = it.next().expect("--scale N").parse().expect("numeric scale");
+                ctx.scale = it
+                    .next()
+                    .expect("--scale N")
+                    .parse()
+                    .expect("numeric scale");
             }
             "--seed" => {
                 ctx.seed = it.next().expect("--seed S").parse().expect("numeric seed");
             }
             "--nodes" => {
-                nranks = it.next().expect("--nodes N").parse().expect("numeric nodes");
+                nranks = it
+                    .next()
+                    .expect("--nodes N")
+                    .parse()
+                    .expect("numeric nodes");
             }
             "--no-verify" => ctx.verify = false,
             "--help" | "-h" => {
                 println!("usage: repro [--scale N] [--seed S] [--nodes N] [--no-verify] [--csv DIR] <exp>...");
                 println!("experiments: all table2 table3 table4 fig4 fig5 fig6 fig7 fig8");
-                println!("             ablation-group ablation-excp ablation-thresh ablation-locality");
+                println!(
+                    "             ablation-group ablation-excp ablation-thresh ablation-locality"
+                );
                 println!("             ablation-weights ablation-network calibration");
                 return;
             }
@@ -70,7 +80,15 @@ fn main() {
         emit(
             "table2",
             "Table 2: graph stand-ins (scaled 1/N of the paper's graphs)",
-            &["graph", "|V|", "|E|", "avg deg", "max deg", "diam", "paper avg deg"],
+            &[
+                "graph",
+                "|V|",
+                "|E|",
+                "avg deg",
+                "max deg",
+                "diam",
+                "paper avg deg",
+            ],
             &rows
                 .iter()
                 .map(|r| {
@@ -93,7 +111,15 @@ fn main() {
         emit(
             "table3",
             &format!("Table 3: Pregel+ vs MND-MST ({nranks} nodes, CPU only)"),
-            &["graph", "Pregel+ exe", "Pregel+ comm", "MND exe", "MND comm", "improv", "comm red"],
+            &[
+                "graph",
+                "Pregel+ exe",
+                "Pregel+ comm",
+                "MND exe",
+                "MND comm",
+                "improv",
+                "comm red",
+            ],
             &rows
                 .iter()
                 .map(|r| {
@@ -223,12 +249,30 @@ fn main() {
     }
 
     for (name, rows) in [
-        ("ablation-group", want("ablation-group").then(|| ablation_group(&ctx, nranks))),
-        ("ablation-excp", want("ablation-excp").then(|| ablation_excp(&ctx, nranks))),
-        ("ablation-thresh", want("ablation-thresh").then(|| ablation_thresh(&ctx, nranks))),
-        ("ablation-locality", want("ablation-locality").then(|| ablation_locality(&ctx, nranks))),
-        ("ablation-weights", want("ablation-weights").then(|| ablation_weights(&ctx, nranks))),
-        ("ablation-network", want("ablation-network").then(|| ablation_network(&ctx, nranks))),
+        (
+            "ablation-group",
+            want("ablation-group").then(|| ablation_group(&ctx, nranks)),
+        ),
+        (
+            "ablation-excp",
+            want("ablation-excp").then(|| ablation_excp(&ctx, nranks)),
+        ),
+        (
+            "ablation-thresh",
+            want("ablation-thresh").then(|| ablation_thresh(&ctx, nranks)),
+        ),
+        (
+            "ablation-locality",
+            want("ablation-locality").then(|| ablation_locality(&ctx, nranks)),
+        ),
+        (
+            "ablation-weights",
+            want("ablation-weights").then(|| ablation_weights(&ctx, nranks)),
+        ),
+        (
+            "ablation-network",
+            want("ablation-network").then(|| ablation_network(&ctx, nranks)),
+        ),
     ] {
         if let Some(rows) = rows {
             emit(
@@ -238,7 +282,12 @@ fn main() {
                 &rows
                     .iter()
                     .map(|r| {
-                        vec![r.variant.clone(), secs(r.exe), secs(r.comm), r.rounds.to_string()]
+                        vec![
+                            r.variant.clone(),
+                            secs(r.exe),
+                            secs(r.comm),
+                            r.rounds.to_string(),
+                        ]
                     })
                     .collect::<Vec<_>>(),
             );

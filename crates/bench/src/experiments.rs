@@ -26,7 +26,11 @@ pub struct ExpContext {
 
 impl Default for ExpContext {
     fn default() -> Self {
-        ExpContext { scale: crate::DEFAULT_SCALE, seed: 42, verify: true }
+        ExpContext {
+            scale: crate::DEFAULT_SCALE,
+            seed: 42,
+            verify: true,
+        }
     }
 }
 
@@ -207,7 +211,12 @@ pub fn table4(ctx: &ExpContext) -> Vec<ScalingRow> {
         let el = ctx.graph(p);
         for nodes in NODE_COUNTS {
             let mnd = run_mnd(ctx, &el, nodes, NodePlatform::amd_cluster(), ctx.hypar());
-            rows.push(ScalingRow { graph: p.name(), nodes, mnd_exe: mnd.total_time, pregel_exe: None });
+            rows.push(ScalingRow {
+                graph: p.name(),
+                nodes,
+                mnd_exe: mnd.total_time,
+                pregel_exe: None,
+            });
         }
     }
     rows
@@ -319,7 +328,12 @@ pub fn fig6(ctx: &ExpContext) -> Vec<ScalingRow> {
                 continue; // would not fit, like sk-2005/uk-2007 on 1 node
             }
             let mnd = run_mnd(ctx, &el, nodes, platform.clone(), ctx.hypar());
-            rows.push(ScalingRow { graph: p.name(), nodes, mnd_exe: mnd.total_time, pregel_exe: None });
+            rows.push(ScalingRow {
+                graph: p.name(),
+                nodes,
+                mnd_exe: mnd.total_time,
+                pregel_exe: None,
+            });
         }
     }
     rows
@@ -444,7 +458,10 @@ pub fn ablation_group(ctx: &ExpContext, nranks: usize) -> Vec<AblationRow> {
     [2usize, 4, 8, 16]
         .iter()
         .map(|&gs| {
-            let cfg = HyParConfig { group_size: gs, ..ctx.hypar() };
+            let cfg = HyParConfig {
+                group_size: gs,
+                ..ctx.hypar()
+            };
             let r = run_mnd(ctx, &el, nranks, NodePlatform::amd_cluster(), cfg);
             AblationRow {
                 variant: format!("group_size={gs}"),
@@ -461,14 +478,30 @@ pub fn ablation_group(ctx: &ExpContext, nranks: usize) -> Vec<AblationRow> {
 pub fn ablation_excp(ctx: &ExpContext, nranks: usize) -> Vec<AblationRow> {
     let el = ctx.graph(Preset::Arabic2005);
     let variants: [(&str, ExcpCond, FreezePolicy); 3] = [
-        ("border-edge/sticky", ExcpCond::BorderEdge, FreezePolicy::Sticky),
-        ("border-edge/recheck", ExcpCond::BorderEdge, FreezePolicy::Recheck),
-        ("border-vertex/sticky", ExcpCond::BorderVertex, FreezePolicy::Sticky),
+        (
+            "border-edge/sticky",
+            ExcpCond::BorderEdge,
+            FreezePolicy::Sticky,
+        ),
+        (
+            "border-edge/recheck",
+            ExcpCond::BorderEdge,
+            FreezePolicy::Recheck,
+        ),
+        (
+            "border-vertex/sticky",
+            ExcpCond::BorderVertex,
+            FreezePolicy::Sticky,
+        ),
     ];
     variants
         .iter()
         .map(|&(name, excp, freeze)| {
-            let cfg = HyParConfig { excp, freeze, ..ctx.hypar() };
+            let cfg = HyParConfig {
+                excp,
+                freeze,
+                ..ctx.hypar()
+            };
             let r = run_mnd(ctx, &el, nranks, NodePlatform::amd_cluster(), cfg);
             AblationRow {
                 variant: name.to_string(),
@@ -486,10 +519,18 @@ pub fn ablation_thresh(ctx: &ExpContext, nranks: usize) -> Vec<AblationRow> {
     let el = ctx.graph(Preset::Arabic2005);
     let mut rows = Vec::new();
     for (name, stop) in [
-        ("stop=diminishing(5%)", StopPolicy::DiminishingBenefit { min_improvement: 0.05 }),
+        (
+            "stop=diminishing(5%)",
+            StopPolicy::DiminishingBenefit {
+                min_improvement: 0.05,
+            },
+        ),
         ("stop=exhaustive", StopPolicy::Exhaustive),
     ] {
-        let cfg = HyParConfig { stop, ..ctx.hypar() };
+        let cfg = HyParConfig {
+            stop,
+            ..ctx.hypar()
+        };
         let r = run_mnd(ctx, &el, nranks, NodePlatform::amd_cluster(), cfg);
         rows.push(AblationRow {
             variant: name.to_string(),
@@ -503,7 +544,10 @@ pub fn ablation_thresh(ctx: &ExpContext, nranks: usize) -> Vec<AblationRow> {
         ("recursion=off", u64::MAX),
         ("recursion=always", 1),
     ] {
-        let cfg = HyParConfig { recursion_edge_threshold: threshold, ..ctx.hypar() };
+        let cfg = HyParConfig {
+            recursion_edge_threshold: threshold,
+            ..ctx.hypar()
+        };
         let r = run_mnd(ctx, &el, nranks, NodePlatform::amd_cluster(), cfg);
         rows.push(AblationRow {
             variant: name.to_string(),
@@ -517,7 +561,11 @@ pub fn ablation_thresh(ctx: &ExpContext, nranks: usize) -> Vec<AblationRow> {
         ("bsp no-mirror", true, None),
         ("bsp no-combine", false, Some(128)),
     ] {
-        let bsp_cfg = BspConfig { combine, mirror_threshold: mirror, ..ctx.bsp() };
+        let bsp_cfg = BspConfig {
+            combine,
+            mirror_threshold: mirror,
+            ..ctx.bsp()
+        };
         let r = pregel_msf(&el, nranks, &NodePlatform::amd_cluster(), &bsp_cfg);
         ctx.check_bsp(&el, &r, name);
         rows.push(AblationRow {
@@ -568,21 +616,25 @@ pub fn ablation_locality(ctx: &ExpContext, nranks: usize) -> Vec<AblationRow> {
     let base = ctx.graph(Preset::Arabic2005);
     let scrambled = scramble_ids(&base, ctx.seed ^ 0xBEEF);
     let restored = bfs_relabel(&scrambled);
-    [("natural order", &base), ("scrambled ids", &scrambled), ("bfs-relabelled", &restored)]
-        .into_iter()
-        .map(|(name, el)| {
-            let r = run_mnd(ctx, el, nranks, NodePlatform::amd_cluster(), ctx.hypar());
-            AblationRow {
-                variant: format!(
-                    "{name} (cut@{nranks}: {:.0}%)",
-                    100.0 * mnd_graph::gen::cut_fraction(el, nranks as u32)
-                ),
-                exe: r.total_time,
-                comm: r.comm_time,
-                rounds: r.exchange_rounds,
-            }
-        })
-        .collect()
+    [
+        ("natural order", &base),
+        ("scrambled ids", &scrambled),
+        ("bfs-relabelled", &restored),
+    ]
+    .into_iter()
+    .map(|(name, el)| {
+        let r = run_mnd(ctx, el, nranks, NodePlatform::amd_cluster(), ctx.hypar());
+        AblationRow {
+            variant: format!(
+                "{name} (cut@{nranks}: {:.0}%)",
+                100.0 * mnd_graph::gen::cut_fraction(el, nranks as u32)
+            ),
+            exe: r.total_time,
+            comm: r.comm_time,
+            rounds: r.exchange_rounds,
+        }
+    })
+    .collect()
 }
 
 /// Interconnect sensitivity: the same MND-MST run over Ethernet, Aries,
@@ -598,7 +650,10 @@ pub fn ablation_network(ctx: &ExpContext, nranks: usize) -> Vec<AblationRow> {
         byte_scale: 1.0,
     };
     [
-        ("gigabit ethernet (AMD cluster)", CostModel::default_cluster()),
+        (
+            "gigabit ethernet (AMD cluster)",
+            CostModel::default_cluster(),
+        ),
         ("cray aries", CostModel::cray_aries()),
         ("10x degraded network", slow),
     ]
@@ -664,7 +719,11 @@ mod tests {
     /// Experiments at a heavy scale divisor finish quickly and stay
     /// oracle-correct (full-scale runs are exercised by the repro binary).
     fn tiny() -> ExpContext {
-        ExpContext { scale: 65536, seed: 7, verify: true }
+        ExpContext {
+            scale: 65536,
+            seed: 7,
+            verify: true,
+        }
     }
 
     #[test]

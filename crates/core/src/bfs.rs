@@ -65,7 +65,7 @@ pub fn distributed_bfs(
             dist = Some(d.clone());
         }
         rounds = rounds.max(*r);
-        rank_stats.push(o.stats);
+        rank_stats.push(o.stats.clone());
     }
     let comm_time = rank_stats.iter().map(|s| s.comm_time).fold(0.0, f64::max);
     BfsReport {
@@ -153,7 +153,10 @@ fn rank_bfs(
 
     // Gather distances at rank 0 (range order = vertex order).
     let gathered = comm.gather_vec(0, dist);
-    (gathered.map(|parts| parts.into_iter().flatten().collect()), rounds)
+    (
+        gathered.map(|parts| parts.into_iter().flatten().collect()),
+        rounds,
+    )
 }
 
 #[cfg(test)]
@@ -175,7 +178,10 @@ mod tests {
             (gen::path(50, 1), "path"),
             (gen::cycle(40, 2), "cycle"),
             (gen::gnm(300, 1200, 3), "gnm"),
-            (gen::web_crawl(500, 4000, gen::CrawlParams::default(), 4), "crawl"),
+            (
+                gen::web_crawl(500, 4000, gen::CrawlParams::default(), 4),
+                "crawl",
+            ),
             (gen::road_grid(15, 15, 0.02, 0.38, 5), "road"),
         ] {
             for nranks in [1, 3, 5] {
@@ -207,7 +213,11 @@ mod tests {
         // level count a BSP BFS would need).
         let el = gen::path(1000, 9);
         let r = check(&el, 0, 4);
-        assert!(r.rounds <= 6, "rounds {} should be ~crossings, not levels", r.rounds);
+        assert!(
+            r.rounds <= 6,
+            "rounds {} should be ~crossings, not levels",
+            r.rounds
+        );
     }
 
     #[test]

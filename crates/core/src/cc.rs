@@ -52,9 +52,7 @@ pub fn distributed_components(el: &EdgeList, runner: &MndMstRunner) -> CcReport 
             parent[hi as usize] = lo;
         }
     }
-    let labels: Vec<VertexId> = (0..n as VertexId)
-        .map(|v| find(&mut parent, v))
-        .collect();
+    let labels: Vec<VertexId> = (0..n as VertexId).map(|v| find(&mut parent, v)).collect();
     CcReport {
         num_components: report.msf.num_components,
         labels,
@@ -78,11 +76,8 @@ mod tests {
 
     #[test]
     fn matches_bfs_labels_on_disconnected_graphs() {
-        let u = gen::disconnected_union(&[
-            gen::path(30, 1),
-            gen::cycle(25, 2),
-            gen::gnm(100, 250, 3),
-        ]);
+        let u =
+            gen::disconnected_union(&[gen::path(30, 1), gen::cycle(25, 2), gen::gnm(100, 250, 3)]);
         check(&u, 4);
     }
 

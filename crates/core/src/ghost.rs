@@ -35,7 +35,10 @@ pub struct GhostDirectory {
 impl GhostDirectory {
     /// Seeds the directory from the level-0 partition.
     pub fn from_ranges(ranges: Vec<VertexRange>) -> Self {
-        GhostDirectory { ranges, moved: HashMap::new() }
+        GhostDirectory {
+            ranges,
+            moved: HashMap::new(),
+        }
     }
 
     /// Current owner of component `c`.
@@ -98,10 +101,13 @@ pub fn relabel_buckets(
     }
     // For every edge touching a renamed component, the ghost endpoint's
     // owner needs all (old, new) pairs of that component.
-    let mut seen: std::collections::HashSet<(u32, CompId, CompId)> = std::collections::HashSet::new();
-    for e in cg.edges() {
+    let mut seen: std::collections::HashSet<(u32, CompId, CompId)> =
+        std::collections::HashSet::new();
+    for e in cg.iter_edges() {
         for (this_end, other_end) in [(e.a, e.b), (e.b, e.a)] {
-            let Some(olds) = renames_into.get(&this_end) else { continue };
+            let Some(olds) = renames_into.get(&this_end) else {
+                continue;
+            };
             if cg.is_resident(other_end) {
                 continue; // neighbour lives here: already renamed locally
             }
@@ -127,7 +133,10 @@ mod tests {
 
     fn ranges4() -> Vec<VertexRange> {
         (0..4)
-            .map(|i| VertexRange { start: i * 10, end: (i + 1) * 10 })
+            .map(|i| VertexRange {
+                start: i * 10,
+                end: (i + 1) * 10,
+            })
             .collect()
     }
 

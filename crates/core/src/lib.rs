@@ -39,6 +39,7 @@
 pub mod bfs;
 pub mod cc;
 pub mod ghost;
+pub mod phases;
 pub mod result;
 pub mod runner;
 pub mod segment;

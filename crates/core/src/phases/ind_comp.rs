@@ -1,0 +1,62 @@
+//! The independent-computation phase (§3.2 / §4.1.2): device kernel runs
+//! with recursion (§4.3.3), each followed by a [`MergeParts`] pass.
+
+use mnd_hypar::api::ind_comp;
+use mnd_hypar::observe::PhaseKind;
+use mnd_hypar::runtime::should_recurse;
+
+use crate::phases::{MergeParts, Phase, RankCtx};
+
+/// One *computation step*: `indComp` on the node's device(s), ghost-parent
+/// exchange, self/multi-edge reduction — repeated while the global maximum
+/// reduced size stays over the recursion threshold and progress continues.
+/// Called in lockstep by every rank; empty holdings make every part a
+/// no-op.
+#[derive(Debug, Default)]
+pub struct IndComp {
+    merge: MergeParts,
+}
+
+impl IndComp {
+    /// A computation step with a fresh `mergeParts` stage.
+    pub fn new() -> Self {
+        IndComp::default()
+    }
+}
+
+impl Phase for IndComp {
+    fn kind(&self) -> PhaseKind {
+        PhaseKind::IndComp
+    }
+
+    fn run(&mut self, cx: &mut RankCtx<'_>) {
+        for _round in 0..cx.runner.max_recursion_rounds.max(1) {
+            // Independent computations on the node's device(s).
+            let unions = cx.observed(PhaseKind::IndComp, |cx| {
+                let runner = cx.runner;
+                let run = ind_comp(&mut cx.cg, &runner.platform, &cx.split, &runner.config);
+                cx.comm.compute(run.compute_time + run.transfer_time);
+                cx.msf_local.extend(run.msf_edges.iter().copied());
+                self.merge.relabel = run.relabel;
+                run.msf_edges.len() as u64
+            });
+
+            // Ghost-parent exchange + reduction (§3.3).
+            self.merge.run(cx);
+
+            // Global recursion decision (§4.3.3): recurse while any rank's
+            // reduced holding is still over the threshold AND any rank made
+            // progress (otherwise another round cannot contract more).
+            let (max_edges, total_unions) = cx.observed(PhaseKind::IndComp, |cx| {
+                (
+                    cx.comm.allreduce_u64(cx.cg.num_edges() as u64, u64::max),
+                    cx.comm.allreduce_u64(unions, |a, b| a + b),
+                )
+            });
+            if total_unions == 0 || !should_recurse(cx.cfg(), max_edges) {
+                break;
+            }
+        }
+        cx.note_holding();
+    }
+}

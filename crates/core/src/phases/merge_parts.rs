@@ -1,0 +1,49 @@
+//! The `mergeParts` phase (§3.3): ghost-parent exchange plus self/multi-edge
+//! reduction, applied after every independent computation.
+
+use mnd_hypar::observe::PhaseKind;
+use mnd_kernels::cgraph::CompId;
+use mnd_kernels::reduce::{apply_ghost_parents, ghost_parent_message, reduce_holding};
+
+use crate::ghost::relabel_buckets;
+use crate::phases::{Phase, RankCtx};
+
+/// Consumes the relabels of the preceding `indComp` (stored in
+/// [`MergeParts::relabel`] by the caller), exchanges ghost parents, and
+/// reduces the holding in place.
+#[derive(Debug, Default)]
+pub struct MergeParts {
+    /// `(old, new)` component renames produced by the last kernel run;
+    /// taken (and normalised in place) when the phase executes.
+    pub relabel: Vec<(CompId, CompId)>,
+}
+
+impl Phase for MergeParts {
+    fn kind(&self) -> PhaseKind {
+        PhaseKind::MergeParts
+    }
+
+    fn run(&mut self, cx: &mut RankCtx<'_>) {
+        let mut relabel = std::mem::take(&mut self.relabel);
+        cx.observed(PhaseKind::MergeParts, |cx| {
+            let comm = cx.comm;
+            // Normalise the outgoing ghost-parent message in place (the
+            // device results may repeat pairs; §3.3 sends each once).
+            ghost_parent_message(&mut relabel);
+
+            let buckets = relabel_buckets(&cx.cg, &relabel, &cx.dir, comm.rank(), comm.size());
+            let received = comm.alltoallv_phased(buckets, cx.runner.ghost_phase_size);
+            cx.dir.apply_relabels(&relabel);
+            for pairs in &received {
+                if !pairs.is_empty() {
+                    apply_ghost_parents(&mut cx.cg, pairs);
+                    cx.dir.apply_relabels(pairs);
+                }
+            }
+
+            // Reduce: self-edge removal + multi-edge removal, in place.
+            let stats = reduce_holding(&mut cx.cg);
+            comm.compute(cx.runner.sweep_seconds(stats.edges_before));
+        });
+    }
+}

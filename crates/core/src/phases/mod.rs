@@ -1,0 +1,187 @@
+//! The driver pipeline, decomposed into phases.
+//!
+//! `rank_main` used to be one 500-line function; it is now a sequence of
+//! [`Phase`] objects sharing a [`RankCtx`]:
+//!
+//! ```text
+//! Partition -> IndComp -> HierMerge -> PostProcess
+//!                 |           |
+//!                 +-- MergeParts (ghost exchange + reduction; also run
+//!                     by HierMerge's collaborative-merging rounds)
+//! ```
+//!
+//! Every phase boundary reports a [`PhaseSample`] (simulated time and
+//! traffic deltas) through two sinks: the driver's own
+//! [`PhaseTimesRecorder`] — which produces the `PhaseTimes` in
+//! [`crate::result::MndMstReport`] — and the user hook configured on
+//! [`mnd_hypar::HyParConfig::observer`]. Both see identical samples, so an
+//! external observer can rebuild the report's breakdown (or a finer one:
+//! samples carry the merge level).
+
+mod hier_merge;
+mod ind_comp;
+mod merge_parts;
+mod partition;
+mod post_process;
+
+pub use hier_merge::HierMerge;
+pub use ind_comp::IndComp;
+pub use merge_parts::MergeParts;
+pub use partition::Partition;
+pub use post_process::PostProcess;
+
+use std::sync::Mutex;
+
+use mnd_device::DeviceSplit;
+use mnd_graph::types::WEdge;
+use mnd_graph::{CsrGraph, EdgeList};
+use mnd_hypar::observe::{PhaseKind, PhaseObserver, PhaseSample};
+use mnd_hypar::HyParConfig;
+use mnd_kernels::cgraph::CGraph;
+use mnd_kernels::msf::MsfResult;
+use mnd_net::Comm;
+
+use crate::ghost::GhostDirectory;
+use crate::result::PhaseTimes;
+use crate::runner::{MndMstRunner, RankResult};
+
+/// One stage of the per-rank pipeline. Phases mutate the shared [`RankCtx`]
+/// and report their cost through [`RankCtx::observed`].
+pub trait Phase {
+    /// The observation kind this phase reports under.
+    fn kind(&self) -> PhaseKind;
+    /// Executes the phase (in lockstep across ranks — every phase runs on
+    /// every rank, with empty holdings making the work a no-op).
+    fn run(&mut self, cx: &mut RankCtx<'_>);
+}
+
+/// Folds phase samples into the report's four-bucket [`PhaseTimes`]:
+/// `indComp` compute stands alone, partition/merge/hierarchy compute is
+/// merge-side work, post-processing stands alone. (Communication time is
+/// taken from the rank's total stats by the report assembler, matching the
+/// paper's Figure 7 where "comm" is the fourth bar segment.)
+pub struct PhaseTimesRecorder(Mutex<PhaseTimes>);
+
+impl PhaseTimesRecorder {
+    fn new() -> Self {
+        PhaseTimesRecorder(Mutex::new(PhaseTimes::default()))
+    }
+
+    fn snapshot(&self) -> PhaseTimes {
+        *self.0.lock().expect("recorder poisoned")
+    }
+}
+
+impl PhaseObserver for PhaseTimesRecorder {
+    fn on_phase(&self, kind: PhaseKind, sample: &PhaseSample) {
+        let mut t = self.0.lock().expect("recorder poisoned");
+        match kind {
+            PhaseKind::IndComp => t.ind_comp += sample.compute_time,
+            PhaseKind::Partition | PhaseKind::MergeParts | PhaseKind::HierMerge => {
+                t.merge += sample.compute_time
+            }
+            PhaseKind::PostProcess => t.post_process += sample.compute_time,
+        }
+    }
+}
+
+/// Everything a rank's phases share: the immutable run inputs, the evolving
+/// holding + ghost directory, accumulated outputs, and the observation
+/// plumbing.
+pub struct RankCtx<'a> {
+    /// The runner (configuration, platform, cost helpers).
+    pub runner: &'a MndMstRunner,
+    /// This rank's communicator.
+    pub comm: &'a Comm,
+    /// The input graph in CSR form (shared, read-only).
+    pub csr: &'a CsrGraph,
+    /// The input edge list (shared, read-only).
+    pub el: &'a EdgeList,
+    /// The rank's current holding.
+    pub cg: CGraph,
+    /// Component → owner directory.
+    pub dir: GhostDirectory,
+    /// Calibrated intra-node device split.
+    pub split: DeviceSplit,
+    /// MSF edges contracted by this rank so far.
+    pub msf_local: Vec<WEdge>,
+    /// The final forest (set on the gathering rank by [`PostProcess`]).
+    pub msf: Option<MsfResult>,
+    /// Hierarchical-merge levels completed (= current level for samples).
+    pub levels: usize,
+    /// Ring-exchange rounds executed.
+    pub exchange_rounds: usize,
+    /// Largest paper-scale holding seen.
+    pub max_holding_bytes: u64,
+    recorder: PhaseTimesRecorder,
+}
+
+impl<'a> RankCtx<'a> {
+    /// Fresh context at rank start; [`Partition`] populates the holding.
+    pub fn new(
+        runner: &'a MndMstRunner,
+        comm: &'a Comm,
+        csr: &'a CsrGraph,
+        el: &'a EdgeList,
+    ) -> Self {
+        RankCtx {
+            runner,
+            comm,
+            csr,
+            el,
+            cg: CGraph::new(),
+            dir: GhostDirectory::default(),
+            split: DeviceSplit::cpu_only(),
+            msf_local: Vec::new(),
+            msf: None,
+            levels: 0,
+            exchange_rounds: 0,
+            max_holding_bytes: 0,
+            recorder: PhaseTimesRecorder::new(),
+        }
+    }
+
+    /// The HyPar configuration.
+    #[inline]
+    pub fn cfg(&self) -> &'a HyParConfig {
+        &self.runner.config
+    }
+
+    /// Runs `f` and attributes its simulated time/traffic delta to `kind`:
+    /// the rank's stats are snapshotted around the call and the difference
+    /// is emitted to the internal recorder and the configured observer.
+    pub fn observed<R>(&mut self, kind: PhaseKind, f: impl FnOnce(&mut Self) -> R) -> R {
+        let before = self.comm.stats();
+        let out = f(self);
+        let delta = self.comm.stats().delta_since(&before);
+        let sample = PhaseSample {
+            rank: self.comm.rank() as u32,
+            level: self.levels as u32,
+            compute_time: delta.compute_time,
+            comm_time: delta.comm_time,
+            bytes_sent: delta.bytes_sent,
+            messages_sent: delta.messages_sent,
+        };
+        self.recorder.on_phase(kind, &sample);
+        self.runner.config.observer.emit(kind, &sample);
+        out
+    }
+
+    /// Updates the high-water mark of holding memory.
+    pub fn note_holding(&mut self) {
+        self.max_holding_bytes = self
+            .max_holding_bytes
+            .max(self.runner.paper_bytes(&self.cg));
+    }
+
+    /// Finishes the rank: packages outputs plus the recorded phase times.
+    pub(crate) fn into_result(self) -> RankResult {
+        RankResult {
+            msf: self.msf,
+            phases: self.recorder.snapshot(),
+            levels: self.levels,
+            exchange_rounds: self.exchange_rounds,
+            max_holding_bytes: self.max_holding_bytes,
+        }
+    }
+}

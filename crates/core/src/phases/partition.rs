@@ -1,0 +1,98 @@
+//! The partitioning phase (§3.1): degree exchange, 1D cuts, device
+//! calibration, holding construction, and the ghost-information exchange.
+
+use mnd_graph::partition::partition_1d_by_degrees;
+use mnd_hypar::api::part_graph;
+use mnd_hypar::observe::PhaseKind;
+use mnd_kernels::cgraph::{CGraph, CompId};
+
+use crate::ghost::GhostDirectory;
+use crate::phases::{Phase, RankCtx};
+
+/// `partGraph`: leaves the context with a level-0 holding, a seeded ghost
+/// directory, and the calibrated CPU/GPU split.
+#[derive(Debug, Default)]
+pub struct Partition;
+
+impl Phase for Partition {
+    fn kind(&self) -> PhaseKind {
+        PhaseKind::Partition
+    }
+
+    fn run(&mut self, cx: &mut RankCtx<'_>) {
+        cx.observed(PhaseKind::Partition, |cx| {
+            let comm = cx.comm;
+            let runner = cx.runner;
+            let cfg = cx.cfg();
+            let me = comm.rank();
+            let p = comm.size();
+
+            // Gemini-style slice read + degree allreduce + 1D cuts.
+            let m_edges = cx.el.len();
+            let lo = me * m_edges / p;
+            let hi = (me + 1) * m_edges / p;
+            let mut partial = vec![0u64; cx.el.num_vertices() as usize];
+            for e in &cx.el.edges()[lo..hi] {
+                partial[e.u as usize] += 1;
+                partial[e.v as usize] += 1;
+            }
+            comm.compute(runner.sweep_seconds((hi - lo) as u64));
+            let degrees = comm.allreduce_vec_u64(partial, |a, b| a + b);
+            let ranges = partition_1d_by_degrees(&degrees, p, 0.0);
+            let my_range = ranges[me];
+
+            // Intra-node device split (§4.3.1), calibrated on the local
+            // partition's induced subgraph.
+            cx.split = if runner.platform.is_hybrid() {
+                let keep: Vec<u32> = my_range.iter().collect();
+                let local = cx.csr.induced_subgraph(&keep);
+                let part = part_graph(&local, 1, &runner.platform, cfg);
+                // Calibration runs 5-10 small kernels on both devices;
+                // charge a sweep over the sampled edges.
+                let sampled = (local.num_undirected_edges() as f64
+                    * cfg.calibration_frac
+                    * cfg.calibration_samples as f64) as u64;
+                comm.compute(runner.sweep_seconds(sampled));
+                part.split
+            } else {
+                mnd_device::DeviceSplit::cpu_only()
+            };
+
+            // Holding + ghost information.
+            cx.cg = CGraph::from_partition(cx.csr, my_range);
+            comm.compute(runner.sweep_seconds(cx.cg.num_edges() as u64));
+            cx.dir = GhostDirectory::from_ranges(ranges);
+            cx.note_holding();
+
+            // makeGhostInformation: exchange boundary vertex ids so every
+            // rank can build its ghostList hash table (§3.1). Our
+            // GhostDirectory derives owners from the ranges, so the payload
+            // itself is only used as a consistency check — but the exchange
+            // is performed for its (phased) communication cost, like the
+            // paper's.
+            let mut buckets: Vec<Vec<CompId>> = (0..p).map(|_| Vec::new()).collect();
+            for e in cx.cg.iter_edges() {
+                for (mine, ghost) in [(e.a, e.b), (e.b, e.a)] {
+                    if cx.cg.is_resident(mine) && !cx.cg.is_resident(ghost) {
+                        let owner = cx.dir.owner(ghost) as usize;
+                        if owner != me {
+                            buckets[owner].push(mine);
+                        }
+                    }
+                }
+            }
+            for b in &mut buckets {
+                b.sort_unstable();
+                b.dedup();
+            }
+            let received = comm.alltoallv_phased(buckets, runner.ghost_phase_size);
+            // Consistency: every vertex a neighbour reports as its boundary
+            // must be non-resident here and owned by that neighbour.
+            for (src, verts) in received.iter().enumerate() {
+                for &v in verts {
+                    debug_assert_eq!(cx.dir.owner(v) as usize, src, "ghost table mismatch");
+                }
+            }
+        });
+    }
+}

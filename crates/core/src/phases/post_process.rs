@@ -1,0 +1,47 @@
+//! The post-processing phase (§4.1.4): final whole-holding contraction on
+//! the last remaining rank, then the MSF gather.
+
+use mnd_graph::types::WEdge;
+use mnd_hypar::api::post_process;
+use mnd_hypar::observe::PhaseKind;
+use mnd_kernels::msf::MsfResult;
+
+use crate::phases::{Phase, RankCtx};
+
+/// Finishes the forest on the final rank and gathers it at rank 0 (always
+/// rank 0: leaders are first group members), setting [`RankCtx::msf`]
+/// there.
+#[derive(Debug, Default)]
+pub struct PostProcess;
+
+impl Phase for PostProcess {
+    fn kind(&self) -> PhaseKind {
+        PhaseKind::PostProcess
+    }
+
+    fn run(&mut self, cx: &mut RankCtx<'_>) {
+        cx.observed(PhaseKind::PostProcess, |cx| {
+            let comm = cx.comm;
+            let final_rank = 0usize;
+            if comm.rank() == final_rank && !cx.cg.is_empty() {
+                debug_assert_eq!(
+                    cx.cg.num_cut_edges(),
+                    0,
+                    "final holding must be self-contained"
+                );
+                let runner = cx.runner;
+                let (edges, t) = post_process(&mut cx.cg, &runner.platform, &runner.config);
+                comm.compute(t);
+                cx.msf_local.extend(edges);
+            }
+
+            // Gather the MSF at the final rank.
+            let msf_local = std::mem::take(&mut cx.msf_local);
+            let gathered = comm.gather_vec(final_rank, msf_local);
+            cx.msf = gathered.map(|parts| {
+                let all: Vec<WEdge> = parts.into_iter().flatten().collect();
+                MsfResult::from_edges(cx.el.num_vertices(), all)
+            });
+        });
+    }
+}

@@ -87,23 +87,52 @@ mod tests {
 
     #[test]
     fn phase_totals() {
-        let p = PhaseTimes { ind_comp: 1.0, merge: 0.5, post_process: 0.25, comm: 0.25 };
+        let p = PhaseTimes {
+            ind_comp: 1.0,
+            merge: 0.5,
+            post_process: 0.25,
+            comm: 0.25,
+        };
         assert_eq!(p.total(), 2.0);
     }
 
     #[test]
     fn report_aggregates() {
         let report = MndMstReport {
-            msf: MsfResult { edges: vec![], weight: 0, num_components: 1 },
+            msf: MsfResult {
+                edges: vec![],
+                weight: 0,
+                num_components: 1,
+            },
             total_time: 2.0,
             comm_time: 0.5,
             phases: vec![
-                PhaseTimes { ind_comp: 1.0, merge: 0.1, post_process: 0.0, comm: 0.2 },
-                PhaseTimes { ind_comp: 0.8, merge: 0.3, post_process: 0.5, comm: 0.1 },
+                PhaseTimes {
+                    ind_comp: 1.0,
+                    merge: 0.1,
+                    post_process: 0.0,
+                    comm: 0.2,
+                },
+                PhaseTimes {
+                    ind_comp: 0.8,
+                    merge: 0.3,
+                    post_process: 0.5,
+                    comm: 0.1,
+                },
             ],
             rank_stats: vec![
-                RankStats { compute_time: 1.0, comm_time: 1.0, bytes_sent: 10, ..Default::default() },
-                RankStats { compute_time: 3.0, comm_time: 1.0, bytes_sent: 20, ..Default::default() },
+                RankStats {
+                    compute_time: 1.0,
+                    comm_time: 1.0,
+                    bytes_sent: 10,
+                    ..Default::default()
+                },
+                RankStats {
+                    compute_time: 3.0,
+                    comm_time: 1.0,
+                    bytes_sent: 20,
+                    ..Default::default()
+                },
             ],
             levels: 2,
             exchange_rounds: 3,

@@ -1,10 +1,10 @@
 //! The distributed MND-MST driver (Algorithm 1 of the paper).
 //!
-//! One [`MndMstRunner::run`] call simulates a whole cluster execution:
-//! it spins up `nranks` rank threads over `mnd-net`, runs partitioning →
-//! independent computations → mergeParts → hierarchical merging →
-//! post-processing, and returns the global MSF together with simulated
-//! per-phase times.
+//! One [`MndMstRunner::run`] call simulates a whole cluster execution: it
+//! spins up `nranks` rank threads over `mnd-net` and runs the phase
+//! pipeline of [`crate::phases`] — partitioning → independent computations
+//! → mergeParts → hierarchical merging → post-processing — returning the
+//! global MSF together with simulated per-phase times.
 //!
 //! ## Lockstep discipline
 //!
@@ -19,25 +19,14 @@
 use std::sync::Arc;
 
 use mnd_device::NodePlatform;
-use mnd_graph::partition::partition_1d_by_degrees;
-use mnd_graph::types::WEdge;
 use mnd_graph::{CsrGraph, EdgeList};
-use mnd_hypar::api::{ind_comp, part_graph, post_process};
-use mnd_hypar::runtime::{should_recurse, ExchangeMonitor};
 use mnd_hypar::HyParConfig;
-use mnd_kernels::cgraph::{CGraph, CompId};
+use mnd_kernels::cgraph::CGraph;
 use mnd_kernels::msf::MsfResult;
-use mnd_kernels::reduce::{apply_ghost_parents, reduce_holding};
-use mnd_net::{Cluster, Comm, Group, Tag};
+use mnd_net::{Cluster, Comm};
 
-use crate::ghost::{relabel_buckets, GhostDirectory};
+use crate::phases::{HierMerge, IndComp, Partition, Phase, PostProcess, RankCtx};
 use crate::result::{MndMstReport, PhaseTimes};
-use crate::segment::{choose_segment, SegmentMsg};
-
-/// Ring-segment messages.
-const TAG_SEG: Tag = Tag::user(1);
-/// Whole-holding transfers to the group leader.
-const TAG_MERGE: Tag = Tag::user(2);
 
 /// Configuration + entry point for distributed runs.
 #[derive(Clone, Debug)]
@@ -112,7 +101,7 @@ impl MndMstRunner {
             let mut ph = r.phases;
             ph.comm = o.stats.comm_time;
             phases.push(ph);
-            rank_stats.push(o.stats);
+            rank_stats.push(o.stats.clone());
             levels = levels.max(r.levels);
             exchange_rounds = exchange_rounds.max(r.exchange_rounds);
             max_holding_bytes = max_holding_bytes.max(r.max_holding_bytes);
@@ -131,303 +120,38 @@ impl MndMstRunner {
         }
     }
 
+    /// The per-rank program: the phase pipeline over a shared context.
+    fn rank_main(&self, comm: &Comm, csr: &CsrGraph, el: &EdgeList) -> RankResult {
+        let mut cx = RankCtx::new(self, comm, csr, el);
+        let mut pipeline: [Box<dyn Phase>; 4] = [
+            Box::new(Partition),
+            Box::new(IndComp::new()),
+            Box::new(HierMerge::new()),
+            Box::new(PostProcess),
+        ];
+        for phase in pipeline.iter_mut() {
+            phase.run(&mut cx);
+        }
+        cx.into_result()
+    }
+
     /// Seconds a single linear sweep over `items` costs on this node's CPU
     /// (used to charge partitioning/reduction work).
-    fn sweep_seconds(&self, items: u64) -> f64 {
+    pub(crate) fn sweep_seconds(&self, items: u64) -> f64 {
         let m = &self.platform.cpu;
         items as f64 * self.config.sim_scale / (m.edge_throughput * m.efficiency)
     }
 
-    /// The per-rank program.
-    fn rank_main(&self, comm: &Comm, csr: &CsrGraph, el: &EdgeList) -> RankResult {
-        let me = comm.rank();
-        let p = comm.size();
-        let cfg = &self.config;
-        let mut phases = PhaseTimes::default();
-        let mut msf_local: Vec<WEdge> = Vec::new();
-
-        // ---- Partitioning (§3.1): Gemini-style slice read + degree
-        // allreduce + 1D cuts. ----
-        let m_edges = el.len();
-        let lo = me * m_edges / p;
-        let hi = (me + 1) * m_edges / p;
-        let mut partial = vec![0u64; el.num_vertices() as usize];
-        for e in &el.edges()[lo..hi] {
-            partial[e.u as usize] += 1;
-            partial[e.v as usize] += 1;
-        }
-        let t = self.sweep_seconds((hi - lo) as u64);
-        comm.compute(t);
-        phases.merge += t;
-        let degrees = comm.allreduce_vec_u64(partial, |a, b| a + b);
-        let ranges = partition_1d_by_degrees(&degrees, p, 0.0);
-        let my_range = ranges[me];
-
-        // Intra-node device split (§4.3.1), calibrated on the local
-        // partition's induced subgraph.
-        let split = if self.platform.is_hybrid() {
-            let keep: Vec<u32> = my_range.iter().collect();
-            let local = csr.induced_subgraph(&keep);
-            let part = part_graph(&local, 1, &self.platform, cfg);
-            // Calibration runs 5-10 small kernels on both devices; charge a
-            // sweep over the sampled edges.
-            let sampled = (local.num_undirected_edges() as f64
-                * cfg.calibration_frac
-                * cfg.calibration_samples as f64) as u64;
-            let t = self.sweep_seconds(sampled);
-            comm.compute(t);
-            phases.merge += t;
-            part.split
-        } else {
-            mnd_device::DeviceSplit::cpu_only()
-        };
-
-        // ---- Holding + ghost information. ----
-        let mut cg = CGraph::from_partition(csr, my_range);
-        let t = self.sweep_seconds(cg.edges().len() as u64);
-        comm.compute(t);
-        phases.merge += t;
-        let mut dir = GhostDirectory::from_ranges(ranges.clone());
-        let mut max_holding = self.paper_bytes(&cg);
-
-        // makeGhostInformation: exchange boundary vertex ids so every rank
-        // can build its ghostList hash table (§3.1). Our GhostDirectory
-        // derives owners from the ranges, so the payload itself is only
-        // used as a consistency check — but the exchange is performed for
-        // its (phased) communication cost, like the paper's.
-        {
-            let mut buckets: Vec<Vec<CompId>> = (0..p).map(|_| Vec::new()).collect();
-            for e in cg.edges() {
-                for (mine, ghost) in [(e.a, e.b), (e.b, e.a)] {
-                    if cg.is_resident(mine) && !cg.is_resident(ghost) {
-                        let owner = dir.owner(ghost) as usize;
-                        if owner != me {
-                            buckets[owner].push(mine);
-                        }
-                    }
-                }
-            }
-            for b in &mut buckets {
-                b.sort_unstable();
-                b.dedup();
-            }
-            let received = comm.alltoallv_phased(buckets, self.ghost_phase_size);
-            // Consistency: every vertex a neighbour reports as its boundary
-            // must be non-resident here and owned by that neighbour.
-            for (src, verts) in received.iter().enumerate() {
-                for &v in verts {
-                    debug_assert_eq!(dir.owner(v) as usize, src, "ghost table mismatch");
-                }
-            }
-        }
-
-        // ---- Level-0 computation. ----
-        let mut exchange_rounds = 0usize;
-        let mut levels = 0usize;
-        self.computation_step(comm, &mut cg, &mut dir, &split, &mut phases, &mut msf_local);
-        max_holding = max_holding.max(self.paper_bytes(&cg));
-
-        // ---- Hierarchical merging (§3.4). ----
-        let mut active: Vec<usize> = (0..p).collect();
-        while active.len() > 1 {
-            levels += 1;
-            // group_size 1 would make every rank its own leader and the
-            // hierarchy would never shrink; 2 is the smallest group that
-            // makes progress (the paper studies 2/4/8/16).
-            let groups = Group::partition(&active, cfg.group_size.max(2));
-            let my_group = Group::find(&groups, me).cloned();
-            let mut monitors: Vec<ExchangeMonitor> =
-                groups.iter().map(|_| ExchangeMonitor::new()).collect();
-
-            // --- Ring-exchange rounds (all ranks in lockstep). ---
-            loop {
-                // Replicated group sizes: one slot per group.
-                let mut sizes = vec![0u64; groups.len()];
-                if let Some(g) = &my_group {
-                    let gi = groups.iter().position(|x| x == g).expect("own group");
-                    sizes[gi] = cg.edges().len() as u64;
-                }
-                let totals = comm.allreduce_vec_u64(sizes, |a, b| a + b);
-                // Every rank evaluates every group's §4.3.4 decision from
-                // the same data -> identical flags everywhere.
-                let flags: Vec<bool> = groups
-                    .iter()
-                    .zip(monitors.iter_mut())
-                    .zip(totals.iter())
-                    .map(|((g, mon), &total)| {
-                        !g.is_singleton() && mon.observe_and_continue(cfg, total)
-                    })
-                    .collect();
-                if !flags.iter().any(|&f| f) {
-                    break;
-                }
-
-                // Ring shift within exchanging groups.
-                let mut my_moves: Vec<(CompId, u32)> = Vec::new();
-                let mut received_any = false;
-                if let Some(g) = &my_group {
-                    let gi = groups.iter().position(|x| x == g).expect("own group");
-                    if flags[gi] {
-                        exchange_rounds += 1;
-                        let left = g.left_of(me);
-                        let right = g.right_of(me);
-                        let cap = self.segment_cap_bytes();
-                        let take = choose_segment(&cg, cap);
-                        let seg = cg.split_off(&take);
-                        let msg = SegmentMsg::from_holding(seg);
-                        my_moves = take.iter().map(|&c| (c, left as u32)).collect();
-                        let bytes = msg.wire_bytes();
-                        let incoming: SegmentMsg =
-                            comm.send_recv(left, TAG_SEG, msg, bytes, right, TAG_SEG);
-                        if !incoming.is_empty() {
-                            received_any = true;
-                            cg.absorb(incoming.into_holding());
-                        }
-                    }
-                }
-                // Ownership announcements (global, includes empties).
-                let all_moves = comm.allgather_vec(my_moves);
-                for moves in &all_moves {
-                    dir.apply_moves(moves);
-                }
-                if received_any {
-                    // New residents can unfreeze old borders.
-                    cg.clear_frozen();
-                }
-                max_holding = max_holding.max(self.paper_bytes(&cg));
-
-                // Collaborative merging: indComp + ghost + reduce.
-                self.computation_step(comm, &mut cg, &mut dir, &split, &mut phases, &mut msf_local);
-            }
-
-            // --- Merge each group to its leader. ---
-            let mut my_moves: Vec<(CompId, u32)> = Vec::new();
-            if let Some(g) = &my_group {
-                let leader = g.leader();
-                if me == leader {
-                    for &member in g.members() {
-                        if member == me {
-                            continue;
-                        }
-                        let msg: SegmentMsg = comm.recv(member, TAG_MERGE);
-                        if !msg.is_empty() {
-                            cg.absorb(msg.into_holding());
-                        }
-                    }
-                    cg.clear_frozen();
-                } else {
-                    let whole = std::mem::take(&mut cg);
-                    my_moves = whole.resident().iter().map(|&c| (c, leader as u32)).collect();
-                    let msg = SegmentMsg::from_holding(whole);
-                    let bytes = msg.wire_bytes();
-                    comm.send_sized(leader, TAG_MERGE, msg, bytes);
-                }
-            }
-            let all_moves = comm.allgather_vec(my_moves);
-            for moves in &all_moves {
-                dir.apply_moves(moves);
-            }
-            max_holding = max_holding.max(self.paper_bytes(&cg));
-
-            active = groups.iter().map(|g| g.leader()).collect();
-
-            // Leaders run independent computations on the merged data
-            // before the next level ("We again perform independent
-            // computation steps on the leader nodes").
-            if active.len() > 1 {
-                self.computation_step(comm, &mut cg, &mut dir, &split, &mut phases, &mut msf_local);
-            }
-        }
-
-        // ---- Post-processing on the last rank (always rank 0: leaders are
-        // first group members). ----
-        let final_rank = 0usize;
-        if me == final_rank && !cg.is_empty() {
-            debug_assert_eq!(
-                cg.num_cut_edges(),
-                0,
-                "final holding must be self-contained"
-            );
-            let (edges, t) = post_process(&mut cg, &self.platform, cfg);
-            comm.compute(t);
-            phases.post_process += t;
-            msf_local.extend(edges);
-        }
-
-        // ---- Gather the MSF at rank 0. ----
-        let gathered = comm.gather_vec(final_rank, msf_local);
-        let msf = gathered.map(|parts| {
-            let all: Vec<WEdge> = parts.into_iter().flatten().collect();
-            MsfResult::from_edges(el.num_vertices(), all)
-        });
-
-        RankResult { msf, phases, levels, exchange_rounds, max_holding_bytes: max_holding }
-    }
-
-    /// One computation step: (recursively) indComp on the node's devices,
-    /// ghost-parent exchange, self/multi-edge reduction. Called in lockstep
-    /// by every rank; empty holdings make every part a no-op. Recursion
-    /// (§4.3.3) repeats the step while the *global* maximum reduced size
-    /// stays over the threshold and progress continues.
-    fn computation_step(
-        &self,
-        comm: &Comm,
-        cg: &mut CGraph,
-        dir: &mut GhostDirectory,
-        split: &mnd_device::DeviceSplit,
-        phases: &mut PhaseTimes,
-        msf_local: &mut Vec<WEdge>,
-    ) {
-        let cfg = &self.config;
-        let me = comm.rank();
-        let p = comm.size();
-        for _round in 0..self.max_recursion_rounds.max(1) {
-            // Independent computations on the node's device(s).
-            let run = ind_comp(cg, &self.platform, split, cfg);
-            let t = run.compute_time + run.transfer_time;
-            comm.compute(t);
-            phases.ind_comp += t;
-            let unions = run.msf_edges.len() as u64;
-            msf_local.extend(run.msf_edges.iter().copied());
-
-            // Ghost-parent exchange (§3.3), phased.
-            let buckets = relabel_buckets(cg, &run.relabel, dir, me, p);
-            let received = comm.alltoallv_phased(buckets, self.ghost_phase_size);
-            dir.apply_relabels(&run.relabel);
-            for pairs in &received {
-                if !pairs.is_empty() {
-                    apply_ghost_parents(cg, pairs);
-                    dir.apply_relabels(pairs);
-                }
-            }
-
-            // Reduce: self-edge removal + multi-edge removal.
-            let stats = reduce_holding(cg);
-            let t = self.sweep_seconds(stats.edges_before);
-            comm.compute(t);
-            phases.merge += t;
-
-            // Global recursion decision (§4.3.3): recurse while any rank's
-            // reduced holding is still over the threshold AND any rank made
-            // progress (otherwise another round cannot contract more).
-            let max_edges = comm.allreduce_u64(cg.edges().len() as u64, u64::max);
-            let total_unions = comm.allreduce_u64(unions, |a, b| a + b);
-            if total_unions == 0 || !should_recurse(cfg, max_edges) {
-                break;
-            }
-        }
-    }
-
     /// Paper-scale bytes of a holding (the memory the full-size run would
     /// occupy).
-    fn paper_bytes(&self, cg: &CGraph) -> u64 {
+    pub(crate) fn paper_bytes(&self, cg: &CGraph) -> u64 {
         (cg.approx_bytes() as f64 * self.config.sim_scale) as u64
     }
 
     /// Per-segment byte cap: a quarter of node memory (at paper scale), so
     /// a receiver holding its own data plus one segment stays far below
     /// capacity — the §3.4 accommodation guarantee.
-    fn segment_cap_bytes(&self) -> u64 {
+    pub(crate) fn segment_cap_bytes(&self) -> u64 {
         let node_mem = self.platform.cpu.mem_bytes;
         ((node_mem / 4) as f64 / self.config.sim_scale) as u64
     }
@@ -435,18 +159,19 @@ impl MndMstRunner {
 
 /// What one rank hands back from the simulation.
 #[derive(Clone, Debug)]
-struct RankResult {
-    msf: Option<MsfResult>,
-    phases: PhaseTimes,
-    levels: usize,
-    exchange_rounds: usize,
-    max_holding_bytes: u64,
+pub(crate) struct RankResult {
+    pub(crate) msf: Option<MsfResult>,
+    pub(crate) phases: PhaseTimes,
+    pub(crate) levels: usize,
+    pub(crate) exchange_rounds: usize,
+    pub(crate) max_holding_bytes: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mnd_graph::gen;
+    use mnd_hypar::observe::{PhaseKind, PhaseObserver, PhaseSample};
     use mnd_kernels::oracle::kruskal_msf;
 
     fn check(el: &EdgeList, nranks: usize) -> MndMstReport {
@@ -484,11 +209,8 @@ mod tests {
 
     #[test]
     fn disconnected_graphs_yield_forests() {
-        let el = gen::disconnected_union(&[
-            gen::path(50, 1),
-            gen::gnm(100, 300, 2),
-            gen::cycle(30, 3),
-        ]);
+        let el =
+            gen::disconnected_union(&[gen::path(50, 1), gen::gnm(100, 300, 2), gen::cycle(30, 3)]);
         let r = check(&el, 4);
         assert_eq!(r.msf.num_components, 3);
     }
@@ -498,7 +220,10 @@ mod tests {
         let el = gen::gnm(500, 2000, 7);
         let oracle = kruskal_msf(&el);
         for gs in [2, 3, 4, 8, 16] {
-            let cfg = HyParConfig { group_size: gs, ..Default::default() };
+            let cfg = HyParConfig {
+                group_size: gs,
+                ..Default::default()
+            };
             let r = MndMstRunner::new(8).with_config(cfg).run(&el);
             assert_eq!(r.msf, oracle, "group_size={gs}");
         }
@@ -554,5 +279,80 @@ mod tests {
         let el = gen::path(5, 3);
         let r = MndMstRunner::new(8).run(&el);
         assert_eq!(r.msf, kruskal_msf(&el));
+    }
+
+    /// The user observer hook sees the same samples the report's PhaseTimes
+    /// are built from: re-aggregating the samples per rank with the
+    /// recorder's mapping must reproduce the report exactly.
+    #[test]
+    fn observer_hook_reconstructs_report_phase_times() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Collector(Mutex<Vec<(PhaseKind, PhaseSample)>>);
+        impl PhaseObserver for Collector {
+            fn on_phase(&self, kind: PhaseKind, sample: &PhaseSample) {
+                self.0.lock().unwrap().push((kind, *sample));
+            }
+        }
+
+        let el = gen::gnm(400, 1600, 21);
+        let nranks = 4;
+        let obs = Arc::new(Collector::default());
+        let cfg = HyParConfig::default().with_observer(obs.clone());
+        let r = MndMstRunner::new(nranks).with_config(cfg).run(&el);
+
+        let samples = obs.0.lock().unwrap();
+        assert!(!samples.is_empty());
+        // Every phase kind fires at least once somewhere.
+        for kind in PhaseKind::ALL {
+            assert!(
+                samples.iter().any(|(k, _)| *k == kind),
+                "{kind:?} never observed"
+            );
+        }
+        // Per-rank reconstruction matches the report's PhaseTimes.
+        for rank in 0..nranks {
+            let mut ind_comp = 0.0;
+            let mut merge = 0.0;
+            let mut post = 0.0;
+            let mut comm_time = 0.0;
+            for (kind, s) in samples.iter().filter(|(_, s)| s.rank as usize == rank) {
+                match kind {
+                    PhaseKind::IndComp => ind_comp += s.compute_time,
+                    PhaseKind::Partition | PhaseKind::MergeParts | PhaseKind::HierMerge => {
+                        merge += s.compute_time
+                    }
+                    PhaseKind::PostProcess => post += s.compute_time,
+                }
+                comm_time += s.comm_time;
+            }
+            let ph = &r.phases[rank];
+            assert!(
+                (ph.ind_comp - ind_comp).abs() < 1e-12,
+                "rank {rank} ind_comp"
+            );
+            assert!((ph.merge - merge).abs() < 1e-12, "rank {rank} merge");
+            assert!((ph.post_process - post).abs() < 1e-12, "rank {rank} post");
+            // Communication happens only inside observed phases, so the
+            // samples must cover the rank's full comm time.
+            assert!((ph.comm - comm_time).abs() < 1e-9, "rank {rank} comm");
+        }
+    }
+
+    /// Observer attached or not, results and simulated times are identical.
+    #[test]
+    fn observer_does_not_perturb_simulation() {
+        struct Null;
+        impl PhaseObserver for Null {
+            fn on_phase(&self, _: PhaseKind, _: &PhaseSample) {}
+        }
+        let el = gen::gnm(300, 1200, 23);
+        let plain = MndMstRunner::new(4).run(&el);
+        let cfg = HyParConfig::default().with_observer(Arc::new(Null));
+        let observed = MndMstRunner::new(4).with_config(cfg).run(&el);
+        assert_eq!(plain.msf, observed.msf);
+        assert_eq!(plain.total_time, observed.total_time);
+        assert_eq!(plain.phases, observed.phases);
     }
 }

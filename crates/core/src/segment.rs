@@ -10,6 +10,7 @@
 //! (paper-scale) bytes fit within the receiver's guaranteed headroom.
 
 use mnd_kernels::cgraph::{CEdge, CGraph, CompId};
+use mnd_net::Wire;
 
 /// A segment in flight between two ranks: resident components, their
 /// edges (boundary edges are copies — see `CGraph::split_off`), and the
@@ -28,13 +29,11 @@ impl SegmentMsg {
     /// An empty segment (sent by converged/empty holders so the ring stays
     /// in lockstep).
     pub fn empty() -> Self {
-        SegmentMsg { resident: Vec::new(), edges: Vec::new(), frozen: Vec::new() }
-    }
-
-    /// Wire size in bytes for the cost model.
-    pub fn wire_bytes(&self) -> u64 {
-        (self.resident.len() * 4 + self.edges.len() * std::mem::size_of::<CEdge>() + self.frozen.len() * 4)
-            as u64
+        SegmentMsg {
+            resident: Vec::new(),
+            edges: Vec::new(),
+            frozen: Vec::new(),
+        }
     }
 
     /// True if nothing moves.
@@ -48,7 +47,7 @@ impl SegmentMsg {
         SegmentMsg {
             resident: cg.resident().to_vec(),
             frozen: cg.frozen().to_vec(),
-            edges: cg.edges().to_vec(),
+            edges: cg.edges_vec(),
         }
     }
 
@@ -58,6 +57,14 @@ impl SegmentMsg {
         resident.sort_unstable();
         resident.dedup();
         CGraph::from_parts(resident, self.edges, self.frozen)
+    }
+}
+
+impl Wire for SegmentMsg {
+    /// Wire size composes from the fields: `Comm::send` charges exactly
+    /// this, so the cost model sees the same bytes the receiver unpacks.
+    fn wire_bytes(&self) -> u64 {
+        self.resident.wire_bytes() + self.edges.wire_bytes() + self.frozen.wire_bytes()
     }
 }
 
@@ -72,11 +79,15 @@ pub fn choose_segment(cg: &CGraph, max_bytes: u64) -> Vec<CompId> {
         return Vec::new();
     }
     let mut incident: std::collections::HashMap<CompId, u64> = std::collections::HashMap::new();
-    for e in cg.edges() {
+    for e in cg.iter_edges() {
         *incident.entry(e.a).or_insert(0) += 1;
         *incident.entry(e.b).or_insert(0) += 1;
     }
-    let total: u64 = cg.resident().iter().map(|c| incident.get(c).copied().unwrap_or(0)).sum();
+    let total: u64 = cg
+        .resident()
+        .iter()
+        .map(|c| incident.get(c).copied().unwrap_or(0))
+        .sum();
     let edge_bytes = std::mem::size_of::<CEdge>() as u64;
     let budget_edges = (max_bytes / edge_bytes.max(1)).max(1);
     let target = (total / 2).min(budget_edges);

@@ -57,7 +57,10 @@ fn sim_scale_changes_times_not_results() {
         .with_config(HyParConfig::default().with_sim_scale(4096.0))
         .run(&el);
     assert_eq!(base.msf, scaled.msf, "scale must never affect the forest");
-    assert!(scaled.total_time > base.total_time, "scaled runs charge more time");
+    assert!(
+        scaled.total_time > base.total_time,
+        "scaled runs charge more time"
+    );
 }
 
 #[test]

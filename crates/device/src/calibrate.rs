@@ -29,7 +29,11 @@ pub struct DeviceSplit {
 impl DeviceSplit {
     /// A CPU-only split (no GPU present).
     pub fn cpu_only() -> Self {
-        DeviceSplit { cpu_fraction: 1.0, gpu_speedup: 0.0, memory_limited: false }
+        DeviceSplit {
+            cpu_fraction: 1.0,
+            gpu_speedup: 0.0,
+            memory_limited: false,
+        }
     }
 }
 
@@ -62,7 +66,12 @@ pub fn calibrate_split(
             continue; // degenerate sample: no information
         }
         let mut cg = CGraph::from_edge_list(&el);
-        let out = local_boruvka(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        let out = local_boruvka(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         let skew = {
             let cg = CGraph::from_edge_list(&el);
             ExecDevice::holding_skew(&cg)
@@ -95,7 +104,11 @@ pub fn calibrate_split(
         cpu_fraction = 1.0 - (gpu_budget / total_bytes).min(1.0);
         memory_limited = true;
     }
-    DeviceSplit { cpu_fraction, gpu_speedup, memory_limited }
+    DeviceSplit {
+        cpu_fraction,
+        gpu_speedup,
+        memory_limited,
+    }
 }
 
 /// Deterministic pseudo-random sorted sample of `k` distinct vertices.
@@ -159,7 +172,11 @@ mod tests {
         // GPU share (exactly the "GPU memory requirements" clause of
         // §4.3.1) while still keeping the GPU well-used.
         assert!(split.memory_limited);
-        assert!(split.cpu_fraction < 0.6, "cpu_fraction {}", split.cpu_fraction);
+        assert!(
+            split.cpu_fraction < 0.6,
+            "cpu_fraction {}",
+            split.cpu_fraction
+        );
         assert!(split.cpu_fraction > 0.0);
     }
 
@@ -177,7 +194,11 @@ mod tests {
             1,
         );
         assert!(!split.memory_limited);
-        assert!(split.cpu_fraction < 0.5, "cpu_fraction {}", split.cpu_fraction);
+        assert!(
+            split.cpu_fraction < 0.5,
+            "cpu_fraction {}",
+            split.cpu_fraction
+        );
     }
 
     #[test]
@@ -201,7 +222,11 @@ mod tests {
             0.2,
             3,
         );
-        assert!(split.cpu_fraction > 0.5, "cpu_fraction {}", split.cpu_fraction);
+        assert!(
+            split.cpu_fraction > 0.5,
+            "cpu_fraction {}",
+            split.cpu_fraction
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct IndCompRun {
 impl ExecDevice {
     /// Wraps a model.
     pub fn new(model: DeviceModel) -> Self {
-        ExecDevice { model, elapsed: 0.0, transfer_elapsed: 0.0 }
+        ExecDevice {
+            model,
+            elapsed: 0.0,
+            transfer_elapsed: 0.0,
+        }
     }
 
     /// Total simulated kernel seconds so far.
@@ -58,11 +62,15 @@ impl ExecDevice {
         }
         let mut deg: std::collections::HashMap<u32, u64> =
             std::collections::HashMap::with_capacity(cg.num_resident());
-        for e in cg.edges() {
+        for e in cg.iter_edges() {
             *deg.entry(e.a).or_insert(0) += 1;
             *deg.entry(e.b).or_insert(0) += 1;
         }
-        let sched = BinnedSchedule::build(cg.resident().iter().map(|c| deg.get(c).copied().unwrap_or(0)));
+        let sched = BinnedSchedule::build(
+            cg.resident()
+                .iter()
+                .map(|c| deg.get(c).copied().unwrap_or(0)),
+        );
         sched.skew_fraction()
     }
 
@@ -91,7 +99,11 @@ impl ExecDevice {
         let transfer_time = raw_transfer - hidden;
         self.elapsed += kernel_time;
         self.transfer_elapsed += transfer_time;
-        IndCompRun { output, kernel_time, transfer_time }
+        IndCompRun {
+            output,
+            kernel_time,
+            transfer_time,
+        }
     }
 }
 
@@ -111,9 +123,22 @@ mod tests {
         let mut cg_gpu = holding(1);
         let mut cpu = ExecDevice::new(DeviceModel::cpu_xeon_ivybridge());
         let mut gpu = ExecDevice::new(DeviceModel::gpu_k40());
-        let a = cpu.run_ind_comp(&mut cg_cpu, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
-        let b = gpu.run_ind_comp(&mut cg_gpu, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
-        assert_eq!(a.output.msf_edges, b.output.msf_edges, "results must not depend on the device");
+        let a = cpu.run_ind_comp(
+            &mut cg_cpu,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
+        let b = gpu.run_ind_comp(
+            &mut cg_gpu,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
+        assert_eq!(
+            a.output.msf_edges, b.output.msf_edges,
+            "results must not depend on the device"
+        );
         assert_eq!(cg_cpu, cg_gpu);
     }
 
@@ -121,11 +146,21 @@ mod tests {
     fn gpu_charges_transfers_cpu_does_not() {
         let mut cg = holding(2);
         let mut gpu = ExecDevice::new(DeviceModel::gpu_k40());
-        let run = gpu.run_ind_comp(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        let run = gpu.run_ind_comp(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         assert!(run.transfer_time > 0.0);
         let mut cg = holding(2);
         let mut cpu = ExecDevice::new(DeviceModel::cpu_xeon_ivybridge());
-        let run = cpu.run_ind_comp(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        let run = cpu.run_ind_comp(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         assert_eq!(run.transfer_time, 0.0);
     }
 
@@ -133,11 +168,21 @@ mod tests {
     fn elapsed_accumulates() {
         let mut dev = ExecDevice::new(DeviceModel::cpu_amd_opteron());
         let mut cg = holding(3);
-        dev.run_ind_comp(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        dev.run_ind_comp(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         let after_one = dev.elapsed();
         assert!(after_one > 0.0);
         let mut cg = holding(4);
-        dev.run_ind_comp(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        dev.run_ind_comp(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         assert!(dev.elapsed() > after_one);
         dev.reset();
         assert_eq!(dev.elapsed(), 0.0);
@@ -155,7 +200,12 @@ mod tests {
     fn empty_holding_runs_without_cost_blowup() {
         let mut cg = CGraph::new();
         let mut dev = ExecDevice::new(DeviceModel::gpu_k40());
-        let run = dev.run_ind_comp(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        let run = dev.run_ind_comp(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         assert!(run.output.msf_edges.is_empty());
         assert!(run.kernel_time < 1e-3);
     }

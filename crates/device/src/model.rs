@@ -103,7 +103,10 @@ impl DeviceModel {
 
     /// The K40 model with the degree-binned schedule disabled (ablation).
     pub fn gpu_k40_unbinned() -> Self {
-        DeviceModel { kind: DeviceKind::Gpu { binning: false }, ..Self::gpu_k40() }
+        DeviceModel {
+            kind: DeviceKind::Gpu { binning: false },
+            ..Self::gpu_k40()
+        }
     }
 
     /// Returns this model with a simulation scale applied (see
@@ -170,7 +173,11 @@ mod tests {
         WorkProfile {
             iters: scans
                 .iter()
-                .map(|&s| IterWork { active_components: 1, edges_scanned: s, unions: 1 })
+                .map(|&s| IterWork {
+                    active_components: 1,
+                    edges_scanned: s,
+                    unions: 1,
+                })
                 .collect(),
         }
     }
@@ -209,7 +216,10 @@ mod tests {
 
     #[test]
     fn transfer_costs_are_gpu_only() {
-        assert_eq!(DeviceModel::cpu_xeon_ivybridge().transfer_time(1 << 30), 0.0);
+        assert_eq!(
+            DeviceModel::cpu_xeon_ivybridge().transfer_time(1 << 30),
+            0.0
+        );
         let t = DeviceModel::gpu_k40().transfer_time(1 << 30);
         assert!(t > 0.05, "1 GiB over PCIe should take ~90ms, got {t}");
     }

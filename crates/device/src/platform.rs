@@ -34,7 +34,11 @@ impl NodePlatform {
     /// used CPU-only for Figure 6/7 and CPU+GPU for Figure 8.
     pub fn cray_xc40(with_gpu: bool) -> Self {
         NodePlatform {
-            name: if with_gpu { "cray-xc40-gpu" } else { "cray-xc40" },
+            name: if with_gpu {
+                "cray-xc40-gpu"
+            } else {
+                "cray-xc40"
+            },
             cpu: DeviceModel::cpu_xeon_ivybridge(),
             gpu: with_gpu.then(DeviceModel::gpu_k40),
             network: CostModel::cray_aries(),
@@ -55,11 +59,17 @@ mod tests {
     fn presets_match_paper_testbeds() {
         let amd = NodePlatform::amd_cluster();
         assert!(!amd.is_hybrid());
-        assert!(matches!(amd.cpu.kind, crate::model::DeviceKind::Cpu { cores: 8 }));
+        assert!(matches!(
+            amd.cpu.kind,
+            crate::model::DeviceKind::Cpu { cores: 8 }
+        ));
 
         let cray = NodePlatform::cray_xc40(true);
         assert!(cray.is_hybrid());
-        assert!(matches!(cray.cpu.kind, crate::model::DeviceKind::Cpu { cores: 12 }));
+        assert!(matches!(
+            cray.cpu.kind,
+            crate::model::DeviceKind::Cpu { cores: 12 }
+        ));
         assert!(cray.network.latency < amd.network.latency);
     }
 

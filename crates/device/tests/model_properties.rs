@@ -12,7 +12,11 @@ fn profile(scans: Vec<u64>) -> WorkProfile {
     WorkProfile {
         iters: scans
             .into_iter()
-            .map(|s| IterWork { active_components: 1, edges_scanned: s, unions: 1 })
+            .map(|s| IterWork {
+                active_components: 1,
+                edges_scanned: s,
+                unions: 1,
+            })
             .collect(),
     }
 }
@@ -94,9 +98,14 @@ fn exec_device_result_is_model_independent() {
     let reference = {
         let mut cg = CGraph::from_edge_list(&el);
         let mut dev = ExecDevice::new(DeviceModel::cpu_amd_opteron());
-        dev.run_ind_comp(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive)
-            .output
-            .msf_edges
+        dev.run_ind_comp(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        )
+        .output
+        .msf_edges
     };
     for model in [
         DeviceModel::cpu_xeon_ivybridge(),
@@ -107,7 +116,12 @@ fn exec_device_result_is_model_independent() {
         let mut cg = CGraph::from_edge_list(&el);
         let mut dev = ExecDevice::new(model);
         let got = dev
-            .run_ind_comp(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive)
+            .run_ind_comp(
+                &mut cg,
+                ExcpCond::None,
+                FreezePolicy::Sticky,
+                StopPolicy::Exhaustive,
+            )
             .output
             .msf_edges;
         assert_eq!(got, reference);
@@ -124,8 +138,14 @@ fn platform_presets_are_internally_consistent() {
         assert!(plat.cpu.edge_throughput > 0.0);
         assert!(plat.cpu.efficiency > 0.0 && plat.cpu.efficiency <= 1.0);
         if let Some(gpu) = &plat.gpu {
-            assert!(gpu.edge_throughput > plat.cpu.edge_throughput, "GPU must out-throughput CPU");
-            assert!(gpu.mem_bytes < plat.cpu.mem_bytes, "device memory < host memory");
+            assert!(
+                gpu.edge_throughput > plat.cpu.edge_throughput,
+                "GPU must out-throughput CPU"
+            );
+            assert!(
+                gpu.mem_bytes < plat.cpu.mem_bytes,
+                "device memory < host memory"
+            );
         }
     }
 }

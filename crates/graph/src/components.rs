@@ -34,7 +34,10 @@ pub fn connected_components(g: &CsrGraph) -> Vec<VertexId> {
 /// Number of connected components.
 pub fn num_components(g: &CsrGraph) -> usize {
     let comp = connected_components(g);
-    comp.iter().enumerate().filter(|&(i, &c)| c == i as VertexId).count()
+    comp.iter()
+        .enumerate()
+        .filter(|&(i, &c)| c == i as VertexId)
+        .count()
 }
 
 /// Single-source BFS distances (`u64::MAX` = unreachable); used by the

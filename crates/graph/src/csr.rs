@@ -52,7 +52,11 @@ impl CsrGraph {
             weights[cv] = e.w;
             cursor[e.v as usize] += 1;
         }
-        CsrGraph { offsets, targets, weights }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Builds from an [`EdgeList`].
@@ -95,7 +99,10 @@ impl CsrGraph {
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let lo = self.offsets[v as usize] as usize;
         let hi = self.offsets[v as usize + 1] as usize;
-        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
     }
 
     /// Adjacency slice of `v` (targets only).
@@ -148,7 +155,10 @@ impl CsrGraph {
     /// Induced subgraph on `keep` (a sorted, deduplicated vertex set),
     /// relabelled to `0..keep.len()`. Used for §4.3.1 calibration samples.
     pub fn induced_subgraph(&self, keep: &[VertexId]) -> CsrGraph {
-        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted+dedup");
+        debug_assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "keep must be sorted+dedup"
+        );
         let n_new = keep.len() as VertexId;
         let mut rank_of = std::collections::HashMap::with_capacity(keep.len());
         for (i, &v) in keep.iter().enumerate() {
@@ -183,7 +193,8 @@ impl CsrGraph {
                 return Err(format!("offsets not monotone at {v}"));
             }
         }
-        if self.targets.len() as u64 != self.num_arcs() || self.weights.len() != self.targets.len() {
+        if self.targets.len() as u64 != self.num_arcs() || self.weights.len() != self.targets.len()
+        {
             return Err("targets/weights length mismatch".into());
         }
         if !self.num_arcs().is_multiple_of(2) {
@@ -218,7 +229,14 @@ mod tests {
     use super::*;
 
     fn triangle() -> CsrGraph {
-        CsrGraph::from_edges(3, &[WEdge::new(0, 1, 5), WEdge::new(1, 2, 3), WEdge::new(0, 2, 9)])
+        CsrGraph::from_edges(
+            3,
+            &[
+                WEdge::new(0, 1, 5),
+                WEdge::new(1, 2, 3),
+                WEdge::new(0, 2, 9),
+            ],
+        )
     }
 
     #[test]
@@ -244,7 +262,11 @@ mod tests {
     fn round_trips_edge_list() {
         let el = EdgeList::from_raw(
             5,
-            vec![WEdge::new(0, 4, 2), WEdge::new(1, 2, 7), WEdge::new(2, 3, 1)],
+            vec![
+                WEdge::new(0, 4, 2),
+                WEdge::new(1, 2, 7),
+                WEdge::new(2, 3, 1),
+            ],
         );
         let g = CsrGraph::from_edge_list(&el);
         assert_eq!(g.to_edge_list(), el);
@@ -266,18 +288,33 @@ mod tests {
         // 0-1-2-3 path, range 1..3 (vertices 1, 2).
         let g = CsrGraph::from_edges(
             4,
-            &[WEdge::new(0, 1, 1), WEdge::new(1, 2, 2), WEdge::new(2, 3, 3)],
+            &[
+                WEdge::new(0, 1, 1),
+                WEdge::new(1, 2, 2),
+                WEdge::new(2, 3, 3),
+            ],
         );
         let mut es = g.edges_touching_range(1, 3);
         es.sort_unstable();
-        assert_eq!(es, vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 2), WEdge::new(2, 3, 3)]);
+        assert_eq!(
+            es,
+            vec![
+                WEdge::new(0, 1, 1),
+                WEdge::new(1, 2, 2),
+                WEdge::new(2, 3, 3)
+            ]
+        );
     }
 
     #[test]
     fn induced_subgraph_relabels() {
         let g = CsrGraph::from_edges(
             5,
-            &[WEdge::new(0, 2, 1), WEdge::new(2, 4, 2), WEdge::new(1, 3, 3)],
+            &[
+                WEdge::new(0, 2, 1),
+                WEdge::new(2, 4, 2),
+                WEdge::new(1, 3, 3),
+            ],
         );
         let sub = g.induced_subgraph(&[0, 2, 4]);
         assert_eq!(sub.num_vertices(), 3);

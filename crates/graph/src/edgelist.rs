@@ -19,13 +19,19 @@ pub struct EdgeList {
 impl EdgeList {
     /// Creates an empty edge list over `num_vertices` vertices.
     pub fn new(num_vertices: VertexId) -> Self {
-        EdgeList { num_vertices, edges: Vec::new() }
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates an edge list from raw edges, canonicalising on the way in
     /// (self loops dropped, duplicates collapsed to the minimum weight).
     pub fn from_raw(num_vertices: VertexId, raw: Vec<WEdge>) -> Self {
-        let mut el = EdgeList { num_vertices, edges: raw };
+        let mut el = EdgeList {
+            num_vertices,
+            edges: raw,
+        };
         el.canonicalize();
         el
     }
@@ -105,7 +111,11 @@ impl EdgeList {
     /// Renumbers vertices by a mapping; edges incident to unmapped vertices
     /// (`None`) are dropped. Used to build induced subgraphs for the §4.3.1
     /// device-calibration step.
-    pub fn relabel(&self, new_num_vertices: VertexId, map: impl Fn(VertexId) -> Option<VertexId>) -> EdgeList {
+    pub fn relabel(
+        &self,
+        new_num_vertices: VertexId,
+        map: impl Fn(VertexId) -> Option<VertexId>,
+    ) -> EdgeList {
         let mut out = EdgeList::new(new_num_vertices);
         for e in &self.edges {
             if let (Some(a), Some(b)) = (map(e.u), map(e.v)) {
@@ -120,7 +130,10 @@ impl EdgeList {
     /// Merges another edge list into this one (vertex spaces must already
     /// agree), re-canonicalising.
     pub fn union(&mut self, other: &EdgeList) {
-        assert_eq!(self.num_vertices, other.num_vertices, "vertex spaces differ");
+        assert_eq!(
+            self.num_vertices, other.num_vertices,
+            "vertex spaces differ"
+        );
         self.edges.extend_from_slice(&other.edges);
         self.canonicalize();
     }
@@ -177,7 +190,11 @@ mod tests {
     fn duplicate_collapse_keeps_min_weight() {
         let el = EdgeList::from_raw(
             3,
-            vec![WEdge::new(0, 1, 5), WEdge::new(1, 0, 2), WEdge::new(0, 1, 8)],
+            vec![
+                WEdge::new(0, 1, 5),
+                WEdge::new(1, 0, 2),
+                WEdge::new(0, 1, 8),
+            ],
         );
         assert_eq!(el.len(), 1);
         assert_eq!(el.edges()[0].w, 2);
@@ -205,7 +222,11 @@ mod tests {
     fn relabel_builds_induced_subgraph() {
         let el = EdgeList::from_raw(
             6,
-            vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 2), WEdge::new(4, 5, 3)],
+            vec![
+                WEdge::new(0, 1, 1),
+                WEdge::new(1, 2, 2),
+                WEdge::new(4, 5, 3),
+            ],
         );
         // Keep only vertices 0..3, identity-mapped.
         let sub = el.relabel(3, |v| (v < 3).then_some(v));

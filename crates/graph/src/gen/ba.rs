@@ -70,7 +70,11 @@ mod tests {
         // Clique (4 choose 2) = 6, plus 3 per later vertex.
         assert_eq!(el.len(), 6 + 3 * (1000 - 4));
         let g = CsrGraph::from_edge_list(&el);
-        assert_eq!(num_components(&g), 1, "BA graphs are connected by construction");
+        assert_eq!(
+            num_components(&g),
+            1,
+            "BA graphs are connected by construction"
+        );
     }
 
     #[test]

@@ -45,7 +45,13 @@ pub struct CrawlParams {
 
 impl Default for CrawlParams {
     fn default() -> Self {
-        CrawlParams { hub_prob: 0.02, num_hubs: 1024, theta: 2.0, alpha: 1.5, global_prob: 0.0 }
+        CrawlParams {
+            hub_prob: 0.02,
+            num_hubs: 1024,
+            theta: 2.0,
+            alpha: 1.5,
+            global_prob: 0.0,
+        }
     }
 }
 
@@ -57,7 +63,12 @@ impl Default for CrawlParams {
 ///
 /// If `num_vertices < 2`, if any probability is outside `[0, 1]`, or if
 /// `hub_prob + global_prob > 1`.
-pub fn web_crawl(num_vertices: VertexId, num_edges: u64, params: CrawlParams, seed: u64) -> EdgeList {
+pub fn web_crawl(
+    num_vertices: VertexId,
+    num_edges: u64,
+    params: CrawlParams,
+    seed: u64,
+) -> EdgeList {
     assert!(num_vertices >= 2);
     assert!((0.0..=1.0).contains(&params.hub_prob));
     assert!((0.0..=1.0).contains(&params.global_prob));
@@ -124,7 +135,11 @@ pub fn web_crawl(num_vertices: VertexId, num_edges: u64, params: CrawlParams, se
                 .max(1);
             let off = (next() % window).max(1);
             let sign_pos = next() & 1 == 0;
-            let src = if sign_pos { (hub + off) % n } else { (hub + n - off) % n };
+            let src = if sign_pos {
+                (hub + off) % n
+            } else {
+                (hub + n - off) % n
+            };
             (src as VertexId, hub as VertexId)
         } else if r < params.hub_prob + params.global_prob {
             // Locality-free long link.
@@ -135,7 +150,11 @@ pub fn web_crawl(num_vertices: VertexId, num_edges: u64, params: CrawlParams, se
             let off = local_offset(params.alpha);
             let sign_pos = next() & 1 == 0;
             let uu = u as u64;
-            let v = if sign_pos { (uu + off) % n } else { (uu + n - off) % n };
+            let v = if sign_pos {
+                (uu + off) % n
+            } else {
+                (uu + n - off) % n
+            };
             (u, v as VertexId)
         };
         if u != v {
@@ -201,7 +220,10 @@ mod tests {
         let el = web_crawl(
             20_000,
             150_000,
-            CrawlParams { hub_prob: 0.05, ..Default::default() },
+            CrawlParams {
+                hub_prob: 0.05,
+                ..Default::default()
+            },
             3,
         );
         let g = CsrGraph::from_edge_list(&el);
@@ -230,7 +252,15 @@ mod tests {
         // The same hub parameters must give the same top-hub edge share at
         // two different scales (the property presets rely on).
         let share = |n: u32, m: u64| {
-            let el = web_crawl(n, m, CrawlParams { hub_prob: 0.06, ..Default::default() }, 5);
+            let el = web_crawl(
+                n,
+                m,
+                CrawlParams {
+                    hub_prob: 0.06,
+                    ..Default::default()
+                },
+                5,
+            );
             let g = CsrGraph::from_edge_list(&el);
             let max = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap();
             max as f64 / el.len() as f64
@@ -246,7 +276,10 @@ mod tests {
         let global = web_crawl(
             10_000,
             80_000,
-            CrawlParams { global_prob: 0.5, ..Default::default() },
+            CrawlParams {
+                global_prob: 0.5,
+                ..Default::default()
+            },
             3,
         );
         let fl = cut_fraction(&local, 16);

@@ -20,15 +20,27 @@ impl RmatProbs {
     /// Graph500 reference parameters — heavy skew, max degrees in the
     /// hundreds of thousands at web-crawl scale, matching the crawls of
     /// Table 2 (e.g. sk-2005: avg 71, max 8.5M).
-    pub const GRAPH500: RmatProbs = RmatProbs { a: 0.57, b: 0.19, c: 0.19 };
+    pub const GRAPH500: RmatProbs = RmatProbs {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    };
 
     /// Milder skew: still power-law but with smaller hubs; used for the
     /// gsh-2015-tpd stand-in whose independent computations shatter into
     /// many small components (§5.2's outlier case).
-    pub const MILD: RmatProbs = RmatProbs { a: 0.45, b: 0.22, c: 0.22 };
+    pub const MILD: RmatProbs = RmatProbs {
+        a: 0.45,
+        b: 0.22,
+        c: 0.22,
+    };
 
     /// Near-uniform (degenerates towards Erdős–Rényi).
-    pub const UNIFORM: RmatProbs = RmatProbs { a: 0.25, b: 0.25, c: 0.25 };
+    pub const UNIFORM: RmatProbs = RmatProbs {
+        a: 0.25,
+        b: 0.25,
+        c: 0.25,
+    };
 
     fn d(&self) -> f64 {
         1.0 - self.a - self.b - self.c
@@ -44,10 +56,16 @@ impl RmatProbs {
 /// [`pair_weight`](crate::edgelist::pair_weight) so they are
 /// stable regardless of generation order.
 pub fn rmat(num_vertices: VertexId, num_edges: u64, probs: RmatProbs, seed: u64) -> EdgeList {
-    assert!(num_vertices.is_power_of_two(), "R-MAT needs a power-of-two vertex count");
+    assert!(
+        num_vertices.is_power_of_two(),
+        "R-MAT needs a power-of-two vertex count"
+    );
     let scale = num_vertices.trailing_zeros();
     let d = probs.d();
-    assert!(probs.a > 0.0 && probs.b >= 0.0 && probs.c >= 0.0 && d > 0.0, "bad quadrant probabilities");
+    assert!(
+        probs.a > 0.0 && probs.b >= 0.0 && probs.c >= 0.0 && d > 0.0,
+        "bad quadrant probabilities"
+    );
 
     let mut raw = Vec::with_capacity(num_edges as usize);
     let mut state = splitmix64(seed ^ RMAT_TAG);

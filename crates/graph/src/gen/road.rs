@@ -25,7 +25,10 @@ pub fn road_grid(width: u32, height: u32, diag_prob: f64, delete_prob: f64, seed
     assert!(width >= 1 && height >= 1);
     assert!((0.0..1.0).contains(&delete_prob) && (0.0..=1.0).contains(&diag_prob));
     let n = width as u64 * height as u64;
-    assert!(n <= VertexId::MAX as u64, "grid too large for u32 vertex ids");
+    assert!(
+        n <= VertexId::MAX as u64,
+        "grid too large for u32 vertex ids"
+    );
     let id = |x: u32, y: u32| -> VertexId { (y as u64 * width as u64 + x as u64) as VertexId };
 
     let mut el = EdgeList::new(n as VertexId);
@@ -82,7 +85,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(road_grid(10, 10, 0.3, 0.1, 7), road_grid(10, 10, 0.3, 0.1, 7));
+        assert_eq!(
+            road_grid(10, 10, 0.3, 0.1, 7),
+            road_grid(10, 10, 0.3, 0.1, 7)
+        );
     }
 
     #[test]

@@ -20,7 +20,12 @@ const RECORD: u64 = 12;
 /// Writes the text format.
 pub fn write_text<W: Write>(el: &EdgeList, out: W) -> io::Result<()> {
     let mut w = BufWriter::new(out);
-    writeln!(w, "# mnd-graph edge list: {} vertices {} edges", el.num_vertices(), el.len())?;
+    writeln!(
+        w,
+        "# mnd-graph edge list: {} vertices {} edges",
+        el.num_vertices(),
+        el.len()
+    )?;
     writeln!(w, "{}", el.num_vertices())?;
     for e in el.edges() {
         writeln!(w, "{} {} {}", e.u, e.v, e.w)?;
@@ -109,7 +114,11 @@ fn read_binary_header<R: Read>(input: &mut R) -> io::Result<(VertexId, u64)> {
 /// Gemini-style parallel read: returns the `rank`-th of `nranks` contiguous
 /// record slices of the file plus the global vertex count. Every rank calls
 /// this with the same path; the union of all slices is the whole edge list.
-pub fn read_binary_slice<P: AsRef<Path>>(path: P, rank: usize, nranks: usize) -> io::Result<(VertexId, Vec<WEdge>)> {
+pub fn read_binary_slice<P: AsRef<Path>>(
+    path: P,
+    rank: usize,
+    nranks: usize,
+) -> io::Result<(VertexId, Vec<WEdge>)> {
     assert!(rank < nranks && nranks >= 1);
     let mut f = std::fs::File::open(path)?;
     let (n, m) = read_binary_header(&mut f)?;

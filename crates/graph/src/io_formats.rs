@@ -68,7 +68,10 @@ pub fn read_dimacs<R: Read>(input: R) -> io::Result<EdgeList> {
                 edges.push(WEdge::new((u - 1) as VertexId, (v - 1) as VertexId, w));
             }
             Some(other) => {
-                return Err(bad(format!("line {}: unknown record '{other}'", lineno + 1)));
+                return Err(bad(format!(
+                    "line {}: unknown record '{other}'",
+                    lineno + 1
+                )));
             }
         }
     }
@@ -112,7 +115,9 @@ pub fn read_metis<R: Read>(input: R) -> io::Result<EdgeList> {
         }
         let mut toks = line.split_whitespace();
         while let Some(vt) = toks.next() {
-            let v: u64 = vt.parse().map_err(|_| bad(format!("vertex {u}: bad neighbour {vt:?}")))?;
+            let v: u64 = vt
+                .parse()
+                .map_err(|_| bad(format!("vertex {u}: bad neighbour {vt:?}")))?;
             if v == 0 || v > n {
                 return Err(bad(format!("vertex {u}: neighbour {v} out of 1..={n}")));
             }
@@ -161,7 +166,11 @@ pub fn read_snap<R: Read>(input: R) -> io::Result<EdgeList> {
         }
         edges.push(WEdge::new(u as VertexId, v as VertexId, w));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as VertexId + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as VertexId + 1
+    };
     Ok(EdgeList::from_raw(n, edges))
 }
 

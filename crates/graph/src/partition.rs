@@ -98,7 +98,11 @@ pub fn partition_1d_by_degrees(degrees: &[u64], parts: usize, alpha: f64) -> Vec
 /// the intra-node CPU/GPU cut (§3.1: "divide the CSR arrays … into two
 /// contiguous segments based on the ratio of CPU and GPU performance").
 /// Returns `(first, second)` where `first` receives `ratio` of the arcs.
-pub fn split_range_by_ratio(g: &CsrGraph, range: VertexRange, ratio: f64) -> (VertexRange, VertexRange) {
+pub fn split_range_by_ratio(
+    g: &CsrGraph,
+    range: VertexRange,
+    ratio: f64,
+) -> (VertexRange, VertexRange) {
     assert!((0.0..=1.0).contains(&ratio));
     let total: u64 = range.iter().map(|v| g.degree(v)).sum();
     let target = (total as f64 * ratio).round() as u64;
@@ -111,7 +115,16 @@ pub fn split_range_by_ratio(g: &CsrGraph, range: VertexRange, ratio: f64) -> (Ve
         acc += g.degree(v);
         cut = v + 1;
     }
-    (VertexRange { start: range.start, end: cut }, VertexRange { start: cut, end: range.end })
+    (
+        VertexRange {
+            start: range.start,
+            end: cut,
+        },
+        VertexRange {
+            start: cut,
+            end: range.end,
+        },
+    )
 }
 
 /// Maximum/average arc-count imbalance across ranges: `max_i E_i / mean E_i`.
@@ -173,7 +186,11 @@ mod tests {
     fn balances_edges_on_uniform_graph() {
         let g = CsrGraph::from_edge_list(&gen::gnm(2000, 10000, 5));
         let rs = partition_1d(&g, 8, 0.0);
-        assert!(edge_imbalance(&g, &rs) < 1.25, "imbalance {}", edge_imbalance(&g, &rs));
+        assert!(
+            edge_imbalance(&g, &rs) < 1.25,
+            "imbalance {}",
+            edge_imbalance(&g, &rs)
+        );
     }
 
     #[test]
@@ -189,7 +206,10 @@ mod tests {
     #[test]
     fn ratio_split_respects_ratio() {
         let g = CsrGraph::from_edge_list(&gen::gnm(1000, 5000, 1));
-        let whole = VertexRange { start: 0, end: 1000 };
+        let whole = VertexRange {
+            start: 0,
+            end: 1000,
+        };
         let (a, b) = split_range_by_ratio(&g, whole, 0.25);
         assert_eq!(a.end, b.start);
         let la: u64 = a.iter().map(|v| g.degree(v)).sum();

@@ -80,12 +80,48 @@ impl Preset {
     /// Table 2 row for the real graph.
     pub fn paper_row(self) -> PaperRow {
         match self {
-            Preset::RoadUsa => PaperRow { vertices: 23_900_000, edges: 57_700_000, diameter: 6262.0, avg_degree: 2.41, max_degree: 9 },
-            Preset::Gsh2015Tpd => PaperRow { vertices: 30_800_000, edges: 1_160_000_000, diameter: 9.0, avg_degree: 37.73, max_degree: 2_176_721 },
-            Preset::Arabic2005 => PaperRow { vertices: 22_700_000, edges: 1_260_000_000, diameter: 29.0, avg_degree: 55.50, max_degree: 575_662 },
-            Preset::It2004 => PaperRow { vertices: 41_200_000, edges: 2_270_000_000, diameter: 27.0, avg_degree: 55.01, max_degree: 1_326_756 },
-            Preset::Sk2005 => PaperRow { vertices: 50_600_000, edges: 3_620_000_000, diameter: 17.56, avg_degree: 71.49, max_degree: 8_563_816 },
-            Preset::Uk2007 => PaperRow { vertices: 105_000_000, edges: 6_600_000_000, diameter: 22.78, avg_degree: 62.76, max_degree: 975_419 },
+            Preset::RoadUsa => PaperRow {
+                vertices: 23_900_000,
+                edges: 57_700_000,
+                diameter: 6262.0,
+                avg_degree: 2.41,
+                max_degree: 9,
+            },
+            Preset::Gsh2015Tpd => PaperRow {
+                vertices: 30_800_000,
+                edges: 1_160_000_000,
+                diameter: 9.0,
+                avg_degree: 37.73,
+                max_degree: 2_176_721,
+            },
+            Preset::Arabic2005 => PaperRow {
+                vertices: 22_700_000,
+                edges: 1_260_000_000,
+                diameter: 29.0,
+                avg_degree: 55.50,
+                max_degree: 575_662,
+            },
+            Preset::It2004 => PaperRow {
+                vertices: 41_200_000,
+                edges: 2_270_000_000,
+                diameter: 27.0,
+                avg_degree: 55.01,
+                max_degree: 1_326_756,
+            },
+            Preset::Sk2005 => PaperRow {
+                vertices: 50_600_000,
+                edges: 3_620_000_000,
+                diameter: 17.56,
+                avg_degree: 71.49,
+                max_degree: 8_563_816,
+            },
+            Preset::Uk2007 => PaperRow {
+                vertices: 105_000_000,
+                edges: 6_600_000_000,
+                diameter: 22.78,
+                avg_degree: 62.76,
+                max_degree: 975_419,
+            },
         }
     }
 
@@ -130,13 +166,27 @@ impl Preset {
                 // paper's max_degree / |E| ratio (theta = 2, so the top hub
                 // draws ~num_hubs^{-1/2} of hub traffic).
                 let params = match self {
-                    Preset::Sk2005 => CrawlParams { hub_prob: 0.077, ..Default::default() },
-                    Preset::Gsh2015Tpd => {
-                        CrawlParams { hub_prob: 0.060, global_prob: 0.5, ..Default::default() }
-                    }
-                    Preset::It2004 => CrawlParams { hub_prob: 0.019, ..Default::default() },
-                    Preset::Arabic2005 => CrawlParams { hub_prob: 0.015, ..Default::default() },
-                    _ => CrawlParams { hub_prob: 0.005, ..Default::default() }, // uk-2007
+                    Preset::Sk2005 => CrawlParams {
+                        hub_prob: 0.077,
+                        ..Default::default()
+                    },
+                    Preset::Gsh2015Tpd => CrawlParams {
+                        hub_prob: 0.060,
+                        global_prob: 0.5,
+                        ..Default::default()
+                    },
+                    Preset::It2004 => CrawlParams {
+                        hub_prob: 0.019,
+                        ..Default::default()
+                    },
+                    Preset::Arabic2005 => CrawlParams {
+                        hub_prob: 0.015,
+                        ..Default::default()
+                    },
+                    _ => CrawlParams {
+                        hub_prob: 0.005,
+                        ..Default::default()
+                    }, // uk-2007
                 };
                 gen::web_crawl(n, m, params, seed)
             }
@@ -153,7 +203,9 @@ pub fn scramble_ids(el: &EdgeList, seed: u64) -> EdgeList {
     while gcd(mult as u64, n as u64) != 1 {
         mult += 2;
     }
-    el.relabel(n, |v| Some(((v as u64 * mult as u64) % n as u64) as VertexId))
+    el.relabel(n, |v| {
+        Some(((v as u64 * mult as u64) % n as u64) as VertexId)
+    })
 }
 
 fn gcd(a: u64, b: u64) -> u64 {

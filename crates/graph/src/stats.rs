@@ -30,7 +30,11 @@ pub fn graph_stats(g: &CsrGraph, sweeps: u32, seed: u64) -> GraphStats {
     GraphStats {
         num_vertices: n as u64,
         num_edges: g.num_undirected_edges(),
-        avg_degree: if n == 0 { 0.0 } else { g.num_arcs() as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            g.num_arcs() as f64 / n as f64
+        },
         max_degree,
         approx_diameter: approx_diameter(g, sweeps, seed),
     }
@@ -59,7 +63,12 @@ pub fn approx_diameter(g: &CsrGraph, sweeps: u32, seed: u64) -> u64 {
         best = best.max(dist);
         // …then sweep again from there.
         let d2 = bfs_distances(g, far);
-        let dist2 = d2.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap_or(0);
+        let dist2 = d2
+            .iter()
+            .filter(|&&d| d != u64::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0);
         best = best.max(dist2);
     }
     best
@@ -71,7 +80,11 @@ pub fn degree_histogram(g: &CsrGraph) -> Vec<u64> {
     let mut hist = Vec::new();
     for v in 0..g.num_vertices() {
         let d = g.degree(v);
-        let bucket = if d <= 1 { 0 } else { 64 - (d.leading_zeros() as usize) - 1 };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            64 - (d.leading_zeros() as usize) - 1
+        };
         if hist.len() <= bucket {
             hist.resize(bucket + 1, 0);
         }

@@ -70,7 +70,10 @@ pub fn largest_component(el: &EdgeList) -> EdgeList {
     for &c in &comp {
         *sizes.entry(c).or_insert(0) += 1;
     }
-    let Some((&best, _)) = sizes.iter().max_by_key(|&(&c, &s)| (s, std::cmp::Reverse(c))) else {
+    let Some((&best, _)) = sizes
+        .iter()
+        .max_by_key(|&(&c, &s)| (s, std::cmp::Reverse(c)))
+    else {
         return EdgeList::new(0);
     };
     let mut new_id = vec![VertexId::MAX; comp.len()];
@@ -103,7 +106,10 @@ mod tests {
         let f_orig = cut_fraction(&el, 16);
         let f_scrambled = cut_fraction(&scrambled, 16);
         let f_restored = cut_fraction(&restored, 16);
-        assert!(f_scrambled > 0.8, "scramble must destroy locality ({f_scrambled})");
+        assert!(
+            f_scrambled > 0.8,
+            "scramble must destroy locality ({f_scrambled})"
+        );
         // BFS frontiers are wide, so restoration is partial (real systems
         // use layered label propagation for more) — but it must cut the
         // scrambled cut-fraction at least in half.

@@ -69,6 +69,14 @@ impl WEdge {
     }
 }
 
+impl mnd_wire::Wire for WEdge {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        // Two u32 endpoints + u32 weight, packed (matches size_of::<WEdge>()).
+        std::mem::size_of::<WEdge>() as u64
+    }
+}
+
 impl PartialOrd for WEdge {
     #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {

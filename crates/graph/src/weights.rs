@@ -56,13 +56,16 @@ pub fn assign_weights(el: &mut EdgeList, dist: WeightDistribution, seed: u64) {
         }
         WeightDistribution::DegreeCorrelated | WeightDistribution::InverseDegree => {
             let g = CsrGraph::from_edge_list(el);
-            let max_deg = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap_or(0);
+            let max_deg = (0..g.num_vertices())
+                .map(|v| g.degree(v))
+                .max()
+                .unwrap_or(0);
             let edges: Vec<WEdge> = el
                 .edges()
                 .iter()
                 .map(|e| {
                     let d = g.degree(e.u) + g.degree(e.v);
-                    let jitter = (splitmix64(seed ^ ((e.u as u64) << 32 | e.v as u64)) % 8) as u64;
+                    let jitter = splitmix64(seed ^ ((e.u as u64) << 32 | e.v as u64)) % 8;
                     let w = match dist {
                         WeightDistribution::DegreeCorrelated => d + jitter + 1,
                         _ => 2 * max_deg + 2 + jitter - d, // inverse: hubs lightest
@@ -134,8 +137,20 @@ mod tests {
         let union = gen::disconnected_union(&[gen::path(10, 2), gen::star(50, 1)]);
         let mut u1 = union.clone();
         assign_weights(&mut u1, WeightDistribution::DegreeCorrelated, 3);
-        let path_max = u1.edges().iter().filter(|e| e.v < 10).map(|e| e.w).max().unwrap();
-        let star_min = u1.edges().iter().filter(|e| e.u >= 10).map(|e| e.w).min().unwrap();
+        let path_max = u1
+            .edges()
+            .iter()
+            .filter(|e| e.v < 10)
+            .map(|e| e.w)
+            .max()
+            .unwrap();
+        let star_min = u1
+            .edges()
+            .iter()
+            .filter(|e| e.u >= 10)
+            .map(|e| e.w)
+            .min()
+            .unwrap();
         assert!(star_min > path_max);
     }
 

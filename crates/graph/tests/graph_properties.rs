@@ -3,7 +3,9 @@
 
 use mnd_graph::gen::{self, cut_fraction, CrawlParams};
 use mnd_graph::io;
-use mnd_graph::partition::{edge_imbalance, owner_of, partition_1d, split_range_by_ratio, VertexRange};
+use mnd_graph::partition::{
+    edge_imbalance, owner_of, partition_1d, split_range_by_ratio, VertexRange,
+};
 use mnd_graph::transform::{bfs_relabel, largest_component, sort_by_degree};
 use mnd_graph::types::WEdge;
 use mnd_graph::{connected_components, CsrGraph, EdgeList};
@@ -17,7 +19,9 @@ fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = EdgeList> {
         .prop_map(|(n, raw)| {
             EdgeList::from_raw(
                 n,
-                raw.into_iter().map(|(a, b, w)| WEdge::new(a % n, b % n, w)).collect(),
+                raw.into_iter()
+                    .map(|(a, b, w)| WEdge::new(a % n, b % n, w))
+                    .collect(),
             )
         })
 }

@@ -41,7 +41,14 @@ pub fn part_graph(
         Some(gpu) => {
             let cpu = platform.cpu.clone().scaled(cfg.sim_scale);
             let gpu = gpu.clone().scaled(cfg.sim_scale);
-            calibrate_split(g, &cpu, &gpu, cfg.calibration_samples, cfg.calibration_frac, cfg.seed)
+            calibrate_split(
+                g,
+                &cpu,
+                &gpu,
+                cfg.calibration_samples,
+                cfg.calibration_frac,
+                cfg.seed,
+            )
         }
     };
     NodePartition { ranges, split }
@@ -81,7 +88,7 @@ pub fn ind_comp(
     // CPU-only path: one kernel invocation on the whole holding. Tiny
     // holdings (late merge levels) skip the GPU — kernel launches and PCIe
     // transfers would outweigh the scan they accelerate.
-    let paper_edges = cg.edges().len() as f64 * cfg.sim_scale;
+    let paper_edges = cg.num_edges() as f64 * cfg.sim_scale;
     let gpu_model = match gpu_model {
         Some(g) if split.cpu_fraction < 0.999 && cg.num_resident() >= 2 && paper_edges > 2e6 => g,
         _ => {
@@ -139,14 +146,13 @@ pub fn ind_comp(
     // only — so its first sweep is charged for the frozen-incident
     // fraction of edges, not the whole residual.
     let frozen: std::collections::HashSet<CompId> = cg.frozen().iter().copied().collect();
-    let frozen_fraction = if cg.edges().is_empty() {
+    let frozen_fraction = if cg.num_edges() == 0 {
         0.0
     } else {
-        cg.edges()
-            .iter()
+        cg.iter_edges()
             .filter(|e| frozen.contains(&e.a) || frozen.contains(&e.b))
             .count() as f64
-            / cg.edges().len() as f64
+            / cg.num_edges() as f64
     };
     cg.clear_frozen();
     let finish = cpu_dev.run_ind_comp(cg, cfg.excp, cfg.freeze, cfg.stop);
@@ -172,11 +178,15 @@ pub fn ind_comp(
 /// `1 - cpu_fraction` of the incident edges (the GPU's contiguous share).
 fn gpu_share_components(cg: &CGraph, cpu_fraction: f64) -> Vec<CompId> {
     let mut incident: std::collections::HashMap<CompId, u64> = std::collections::HashMap::new();
-    for e in cg.edges() {
+    for e in cg.iter_edges() {
         *incident.entry(e.a).or_insert(0) += 1;
         *incident.entry(e.b).or_insert(0) += 1;
     }
-    let total: u64 = cg.resident().iter().map(|c| incident.get(c).copied().unwrap_or(0)).sum();
+    let total: u64 = cg
+        .resident()
+        .iter()
+        .map(|c| incident.get(c).copied().unwrap_or(0))
+        .sum();
     let gpu_target = (total as f64 * (1.0 - cpu_fraction)).round() as u64;
     let mut acc = 0u64;
     let mut take = Vec::new();
@@ -204,7 +214,7 @@ pub fn merge_devices(
     cpu_relabel: &[(CompId, CompId)],
     gpu_relabel: &[(CompId, CompId)],
 ) -> u64 {
-    let swept = gpu_cg.edges().len() as u64;
+    let swept = gpu_cg.num_edges() as u64;
     apply_ghost_parents(&mut gpu_cg, cpu_relabel);
     apply_ghost_parents(cpu_cg, gpu_relabel);
     cpu_cg.absorb(gpu_cg);
@@ -231,7 +241,7 @@ pub fn post_process(
     let proxy = mnd_kernels::policy::WorkProfile {
         iters: vec![mnd_kernels::policy::IterWork {
             active_components: cg.num_resident() as u64,
-            edges_scanned: cg.edges().len() as u64,
+            edges_scanned: cg.num_edges() as u64,
             unions: 0,
         }],
     };
@@ -247,12 +257,21 @@ pub fn post_process(
         })
         .unwrap_or(false);
     let model = if pick_gpu {
-        platform.gpu.clone().expect("pick_gpu implies gpu").scaled(cfg.sim_scale)
+        platform
+            .gpu
+            .clone()
+            .expect("pick_gpu implies gpu")
+            .scaled(cfg.sim_scale)
     } else {
         cpu_model
     };
     let mut dev = ExecDevice::new(model);
-    let run = dev.run_ind_comp(cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+    let run = dev.run_ind_comp(
+        cg,
+        ExcpCond::None,
+        FreezePolicy::Sticky,
+        StopPolicy::Exhaustive,
+    );
     (run.output.msf_edges, run.kernel_time + run.transfer_time)
 }
 
@@ -265,8 +284,11 @@ mod tests {
     fn cfg() -> HyParConfig {
         // sim_scale large enough that test graphs clear the GPU's
         // minimum-size guard.
-        HyParConfig { stop: mnd_kernels::policy::StopPolicy::Exhaustive, ..Default::default() }
-            .with_sim_scale(4096.0)
+        HyParConfig {
+            stop: mnd_kernels::policy::StopPolicy::Exhaustive,
+            ..Default::default()
+        }
+        .with_sim_scale(4096.0)
     }
 
     #[test]
@@ -290,7 +312,11 @@ mod tests {
         let platform = NodePlatform::cray_xc40(true);
         let config = cfg();
         let mut cg = CGraph::from_edge_list(&el);
-        let split = DeviceSplit { cpu_fraction: 0.4, gpu_speedup: 1.5, memory_limited: false };
+        let split = DeviceSplit {
+            cpu_fraction: 0.4,
+            gpu_speedup: 1.5,
+            memory_limited: false,
+        };
         let mut msf = Vec::new();
         let run = ind_comp(&mut cg, &platform, &split, &config);
         assert!(run.used_gpu);
@@ -322,7 +348,11 @@ mod tests {
         let el = gen::gnm(2000, 12_000, 9);
         let platform = NodePlatform::cray_xc40(true);
         let config = cfg();
-        let split = DeviceSplit { cpu_fraction: 0.5, gpu_speedup: 1.0, memory_limited: false };
+        let split = DeviceSplit {
+            cpu_fraction: 0.5,
+            gpu_speedup: 1.0,
+            memory_limited: false,
+        };
         let mut cg = CGraph::from_edge_list(&el);
         let run = ind_comp(&mut cg, &platform, &split, &config);
         // Sanity: simultaneous execution cannot be slower than the sum of
@@ -342,7 +372,10 @@ mod tests {
         assert!((0.15..0.40).contains(&frac), "got {frac}");
         // Contiguous suffix.
         let min_take = *take.first().unwrap();
-        assert!(cg.resident().iter().all(|c| take.contains(c) == (*c >= min_take)));
+        assert!(cg
+            .resident()
+            .iter()
+            .all(|c| take.contains(c) == (*c >= min_take)));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use mnd_kernels::policy::{ExcpCond, FreezePolicy, StopPolicy};
 
+use crate::observe::ObserverHook;
+
 /// All tunables of the HyPar runtime, with the paper's defaults.
 #[derive(Clone, Debug, PartialEq)]
 pub struct HyParConfig {
@@ -41,6 +43,9 @@ pub struct HyParConfig {
     pub max_exchange_rounds: usize,
     /// Deterministic seed for calibration sampling.
     pub seed: u64,
+    /// Optional phase observer: fired by the driver at every phase boundary
+    /// with the phase's time/traffic sample (see [`crate::observe`]).
+    pub observer: ObserverHook,
 }
 
 impl Default for HyParConfig {
@@ -49,7 +54,9 @@ impl Default for HyParConfig {
             group_size: 4,
             excp: ExcpCond::BorderEdge,
             freeze: FreezePolicy::Sticky,
-            stop: StopPolicy::DiminishingBenefit { min_improvement: 0.05 },
+            stop: StopPolicy::DiminishingBenefit {
+                min_improvement: 0.05,
+            },
             recursion_edge_threshold: 100_000_000,
             merge_min_shrink: 0.10,
             group_edge_threshold: 1_000_000_000,
@@ -58,6 +65,7 @@ impl Default for HyParConfig {
             sim_scale: 1.0,
             max_exchange_rounds: 8,
             seed: 0x4D4E_442D,
+            observer: ObserverHook::none(),
         }
     }
 }
@@ -79,6 +87,15 @@ impl HyParConfig {
     pub fn scaled_group_threshold(&self) -> u64 {
         ((self.group_edge_threshold as f64 / self.sim_scale).ceil() as u64).max(1)
     }
+
+    /// Attaches a phase observer (see [`crate::observe::PhaseObserver`]).
+    pub fn with_observer(
+        mut self,
+        observer: std::sync::Arc<dyn crate::observe::PhaseObserver>,
+    ) -> Self {
+        self.observer = ObserverHook::new(observer);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +114,10 @@ mod tests {
     #[test]
     fn scaled_thresholds_divide_by_sim_scale() {
         let c = HyParConfig::default().with_sim_scale(2048.0);
-        assert_eq!(c.scaled_recursion_threshold(), (100_000_000f64 / 2048.0).ceil() as u64);
+        assert_eq!(
+            c.scaled_recursion_threshold(),
+            (100_000_000f64 / 2048.0).ceil() as u64
+        );
         assert!(c.scaled_group_threshold() >= 1);
     }
 

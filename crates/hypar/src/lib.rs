@@ -17,7 +17,9 @@
 
 pub mod api;
 pub mod config;
+pub mod observe;
 pub mod runtime;
 
 pub use api::{ind_comp, merge_devices, part_graph, post_process, NodeIndComp, NodePartition};
 pub use config::HyParConfig;
+pub use observe::{ObserverHook, PhaseKind, PhaseObserver, PhaseSample};

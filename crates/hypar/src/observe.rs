@@ -1,0 +1,193 @@
+//! Phase observation: a hook the driver fires as each HyPar phase
+//! completes on a rank.
+//!
+//! The paper's evaluation (Figures 5 and 7) needs per-phase time and
+//! traffic breakdowns. Instead of hard-wiring that bookkeeping into the
+//! driver, every phase boundary emits a [`PhaseSample`] through an
+//! [`ObserverHook`] configured on [`crate::HyParConfig`]; the driver's own
+//! report recorder and any user-supplied observer (tracing, live
+//! dashboards, experiment harnesses) receive identical samples.
+
+use std::sync::Arc;
+
+/// The five driver phases (Algorithm 1 / Table 1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// `partGraph`: degree exchange, 1D cuts, device calibration, holding
+    /// construction, ghost-information exchange.
+    Partition,
+    /// `indComp`: device kernel invocations of one computation step.
+    IndComp,
+    /// `mergeParts`: ghost-parent exchange plus self/multi-edge reduction.
+    MergeParts,
+    /// Hierarchical merging: ring segment exchanges and leader merges.
+    HierMerge,
+    /// `postProcess`: the final whole-holding contraction and MSF gather.
+    PostProcess,
+}
+
+impl PhaseKind {
+    /// All kinds, in pipeline order.
+    pub const ALL: [PhaseKind; 5] = [
+        PhaseKind::Partition,
+        PhaseKind::IndComp,
+        PhaseKind::MergeParts,
+        PhaseKind::HierMerge,
+        PhaseKind::PostProcess,
+    ];
+
+    /// Stable lower-case name (log/CSV friendly).
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::Partition => "partition",
+            PhaseKind::IndComp => "ind_comp",
+            PhaseKind::MergeParts => "merge_parts",
+            PhaseKind::HierMerge => "hier_merge",
+            PhaseKind::PostProcess => "post_process",
+        }
+    }
+}
+
+/// One observed phase execution on one rank: the simulated time and traffic
+/// the phase consumed (deltas against the rank's stats at phase entry).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseSample {
+    /// The rank that executed the phase.
+    pub rank: u32,
+    /// Hierarchical-merge level the phase ran at (0 before merging starts).
+    pub level: u32,
+    /// Simulated compute seconds spent in the phase.
+    pub compute_time: f64,
+    /// Simulated communication seconds spent in the phase.
+    pub comm_time: f64,
+    /// Bytes sent during the phase.
+    pub bytes_sent: u64,
+    /// Messages sent during the phase.
+    pub messages_sent: u64,
+}
+
+/// Receives phase samples. Implementations must be thread-safe: every
+/// simulated rank runs on its own thread and fires the hook concurrently.
+pub trait PhaseObserver: Send + Sync {
+    /// Called once per completed phase execution per rank.
+    fn on_phase(&self, kind: PhaseKind, sample: &PhaseSample);
+}
+
+/// An optional, shareable observer slot carried by the config.
+///
+/// Equality (needed because `HyParConfig` is `PartialEq`) is identity:
+/// two hooks are equal when both are unset or both point at the same
+/// observer object.
+#[derive(Clone, Default)]
+pub struct ObserverHook(Option<Arc<dyn PhaseObserver>>);
+
+impl ObserverHook {
+    /// The empty hook (emission is a no-op).
+    pub fn none() -> Self {
+        ObserverHook(None)
+    }
+
+    /// Wraps an observer.
+    pub fn new(observer: Arc<dyn PhaseObserver>) -> Self {
+        ObserverHook(Some(observer))
+    }
+
+    /// True if an observer is attached.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Fires the hook, if set.
+    #[inline]
+    pub fn emit(&self, kind: PhaseKind, sample: &PhaseSample) {
+        if let Some(obs) = &self.0 {
+            obs.on_phase(kind, sample);
+        }
+    }
+}
+
+impl std::fmt::Debug for ObserverHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.is_set() {
+            "ObserverHook(set)"
+        } else {
+            "ObserverHook(none)"
+        })
+    }
+}
+
+impl PartialEq for ObserverHook {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Collect(Mutex<Vec<(PhaseKind, u32)>>);
+
+    impl PhaseObserver for Collect {
+        fn on_phase(&self, kind: PhaseKind, sample: &PhaseSample) {
+            self.0.lock().unwrap().push((kind, sample.rank));
+        }
+    }
+
+    #[test]
+    fn hook_emits_to_attached_observer() {
+        let obs = Arc::new(Collect(Mutex::new(Vec::new())));
+        let hook = ObserverHook::new(obs.clone());
+        assert!(hook.is_set());
+        hook.emit(
+            PhaseKind::IndComp,
+            &PhaseSample {
+                rank: 3,
+                ..Default::default()
+            },
+        );
+        hook.emit(
+            PhaseKind::HierMerge,
+            &PhaseSample {
+                rank: 1,
+                ..Default::default()
+            },
+        );
+        let got = obs.0.lock().unwrap().clone();
+        assert_eq!(
+            got,
+            vec![(PhaseKind::IndComp, 3), (PhaseKind::HierMerge, 1)]
+        );
+    }
+
+    #[test]
+    fn empty_hook_is_a_noop_and_equal_to_itself() {
+        let hook = ObserverHook::none();
+        assert!(!hook.is_set());
+        hook.emit(PhaseKind::Partition, &PhaseSample::default());
+        assert_eq!(hook, ObserverHook::none());
+        assert_eq!(hook, ObserverHook::default());
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = ObserverHook::new(Arc::new(Collect(Mutex::new(Vec::new()))));
+        let b = ObserverHook::new(Arc::new(Collect(Mutex::new(Vec::new()))));
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
+        assert_ne!(a, ObserverHook::none());
+    }
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let names: std::collections::HashSet<&str> =
+            PhaseKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), PhaseKind::ALL.len());
+        assert_eq!(PhaseKind::IndComp.name(), "ind_comp");
+    }
+}

@@ -20,7 +20,9 @@ fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = EdgeList> {
         .prop_map(|(n, raw)| {
             EdgeList::from_raw(
                 n,
-                raw.into_iter().map(|(a, b, w)| WEdge::new(a % n, b % n, w)).collect(),
+                raw.into_iter()
+                    .map(|(a, b, w)| WEdge::new(a % n, b % n, w))
+                    .collect(),
             )
         })
 }
@@ -101,7 +103,11 @@ fn ind_comp_on_presets_with_default_config() {
         let platform = NodePlatform::cray_xc40(true);
         let config = HyParConfig::default().with_sim_scale(65536.0);
         let mut cg = CGraph::from_edge_list(&el);
-        let split = DeviceSplit { cpu_fraction: 0.5, gpu_speedup: 1.0, memory_limited: false };
+        let split = DeviceSplit {
+            cpu_fraction: 0.5,
+            gpu_speedup: 1.0,
+            memory_limited: false,
+        };
         let mut msf = ind_comp(&mut cg, &platform, &split, &config).msf_edges;
         let (rest, _) = post_process(&mut cg, &platform, &config);
         msf.extend(rest);
@@ -118,7 +124,11 @@ fn ind_comp_on_presets_with_default_config() {
 fn empty_and_singleton_holdings() {
     let platform = NodePlatform::cray_xc40(true);
     let config = cfg();
-    let split = DeviceSplit { cpu_fraction: 0.5, gpu_speedup: 1.0, memory_limited: false };
+    let split = DeviceSplit {
+        cpu_fraction: 0.5,
+        gpu_speedup: 1.0,
+        memory_limited: false,
+    };
     let mut cg = CGraph::new();
     let out = ind_comp(&mut cg, &platform, &split, &config);
     assert!(out.msf_edges.is_empty());

@@ -65,9 +65,7 @@ pub fn local_boruvka(
     let resident: Vec<CompId> = cg.resident().to_vec();
     let n = resident.len();
     // Local dense index per resident component.
-    let index_of = |c: CompId| -> Option<u32> {
-        resident.binary_search(&c).ok().map(|i| i as u32)
-    };
+    let index_of = |c: CompId| -> Option<u32> { resident.binary_search(&c).ok().map(|i| i as u32) };
 
     let mut dsu = MinDsu::new(n);
     let mut frozen = vec![false; n];
@@ -80,7 +78,7 @@ pub fn local_boruvka(
 
     // BorderVertex: freeze every component touching the border up front.
     if excp == ExcpCond::BorderVertex {
-        for e in cg.edges() {
+        for e in cg.iter_edges() {
             let a_res = index_of(e.a);
             let b_res = index_of(e.b);
             if a_res.is_none() || b_res.is_none() {
@@ -95,9 +93,12 @@ pub fn local_boruvka(
     let mut work = WorkProfile::default();
     // Data-driven worklist: only edges that can still matter are rescanned.
     let mut worklist: Vec<CEdgeLocal> = cg
-        .edges()
-        .iter()
-        .map(|e| CEdgeLocal { a: index_of(e.a), b: index_of(e.b), orig: e.orig })
+        .iter_edges()
+        .map(|e| CEdgeLocal {
+            a: index_of(e.a),
+            b: index_of(e.b),
+            orig: e.orig,
+        })
         .collect();
 
     let mut prev_cost: Option<u64> = None;
@@ -176,7 +177,11 @@ pub fn local_boruvka(
             }
         }
 
-        work.iters.push(IterWork { active_components: active, edges_scanned: scanned, unions });
+        work.iters.push(IterWork {
+            active_components: active,
+            edges_scanned: scanned,
+            unions,
+        });
 
         if unions == 0 {
             break;
@@ -224,7 +229,11 @@ pub fn local_boruvka(
     cg.set_resident(new_resident);
     cg.set_frozen(new_frozen);
 
-    LocalOutput { msf_edges, relabel, work }
+    LocalOutput {
+        msf_edges,
+        relabel,
+        work,
+    }
 }
 
 /// Whole-graph Boruvka MSF over an edge list — the single-device baseline
@@ -232,7 +241,12 @@ pub fn local_boruvka(
 /// [`local_boruvka`] with `ExcpCond::None` on a whole-graph holding.
 pub fn boruvka_msf(el: &mnd_graph::EdgeList) -> MsfResult {
     let mut cg = CGraph::from_edge_list(el);
-    let out = local_boruvka(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+    let out = local_boruvka(
+        &mut cg,
+        ExcpCond::None,
+        FreezePolicy::Sticky,
+        StopPolicy::Exhaustive,
+    );
     MsfResult::from_edges(el.num_vertices(), out.msf_edges)
 }
 
@@ -246,7 +260,9 @@ struct MinDsu {
 
 impl MinDsu {
     fn new(n: usize) -> Self {
-        MinDsu { parent: (0..n as u32).collect() }
+        MinDsu {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     fn find(&mut self, mut x: u32) -> u32 {
@@ -333,7 +349,12 @@ mod tests {
     fn none_exception_rejects_partitions() {
         let g = CsrGraph::from_edge_list(&gen::path(6, 1));
         let mut cg = CGraph::from_partition(&g, VertexRange { start: 0, end: 3 });
-        local_boruvka(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        local_boruvka(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
     }
 
     #[test]
@@ -341,8 +362,7 @@ mod tests {
         // Property: every contracted edge must be in the oracle MSF.
         for seed in 0..5 {
             let el = gen::gnm(100, 400, seed);
-            let oracle: std::collections::HashSet<_> =
-                kruskal_msf(&el).edges.into_iter().collect();
+            let oracle: std::collections::HashSet<_> = kruskal_msf(&el).edges.into_iter().collect();
             let g = CsrGraph::from_edge_list(&el);
             for (lo, hi) in [(0, 50), (25, 75), (0, 100)] {
                 let mut cg = CGraph::from_partition(&g, VertexRange { start: lo, end: hi });
@@ -353,7 +373,10 @@ mod tests {
                     StopPolicy::Exhaustive,
                 );
                 for e in &out.msf_edges {
-                    assert!(oracle.contains(e), "seed {seed} [{lo},{hi}): {e:?} not in MSF");
+                    assert!(
+                        oracle.contains(e),
+                        "seed {seed} [{lo},{hi}): {e:?} not in MSF"
+                    );
                 }
                 cg.validate().unwrap();
             }
@@ -367,8 +390,18 @@ mod tests {
         let range = VertexRange { start: 0, end: 100 };
         let mut cg_e = CGraph::from_partition(&g, range);
         let mut cg_v = CGraph::from_partition(&g, range);
-        let out_e = local_boruvka(&mut cg_e, ExcpCond::BorderEdge, FreezePolicy::Sticky, StopPolicy::Exhaustive);
-        let out_v = local_boruvka(&mut cg_v, ExcpCond::BorderVertex, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        let out_e = local_boruvka(
+            &mut cg_e,
+            ExcpCond::BorderEdge,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
+        let out_v = local_boruvka(
+            &mut cg_v,
+            ExcpCond::BorderVertex,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         assert!(out_v.msf_edges.len() <= out_e.msf_edges.len());
         assert!(cg_v.num_resident() >= cg_e.num_resident());
     }
@@ -377,16 +410,26 @@ mod tests {
     fn resident_ids_become_min_member() {
         let el = gen::path(4, 1); // 0-1-2-3, whole graph
         let mut cg = CGraph::from_edge_list(&el);
-        local_boruvka(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        local_boruvka(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         assert_eq!(cg.resident(), &[0]); // single component named 0
-        assert!(cg.edges().is_empty());
+        assert_eq!(cg.num_edges(), 0);
     }
 
     #[test]
     fn relabel_reports_only_changes() {
         let el = gen::path(3, 1);
         let mut cg = CGraph::from_edge_list(&el);
-        let out = local_boruvka(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        let out = local_boruvka(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         // 1 and 2 renamed to 0; 0 unchanged.
         let mut r = out.relabel.clone();
         r.sort_unstable();
@@ -402,7 +445,12 @@ mod tests {
         let el = gen::path(4, 5);
         let g = CsrGraph::from_edge_list(&el);
         let mut cg = CGraph::from_partition(&g, VertexRange { start: 0, end: 2 });
-        let out = local_boruvka(&mut cg, ExcpCond::BorderEdge, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        let out = local_boruvka(
+            &mut cg,
+            ExcpCond::BorderEdge,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         let oracle: std::collections::HashSet<_> = kruskal_msf(&el).edges.into_iter().collect();
         for e in &out.msf_edges {
             assert!(oracle.contains(e));
@@ -416,7 +464,12 @@ mod tests {
     fn work_profile_is_recorded() {
         let el = gen::gnm(100, 300, 9);
         let mut cg = CGraph::from_edge_list(&el);
-        let out = local_boruvka(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        let out = local_boruvka(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         assert!(out.work.num_iterations() >= 1);
         assert!(out.work.total_scanned() > 0);
         // Boruvka halves components per round: few iterations expected.
@@ -430,8 +483,18 @@ mod tests {
         let range = VertexRange { start: 0, end: 75 };
         let mut cg_s = CGraph::from_partition(&g, range);
         let mut cg_r = CGraph::from_partition(&g, range);
-        let s = local_boruvka(&mut cg_s, ExcpCond::BorderEdge, FreezePolicy::Sticky, StopPolicy::Exhaustive);
-        let r = local_boruvka(&mut cg_r, ExcpCond::BorderEdge, FreezePolicy::Recheck, StopPolicy::Exhaustive);
+        let s = local_boruvka(
+            &mut cg_s,
+            ExcpCond::BorderEdge,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
+        let r = local_boruvka(
+            &mut cg_r,
+            ExcpCond::BorderEdge,
+            FreezePolicy::Recheck,
+            StopPolicy::Exhaustive,
+        );
         assert!(r.msf_edges.len() >= s.msf_edges.len());
         let oracle: std::collections::HashSet<_> = kruskal_msf(&el).edges.into_iter().collect();
         for e in r.msf_edges.iter().chain(s.msf_edges.iter()) {
@@ -447,7 +510,9 @@ mod tests {
             &mut cg,
             ExcpCond::None,
             FreezePolicy::Sticky,
-            StopPolicy::DiminishingBenefit { min_improvement: 0.5 },
+            StopPolicy::DiminishingBenefit {
+                min_improvement: 0.5,
+            },
         );
         let oracle: std::collections::HashSet<_> = kruskal_msf(&el).edges.into_iter().collect();
         for e in &out.msf_edges {

@@ -11,6 +11,17 @@
 //!   edge ([`CEdge::orig`]) so the final MSF can be reported in terms of
 //!   input edges, and so weight ties break identically everywhere.
 //!
+//! Edges are stored **structure-of-arrays**: three parallel columns
+//! (`ea`, `eb`, `eorig`) instead of a `Vec<CEdge>`. The reduce passes
+//! (relabel, self/multi-edge removal, dedup) are the hot path of every
+//! merge level and sweep the columns linearly; SoA keeps those sweeps
+//! compact and lets them run fully in place — sorting goes through a
+//! reusable index-permutation scratch buffer, and removal compacts with a
+//! write cursor, so no pass allocates a new edge vector. [`CEdge`] remains
+//! the *view* type: [`CGraph::edge`], [`CGraph::iter_edges`] and
+//! [`CGraph::edges_vec`] materialize rows on demand for callers that want
+//! the old AoS shape.
+//!
 //! An edge may connect a resident component to a *non-resident* one (the
 //! paper's ghost component); such edges are exactly the ones the exception
 //! condition of `indComp` refuses to contract.
@@ -26,6 +37,7 @@
 use mnd_graph::partition::VertexRange;
 use mnd_graph::types::{VertexId, WEdge};
 use mnd_graph::{CsrGraph, EdgeList};
+use mnd_wire::Wire;
 
 /// A component identifier. Components are named by the smallest original
 /// vertex they contain, so ids stay globally consistent without any central
@@ -33,7 +45,9 @@ use mnd_graph::{CsrGraph, EdgeList};
 pub type CompId = u32;
 
 /// An inter-component edge: current component endpoints plus the original
-/// graph edge it stands for.
+/// graph edge it stands for. This is the row *view* over the SoA columns
+/// of [`CGraph`] (and the unit that crosses the wire inside segment
+/// messages).
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub struct CEdge {
     /// One component endpoint.
@@ -80,6 +94,14 @@ impl CEdge {
     }
 }
 
+impl Wire for CEdge {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        // Two packed endpoints + the original edge (u, v, w).
+        (2 * std::mem::size_of::<CompId>() as u64) + self.orig.wire_bytes()
+    }
+}
+
 impl PartialOrd for CEdge {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
@@ -98,17 +120,36 @@ impl std::fmt::Debug for CEdge {
     }
 }
 
+/// Sentinel marking an already-placed slot during in-place permutation.
+const PLACED: u32 = u32::MAX;
+
 /// A processor's current holding: resident components and the edges it
-/// knows about.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// knows about (SoA columns).
+#[derive(Clone, Debug, Default)]
 pub struct CGraph {
     /// Sorted, deduplicated resident component ids.
     resident: Vec<CompId>,
-    /// Edges held by this processor (each endpoint may be non-resident).
-    edges: Vec<CEdge>,
+    /// Edge endpoint column `a` (canonical `a <= b` per row).
+    ea: Vec<CompId>,
+    /// Edge endpoint column `b`.
+    eb: Vec<CompId>,
+    /// Original-edge column (provenance + tie-break).
+    eorig: Vec<WEdge>,
     /// Components frozen by a previous `indComp` invocation (sticky across
     /// stages until a relabel merges them away or they move processors).
     frozen: Vec<CompId>,
+    /// Reusable index buffer for in-place sorts; never part of identity.
+    scratch: Vec<u32>,
+}
+
+impl PartialEq for CGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.resident == other.resident
+            && self.ea == other.ea
+            && self.eb == other.eb
+            && self.eorig == other.eorig
+            && self.frozen == other.frozen
+    }
 }
 
 impl CGraph {
@@ -122,30 +163,45 @@ impl CGraph {
     /// touching the range (cut edges included, held by the inside endpoint;
     /// internal edges held once).
     pub fn from_partition(g: &CsrGraph, range: VertexRange) -> Self {
-        let resident: Vec<CompId> = range.iter().collect();
-        let edges = g
-            .edges_touching_range(range.start, range.end)
-            .into_iter()
-            .map(|e| CEdge::new(e.u, e.v, e))
-            .collect();
-        CGraph { resident, edges, frozen: Vec::new() }
+        let mut cg = CGraph {
+            resident: range.iter().collect(),
+            ..CGraph::default()
+        };
+        for e in g.edges_touching_range(range.start, range.end) {
+            cg.push_edge(CEdge::new(e.u, e.v, e));
+        }
+        cg
     }
 
     /// Builds a whole-graph holding (single-device execution): all vertices
     /// resident, all edges held.
     pub fn from_edge_list(el: &EdgeList) -> Self {
-        CGraph {
+        let mut cg = CGraph {
             resident: (0..el.num_vertices()).collect(),
-            edges: el.edges().iter().map(|e| CEdge::new(e.u, e.v, *e)).collect(),
-            frozen: Vec::new(),
+            ..CGraph::default()
+        };
+        for e in el.edges() {
+            cg.push_edge(CEdge::new(e.u, e.v, *e));
         }
+        cg
     }
 
     /// Constructs from parts (used by segment transfer). `resident` must be
     /// sorted and deduplicated.
     pub fn from_parts(resident: Vec<CompId>, edges: Vec<CEdge>, frozen: Vec<CompId>) -> Self {
         debug_assert!(resident.windows(2).all(|w| w[0] < w[1]));
-        CGraph { resident, edges, frozen }
+        let mut cg = CGraph {
+            resident,
+            frozen,
+            ..CGraph::default()
+        };
+        cg.ea.reserve(edges.len());
+        cg.eb.reserve(edges.len());
+        cg.eorig.reserve(edges.len());
+        for e in edges {
+            cg.push_edge(e);
+        }
+        cg
     }
 
     /// Resident component ids (sorted).
@@ -160,16 +216,56 @@ impl CGraph {
         self.resident.len()
     }
 
-    /// Held edges.
+    /// Number of held edges.
     #[inline]
-    pub fn edges(&self) -> &[CEdge] {
-        &self.edges
+    pub fn num_edges(&self) -> usize {
+        self.ea.len()
     }
 
-    /// Mutable access for kernels in this crate and the driver.
+    /// The `i`-th edge as a row view.
     #[inline]
-    pub fn edges_mut(&mut self) -> &mut Vec<CEdge> {
-        &mut self.edges
+    pub fn edge(&self, i: usize) -> CEdge {
+        CEdge {
+            a: self.ea[i],
+            b: self.eb[i],
+            orig: self.eorig[i],
+        }
+    }
+
+    /// Iterates the edges as row views, in storage order.
+    #[inline]
+    pub fn iter_edges(&self) -> impl Iterator<Item = CEdge> + '_ {
+        self.ea
+            .iter()
+            .zip(&self.eb)
+            .zip(&self.eorig)
+            .map(|((&a, &b), &orig)| CEdge { a, b, orig })
+    }
+
+    /// The edge endpoint columns `(a, b)` (canonical `a <= b` per row).
+    #[inline]
+    pub fn endpoint_cols(&self) -> (&[CompId], &[CompId]) {
+        (&self.ea, &self.eb)
+    }
+
+    /// The original-edge column.
+    #[inline]
+    pub fn orig_col(&self) -> &[WEdge] {
+        &self.eorig
+    }
+
+    /// Materializes the edges as an AoS vector (compatibility accessor for
+    /// tests and message assembly; hot paths use the columns directly).
+    pub fn edges_vec(&self) -> Vec<CEdge> {
+        self.iter_edges().collect()
+    }
+
+    /// Appends one edge.
+    #[inline]
+    pub fn push_edge(&mut self, e: CEdge) {
+        self.ea.push(e.a);
+        self.eb.push(e.b);
+        self.eorig.push(e.orig);
     }
 
     /// Components frozen by the last independent computation.
@@ -200,15 +296,16 @@ impl CGraph {
 
     /// True if the holding has no resident components and no edges.
     pub fn is_empty(&self) -> bool {
-        self.resident.is_empty() && self.edges.is_empty()
+        self.resident.is_empty() && self.ea.is_empty()
     }
 
     /// Number of edges with a non-resident endpoint (the holding's "ghost
     /// degree" — drives communication volume).
     pub fn num_cut_edges(&self) -> usize {
-        self.edges
+        self.ea
             .iter()
-            .filter(|e| !self.is_resident(e.a) || !self.is_resident(e.b))
+            .zip(&self.eb)
+            .filter(|&(&a, &b)| !self.is_resident(a) || !self.is_resident(b))
             .count()
     }
 
@@ -223,8 +320,17 @@ impl CGraph {
     /// the new id of a component (identity for unknown ids). Resident ids
     /// and frozen marks are remapped too.
     pub fn relabel(&mut self, map: impl Fn(CompId) -> CompId) {
-        for e in &mut self.edges {
-            *e = CEdge::new(map(e.a), map(e.b), e.orig);
+        for (a, b) in self.ea.iter_mut().zip(&mut self.eb) {
+            let na = map(*a);
+            let nb = map(*b);
+            // Keep the per-row canonical a <= b invariant.
+            if na <= nb {
+                *a = na;
+                *b = nb;
+            } else {
+                *a = nb;
+                *b = na;
+            }
         }
         for r in &mut self.resident {
             *r = map(*r);
@@ -238,46 +344,103 @@ impl CGraph {
         self.frozen.dedup();
     }
 
+    /// In-place column compaction: keeps row `i` iff `keep(i)`, preserving
+    /// order. Allocation-free (write-cursor sweep over the three columns).
+    fn retain_rows(&mut self, mut keep: impl FnMut(&Self, usize) -> bool) {
+        let n = self.ea.len();
+        let mut w = 0usize;
+        for i in 0..n {
+            if keep(self, i) {
+                if w != i {
+                    self.ea[w] = self.ea[i];
+                    self.eb[w] = self.eb[i];
+                    self.eorig[w] = self.eorig[i];
+                }
+                w += 1;
+            }
+        }
+        self.ea.truncate(w);
+        self.eb.truncate(w);
+        self.eorig.truncate(w);
+    }
+
+    /// Applies permutation `perm` (result row `i` = current row `perm[i]`)
+    /// to all three columns in place by cycle-walking; `perm` is consumed
+    /// (overwritten with [`PLACED`] marks).
+    fn apply_perm(&mut self, perm: &mut [u32]) {
+        let n = perm.len();
+        for start in 0..n {
+            if perm[start] == PLACED || perm[start] as usize == start {
+                continue;
+            }
+            let (ta, tb, torig) = (self.ea[start], self.eb[start], self.eorig[start]);
+            let mut dst = start;
+            loop {
+                let src = perm[dst] as usize;
+                perm[dst] = PLACED;
+                if src == start {
+                    self.ea[dst] = ta;
+                    self.eb[dst] = tb;
+                    self.eorig[dst] = torig;
+                    break;
+                }
+                self.ea[dst] = self.ea[src];
+                self.eb[dst] = self.eb[src];
+                self.eorig[dst] = self.eorig[src];
+                dst = src;
+            }
+        }
+    }
+
+    /// Sorts the edge rows by `key` without allocating a row vector: an
+    /// index permutation is built in the reusable scratch buffer and applied
+    /// across the columns by cycle-walking.
+    fn sort_rows_by_key<K: Ord>(&mut self, key: impl Fn(&Self, usize) -> K) {
+        let n = self.ea.len();
+        let mut perm = std::mem::take(&mut self.scratch);
+        perm.clear();
+        perm.extend(0..n as u32);
+        perm.sort_unstable_by_key(|&i| key(self, i as usize));
+        self.apply_perm(&mut perm);
+        self.scratch = perm;
+    }
+
     /// Removes self edges (endpoints in the same component) — the paper's
-    /// `removeSelfEdges` (§3.3).
+    /// `removeSelfEdges` (§3.3). In-place compaction.
     pub fn remove_self_edges(&mut self) {
-        self.edges.retain(|e| !e.is_self());
+        self.retain_rows(|cg, i| cg.ea[i] != cg.eb[i]);
     }
 
     /// Keeps only the lightest edge between every component pair — the
-    /// paper's `removeMultiEdges` (§3.3), implemented with the same
-    /// hash-table-of-minimums it describes.
+    /// paper's `removeMultiEdges` (§3.3). In place: rows are co-sorted by
+    /// `(a, b, orig key)` through the index scratch, each `(a, b)` run is
+    /// compacted to its first (= lightest) row, then canonical order is
+    /// restored. Equivalent to the hash-table-of-minimums the paper
+    /// describes, without the table.
     pub fn remove_multi_edges(&mut self) {
-        let mut best: std::collections::HashMap<(CompId, CompId), CEdge> =
-            std::collections::HashMap::with_capacity(self.edges.len());
-        for &e in &self.edges {
-            debug_assert!(!e.is_self(), "run remove_self_edges first");
-            match best.entry((e.a, e.b)) {
-                std::collections::hash_map::Entry::Occupied(mut o) => {
-                    if e < *o.get() {
-                        o.insert(e);
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(e);
-                }
-            }
-        }
-        self.edges = best.into_values().collect();
+        debug_assert!(
+            self.ea.iter().zip(&self.eb).all(|(a, b)| a != b),
+            "run remove_self_edges first"
+        );
+        self.sort_rows_by_key(|cg, i| (cg.ea[i], cg.eb[i], cg.eorig[i].key()));
+        self.retain_rows(|cg, i| i == 0 || cg.ea[i] != cg.ea[i - 1] || cg.eb[i] != cg.eb[i - 1]);
         self.sort_edges();
     }
 
     /// Removes duplicate holdings of the *same original edge* (arises when
     /// a moved segment recombines with a holding that kept a boundary copy).
+    /// In place, same sort-compact-restore scheme as multi-edge removal.
     pub fn dedup_edges(&mut self) {
-        self.edges.sort_unstable_by_key(|e| (e.orig.u, e.orig.v, e.a, e.b));
-        self.edges.dedup_by_key(|e| (e.orig.u, e.orig.v));
+        self.sort_rows_by_key(|cg, i| (cg.eorig[i].u, cg.eorig[i].v, cg.ea[i], cg.eb[i]));
+        self.retain_rows(|cg, i| {
+            i == 0 || cg.eorig[i].u != cg.eorig[i - 1].u || cg.eorig[i].v != cg.eorig[i - 1].v
+        });
         self.sort_edges();
     }
 
     /// Canonical deterministic edge order (by original-edge key).
     pub fn sort_edges(&mut self) {
-        self.edges.sort_unstable();
+        self.sort_rows_by_key(|cg, i| cg.eorig[i].key());
     }
 
     /// Absorbs another holding: unions resident sets, concatenates edges,
@@ -286,7 +449,9 @@ impl CGraph {
         self.resident.extend(other.resident);
         self.resident.sort_unstable();
         self.resident.dedup();
-        self.edges.extend(other.edges);
+        self.ea.extend(other.ea);
+        self.eb.extend(other.eb);
+        self.eorig.extend(other.eorig);
         self.dedup_edges();
         self.frozen.extend(other.frozen);
         self.frozen.sort_unstable();
@@ -302,54 +467,86 @@ impl CGraph {
         let take_set: std::collections::HashSet<CompId> = take.iter().copied().collect();
         debug_assert!(take.iter().all(|c| self.is_resident(*c)), "take ⊄ resident");
 
-        let mut moved_edges = Vec::new();
-        let mut kept_edges = Vec::new();
-        for &e in &self.edges {
-            let a_in = take_set.contains(&e.a);
-            let b_in = take_set.contains(&e.b);
-            match (a_in, b_in) {
-                (true, true) => moved_edges.push(e),
-                (false, false) => kept_edges.push(e),
+        let mut moved = CGraph::new();
+        // Single sweep: rows moving to the segment are pushed to `moved`,
+        // rows staying are compacted in place with a write cursor.
+        let n = self.ea.len();
+        let mut w = 0usize;
+        for i in 0..n {
+            let (a, b) = (self.ea[i], self.eb[i]);
+            let a_in = take_set.contains(&a);
+            let b_in = take_set.contains(&b);
+            let (goes, stays) = match (a_in, b_in) {
+                (true, true) => (true, false),
+                (false, false) => (false, true),
                 _ => {
                     // Boundary edge: the mover always needs it; the holder
                     // keeps a copy only if its side of the edge remains
                     // resident (otherwise the edge is pure ghost-to-ghost
                     // here and would only waste memory).
-                    moved_edges.push(e);
-                    let stay_end = if a_in { e.b } else { e.a };
-                    if self.is_resident(stay_end) {
-                        kept_edges.push(e);
-                    }
+                    let stay_end = if a_in { b } else { a };
+                    (true, self.is_resident(stay_end))
                 }
+            };
+            if goes {
+                moved.push_edge(CEdge {
+                    a,
+                    b,
+                    orig: self.eorig[i],
+                });
+            }
+            if stays {
+                if w != i {
+                    self.ea[w] = self.ea[i];
+                    self.eb[w] = self.eb[i];
+                    self.eorig[w] = self.eorig[i];
+                }
+                w += 1;
             }
         }
-        self.edges = kept_edges;
+        self.ea.truncate(w);
+        self.eb.truncate(w);
+        self.eorig.truncate(w);
+
         let mut new_resident: Vec<CompId> = take.to_vec();
         new_resident.sort_unstable();
         new_resident.dedup();
+        moved.resident = new_resident;
         self.resident.retain(|c| !take_set.contains(c));
-        let moved_frozen: Vec<CompId> =
-            self.frozen.iter().copied().filter(|c| take_set.contains(c)).collect();
+        moved.frozen = self
+            .frozen
+            .iter()
+            .copied()
+            .filter(|c| take_set.contains(c))
+            .collect();
         self.frozen.retain(|c| !take_set.contains(c));
-        CGraph { resident: new_resident, edges: moved_edges, frozen: moved_frozen }
+        moved
     }
 
     /// Approximate in-memory footprint in bytes — the quantity the
     /// hierarchical merge compares against a node's memory capacity.
+    /// (SoA columns total the same 20 bytes/edge as the packed row view.)
     pub fn approx_bytes(&self) -> usize {
-        self.resident.len() * 4 + self.edges.len() * std::mem::size_of::<CEdge>()
+        self.resident.len() * 4 + self.ea.len() * std::mem::size_of::<CEdge>()
     }
 
-    /// Structural sanity check for tests: resident sorted/deduped, no edge
-    /// duplicated by original identity.
+    /// Structural sanity check for tests: resident sorted/deduped, per-row
+    /// canonical endpoints, no edge duplicated by original identity.
     pub fn validate(&self) -> Result<(), String> {
         if !self.resident.windows(2).all(|w| w[0] < w[1]) {
             return Err("resident not sorted+dedup".into());
         }
-        let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
-        for e in &self.edges {
-            if !seen.insert((e.orig.u, e.orig.v)) {
-                return Err(format!("duplicate original edge {:?}", e.orig));
+        if self.ea.len() != self.eb.len() || self.ea.len() != self.eorig.len() {
+            return Err("SoA columns out of sync".into());
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.ea.len());
+        for i in 0..self.ea.len() {
+            if self.ea[i] > self.eb[i] {
+                return Err(format!("row {i} violates a <= b"));
+            }
+            let orig = &self.eorig[i];
+            if !seen.insert((orig.u, orig.v)) {
+                return Err(format!("duplicate original edge {orig:?}"));
             }
         }
         for f in &self.frozen {
@@ -375,7 +572,7 @@ mod tests {
         let g = path4();
         let cg = CGraph::from_partition(&g, VertexRange { start: 1, end: 3 });
         assert_eq!(cg.resident(), &[1, 2]);
-        assert_eq!(cg.edges().len(), 3); // 0-1 (cut), 1-2 (internal), 2-3 (cut)
+        assert_eq!(cg.num_edges(), 3); // 0-1 (cut), 1-2 (internal), 2-3 (cut)
         assert_eq!(cg.num_cut_edges(), 2);
         cg.validate().unwrap();
     }
@@ -395,9 +592,9 @@ mod tests {
         cg.relabel(|c| if c == 1 { 0 } else { c });
         assert_eq!(cg.resident(), &[0, 2, 3]);
         // Edge 0-1 became a self edge.
-        assert_eq!(cg.edges().iter().filter(|e| e.is_self()).count(), 1);
+        assert_eq!(cg.iter_edges().filter(|e| e.is_self()).count(), 1);
         cg.remove_self_edges();
-        assert_eq!(cg.edges().len(), 2);
+        assert_eq!(cg.num_edges(), 2);
     }
 
     #[test]
@@ -410,8 +607,24 @@ mod tests {
             vec![],
         );
         cg.remove_multi_edges();
-        assert_eq!(cg.edges().len(), 1);
-        assert_eq!(cg.edges()[0].orig, e2);
+        assert_eq!(cg.num_edges(), 1);
+        assert_eq!(cg.edge(0).orig, e2);
+    }
+
+    #[test]
+    fn in_place_sort_matches_aos_sort() {
+        // The permutation sort over SoA columns must order rows exactly as
+        // sorting the materialized CEdge vector would.
+        let el = gen::gnm(60, 300, 17);
+        let mut cg = CGraph::from_edge_list(&el);
+        let mut rows = cg.edges_vec();
+        cg.sort_rows_by_key(|cg, i| (cg.eb[i], cg.ea[i], cg.eorig[i].key()));
+        rows.sort_unstable_by_key(|e| (e.b, e.a, e.key()));
+        assert_eq!(cg.edges_vec(), rows);
+        // And the scratch buffer is reused across calls, not regrown.
+        let cap = cg.scratch.capacity();
+        cg.sort_edges();
+        assert_eq!(cg.scratch.capacity(), cap);
     }
 
     #[test]
@@ -430,13 +643,13 @@ mod tests {
         assert_eq!(seg.resident(), &[2]);
         // Segment takes 1-2 (boundary, copied) and 2-9 (its only resident
         // endpoint is moving, so it moves as a "boundary" copy as well).
-        assert_eq!(seg.edges().len(), 2);
+        assert_eq!(seg.num_edges(), 2);
         assert_eq!(cg.resident(), &[0, 1]);
         // Holder keeps 0-1 and the boundary copy of 1-2, but drops 2-9
         // (after the split neither endpoint 2 nor 9 is resident here).
-        assert_eq!(cg.edges().len(), 2);
-        assert!(cg.edges().iter().any(|e| e.orig == WEdge::new(1, 2, 2)));
-        assert!(!cg.edges().iter().any(|e| e.orig == WEdge::new(2, 9, 3)));
+        assert_eq!(cg.num_edges(), 2);
+        assert!(cg.iter_edges().any(|e| e.orig == WEdge::new(1, 2, 2)));
+        assert!(!cg.iter_edges().any(|e| e.orig == WEdge::new(2, 9, 3)));
     }
 
     #[test]
@@ -446,7 +659,7 @@ mod tests {
         let b = CGraph::from_parts(vec![2], vec![shared], vec![]);
         a.absorb(b);
         assert_eq!(a.resident(), &[1, 2]);
-        assert_eq!(a.edges().len(), 1);
+        assert_eq!(a.num_edges(), 1);
         a.validate().unwrap();
     }
 
@@ -463,5 +676,11 @@ mod tests {
         let e = CEdge::new(0, 1, WEdge::new(0, 1, 1));
         let cg = CGraph::from_parts(vec![0, 1], vec![e, e], vec![]);
         assert!(cg.validate().is_err());
+    }
+
+    #[test]
+    fn cedge_wire_bytes_is_packed_row_size() {
+        let e = CEdge::new(0, 1, WEdge::new(0, 1, 1));
+        assert_eq!(e.wire_bytes(), std::mem::size_of::<CEdge>() as u64);
     }
 }

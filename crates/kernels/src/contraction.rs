@@ -36,7 +36,11 @@ pub fn contraction_boruvka_profiled(el: &EdgeList) -> (MsfResult, WorkProfile) {
     let mut edges: Vec<CEdge> = el
         .edges()
         .iter()
-        .map(|e| CEdge { a: e.u, b: e.v, orig: *e })
+        .map(|e| CEdge {
+            a: e.u,
+            b: e.v,
+            orig: *e,
+        })
         .collect();
     let mut msf: Vec<WEdge> = Vec::new();
     let mut work = WorkProfile::default();

@@ -181,7 +181,9 @@ impl AtomicDisjointSets {
 
     /// Number of sets (quiescent only).
     pub fn num_sets(&self) -> usize {
-        (0..self.len() as u32).filter(|&x| self.find(x) == x).count()
+        (0..self.len() as u32)
+            .filter(|&x| self.find(x) == x)
+            .count()
     }
 }
 

@@ -114,8 +114,14 @@ mod tests {
     fn handles_disconnected_and_trivial() {
         let u = gen::disconnected_union(&[gen::gnm(500, 3000, 1), gen::path(20, 2)]);
         assert_eq!(filter_kruskal_msf(&u), kruskal_msf(&u));
-        assert_eq!(filter_kruskal_msf(&mnd_graph::EdgeList::new(0)).edges.len(), 0);
-        assert_eq!(filter_kruskal_msf(&mnd_graph::EdgeList::new(5)).num_components, 5);
+        assert_eq!(
+            filter_kruskal_msf(&mnd_graph::EdgeList::new(0)).edges.len(),
+            0
+        );
+        assert_eq!(
+            filter_kruskal_msf(&mnd_graph::EdgeList::new(5)).num_components,
+            5
+        );
     }
 
     #[test]

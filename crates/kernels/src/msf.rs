@@ -32,7 +32,11 @@ impl MsfResult {
         let weight = total_weight(&edges);
         // components = V - forest edges (each forest edge reduces count by 1).
         let num_components = num_vertices as usize - edges.len();
-        MsfResult { edges, weight, num_components }
+        MsfResult {
+            edges,
+            weight,
+            num_components,
+        }
     }
 }
 
@@ -47,7 +51,10 @@ pub enum MsfError {
     /// Candidate does not span: expected/actual edge counts differ.
     WrongEdgeCount { expected: usize, actual: usize },
     /// Total weight differs from the oracle's.
-    WrongWeight { expected: WeightSum, actual: WeightSum },
+    WrongWeight {
+        expected: WeightSum,
+        actual: WeightSum,
+    },
     /// Edge sets differ even though counts and weight match (possible only
     /// with duplicate weights, which our tie-broken order makes an error).
     DifferentEdges,
@@ -100,7 +107,10 @@ pub fn verify_msf(input: &EdgeList, candidate: &MsfResult) -> Result<(), MsfErro
         });
     }
     if candidate.weight != oracle.weight {
-        return Err(MsfError::WrongWeight { expected: oracle.weight, actual: candidate.weight });
+        return Err(MsfError::WrongWeight {
+            expected: oracle.weight,
+            actual: candidate.weight,
+        });
     }
     if candidate.edges != oracle.edges {
         return Err(MsfError::DifferentEdges);
@@ -125,7 +135,10 @@ mod tests {
         let el = gen::path(4, 1);
         let mut msf = kruskal_msf(&el);
         msf.edges[0] = WEdge::new(0, 3, 12345);
-        assert!(matches!(verify_msf(&el, &msf), Err(MsfError::ForeignEdge(_))));
+        assert!(matches!(
+            verify_msf(&el, &msf),
+            Err(MsfError::ForeignEdge(_))
+        ));
     }
 
     #[test]
@@ -140,7 +153,10 @@ mod tests {
         let el = gen::path(5, 1);
         let msf = kruskal_msf(&el);
         let short = MsfResult::from_edges(5, msf.edges[..3].to_vec());
-        assert!(matches!(verify_msf(&el, &short), Err(MsfError::WrongEdgeCount { .. })));
+        assert!(matches!(
+            verify_msf(&el, &short),
+            Err(MsfError::WrongEdgeCount { .. })
+        ));
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub fn kruskal_msf(el: &EdgeList) -> MsfResult {
 pub fn prim_mst(g: &CsrGraph) -> Option<MsfResult> {
     let n = g.num_vertices() as usize;
     if n == 0 {
-        return Some(MsfResult { edges: vec![], weight: 0, num_components: 0 });
+        return Some(MsfResult {
+            edges: vec![],
+            weight: 0,
+            num_components: 0,
+        });
     }
     let mut in_tree = vec![false; n];
     let mut out: Vec<WEdge> = Vec::with_capacity(n - 1);

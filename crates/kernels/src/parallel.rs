@@ -167,7 +167,11 @@ mod tests {
         let el = gen::gnm(1000, 5000, 11);
         let (res, work) = par_boruvka_msf_profiled(&el);
         verify_msf(&el, &res).unwrap();
-        assert!(work.num_iterations() <= 16, "iters {}", work.num_iterations());
+        assert!(
+            work.num_iterations() <= 16,
+            "iters {}",
+            work.num_iterations()
+        );
         // Scanned work must shrink monotonically (data-driven worklist).
         for w in work.iters.windows(2) {
             assert!(w[1].edges_scanned <= w[0].edges_scanned);

@@ -126,7 +126,9 @@ mod tests {
 
     #[test]
     fn diminishing_benefit_stops_on_plateau() {
-        let p = StopPolicy::DiminishingBenefit { min_improvement: 0.05 };
+        let p = StopPolicy::DiminishingBenefit {
+            min_improvement: 0.05,
+        };
         assert!(p.should_continue(1000, 900)); // 10% better: continue
         assert!(!p.should_continue(1000, 980)); // 2% better: stop
         assert!(!p.should_continue(1000, 1100)); // worse: stop
@@ -135,8 +137,16 @@ mod tests {
     #[test]
     fn work_profile_totals() {
         let mut w = WorkProfile::default();
-        w.iters.push(IterWork { active_components: 10, edges_scanned: 100, unions: 5 });
-        w.iters.push(IterWork { active_components: 5, edges_scanned: 40, unions: 2 });
+        w.iters.push(IterWork {
+            active_components: 10,
+            edges_scanned: 100,
+            unions: 5,
+        });
+        w.iters.push(IterWork {
+            active_components: 5,
+            edges_scanned: 40,
+            unions: 2,
+        });
         assert_eq!(w.total_scanned(), 140);
         assert_eq!(w.total_unions(), 7);
         assert_eq!(w.num_iterations(), 2);

@@ -6,6 +6,11 @@
 //! [`apply_ghost_parents`] applies the received pairs to the *non-resident*
 //! endpoints of a holding, after which multi-edge removal can collapse
 //! parallel inter-component edges correctly even across processor borders.
+//!
+//! All reductions run **in place** on the holding's SoA columns: removal
+//! compacts with a write cursor and ordering goes through the holding's
+//! reusable permutation scratch, so a reduce pass allocates nothing
+//! proportional to the edge count.
 
 use crate::cgraph::{CGraph, CompId};
 
@@ -23,13 +28,14 @@ pub struct ReduceStats {
     pub edges_after: u64,
 }
 
-/// Runs self-edge removal followed by multi-edge removal on a holding.
+/// Runs self-edge removal followed by multi-edge removal on a holding,
+/// entirely in place.
 pub fn reduce_holding(cg: &mut CGraph) -> ReduceStats {
-    let before = cg.edges().len() as u64;
+    let before = cg.num_edges() as u64;
     cg.remove_self_edges();
-    let after_self = cg.edges().len() as u64;
+    let after_self = cg.num_edges() as u64;
     cg.remove_multi_edges();
-    let after = cg.edges().len() as u64;
+    let after = cg.num_edges() as u64;
     ReduceStats {
         edges_before: before,
         self_removed: before - after_self,
@@ -38,16 +44,15 @@ pub fn reduce_holding(cg: &mut CGraph) -> ReduceStats {
     }
 }
 
-/// Builds the ghost-parent message a processor sends: the `(old, new)`
-/// renaming pairs of its own components, restricted to ids that other
-/// processors may reference. (Sending the full relabel is correct; the
-/// driver restricts to boundary components to model the paper's
-/// boundary-only ghost messages.)
-pub fn ghost_parent_message(relabel: &[(CompId, CompId)]) -> Vec<(CompId, CompId)> {
-    let mut msg = relabel.to_vec();
+/// Normalises the ghost-parent message a processor sends — the `(old, new)`
+/// renaming pairs of its own components, restricted by the driver to ids
+/// that other processors may reference — by sorting and deduplicating **in
+/// place**. Called once per exchange round per rank, so it must not copy
+/// the pair vector. Idempotent: renormalising an already-normalised message
+/// leaves it unchanged.
+pub fn ghost_parent_message(msg: &mut Vec<(CompId, CompId)>) {
     msg.sort_unstable();
     msg.dedup();
-    msg
 }
 
 /// Applies received ghost-parent pairs to a holding: every edge endpoint
@@ -81,9 +86,9 @@ mod tests {
         let mut cg = CGraph::from_parts(
             vec![0, 5],
             vec![
-                CEdge::new(0, 0, WEdge::new(1, 2, 3)),  // self
-                CEdge::new(0, 5, WEdge::new(0, 5, 9)),  // kept? no: heavier multi
-                CEdge::new(0, 5, WEdge::new(2, 6, 4)),  // kept (lightest 0~5)
+                CEdge::new(0, 0, WEdge::new(1, 2, 3)), // self
+                CEdge::new(0, 5, WEdge::new(0, 5, 9)), // kept? no: heavier multi
+                CEdge::new(0, 5, WEdge::new(2, 6, 4)), // kept (lightest 0~5)
             ],
             vec![],
         );
@@ -91,7 +96,7 @@ mod tests {
         assert_eq!(stats.self_removed, 1);
         assert_eq!(stats.multi_removed, 1);
         assert_eq!(stats.edges_after, 1);
-        assert_eq!(cg.edges()[0].orig, WEdge::new(2, 6, 4));
+        assert_eq!(cg.edge(0).orig, WEdge::new(2, 6, 4));
     }
 
     #[test]
@@ -107,24 +112,36 @@ mod tests {
         // Remote processor reports 7 -> 5; a malicious/stale pair 1 -> 9
         // must not touch our resident component 1.
         apply_ghost_parents(&mut cg, &[(7, 5), (1, 9)]);
-        assert!(cg.edges().iter().any(|e| (e.a, e.b) == (0, 5)));
-        assert!(cg.edges().iter().any(|e| (e.a, e.b) == (0, 1)));
+        assert!(cg.iter_edges().any(|e| (e.a, e.b) == (0, 5)));
+        assert!(cg.iter_edges().any(|e| (e.a, e.b) == (0, 1)));
         assert_eq!(cg.resident(), &[0, 1]);
     }
 
     #[test]
     fn ghost_message_dedups() {
-        let msg = ghost_parent_message(&[(3, 1), (3, 1), (4, 1)]);
+        let mut msg = vec![(3, 1), (3, 1), (4, 1)];
+        ghost_parent_message(&mut msg);
         assert_eq!(msg, vec![(3, 1), (4, 1)]);
     }
 
     #[test]
+    fn ghost_message_normalisation_is_idempotent() {
+        // Regression: normalising twice (as happens when a relabel buffer is
+        // reused across exchange rounds) must be a no-op the second time,
+        // including capacity — the in-place contract means no reallocation.
+        let mut msg = vec![(9, 2), (3, 1), (9, 2), (4, 1), (3, 1)];
+        ghost_parent_message(&mut msg);
+        let once = msg.clone();
+        let cap = msg.capacity();
+        ghost_parent_message(&mut msg);
+        assert_eq!(msg, once);
+        assert_eq!(msg.capacity(), cap);
+    }
+
+    #[test]
     fn empty_updates_are_noop() {
-        let mut cg = CGraph::from_parts(
-            vec![2],
-            vec![CEdge::new(2, 8, WEdge::new(2, 8, 1))],
-            vec![],
-        );
+        let mut cg =
+            CGraph::from_parts(vec![2], vec![CEdge::new(2, 8, WEdge::new(2, 8, 1))], vec![]);
         let before = cg.clone();
         apply_ghost_parents(&mut cg, &[]);
         assert_eq!(cg, before);

@@ -19,7 +19,9 @@ fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = EdgeList> {
         .prop_map(|(n, raw)| {
             EdgeList::from_raw(
                 n,
-                raw.into_iter().map(|(a, b, w)| WEdge::new(a % n, b % n, w)).collect(),
+                raw.into_iter()
+                    .map(|(a, b, w)| WEdge::new(a % n, b % n, w))
+                    .collect(),
             )
         })
 }
@@ -179,7 +181,12 @@ fn contraction_terminates_in_log_rounds() {
         gen::web_crawl(4000, 30_000, gen::CrawlParams::default(), 4),
     ] {
         let mut cg = CGraph::from_edge_list(&el);
-        let out = local_boruvka(&mut cg, ExcpCond::None, FreezePolicy::Sticky, StopPolicy::Exhaustive);
+        let out = local_boruvka(
+            &mut cg,
+            ExcpCond::None,
+            FreezePolicy::Sticky,
+            StopPolicy::Exhaustive,
+        );
         let bound = 2 * (el.num_vertices() as f64).log2().ceil() as usize + 2;
         assert!(
             out.work.num_iterations() <= bound,

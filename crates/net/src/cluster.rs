@@ -129,7 +129,7 @@ mod tests {
                     for round in 0..2u32 {
                         let left = (me + n - 1) % n;
                         let right = (me + 1) % n;
-                        c.send_vec(left, Tag::user(round), vec![0u8; 1024]);
+                        c.send(left, Tag::user(round), vec![0u8; 1024]);
                         let _: Vec<u8> = c.recv(right, Tag::user(round));
                         c.compute(1e-4 * (me + 1) as f64);
                     }

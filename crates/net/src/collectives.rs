@@ -7,6 +7,8 @@
 //! collective space and matching is FIFO per `(source, tag)`, so back-to-
 //! back collectives of the same kind cannot cross-talk.
 
+use mnd_wire::Wire;
+
 use crate::comm::{Comm, Tag};
 
 const TAG_BARRIER: Tag = tag(0);
@@ -28,7 +30,11 @@ impl Comm {
     /// Binomial reduce + broadcast of zero-byte tokens.
     pub fn barrier(&self) {
         self.reduce_u64_with_tag(0, |a, _| a, 0, TAG_BARRIER);
-        self.broadcast_from(0, if self.rank() == 0 { Some(0u8) } else { None }, TAG_BARRIER);
+        self.broadcast_from(
+            0,
+            if self.rank() == 0 { Some(0u8) } else { None },
+            TAG_BARRIER,
+        );
     }
 
     /// Reduces `value` with `op` onto rank `root`; returns `Some(total)` on
@@ -53,7 +59,7 @@ impl Comm {
         let mut k = 1usize;
         while k < p {
             if me & k != 0 {
-                self.send_vec(me - k, TAG_REDUCE_VEC, value);
+                self.send(me - k, TAG_REDUCE_VEC, value);
                 value = Vec::new();
                 break;
             } else if me + k < p {
@@ -97,11 +103,11 @@ impl Comm {
 
     /// Broadcasts from `root`: the root passes `Some(value)`, everyone else
     /// `None`; all ranks return the value. Binomial tree.
-    pub fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+    pub fn broadcast<T: Wire + Clone>(&self, root: usize, value: Option<T>) -> T {
         self.broadcast_from(root, value, TAG_BCAST)
     }
 
-    fn broadcast_from<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>, tag: Tag) -> T {
+    fn broadcast_from<T: Wire + Clone>(&self, root: usize, value: Option<T>, tag: Tag) -> T {
         let p = self.size();
         let rel = (self.rank() + p - root) % p;
         let mut have: Option<T> = value;
@@ -115,7 +121,6 @@ impl Comm {
         }
         // Receive once (if non-root), then forward down the tree.
         let mut k = top;
-        let bytes = std::mem::size_of::<T>() as u64;
         while k >= 1 {
             if rel & (k - 1) == 0 {
                 // Participant at this level.
@@ -129,7 +134,7 @@ impl Comm {
                 } else if rel + k < p {
                     if let Some(v) = &have {
                         let dst = (rel + k + root) % p;
-                        self.send_sized(dst, tag, v.clone(), bytes);
+                        self.send(dst, tag, v.clone());
                     }
                 }
             }
@@ -140,7 +145,7 @@ impl Comm {
 
     /// Gathers every rank's vector at `root` (rank order). Root returns
     /// `Some(vec of per-rank vectors)`, others `None`.
-    pub fn gather_vec<T: Send + 'static>(&self, root: usize, value: Vec<T>) -> Option<Vec<Vec<T>>> {
+    pub fn gather_vec<T: Wire>(&self, root: usize, value: Vec<T>) -> Option<Vec<Vec<T>>> {
         if self.rank() == root {
             let mut value = Some(value);
             let out: Vec<Vec<T>> = (0..self.size())
@@ -154,13 +159,13 @@ impl Comm {
                 .collect();
             Some(out)
         } else {
-            self.send_vec(root, TAG_GATHER, value);
+            self.send(root, TAG_GATHER, value);
             None
         }
     }
 
     /// Allgather: every rank receives every rank's vector, in rank order.
-    pub fn allgather_vec<T: Clone + Send + 'static>(&self, value: Vec<T>) -> Vec<Vec<T>> {
+    pub fn allgather_vec<T: Wire + Clone>(&self, value: Vec<T>) -> Vec<Vec<T>> {
         let gathered = self.gather_vec(0, value);
         self.broadcast_from(0, gathered, TAG_BCAST)
     }
@@ -171,7 +176,7 @@ impl Comm {
     /// bucket requires. This is the paper's multi-phase boundary exchange
     /// (§3.1/§3.3: boundary data is "communicated in multiple phases" to
     /// bound message sizes).
-    pub fn alltoallv_phased<T: Send + 'static>(
+    pub fn alltoallv_phased<T: Wire>(
         &self,
         mut per_dest: Vec<Vec<T>>,
         phase_size: usize,
@@ -213,7 +218,7 @@ impl Comm {
     ///
     /// This is the paper's multi-phase ghost-vertex exchange primitive: the
     /// driver calls it once per phase with bounded message sizes.
-    pub fn alltoallv<T: Send + 'static>(&self, mut per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Wire>(&self, mut per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let p = self.size();
         let me = self.rank();
         assert_eq!(per_dest.len(), p, "alltoallv needs one bucket per rank");
@@ -222,7 +227,7 @@ impl Comm {
         // s we send to (me + s) and receive from (me - s).
         for s in 1..p {
             let dst = (me + s) % p;
-            self.send_vec(dst, TAG_ALLTOALL, std::mem::take(&mut per_dest[dst]));
+            self.send(dst, TAG_ALLTOALL, std::mem::take(&mut per_dest[dst]));
         }
         let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
         out[me] = mine;
@@ -269,9 +274,8 @@ mod tests {
     #[test]
     fn broadcast_from_every_root() {
         for root in 0..4 {
-            let out = Cluster::new(4, CostModel::free()).run(|c| {
-                c.broadcast(root, (c.rank() == root).then(|| vec![root as u32; 3]))
-            });
+            let out = Cluster::new(4, CostModel::free())
+                .run(|c| c.broadcast(root, (c.rank() == root).then(|| vec![root as u32; 3])));
             for o in &out {
                 assert_eq!(o.result, vec![root as u32; 3]);
             }
@@ -306,8 +310,7 @@ mod tests {
     fn alltoallv_routes_buckets() {
         let out = Cluster::new(4, CostModel::default_cluster()).run(|c| {
             let me = c.rank();
-            let per_dest: Vec<Vec<u32>> =
-                (0..4).map(|d| vec![(me * 10 + d) as u32]).collect();
+            let per_dest: Vec<Vec<u32>> = (0..4).map(|d| vec![(me * 10 + d) as u32]).collect();
             c.alltoallv(per_dest)
         });
         for (me, o) in out.iter().enumerate() {
@@ -322,14 +325,16 @@ mod tests {
         for phase_size in [1usize, 3, 100] {
             let out = Cluster::new(4, CostModel::free()).run(move |c| {
                 let me = c.rank() as u32;
-                let per_dest: Vec<Vec<u32>> =
-                    (0..4).map(|d| (0..7).map(|i| me * 100 + d as u32 * 10 + i).collect()).collect();
+                let per_dest: Vec<Vec<u32>> = (0..4)
+                    .map(|d| (0..7).map(|i| me * 100 + d as u32 * 10 + i).collect())
+                    .collect();
                 c.alltoallv_phased(per_dest, phase_size)
             });
             for (me, o) in out.iter().enumerate() {
                 for (src, bucket) in o.result.iter().enumerate() {
-                    let expect: Vec<u32> =
-                        (0..7).map(|i| src as u32 * 100 + me as u32 * 10 + i).collect();
+                    let expect: Vec<u32> = (0..7)
+                        .map(|i| src as u32 * 100 + me as u32 * 10 + i)
+                        .collect();
                     assert_eq!(bucket, &expect, "phase_size {phase_size}");
                 }
             }

@@ -5,9 +5,16 @@
 //! virtual clock, and accounting. Collectives live in
 //! [`crate::collectives`] as inherent methods implemented over these
 //! primitives.
+//!
+//! Every payload type must implement [`Wire`]; the cost-model byte size of
+//! a message is derived from the payload itself (`Wire::wire_bytes`) at the
+//! single point where it enters the fabric — call sites never supply byte
+//! counts, so accounting cannot drift from the data.
 
 use std::cell::RefCell;
 use std::sync::Arc;
+
+use mnd_wire::Wire;
 
 use crate::cost::CostModel;
 use crate::mailbox::{Envelope, Mailbox};
@@ -26,6 +33,16 @@ impl Tag {
     pub const fn user(id: u32) -> Tag {
         assert!(id < Self::COLLECTIVE_BASE, "user tags must be < 2^31");
         Tag(id)
+    }
+
+    /// The raw tag id (collective tags keep their high bit set).
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this tag belongs to the reserved collective space.
+    pub const fn is_collective(self) -> bool {
+        self.0 & Self::COLLECTIVE_BASE != 0
     }
 }
 
@@ -46,7 +63,13 @@ pub struct Comm {
 
 impl Comm {
     pub(crate) fn new(rank: usize, size: usize, fabric: Arc<Fabric>) -> Self {
-        Comm { rank, size, fabric, clock: RefCell::new(0.0), stats: RefCell::new(RankStats::default()) }
+        Comm {
+            rank,
+            size,
+            fabric,
+            clock: RefCell::new(0.0),
+            stats: RefCell::new(RankStats::default()),
+        }
     }
 
     /// This rank's id in `0..size`.
@@ -76,7 +99,7 @@ impl Comm {
     /// Snapshot of the accumulated statistics.
     #[inline]
     pub fn stats(&self) -> RankStats {
-        *self.stats.borrow()
+        self.stats.borrow().clone()
     }
 
     /// Advances the clock by `seconds` of modelled computation.
@@ -95,7 +118,8 @@ impl Comm {
         self.stats.borrow_mut().comm_time += seconds;
     }
 
-    /// Sends `value` to `dst` with an explicit payload size in bytes.
+    /// Sends `value` to `dst`. The payload size charged to the cost model
+    /// and to [`RankStats`] is `value.wire_bytes()`.
     ///
     /// The sender's clock advances by the send busy time; the message's
     /// arrival time at `dst` is `now + latency + bytes/bandwidth`.
@@ -104,9 +128,13 @@ impl Comm {
     ///
     /// If `dst` is out of range or equal to this rank (use a local variable
     /// instead of a self-send).
-    pub fn send_sized<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T, bytes: u64) {
+    pub fn send<T: Wire>(&self, dst: usize, tag: Tag, value: T) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
-        assert_ne!(dst, self.rank, "self-send unsupported (use a local variable)");
+        assert_ne!(
+            dst, self.rank,
+            "self-send unsupported (use a local variable)"
+        );
+        let bytes = value.wire_bytes();
         let cost = &self.fabric.cost;
         let depart = self.now();
         let busy = cost.send_busy(bytes);
@@ -114,27 +142,18 @@ impl Comm {
         {
             let mut s = self.stats.borrow_mut();
             s.comm_time += busy;
-            s.bytes_sent += bytes;
-            s.messages_sent += 1;
+            s.record_send(tag, bytes);
         }
         let arrival = depart + cost.transit(bytes);
         self.fabric.mailboxes[dst].deposit(
             self.rank,
             tag,
-            Envelope { payload: Box::new(value), arrival, bytes },
+            Envelope {
+                payload: Box::new(value),
+                arrival,
+                bytes,
+            },
         );
-    }
-
-    /// Sends a `Vec<T>` sizing the payload as `len * size_of::<T>()`.
-    pub fn send_vec<T: Send + 'static>(&self, dst: usize, tag: Tag, value: Vec<T>) {
-        let bytes = (value.len() * std::mem::size_of::<T>()) as u64;
-        self.send_sized(dst, tag, value, bytes);
-    }
-
-    /// Sends a small fixed-size value (sized by `size_of::<T>()`).
-    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
-        let bytes = std::mem::size_of::<T>() as u64;
-        self.send_sized(dst, tag, value, bytes);
     }
 
     /// Receives the next message from `(src, tag)`, blocking until it is
@@ -159,8 +178,7 @@ impl Comm {
             let ready = env.arrival.max(before);
             *clock = ready + cost.recv_busy();
             s.comm_time += *clock - before;
-            s.bytes_received += env.bytes;
-            s.messages_received += 1;
+            s.record_recv(tag, env.bytes);
         }
         *env.payload.downcast::<T>().unwrap_or_else(|_| {
             panic!(
@@ -174,16 +192,15 @@ impl Comm {
     /// Sends to `dst` and receives from `src` — the deadlock-free pairwise
     /// exchange used by ring steps (send is non-blocking in this model, so
     /// ordering is safe; the helper exists for readability).
-    pub fn send_recv<T: Send + 'static, U: Send + 'static>(
+    pub fn send_recv<T: Wire, U: Send + 'static>(
         &self,
         dst: usize,
         send_tag: Tag,
         value: T,
-        bytes: u64,
         src: usize,
         recv_tag: Tag,
     ) -> U {
-        self.send_sized(dst, send_tag, value, bytes);
+        self.send(dst, send_tag, value);
         self.recv(src, recv_tag)
     }
 }
@@ -204,11 +221,16 @@ mod tests {
     }
 
     #[test]
-    fn message_carries_value_and_costs_time() {
-        let cost = CostModel { latency: 1e-3, bandwidth: 1e6, overhead: 0.0, byte_scale: 1.0 };
+    fn message_bytes_derive_from_payload() {
+        let cost = CostModel {
+            latency: 1e-3,
+            bandwidth: 1e6,
+            overhead: 0.0,
+            byte_scale: 1.0,
+        };
         let out = Cluster::new(2, cost).run(|c| {
             if c.rank() == 0 {
-                c.send_vec(1, Tag::user(0), vec![7u32; 250]); // 1000 bytes
+                c.send(1, Tag::user(0), vec![7u32; 250]); // 1000 wire bytes
                 0u32
             } else {
                 let v: Vec<u32> = c.recv(0, Tag::user(0));
@@ -220,7 +242,9 @@ mod tests {
         });
         assert_eq!(out[1].result, 7);
         assert_eq!(out[0].stats.bytes_sent, 1000);
+        assert_eq!(out[0].stats.by_tag[&Tag::user(0)].bytes_sent, 1000);
         assert_eq!(out[1].stats.messages_received, 1);
+        assert_eq!(out[1].stats.by_tag[&Tag::user(0)].bytes_received, 1000);
         assert!(out[1].stats.comm_time > 0.0);
     }
 
@@ -262,9 +286,17 @@ mod tests {
                 }
                 vec![]
             } else {
-                (0..10).map(|_| c.recv::<u32>(0, Tag::user(3))).collect::<Vec<_>>()
+                (0..10)
+                    .map(|_| c.recv::<u32>(0, Tag::user(3)))
+                    .collect::<Vec<_>>()
             }
         });
         assert_eq!(out[1].result, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tag_space_split() {
+        assert_eq!(Tag::user(7).id(), 7);
+        assert!(!Tag::user(7).is_collective());
     }
 }

@@ -34,25 +34,45 @@ impl CostModel {
     /// Commodity gigabit-Ethernet cluster (the 16-node AMD platform used
     /// for the Pregel+ comparison): ~50µs latency, ~1 GB/s effective.
     pub fn default_cluster() -> Self {
-        CostModel { latency: 50e-6, bandwidth: 1.0e9, overhead: 5e-6, byte_scale: 1.0 }
+        CostModel {
+            latency: 50e-6,
+            bandwidth: 1.0e9,
+            overhead: 5e-6,
+            byte_scale: 1.0,
+        }
     }
 
     /// Cray XC40 Aries interconnect (the multi-device platform): ~1.5µs
     /// latency, ~8 GB/s effective per peer.
     pub fn cray_aries() -> Self {
-        CostModel { latency: 1.5e-6, bandwidth: 8.0e9, overhead: 1e-6, byte_scale: 1.0 }
+        CostModel {
+            latency: 1.5e-6,
+            bandwidth: 8.0e9,
+            overhead: 1e-6,
+            byte_scale: 1.0,
+        }
     }
 
     /// Intra-node transfer (CPU↔GPU staging over PCIe gen3 x16): ~10µs
     /// launch/DMA setup, ~12 GB/s.
     pub fn pcie() -> Self {
-        CostModel { latency: 10e-6, bandwidth: 12.0e9, overhead: 2e-6, byte_scale: 1.0 }
+        CostModel {
+            latency: 10e-6,
+            bandwidth: 12.0e9,
+            overhead: 2e-6,
+            byte_scale: 1.0,
+        }
     }
 
     /// A zero-cost model (useful in unit tests that only check message
     /// semantics, not timing).
     pub fn free() -> Self {
-        CostModel { latency: 0.0, bandwidth: f64::INFINITY, overhead: 0.0, byte_scale: 1.0 }
+        CostModel {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+            overhead: 0.0,
+            byte_scale: 1.0,
+        }
     }
 
     /// Returns this model with a simulation scale applied (see
@@ -94,7 +114,12 @@ mod tests {
 
     #[test]
     fn transit_scales_with_bytes() {
-        let c = CostModel { latency: 1e-3, bandwidth: 1e6, overhead: 0.0, byte_scale: 1.0 };
+        let c = CostModel {
+            latency: 1e-3,
+            bandwidth: 1e6,
+            overhead: 0.0,
+            byte_scale: 1.0,
+        };
         assert!((c.transit(0) - 1e-3).abs() < 1e-12);
         assert!((c.transit(1_000_000) - 1.001).abs() < 1e-9);
     }
@@ -109,7 +134,12 @@ mod tests {
 
     #[test]
     fn byte_scale_multiplies_payload_cost() {
-        let c = CostModel { latency: 0.0, bandwidth: 1e6, overhead: 0.0, byte_scale: 1.0 };
+        let c = CostModel {
+            latency: 0.0,
+            bandwidth: 1e6,
+            overhead: 0.0,
+            byte_scale: 1.0,
+        };
         let s = c.scaled(100.0);
         assert!((s.transit(1000) - 0.1).abs() < 1e-12);
         assert!((c.transit(1000) - 1e-3).abs() < 1e-12);

@@ -15,7 +15,10 @@ impl Group {
     /// Creates a group from ascending member ranks.
     pub fn new(members: Vec<usize>) -> Self {
         assert!(!members.is_empty(), "empty group");
-        assert!(members.windows(2).all(|w| w[0] < w[1]), "members must ascend");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must ascend"
+        );
         Group { members }
     }
 

@@ -46,4 +46,5 @@ pub use cluster::{Cluster, RankOutcome};
 pub use comm::{Comm, Tag};
 pub use cost::CostModel;
 pub use group::Group;
-pub use stats::RankStats;
+pub use mnd_wire::Wire;
+pub use stats::{RankStats, TagTraffic};

@@ -8,9 +8,8 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
-
-use parking_lot::{Condvar, Mutex};
 
 use crate::comm::Tag;
 
@@ -49,36 +48,65 @@ impl Mailbox {
 
     /// Deposits a message from `src` with `tag`.
     pub fn deposit(&self, src: usize, tag: Tag, env: Envelope) {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().expect("mailbox poisoned");
         q.by_key.entry((src, tag)).or_default().push_back(env);
         self.signal.notify_all();
     }
 
     /// Blocks until a message from `(src, tag)` is available and returns it.
     pub fn take(&self, src: usize, tag: Tag, my_rank: usize) -> Envelope {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().expect("mailbox poisoned");
         loop {
             if let Some(queue) = q.by_key.get_mut(&(src, tag)) {
                 if let Some(env) = queue.pop_front() {
                     return env;
                 }
             }
-            if self
+            let (guard, timeout) = self
                 .signal
-                .wait_for(&mut q, RECV_TIMEOUT)
-                .timed_out()
-            {
+                .wait_timeout(q, RECV_TIMEOUT)
+                .expect("mailbox poisoned");
+            q = guard;
+            if timeout.timed_out() {
                 panic!(
                     "rank {my_rank}: recv from rank {src} tag {tag:?} timed out — \
-                     distributed deadlock (sender never sent, or tag mismatch)"
+                     distributed deadlock (sender never sent, or tag mismatch); \
+                     pending queues at rank {my_rank}: {}",
+                    Self::describe_pending(&q)
                 );
             }
         }
     }
 
+    /// Formats the non-empty `(source, tag)` queues and their depths, so a
+    /// deadlock panic identifies the offending exchange by itself.
+    fn describe_pending(q: &Queues) -> String {
+        let mut keys: Vec<(usize, Tag, usize)> = q
+            .by_key
+            .iter()
+            .filter(|(_, queue)| !queue.is_empty())
+            .map(|(&(src, tag), queue)| (src, tag, queue.len()))
+            .collect();
+        if keys.is_empty() {
+            return "[none]".to_string();
+        }
+        keys.sort_unstable();
+        let entries: Vec<String> = keys
+            .into_iter()
+            .map(|(src, tag, depth)| format!("(src {src}, {tag:?}) x{depth}"))
+            .collect();
+        format!("[{}]", entries.join(", "))
+    }
+
     /// Number of queued messages (diagnostics).
     pub fn pending(&self) -> usize {
-        self.queues.lock().by_key.values().map(|v| v.len()).sum()
+        self.queues
+            .lock()
+            .expect("mailbox poisoned")
+            .by_key
+            .values()
+            .map(|v| v.len())
+            .sum()
     }
 }
 
@@ -87,7 +115,11 @@ mod tests {
     use super::*;
 
     fn env(v: u32) -> Envelope {
-        Envelope { payload: Box::new(v), arrival: 0.0, bytes: 4 }
+        Envelope {
+            payload: Box::new(v),
+            arrival: 0.0,
+            bytes: 4,
+        }
     }
 
     #[test]
@@ -109,6 +141,21 @@ mod tests {
         let got = m.take(2, Tag::user(7), 0);
         assert_eq!(*got.payload.downcast::<u32>().unwrap(), 99);
         assert_eq!(m.pending(), 1);
+    }
+
+    #[test]
+    fn deadlock_dump_lists_pending_keys_and_depths() {
+        let m = Mailbox::new();
+        m.deposit(3, Tag::user(5), env(1));
+        m.deposit(3, Tag::user(5), env(2));
+        m.deposit(1, Tag::user(0), env(3));
+        let q = m.queues.lock().unwrap();
+        let dump = Mailbox::describe_pending(&q);
+        assert_eq!(dump, "[(src 1, Tag(0)) x1, (src 3, Tag(5)) x2]");
+        drop(q);
+        let empty = Mailbox::new();
+        let q = empty.queues.lock().unwrap();
+        assert_eq!(Mailbox::describe_pending(&q), "[none]");
     }
 
     #[test]

@@ -1,8 +1,48 @@
-//! Per-rank accounting: virtual clock plus compute/communication split.
+//! Per-rank accounting: virtual clock plus compute/communication split,
+//! with a per-tag breakdown of traffic.
+
+use std::collections::BTreeMap;
+
+use crate::comm::Tag;
+
+/// Traffic counters for one message tag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TagTraffic {
+    /// Payload bytes sent under this tag.
+    pub bytes_sent: u64,
+    /// Messages sent under this tag.
+    pub messages_sent: u64,
+    /// Payload bytes received under this tag.
+    pub bytes_received: u64,
+    /// Messages received under this tag.
+    pub messages_received: u64,
+}
+
+impl TagTraffic {
+    fn add(&mut self, other: &TagTraffic) {
+        self.bytes_sent += other.bytes_sent;
+        self.messages_sent += other.messages_sent;
+        self.bytes_received += other.bytes_received;
+        self.messages_received += other.messages_received;
+    }
+
+    fn sub(&self, earlier: &TagTraffic) -> TagTraffic {
+        TagTraffic {
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+            messages_received: self.messages_received - earlier.messages_received,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == TagTraffic::default()
+    }
+}
 
 /// Statistics one rank accumulates over a run. All times are virtual
 /// seconds from the shared cost model, not wall-clock.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RankStats {
     /// Time spent in modelled computation (`Comm::compute`).
     pub compute_time: f64,
@@ -16,6 +56,9 @@ pub struct RankStats {
     pub bytes_received: u64,
     /// Messages received.
     pub messages_received: u64,
+    /// Per-tag breakdown of the byte/message totals above. Invariant:
+    /// summing any counter over all tags equals the corresponding total.
+    pub by_tag: BTreeMap<Tag, TagTraffic>,
 }
 
 impl RankStats {
@@ -35,6 +78,24 @@ impl RankStats {
         }
     }
 
+    /// Books one sent message of `bytes` under `tag`.
+    pub(crate) fn record_send(&mut self, tag: Tag, bytes: u64) {
+        self.bytes_sent += bytes;
+        self.messages_sent += 1;
+        let t = self.by_tag.entry(tag).or_default();
+        t.bytes_sent += bytes;
+        t.messages_sent += 1;
+    }
+
+    /// Books one received message of `bytes` under `tag`.
+    pub(crate) fn record_recv(&mut self, tag: Tag, bytes: u64) {
+        self.bytes_received += bytes;
+        self.messages_received += 1;
+        let t = self.by_tag.entry(tag).or_default();
+        t.bytes_received += bytes;
+        t.messages_received += 1;
+    }
+
     /// Element-wise accumulation (used when merging phase-level snapshots).
     pub fn add(&mut self, other: &RankStats) {
         self.compute_time += other.compute_time;
@@ -43,10 +104,21 @@ impl RankStats {
         self.messages_sent += other.messages_sent;
         self.bytes_received += other.bytes_received;
         self.messages_received += other.messages_received;
+        for (tag, t) in &other.by_tag {
+            self.by_tag.entry(*tag).or_default().add(t);
+        }
     }
 
-    /// Difference (`self - earlier`) — used to attribute a phase.
+    /// Difference (`self - earlier`) — used to attribute a phase. Tags with
+    /// no traffic in the window are omitted from the delta's breakdown.
     pub fn delta_since(&self, earlier: &RankStats) -> RankStats {
+        let zero = TagTraffic::default();
+        let by_tag = self
+            .by_tag
+            .iter()
+            .map(|(tag, t)| (*tag, t.sub(earlier.by_tag.get(tag).unwrap_or(&zero))))
+            .filter(|(_, t)| !t.is_zero())
+            .collect();
         RankStats {
             compute_time: self.compute_time - earlier.compute_time,
             comm_time: self.comm_time - earlier.comm_time,
@@ -54,6 +126,7 @@ impl RankStats {
             messages_sent: self.messages_sent - earlier.messages_sent,
             bytes_received: self.bytes_received - earlier.bytes_received,
             messages_received: self.messages_received - earlier.messages_received,
+            by_tag,
         }
     }
 }
@@ -64,7 +137,11 @@ mod tests {
 
     #[test]
     fn totals_and_fractions() {
-        let s = RankStats { compute_time: 3.0, comm_time: 1.0, ..Default::default() };
+        let s = RankStats {
+            compute_time: 3.0,
+            comm_time: 1.0,
+            ..Default::default()
+        };
         assert_eq!(s.total_time(), 4.0);
         assert_eq!(s.comm_fraction(), 0.25);
         assert_eq!(RankStats::default().comm_fraction(), 0.0);
@@ -72,10 +149,37 @@ mod tests {
 
     #[test]
     fn add_and_delta_are_inverses() {
-        let mut a = RankStats { compute_time: 1.0, bytes_sent: 10, ..Default::default() };
-        let b = RankStats { compute_time: 2.0, comm_time: 0.5, bytes_sent: 5, messages_sent: 1, ..Default::default() };
-        let before = a;
+        let mut a = RankStats {
+            compute_time: 1.0,
+            bytes_sent: 10,
+            ..Default::default()
+        };
+        a.record_send(Tag::user(1), 0); // tag entry with zero bytes, 1 msg
+        let mut b = RankStats {
+            compute_time: 2.0,
+            comm_time: 0.5,
+            ..Default::default()
+        };
+        b.record_send(Tag::user(2), 5);
+        let before = a.clone();
         a.add(&b);
         assert_eq!(a.delta_since(&before), b);
+    }
+
+    #[test]
+    fn per_tag_sums_to_totals() {
+        let mut s = RankStats::default();
+        s.record_send(Tag::user(1), 100);
+        s.record_send(Tag::user(1), 50);
+        s.record_send(Tag::user(2), 8);
+        s.record_recv(Tag::user(3), 70);
+        assert_eq!(s.bytes_sent, 158);
+        assert_eq!(s.messages_sent, 3);
+        assert_eq!(s.by_tag[&Tag::user(1)].bytes_sent, 150);
+        assert_eq!(s.by_tag[&Tag::user(1)].messages_sent, 2);
+        assert_eq!(s.by_tag[&Tag::user(2)].bytes_sent, 8);
+        assert_eq!(s.by_tag[&Tag::user(3)].bytes_received, 70);
+        let tag_bytes: u64 = s.by_tag.values().map(|t| t.bytes_sent).sum();
+        assert_eq!(tag_bytes, s.bytes_sent);
     }
 }

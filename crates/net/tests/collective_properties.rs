@@ -1,7 +1,7 @@
 //! Property tests of the collectives: against reference folds, and the
 //! virtual-clock invariants every collective must preserve.
 
-use mnd_net::{Cluster, CostModel, Group, Tag};
+use mnd_net::{Cluster, CostModel, Group, Tag, Wire};
 use proptest::prelude::*;
 
 proptest! {
@@ -69,7 +69,7 @@ proptest! {
                 c.compute(dt as f64 * 1e-6);
                 c.barrier();
                 if c.rank() == 0 && i.is_multiple_of(2) {
-                    c.send_vec(1 % c.size(), Tag::user(9), vec![0u8; dt as usize]);
+                    c.send(1 % c.size(), Tag::user(9), vec![0u8; dt as usize]);
                 } else if c.rank() == 1 % c.size() && i.is_multiple_of(2) {
                     let _: Vec<u8> = c.recv(0, Tag::user(9));
                 }
@@ -92,6 +92,59 @@ proptest! {
         });
         for o in &out {
             prop_assert_eq!(o.result, payload);
+        }
+    }
+
+    #[test]
+    fn stats_bytes_equal_sum_of_wire_bytes(
+        scalars in proptest::collection::vec(0u64..1_000_000, 1..6),
+        lens in proptest::collection::vec(0usize..40, 1..6),
+        pairs in proptest::collection::vec((0u32..1000, 0u64..1000), 0..8),
+    ) {
+        // Every rank sends a mix of payload shapes to its right neighbour
+        // and tallies `Wire::wire_bytes` at each call site; the totals in
+        // RankStats (and the per-tag breakdown) must match exactly — no
+        // send path may charge anything else.
+        let out = Cluster::new(3, CostModel::default_cluster()).run(move |c| {
+            let right = (c.rank() + 1) % 3;
+            let left = (c.rank() + 2) % 3;
+            let mut expected = 0u64;
+            let mut send = |_tag: Tag, v: &dyn Wire| expected += v.wire_bytes();
+            for &s in &scalars {
+                send(Tag::user(0), &s);
+                c.send(right, Tag::user(0), s);
+            }
+            for &n in &lens {
+                let v: Vec<u32> = (0..n as u32).collect();
+                send(Tag::user(1), &v);
+                c.send(right, Tag::user(1), v);
+            }
+            send(Tag::user(2), &pairs.clone());
+            c.send(right, Tag::user(2), pairs.clone());
+            let nested: Vec<Vec<u64>> = lens.iter().map(|&n| vec![7u64; n]).collect();
+            send(Tag::user(3), &nested);
+            c.send(right, Tag::user(3), nested);
+            // Drain the matching receives so the run terminates cleanly.
+            for _ in &scalars {
+                let _: u64 = c.recv(left, Tag::user(0));
+            }
+            for _ in &lens {
+                let _: Vec<u32> = c.recv(left, Tag::user(1));
+            }
+            let _: Vec<(u32, u64)> = c.recv(left, Tag::user(2));
+            let _: Vec<Vec<u64>> = c.recv(left, Tag::user(3));
+            (expected, c.stats())
+        });
+        for o in &out {
+            let (expected, stats) = &o.result;
+            prop_assert_eq!(stats.bytes_sent, *expected);
+            // Symmetric ring: every rank also receives exactly one copy of
+            // each shape, so received bytes match the same sum.
+            prop_assert_eq!(stats.bytes_received, *expected);
+            let tag_sent: u64 = stats.by_tag.values().map(|t| t.bytes_sent).sum();
+            let tag_msgs: u64 = stats.by_tag.values().map(|t| t.messages_sent).sum();
+            prop_assert_eq!(tag_sent, stats.bytes_sent);
+            prop_assert_eq!(tag_msgs, stats.messages_sent);
         }
     }
 

@@ -51,7 +51,7 @@ pub fn pregel_bfs(
             dist = Some(d.clone());
         }
         supersteps = supersteps.max(stats.supersteps);
-        rank_stats.push(o.stats);
+        rank_stats.push(o.stats.clone());
     }
     let comm_time = rank_stats.iter().map(|s| s.comm_time).fold(0.0, f64::max);
     BspBfsReport {
@@ -79,7 +79,11 @@ fn worker_bfs(
     };
     // Same partitioning options as the MSF baseline.
     let hash_mode = cfg.partitioning == BspPartitioning::Hash;
-    let ranges = if hash_mode { Vec::new() } else { partition_1d(csr, p, 0.0) };
+    let ranges = if hash_mode {
+        Vec::new()
+    } else {
+        partition_1d(csr, p, 0.0)
+    };
     let owner = |v: VertexId| -> usize {
         if hash_mode {
             v as usize % p
@@ -185,7 +189,10 @@ mod tests {
     fn matches_sequential_hash_and_range() {
         let el = gen::gnm(300, 1200, 3);
         for part in [BspPartitioning::Hash, BspPartitioning::Range1D] {
-            let cfg = BspConfig { partitioning: part, ..Default::default() };
+            let cfg = BspConfig {
+                partitioning: part,
+                ..Default::default()
+            };
             for nranks in [1, 4] {
                 check(&el, 0, nranks, &cfg);
             }

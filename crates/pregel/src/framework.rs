@@ -80,7 +80,7 @@ pub struct BspStats {
 /// the per-source inbound buckets come back, and the barrier at the end is
 /// implicit in the all-to-all (every worker receives from every worker,
 /// empty or not — the BSP synchronisation the paper's analysis targets).
-pub fn superstep_exchange<T: Send + 'static>(
+pub fn superstep_exchange<T: mnd_net::Wire>(
     comm: &Comm,
     buckets: Vec<Vec<T>>,
     stats: &mut BspStats,
@@ -105,7 +105,8 @@ pub fn combine_messages<K: std::hash::Hash + Eq + Copy, V: Copy>(
     msgs: Vec<(K, V)>,
     merge: impl Fn(V, V) -> V,
 ) -> Vec<(K, V)> {
-    let mut best: std::collections::HashMap<K, V> = std::collections::HashMap::with_capacity(msgs.len());
+    let mut best: std::collections::HashMap<K, V> =
+        std::collections::HashMap::with_capacity(msgs.len());
     for (k, v) in msgs {
         best.entry(k)
             .and_modify(|cur| *cur = merge(*cur, v))

@@ -13,7 +13,9 @@ use mnd_graph::{CsrGraph, EdgeList};
 use mnd_kernels::msf::MsfResult;
 use mnd_net::{Cluster, Comm, RankStats};
 
-use crate::framework::{combine_messages, superstep_exchange, BspConfig, BspPartitioning, BspStats};
+use crate::framework::{
+    combine_messages, superstep_exchange, BspConfig, BspPartitioning, BspStats,
+};
 
 /// Outcome of a BSP MSF run — mirrors `MndMstReport` so benches can print
 /// both side by side.
@@ -72,7 +74,7 @@ pub fn pregel_msf(
         }
         supersteps = supersteps.max(stats.supersteps);
         rounds = rounds.max(stats.rounds);
-        rank_stats.push(o.stats);
+        rank_stats.push(o.stats.clone());
     }
     let comm_time = rank_stats.iter().map(|s| s.comm_time).fold(0.0, f64::max);
     PregelReport {
@@ -103,7 +105,11 @@ fn worker_main(
     // Vertex-to-worker map: Pregel+'s default hash partitioning, or 1D
     // ranges for the ablation.
     let hash_mode = cfg.partitioning == BspPartitioning::Hash;
-    let ranges = if hash_mode { Vec::new() } else { partition_1d(csr, p, 0.0) };
+    let ranges = if hash_mode {
+        Vec::new()
+    } else {
+        partition_1d(csr, p, 0.0)
+    };
     let owner = |v: VertexId| -> usize {
         if hash_mode {
             v as usize % p
@@ -178,7 +184,8 @@ fn worker_main(
         if cfg.combine {
             cand_msgs = combine_messages(cand_msgs, |a, b| if a.0 <= b.0 { a } else { b });
         }
-        let mut buckets: Vec<Vec<(VertexId, WEdge, VertexId)>> = (0..p).map(|_| Vec::new()).collect();
+        let mut buckets: Vec<Vec<(VertexId, WEdge, VertexId)>> =
+            (0..p).map(|_| Vec::new()).collect();
         for (dest, (e, other)) in cand_msgs {
             buckets[owner(dest)].push((dest, e, other));
         }
@@ -208,7 +215,8 @@ fn worker_main(
         // pending[s] = (chosen edge, chosen target supervertex)
         let mut pending: std::collections::HashMap<VertexId, (WEdge, VertexId)> =
             std::collections::HashMap::new();
-        let mut buckets: Vec<Vec<(VertexId, VertexId, WEdge)>> = (0..p).map(|_| Vec::new()).collect();
+        let mut buckets: Vec<Vec<(VertexId, VertexId, WEdge)>> =
+            (0..p).map(|_| Vec::new()).collect();
         for (&s, &(e, t)) in &best_at {
             debug_assert_eq!(parent[idx(s)], s, "candidates are addressed to roots");
             pending.insert(s, (e, t));
@@ -293,7 +301,8 @@ fn worker_main(
                 .map(|t| adj[ui].len() as u64 >= t)
                 .unwrap_or(false);
             if mirrored {
-                let mut dests: Vec<usize> = adj[ui].iter().map(|e| owner(e.target_vertex)).collect();
+                let mut dests: Vec<usize> =
+                    adj[ui].iter().map(|e| owner(e.target_vertex)).collect();
                 dests.sort_unstable();
                 dests.dedup();
                 for d in dests {
@@ -356,7 +365,12 @@ mod tests {
     use mnd_kernels::oracle::kruskal_msf;
 
     fn check(el: &EdgeList, nranks: usize) -> PregelReport {
-        let r = pregel_msf(el, nranks, &NodePlatform::amd_cluster(), &BspConfig::default());
+        let r = pregel_msf(
+            el,
+            nranks,
+            &NodePlatform::amd_cluster(),
+            &BspConfig::default(),
+        );
         assert_eq!(r.msf, kruskal_msf(el), "nranks={nranks}");
         r
     }
@@ -376,7 +390,12 @@ mod tests {
             (gen::star(100, 6), "star"),
         ] {
             for nranks in [2, 4, 7] {
-                let r = pregel_msf(&el, nranks, &NodePlatform::amd_cluster(), &BspConfig::default());
+                let r = pregel_msf(
+                    &el,
+                    nranks,
+                    &NodePlatform::amd_cluster(),
+                    &BspConfig::default(),
+                );
                 assert_eq!(r.msf, kruskal_msf(&el), "{name} nranks={nranks}");
             }
         }
@@ -388,7 +407,12 @@ mod tests {
         let r = check(&u, 3);
         assert_eq!(r.msf.num_components, 2);
         let empty = EdgeList::new(5);
-        let r = pregel_msf(&empty, 2, &NodePlatform::amd_cluster(), &BspConfig::default());
+        let r = pregel_msf(
+            &empty,
+            2,
+            &NodePlatform::amd_cluster(),
+            &BspConfig::default(),
+        );
         assert!(r.msf.edges.is_empty());
     }
 
@@ -410,9 +434,20 @@ mod tests {
             &el,
             4,
             &plat,
-            &BspConfig { mirror_threshold: Some(16), ..Default::default() },
+            &BspConfig {
+                mirror_threshold: Some(16),
+                ..Default::default()
+            },
         );
-        let plain = pregel_msf(&el, 4, &plat, &BspConfig { mirror_threshold: None, ..Default::default() });
+        let plain = pregel_msf(
+            &el,
+            4,
+            &plat,
+            &BspConfig {
+                mirror_threshold: None,
+                ..Default::default()
+            },
+        );
         assert_eq!(mirrored.msf, plain.msf);
         let bytes = |r: &PregelReport| r.rank_stats.iter().map(|s| s.bytes_sent).sum::<u64>();
         assert!(

@@ -17,7 +17,9 @@ fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = EdgeList> {
         .prop_map(|(n, raw)| {
             EdgeList::from_raw(
                 n,
-                raw.into_iter().map(|(a, b, w)| WEdge::new(a % n, b % n, w)).collect(),
+                raw.into_iter()
+                    .map(|(a, b, w)| WEdge::new(a % n, b % n, w))
+                    .collect(),
             )
         })
 }
@@ -78,7 +80,11 @@ fn per_message_cost_is_the_dominant_comm_knob() {
     let el = gen::web_crawl(2000, 16_000, gen::CrawlParams::default(), 5);
     let plat = NodePlatform::amd_cluster();
     let run = |per_message_cost: f64| {
-        let cfg = BspConfig { per_message_cost, sim_scale: 2048.0, ..Default::default() };
+        let cfg = BspConfig {
+            per_message_cost,
+            sim_scale: 2048.0,
+            ..Default::default()
+        };
         pregel_msf(&el, 8, &plat, &cfg)
     };
     let cheap = run(0.0);
@@ -99,7 +105,10 @@ fn hash_partitioning_costs_more_comm_than_range_on_local_graphs() {
     let el = gen::web_crawl(4000, 32_000, gen::CrawlParams::default(), 9);
     let plat = NodePlatform::amd_cluster();
     let bytes = |part| {
-        let cfg = BspConfig { partitioning: part, ..Default::default() };
+        let cfg = BspConfig {
+            partitioning: part,
+            ..Default::default()
+        };
         let r = pregel_msf(&el, 8, &plat, &cfg);
         r.rank_stats.iter().map(|s| s.bytes_sent).sum::<u64>()
     };

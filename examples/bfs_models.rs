@@ -40,7 +40,12 @@ fn main() {
     let dnc = distributed_bfs(&graph, 0, nodes, &NodePlatform::amd_cluster(), scale);
     assert_eq!(dnc.dist, oracle);
 
-    let levels = oracle.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap_or(0);
+    let levels = oracle
+        .iter()
+        .filter(|&&d| d != u64::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
     println!("\nBFS depth (levels): {levels}");
     println!(
         " BSP (level-synchronised) | {:>8.3}s exe | {:>8.3}s comm | {} supersteps",

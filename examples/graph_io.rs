@@ -19,7 +19,11 @@ fn main() -> std::io::Result<()> {
     // Persist.
     io::write_binary(&graph, std::fs::File::create(&path)?)?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("wrote {} edges to {} ({bytes} bytes)", graph.len(), path.display());
+    println!(
+        "wrote {} edges to {} ({bytes} bytes)",
+        graph.len(),
+        path.display()
+    );
 
     // Parallel read: 4 "ranks" each read a quarter of the records, exactly
     // like Gemini's offset-sliced parallel input.

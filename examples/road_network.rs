@@ -31,7 +31,9 @@ fn main() {
 
     println!("\n nodes |   total |  indComp |    merge | postProc |     comm");
     for nodes in [1usize, 4, 8, 16] {
-        let report = MndMstRunner::new(nodes).with_config(cfg.clone()).run(&graph);
+        let report = MndMstRunner::new(nodes)
+            .with_config(cfg.clone())
+            .run(&graph);
         assert_eq!(report.msf, oracle);
         let p = report.phase_max();
         println!(

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo verification gate: formatting, lints, then the tier-1 suite
+# (ROADMAP.md: `cargo build --release && cargo test -q`).
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick  skip the release build (lints + debug tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$QUICK" -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "verify: OK"

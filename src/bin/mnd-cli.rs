@@ -37,7 +37,6 @@ impl Args {
             let key = k.strip_prefix("--")?.to_string();
             // Boolean flags: --gpu / --verify take no value.
             if key == "gpu" || key == "verify" {
-
                 flags.insert(key, "true".into());
             } else {
                 flags.insert(key, it.next()?);
@@ -51,7 +50,9 @@ impl Args {
     }
 
     fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     fn has(&self, key: &str) -> bool {
@@ -112,7 +113,11 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     };
     let f = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     io::write_binary(&el, f).map_err(|e| format!("write {out}: {e}"))?;
-    println!("wrote {} vertices / {} edges to {out}", el.num_vertices(), el.len());
+    println!(
+        "wrote {} vertices / {} edges to {out}",
+        el.num_vertices(),
+        el.len()
+    );
     Ok(())
 }
 
@@ -143,7 +148,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         ..HyParConfig::default().with_sim_scale(scale as f64)
     };
     let t0 = std::time::Instant::now();
-    let report = MndMstRunner::new(nodes).with_platform(platform).with_config(cfg).run(&el);
+    let report = MndMstRunner::new(nodes)
+        .with_platform(platform)
+        .with_config(cfg)
+        .run(&el);
     let wall = t0.elapsed();
     println!(
         "MSF: {} edges, weight {}, {} component(s)",
@@ -190,8 +198,14 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         return Err("BSP and MND-MST disagree (bug!)".into());
     }
     println!("                exe       comm");
-    println!(" Pregel+ BSP  {:>8.3}  {:>8.3}   ({} supersteps)", bsp.total_time, bsp.comm_time, bsp.supersteps);
-    println!(" MND-MST      {:>8.3}  {:>8.3}   ({} levels)", mnd.total_time, mnd.comm_time, mnd.levels);
+    println!(
+        " Pregel+ BSP  {:>8.3}  {:>8.3}   ({} supersteps)",
+        bsp.total_time, bsp.comm_time, bsp.supersteps
+    );
+    println!(
+        " MND-MST      {:>8.3}  {:>8.3}   ({} levels)",
+        mnd.total_time, mnd.comm_time, mnd.levels
+    );
     println!(
         " improvement  {:>7.1}%  {:>7.1}%",
         100.0 * (1.0 - mnd.total_time / bsp.total_time),
@@ -215,8 +229,17 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
         scale as f64,
     );
     let reached = r.dist.iter().filter(|&&d| d != u64::MAX).count();
-    let depth = r.dist.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap_or(0);
-    println!("BFS from {source}: reached {reached}/{} vertices, depth {depth}", el.num_vertices());
+    let depth = r
+        .dist
+        .iter()
+        .filter(|&&d| d != u64::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    println!(
+        "BFS from {source}: reached {reached}/{} vertices, depth {depth}",
+        el.num_vertices()
+    );
     println!(
         "simulated {:.3}s ({:.3}s comm), {} border-crossing rounds",
         r.total_time, r.comm_time, r.rounds
@@ -227,10 +250,14 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
 fn cmd_cc(args: &Args) -> Result<(), String> {
     let (el, scale) = load_graph(args)?;
     let nodes = args.get_num("nodes", 4usize);
-    let runner = MndMstRunner::new(nodes)
-        .with_config(HyParConfig::default().with_sim_scale(scale as f64));
+    let runner =
+        MndMstRunner::new(nodes).with_config(HyParConfig::default().with_sim_scale(scale as f64));
     let r = mnd::mst::distributed_components(&el, &runner);
-    println!("{} connected component(s) over {} vertices", r.num_components, el.num_vertices());
+    println!(
+        "{} connected component(s) over {} vertices",
+        r.num_components,
+        el.num_vertices()
+    );
     println!("simulated {:.3}s ({:.3}s comm)", r.total_time, r.comm_time);
     Ok(())
 }

@@ -68,7 +68,12 @@ fn group_sizes_and_freeze_policies_compose() {
     for gs in [2, 4, 16] {
         for freeze in [FreezePolicy::Sticky, FreezePolicy::Recheck] {
             for excp in [ExcpCond::BorderEdge, ExcpCond::BorderVertex] {
-                let cfg = HyParConfig { group_size: gs, freeze, excp, ..Default::default() };
+                let cfg = HyParConfig {
+                    group_size: gs,
+                    freeze,
+                    excp,
+                    ..Default::default()
+                };
                 let r = MndMstRunner::new(6).with_config(cfg).run(&el);
                 assert_eq!(r.msf, oracle, "gs={gs} freeze={freeze:?} excp={excp:?}");
             }
@@ -84,7 +89,10 @@ fn memory_capacity_invariant_holds() {
     let cfg = HyParConfig::default().with_sim_scale(16384.0);
     let platform = NodePlatform::amd_cluster();
     let node_mem = platform.cpu.mem_bytes;
-    let r = MndMstRunner::new(16).with_platform(platform).with_config(cfg).run(&el);
+    let r = MndMstRunner::new(16)
+        .with_platform(platform)
+        .with_config(cfg)
+        .run(&el);
     assert!(
         r.max_holding_bytes <= node_mem,
         "holding {} exceeds node memory {}",

@@ -1,18 +1,23 @@
 //! Failure-injection / adversarial-input tests: the full pipeline on
 //! degenerate, hostile, and boundary-condition inputs.
 
+use mnd::device::NodePlatform;
 use mnd::graph::{gen, EdgeList, WEdge};
 use mnd::hypar::HyParConfig;
 use mnd::kernels::kruskal_msf;
 use mnd::mst::MndMstRunner;
 use mnd::pregel::{pregel_msf, BspConfig};
-use mnd::device::NodePlatform;
 
 fn both_match_oracle(el: &EdgeList, nranks: usize) {
     let oracle = kruskal_msf(el);
     let mnd = MndMstRunner::new(nranks).run(el);
     assert_eq!(mnd.msf, oracle, "MND-MST");
-    let bsp = pregel_msf(el, nranks, &NodePlatform::amd_cluster(), &BspConfig::default());
+    let bsp = pregel_msf(
+        el,
+        nranks,
+        &NodePlatform::amd_cluster(),
+        &BspConfig::default(),
+    );
     assert_eq!(bsp.msf, oracle, "BSP");
 }
 
@@ -114,16 +119,24 @@ fn degenerate_config_values() {
     let oracle = kruskal_msf(&el);
     // Group size 1: every rank is its own leader; levels degenerate but
     // must terminate.
-    let cfg = HyParConfig { group_size: 1, ..Default::default() };
+    let cfg = HyParConfig {
+        group_size: 1,
+        ..Default::default()
+    };
     let r = MndMstRunner::new(4).with_config(cfg).run(&el);
     assert_eq!(r.msf, oracle);
     // Group size larger than the cluster.
-    let cfg = HyParConfig { group_size: 64, ..Default::default() };
+    let cfg = HyParConfig {
+        group_size: 64,
+        ..Default::default()
+    };
     let r = MndMstRunner::new(4).with_config(cfg).run(&el);
     assert_eq!(r.msf, oracle);
     // Zero-improvement stop policy threshold (never stop early).
     let cfg = HyParConfig {
-        stop: mnd::kernels::policy::StopPolicy::DiminishingBenefit { min_improvement: 0.0 },
+        stop: mnd::kernels::policy::StopPolicy::DiminishingBenefit {
+            min_improvement: 0.0,
+        },
         ..Default::default()
     };
     let r = MndMstRunner::new(4).with_config(cfg).run(&el);

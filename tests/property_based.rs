@@ -11,7 +11,10 @@ use proptest::prelude::*;
 
 /// Random canonical edge list over up to `max_v` vertices.
 fn arb_edge_list(max_v: u32, max_e: usize) -> impl Strategy<Value = EdgeList> {
-    (2..max_v, proptest::collection::vec((0u32..max_v, 0u32..max_v, 1u32..1000), 0..max_e))
+    (
+        2..max_v,
+        proptest::collection::vec((0u32..max_v, 0u32..max_v, 1u32..1000), 0..max_e),
+    )
         .prop_map(|(n, raw)| {
             let edges = raw
                 .into_iter()
@@ -127,8 +130,8 @@ proptest! {
             cg.absorb(seg);
             cg.sort_edges();
             prop_assert_eq!(cg.resident(), before.resident());
-            let mut a = cg.edges().to_vec();
-            let mut b = before.edges().to_vec();
+            let mut a = cg.edges_vec();
+            let mut b = before.edges_vec();
             a.sort_by_key(|e: &CEdge| (e.orig.u, e.orig.v));
             b.sort_by_key(|e: &CEdge| (e.orig.u, e.orig.v));
             prop_assert_eq!(a, b);
@@ -144,7 +147,7 @@ proptest! {
         cg.remove_multi_edges();
         let reduced = EdgeList::from_raw(
             el.num_vertices(),
-            cg.edges().iter().map(|e| e.orig).collect(),
+            cg.iter_edges().map(|e| e.orig).collect(),
         );
         prop_assert_eq!(kruskal_msf(&reduced), oracle);
     }
