@@ -35,7 +35,7 @@ fn main() {
     let ctx = ExpContext {
         scale,
         seed: 42,
-        verify: true,
+        ..Default::default()
     };
     let el = ctx.graph(preset);
     println!(

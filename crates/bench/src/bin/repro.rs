@@ -1,13 +1,17 @@
 //! `repro` — regenerates every table and figure of the MND-MST paper.
 //!
 //! ```text
-//! repro [--scale N] [--seed S] [--no-verify] [--nodes N] <experiment>...
+//! repro [--scale N] [--seed S] [--no-verify] [--nodes N] [--trace PATH] <experiment>...
 //! repro all            # everything (slow)
 //! repro table3 fig8    # selected experiments
+//! repro --trace - chaos   # chaos sweep, JSONL events to stdout
 //! ```
 //!
 //! Experiments: table2 table3 table4 fig4 fig5 fig6 fig7 fig8
-//! ablation-group ablation-excp ablation-thresh calibration
+//! ablation-group ablation-excp ablation-thresh calibration chaos traffic
+//!
+//! `--trace PATH` streams every phase sample and chaos event as JSON
+//! lines to PATH (`-` = stdout) while the experiments run.
 
 use mnd_bench::fmt::{pct, print_table, secs, write_csv};
 use mnd_bench::*;
@@ -42,13 +46,27 @@ fn main() {
                     .expect("numeric nodes");
             }
             "--no-verify" => ctx.verify = false,
+            "--trace" => {
+                let path = it.next().expect("--trace PATH");
+                let trace = if path == "-" {
+                    mnd_bench::trace::JsonlTrace::stdout()
+                } else {
+                    mnd_bench::trace::JsonlTrace::create(std::path::Path::new(&path))
+                        .unwrap_or_else(|e| panic!("--trace {path}: {e}"))
+                };
+                ctx.observer = mnd_hypar::observe::ObserverHook::new(std::sync::Arc::new(trace));
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--scale N] [--seed S] [--nodes N] [--no-verify] [--csv DIR] <exp>...");
+                println!("usage: repro [--scale N] [--seed S] [--nodes N] [--no-verify] [--csv DIR] [--trace PATH] <exp>...");
                 println!("experiments: all table2 table3 table4 fig4 fig5 fig6 fig7 fig8");
                 println!(
                     "             ablation-group ablation-excp ablation-thresh ablation-locality"
                 );
                 println!("             ablation-weights ablation-network calibration");
+                println!("             chaos traffic");
+                println!(
+                    "--trace PATH streams phase samples + chaos events as JSON lines (- = stdout)"
+                );
                 return;
             }
             other => experiments.push(other.to_string()),
@@ -292,6 +310,58 @@ fn main() {
                     .collect::<Vec<_>>(),
             );
         }
+    }
+
+    if want("chaos") {
+        let rows = chaos(&ctx, nranks);
+        emit(
+            "chaos",
+            &format!("Chaos: fault-plane overhead sweep ({nranks} nodes, oracle-verified)"),
+            &[
+                "fault plan",
+                "exe",
+                "overhead",
+                "retries",
+                "redeliveries",
+                "restores",
+                "stall",
+            ],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.plan.clone(),
+                        secs(r.exe),
+                        pct(r.overhead),
+                        r.retries.to_string(),
+                        r.redeliveries.to_string(),
+                        r.restores.to_string(),
+                        secs(r.stall),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("traffic") {
+        let rows = traffic(&ctx, nranks);
+        emit(
+            "traffic",
+            &format!("Per-tag traffic ({nranks} nodes, 2% drop + 2% duplicates)"),
+            &["tag", "bytes sent", "messages", "retries", "redeliveries"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.tag.clone(),
+                        r.bytes_sent.to_string(),
+                        r.messages.to_string(),
+                        r.retries.to_string(),
+                        r.redeliveries.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
     }
 
     if want("calibration") {

@@ -1,18 +1,23 @@
 //! One function per paper table/figure (and per ablation). Each returns
 //! structured rows; the `repro` binary formats them.
 
+use std::sync::Arc;
+
+use mnd_chaos::FaultPlan;
 use mnd_device::{calibrate_split, NodePlatform};
 use mnd_graph::presets::Preset;
 use mnd_graph::stats::graph_stats;
 use mnd_graph::{CsrGraph, EdgeList};
+use mnd_hypar::observe::ObserverHook;
 use mnd_hypar::HyParConfig;
 use mnd_kernels::oracle::kruskal_msf;
 use mnd_kernels::policy::{ExcpCond, FreezePolicy, StopPolicy};
 use mnd_mst::{MndMstReport, MndMstRunner};
+use mnd_net::Tag;
 use mnd_pregel::{pregel_msf, BspConfig, PregelReport};
 
 /// Shared experiment parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExpContext {
     /// Scale divisor: stand-ins are `1/scale` of the paper's graphs, and
     /// simulated costs are scaled back up by the same factor.
@@ -22,6 +27,9 @@ pub struct ExpContext {
     /// Verify every distributed MSF against the Kruskal oracle (on by
     /// default; the harness refuses to time incorrect runs).
     pub verify: bool,
+    /// Optional observer attached to every MND run's config — the
+    /// `--trace` plumbing (see [`crate::trace`]). Unset by default.
+    pub observer: ObserverHook,
 }
 
 impl Default for ExpContext {
@@ -30,6 +38,7 @@ impl Default for ExpContext {
             scale: crate::DEFAULT_SCALE,
             seed: 42,
             verify: true,
+            observer: ObserverHook::none(),
         }
     }
 }
@@ -40,9 +49,12 @@ impl ExpContext {
         p.generate(self.scale, self.seed)
     }
 
-    /// HyPar config carrying the simulation scale.
+    /// HyPar config carrying the simulation scale (and the context's
+    /// observer, when one is attached).
     pub fn hypar(&self) -> HyParConfig {
-        HyParConfig::default().with_sim_scale(self.scale as f64)
+        let mut cfg = HyParConfig::default().with_sim_scale(self.scale as f64);
+        cfg.observer = self.observer.clone();
+        cfg
     }
 
     /// BSP config carrying the simulation scale.
@@ -712,6 +724,182 @@ pub fn calibration(ctx: &ExpContext) -> Vec<CalibrationRow> {
         .collect()
 }
 
+// --------------------------------------------------------------------- //
+// Chaos: fault-plane overhead sweep
+// --------------------------------------------------------------------- //
+
+/// Runs MND-MST under a fault plan (message faults + phase-level chaos),
+/// verified against the oracle — a chaotic run must still produce the
+/// exact MSF.
+pub fn run_mnd_chaos(
+    ctx: &ExpContext,
+    el: &EdgeList,
+    nranks: usize,
+    platform: NodePlatform,
+    plan: Arc<FaultPlan>,
+) -> MndMstReport {
+    let cfg = ctx.hypar().with_chaos(plan.clone());
+    let r = MndMstRunner::new(nranks)
+        .with_platform(platform)
+        .with_config(cfg)
+        .with_fault_injector(plan)
+        .run(el);
+    ctx.check_mnd(el, &r, "run_mnd_chaos");
+    r
+}
+
+/// One row of the chaos sweep.
+#[derive(Clone, Debug)]
+pub struct ChaosRow {
+    /// Fault-plan label.
+    pub plan: String,
+    /// Execution time under faults (simulated seconds, paper scale).
+    pub exe: f64,
+    /// Slowdown relative to the fault-free run (`exe/baseline - 1`).
+    pub overhead: f64,
+    /// Total forced retransmissions across ranks.
+    pub retries: u64,
+    /// Total discarded duplicate arrivals across ranks.
+    pub redeliveries: u64,
+    /// Total checkpoint restores (injected crashes recovered).
+    pub restores: u64,
+    /// Total virtual seconds lost to injected stalls.
+    pub stall: f64,
+}
+
+/// The chaos sweep: the same run under increasingly hostile fault plans,
+/// reporting recovery overhead over the fault-free baseline. Every run —
+/// drops, delays, duplicates, a mid-pipeline crash, a dead merge leader —
+/// still produces the oracle MSF.
+pub fn chaos(ctx: &ExpContext, nranks: usize) -> Vec<ChaosRow> {
+    let el = ctx.graph(Preset::RoadUsa);
+    let platform = NodePlatform::amd_cluster();
+    let baseline = run_mnd(ctx, &el, nranks, platform.clone(), ctx.hypar());
+
+    let crash_rank = 1 % nranks;
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("fault-free (chaos armed)", FaultPlan::new(ctx.seed)),
+        ("drop 1%", FaultPlan::new(ctx.seed).with_drop_rate(0.01)),
+        ("drop 10%", FaultPlan::new(ctx.seed).with_drop_rate(0.10)),
+        (
+            "delay 20% <=1ms",
+            FaultPlan::new(ctx.seed).with_delay(0.2, 1e-3),
+        ),
+        (
+            "dup+reorder 5%",
+            FaultPlan::new(ctx.seed)
+                .with_duplicates(0.05)
+                .with_reorder(0.05),
+        ),
+        (
+            "crash+restart, drop 1%",
+            FaultPlan::new(ctx.seed)
+                .with_drop_rate(0.01)
+                .with_crash(crash_rank, 1),
+        ),
+        (
+            "dead leader @L1, drop 1%",
+            FaultPlan::new(ctx.seed)
+                .with_drop_rate(0.01)
+                .with_dead_leader(0, 1),
+        ),
+    ];
+
+    let mut rows = vec![ChaosRow {
+        plan: "no fault plane".into(),
+        exe: baseline.total_time,
+        overhead: 0.0,
+        retries: 0,
+        redeliveries: 0,
+        restores: 0,
+        stall: 0.0,
+    }];
+    for (name, plan) in plans {
+        let r = run_mnd_chaos(ctx, &el, nranks, platform.clone(), Arc::new(plan));
+        rows.push(ChaosRow {
+            plan: name.to_string(),
+            exe: r.total_time,
+            overhead: r.total_time / baseline.total_time - 1.0,
+            retries: r.rank_stats.iter().map(|s| s.retries).sum(),
+            redeliveries: r.rank_stats.iter().map(|s| s.redeliveries).sum(),
+            restores: r.rank_stats.iter().map(|s| s.checkpoint_restores).sum(),
+            stall: r.rank_stats.iter().map(|s| s.stall_time).sum(),
+        });
+    }
+    rows
+}
+
+// --------------------------------------------------------------------- //
+// Traffic: per-tag byte/message/fault breakdown
+// --------------------------------------------------------------------- //
+
+/// One row of the per-tag traffic table (summed over ranks).
+#[derive(Clone, Debug)]
+pub struct TrafficRow {
+    /// Tag label ([`Tag::name`], annotated for the driver's user tags).
+    pub tag: String,
+    /// Payload bytes sent under the tag.
+    pub bytes_sent: u64,
+    /// Messages sent under the tag.
+    pub messages: u64,
+    /// Forced retransmissions under the tag.
+    pub retries: u64,
+    /// Discarded duplicate arrivals under the tag.
+    pub redeliveries: u64,
+}
+
+/// Labels a tag for the traffic table: collectives by name, plus the
+/// driver's two user tags (ring segments / leader merges).
+fn tag_label(tag: Tag) -> String {
+    match tag.name().as_str() {
+        "user(1)" => "segments (user 1)".into(),
+        "user(2)" => "leader merge (user 2)".into(),
+        other => other.into(),
+    }
+}
+
+/// Per-tag traffic of one MND run under a lightly faulty fabric (2% drop,
+/// 2% duplicates — so the retry/redelivery columns are exercised), summed
+/// over ranks and sorted by bytes sent.
+pub fn traffic(ctx: &ExpContext, nranks: usize) -> Vec<TrafficRow> {
+    let el = ctx.graph(Preset::RoadUsa);
+    let plan = Arc::new(
+        FaultPlan::new(ctx.seed)
+            .with_drop_rate(0.02)
+            .with_duplicates(0.02),
+    );
+    // Force real ring exchanges even on scaled-down graphs: the per-tag
+    // table should cover the segment tag, not just the leader merge.
+    let mut cfg = ctx.hypar().with_chaos(plan.clone());
+    cfg.group_edge_threshold = 1;
+    let r = MndMstRunner::new(nranks)
+        .with_platform(NodePlatform::amd_cluster())
+        .with_config(cfg)
+        .with_fault_injector(plan)
+        .run(&el);
+    ctx.check_mnd(&el, &r, "traffic");
+
+    let mut by_tag: std::collections::BTreeMap<Tag, TrafficRow> = std::collections::BTreeMap::new();
+    for s in &r.rank_stats {
+        for (tag, t) in &s.by_tag {
+            let row = by_tag.entry(*tag).or_insert_with(|| TrafficRow {
+                tag: tag_label(*tag),
+                bytes_sent: 0,
+                messages: 0,
+                retries: 0,
+                redeliveries: 0,
+            });
+            row.bytes_sent += t.bytes_sent;
+            row.messages += t.messages_sent;
+            row.retries += t.retries;
+            row.redeliveries += t.redeliveries;
+        }
+    }
+    let mut rows: Vec<TrafficRow> = by_tag.into_values().collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.bytes_sent));
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,7 +910,7 @@ mod tests {
         ExpContext {
             scale: 65536,
             seed: 7,
-            verify: true,
+            ..Default::default()
         }
     }
 
@@ -759,6 +947,31 @@ mod tests {
         assert_eq!(ablation_group(&ctx, 8).len(), 4);
         assert_eq!(ablation_excp(&ctx, 4).len(), 3);
         assert!(ablation_thresh(&ctx, 4).len() >= 5);
+    }
+
+    #[test]
+    fn chaos_sweep_verifies_and_counts_faults() {
+        let rows = chaos(&tiny(), 4);
+        // Baseline + armed-but-clean + 6 fault plans.
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].overhead, 0.0);
+        // The 10% drop plan must force retries somewhere.
+        let drops = rows.iter().find(|r| r.plan == "drop 10%").unwrap();
+        assert!(drops.retries > 0, "{drops:?}");
+        // The crash plan must restore from checkpoint.
+        let crash = rows.iter().find(|r| r.plan.starts_with("crash")).unwrap();
+        assert_eq!(crash.restores, 1, "{crash:?}");
+    }
+
+    #[test]
+    fn traffic_covers_driver_tags_under_faults() {
+        let rows = traffic(&tiny(), 4);
+        assert!(!rows.is_empty());
+        let tags: Vec<&str> = rows.iter().map(|r| r.tag.as_str()).collect();
+        assert!(tags.contains(&"segments (user 1)"), "{tags:?}");
+        assert!(tags.contains(&"leader merge (user 2)"), "{tags:?}");
+        // 2% drops over the whole run should force at least one retry.
+        assert!(rows.iter().map(|r| r.retries).sum::<u64>() > 0);
     }
 
     #[test]

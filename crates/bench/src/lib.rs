@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod trace;
 
 pub use experiments::*;
 

@@ -1,0 +1,142 @@
+//! `--trace` support: streams phase samples and chaos events as JSON
+//! lines.
+//!
+//! [`JsonlTrace`] is a [`PhaseObserver`] that serializes every
+//! [`PhaseSample`] and every chaos event to one JSON object per line —
+//! grep/`jq`-friendly, ingestible by any log pipeline. Attach it through
+//! [`crate::ExpContext::observer`] (the `repro --trace PATH` flag does
+//! exactly that; `-` streams to stdout).
+//!
+//! Serialization is hand-rolled: every field is a number or a
+//! `[a-z_()0-9]` string, so no escaping is needed and the workspace stays
+//! dependency-free.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use mnd_hypar::chaos::ChaosEvent;
+use mnd_hypar::observe::{PhaseKind, PhaseObserver, PhaseSample};
+
+/// A line-oriented JSON trace sink. Writes are locked per line, so
+/// concurrent rank threads interleave whole records, never bytes.
+pub struct JsonlTrace {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlTrace {
+    /// Traces to any writer (file, stdout, a test buffer).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlTrace {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Traces to stdout.
+    pub fn stdout() -> Self {
+        JsonlTrace::new(Box::new(std::io::stdout()))
+    }
+
+    /// Traces to a file at `path` (created/truncated).
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlTrace::new(Box::new(std::fs::File::create(path)?)))
+    }
+
+    fn write_line(&self, line: String) {
+        let mut out = self.out.lock().expect("trace sink poisoned");
+        // A broken pipe mid-sweep shouldn't abort the experiment.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+impl PhaseObserver for JsonlTrace {
+    fn on_phase(&self, kind: PhaseKind, s: &PhaseSample) {
+        self.write_line(format!(
+            concat!(
+                "{{\"type\":\"phase\",\"kind\":\"{}\",\"rank\":{},\"level\":{},",
+                "\"compute_time\":{},\"comm_time\":{},\"bytes_sent\":{},",
+                "\"messages_sent\":{}}}"
+            ),
+            kind.name(),
+            s.rank,
+            s.level,
+            s.compute_time,
+            s.comm_time,
+            s.bytes_sent,
+            s.messages_sent,
+        ));
+    }
+
+    fn on_chaos(&self, e: &ChaosEvent) {
+        self.write_line(format!(
+            concat!(
+                "{{\"type\":\"chaos\",\"kind\":\"{}\",\"rank\":{},\"level\":{},",
+                "\"boundary\":{},\"time\":{},\"detail\":{}}}"
+            ),
+            e.kind.name(),
+            e.rank,
+            e.level,
+            e.boundary,
+            e.time,
+            e.detail,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_hypar::chaos::ChaosEventKind;
+    use std::sync::Arc;
+
+    /// A shared in-memory sink the trace can write into.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_one_json_object_per_line() {
+        let buf = Buf::default();
+        let trace = JsonlTrace::new(Box::new(buf.clone()));
+        trace.on_phase(
+            PhaseKind::IndComp,
+            &PhaseSample {
+                rank: 2,
+                level: 1,
+                compute_time: 0.5,
+                comm_time: 0.25,
+                bytes_sent: 640,
+                messages_sent: 3,
+            },
+        );
+        trace.on_chaos(&ChaosEvent {
+            rank: 1,
+            kind: ChaosEventKind::CheckpointWrite,
+            level: 0,
+            boundary: 4,
+            time: 1.5,
+            detail: 1024,
+        });
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"phase\",\"kind\":\"ind_comp\""));
+        assert!(lines[0].contains("\"rank\":2") && lines[0].contains("\"bytes_sent\":640"));
+        assert!(lines[1].starts_with("{\"type\":\"chaos\",\"kind\":\"checkpoint_write\""));
+        assert!(lines[1].contains("\"boundary\":4") && lines[1].contains("\"detail\":1024"));
+        // Minimal well-formedness: balanced braces, no raw newlines inside.
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # mnd-chaos — deterministic fault plane for the simulated cluster
+//!
+//! MND-MST's divide-and-conquer pipeline carries long-lived per-rank state
+//! (partitions, frozen components, ghost parents, merge segments), which
+//! makes it far more sensitive to communication faults than a BSP engine
+//! that could simply replay a superstep. This crate provides the fault
+//! *schedule*; the machinery that survives it lives where the state lives:
+//!
+//! * `mnd-net::fault` — retransmission with backoff, duplicate filtering,
+//!   per-tag retry/redelivery accounting;
+//! * `mnd-mst::phases` — phase-boundary checkpoints, crash restart, and
+//!   hierarchical-merge leader re-election.
+//!
+//! The central type is [`FaultPlan`]: a seeded, immutable plan that
+//! implements **both** fault interfaces —
+//! [`mnd_net::FaultInjector`] for message-level faults (drop / delay /
+//! duplicate / reorder, per-tag and per-source-rank rules) and
+//! [`mnd_hypar::ChaosControl`] for phase-level faults (stalls, crashes at
+//! checkpoint boundaries, dead merge-group leaders). Every decision is a
+//! pure splitmix64 hash of `(seed, message identity)`, so the same seed
+//! yields a byte-identical fault schedule, the same recovery path, and the
+//! same `RankStats` counters on every run — faults are *replayable*.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mnd_chaos::FaultPlan;
+//! use mnd_net::{Cluster, CostModel, Tag};
+//!
+//! let plan = Arc::new(FaultPlan::new(7).with_drop_rate(0.5));
+//! let out = Cluster::new(2, CostModel::default_cluster())
+//!     .with_fault_injector(plan)
+//!     .run(|c| {
+//!         if c.rank() == 0 {
+//!             for _ in 0..32 {
+//!                 c.send(1, Tag::user(0), 1u64);
+//!             }
+//!         } else {
+//!             for _ in 0..32 {
+//!                 let _: u64 = c.recv(0, Tag::user(0));
+//!             }
+//!         }
+//!         c.stats().retries
+//!     });
+//! assert!(out[0].result > 0, "half the sends should need a retry");
+//! ```
+
+pub mod log;
+pub mod plan;
+pub mod rng;
+
+pub use log::ChaosLog;
+pub use plan::{FaultPlan, FaultRule};

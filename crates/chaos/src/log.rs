@@ -1,0 +1,88 @@
+//! A collecting observer for chaos events.
+//!
+//! Tests and the `repro` binary need to see *which* faults fired and what
+//! recovery ran. [`ChaosLog`] is a [`PhaseObserver`] that ignores phase
+//! samples and records every [`ChaosEvent`]; attach it with
+//! `HyParConfig::with_observer` alongside the `FaultPlan`.
+
+use std::sync::Mutex;
+
+use mnd_hypar::{ChaosEvent, ChaosEventKind, PhaseKind, PhaseObserver, PhaseSample};
+
+/// Collects chaos events across all rank threads, in arrival order.
+///
+/// Note: *cross-rank* arrival order depends on thread scheduling; use
+/// [`ChaosLog::events_sorted`] (rank-major, then boundary/level) when
+/// comparing runs.
+#[derive(Default)]
+pub struct ChaosLog {
+    events: Mutex<Vec<ChaosEvent>>,
+}
+
+impl ChaosLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ChaosLog::default()
+    }
+
+    /// Snapshot of the recorded events in arrival order.
+    pub fn events(&self) -> Vec<ChaosEvent> {
+        self.events.lock().expect("chaos log poisoned").clone()
+    }
+
+    /// Events in a schedule-independent order: by rank, then boundary,
+    /// then level, then kind name — suitable for run-to-run comparison.
+    pub fn events_sorted(&self) -> Vec<ChaosEvent> {
+        let mut evs = self.events();
+        evs.sort_by_key(|e| (e.rank, e.boundary, e.level, e.kind.name()));
+        evs
+    }
+
+    /// Number of recorded events of `kind`.
+    pub fn count(&self, kind: ChaosEventKind) -> usize {
+        self.events
+            .lock()
+            .expect("chaos log poisoned")
+            .iter()
+            .filter(|e| e.kind == kind)
+            .count()
+    }
+}
+
+impl PhaseObserver for ChaosLog {
+    fn on_phase(&self, _kind: PhaseKind, _sample: &PhaseSample) {}
+
+    fn on_chaos(&self, event: &ChaosEvent) {
+        self.events.lock().expect("chaos log poisoned").push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: u32, kind: ChaosEventKind, boundary: u32) -> ChaosEvent {
+        ChaosEvent {
+            rank,
+            kind,
+            level: 0,
+            boundary,
+            time: 0.0,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn collects_and_counts() {
+        let log = ChaosLog::new();
+        log.on_chaos(&ev(1, ChaosEventKind::Stall, 0));
+        log.on_chaos(&ev(0, ChaosEventKind::Crash, 2));
+        log.on_chaos(&ev(0, ChaosEventKind::CheckpointRestore, 2));
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.count(ChaosEventKind::Crash), 1);
+        assert_eq!(log.count(ChaosEventKind::LeaderFailover), 0);
+        let sorted = log.events_sorted();
+        assert_eq!(sorted[0].rank, 0);
+        assert_eq!(sorted.last().unwrap().rank, 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Pure hash-based randomness for fault decisions.
+//!
+//! Fault injectors are consulted concurrently from every rank thread, so
+//! they cannot share a stateful RNG without making the fault schedule
+//! depend on OS scheduling. Instead every decision hashes its inputs
+//! (seed, message identity, decision salt) through the splitmix64
+//! finalizer — a stateless function with good avalanche behaviour, the
+//! same construction `assign_random_weights` uses in `mnd-graph`.
+
+/// The splitmix64 finalizer: a bijective mixer with full avalanche.
+#[inline]
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform `f64` in `[0, 1)` (top 53 bits).
+#[inline]
+pub fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(42), mix(42));
+        assert_ne!(mix(42), mix(43));
+        // Adjacent inputs flip roughly half the bits.
+        let d = (mix(1000) ^ mix(1001)).count_ones();
+        assert!((16..=48).contains(&d), "poor avalanche: {d} bits");
+    }
+
+    #[test]
+    fn unit_is_in_range_and_roughly_uniform() {
+        let mut sum = 0.0;
+        for i in 0..10_000u64 {
+            let u = unit(mix(i));
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

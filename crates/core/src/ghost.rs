@@ -70,6 +70,14 @@ impl GhostDirectory {
         }
     }
 
+    /// Approximate serialized size: the ranges table plus one
+    /// `(component, owner)` pair per override. Used to cost checkpoint
+    /// writes (the directory has no exact wire format — it never travels
+    /// over the fabric).
+    pub fn approx_wire_bytes(&self) -> u64 {
+        8 + self.ranges.len() as u64 * 8 + self.moved.len() as u64 * 8
+    }
+
     /// Number of move overrides currently tracked (diagnostics).
     pub fn num_overrides(&self) -> usize {
         self.moved.len()

@@ -38,6 +38,7 @@
 
 pub mod bfs;
 pub mod cc;
+pub mod checkpoint;
 pub mod ghost;
 pub mod phases;
 pub mod result;

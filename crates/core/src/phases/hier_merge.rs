@@ -2,6 +2,7 @@
 //! groups, collaborative merging, and the collapse of each group onto its
 //! leader, level by level until one rank holds everything.
 
+use mnd_hypar::chaos::ChaosEventKind;
 use mnd_hypar::observe::PhaseKind;
 use mnd_hypar::runtime::ExchangeMonitor;
 use mnd_kernels::cgraph::CompId;
@@ -127,11 +128,48 @@ impl Phase for HierMerge {
                 self.comp.run(cx);
             }
 
+            // --- Leader (re-)election. Default leaders are the first
+            // group members; with a chaos schedule armed, liveness bits
+            // are allreduced (modelling the failure-detector round) and
+            // each group elects its first *healthy* member. Every rank
+            // evaluates every group from the same replicated data, so the
+            // election needs no extra coordination. ---
+            let leaders: Vec<usize> = if cx.cfg().chaos.is_set() {
+                cx.observed(PhaseKind::HierMerge, |cx| {
+                    let chaos = &cx.cfg().chaos;
+                    let level = cx.levels as u32;
+                    let mut down = vec![0u64; p];
+                    if chaos.leader_down(me, level) {
+                        down[me] = 1;
+                    }
+                    let down = comm.allreduce_vec_u64(down, |a, b| a + b);
+                    groups
+                        .iter()
+                        .map(|g| {
+                            g.members()
+                                .iter()
+                                .copied()
+                                .find(|&m| down[m] == 0)
+                                .unwrap_or_else(|| g.leader())
+                        })
+                        .collect()
+                })
+            } else {
+                groups.iter().map(|g| g.leader()).collect()
+            };
+            if let Some(g) = &my_group {
+                let gi = groups.iter().position(|x| x == g).expect("own group");
+                if leaders[gi] != g.leader() && me == leaders[gi] {
+                    cx.emit_chaos(ChaosEventKind::LeaderFailover, 0, leaders[gi] as u64);
+                }
+            }
+
             // --- Merge each group to its leader. ---
             cx.observed(PhaseKind::HierMerge, |cx| {
                 let mut my_moves: Vec<(CompId, u32)> = Vec::new();
                 if let Some(g) = &my_group {
-                    let leader = g.leader();
+                    let gi = groups.iter().position(|x| x == g).expect("own group");
+                    let leader = leaders[gi];
                     if me == leader {
                         for &member in g.members() {
                             if member == me {
@@ -160,7 +198,7 @@ impl Phase for HierMerge {
             });
             cx.note_holding();
 
-            active = groups.iter().map(|g| g.leader()).collect();
+            active = leaders;
 
             // Leaders run independent computations on the merged data
             // before the next level ("We again perform independent
@@ -169,5 +207,8 @@ impl Phase for HierMerge {
                 self.comp.run(cx);
             }
         }
+        // Where the fully merged data ended up — rank 0 unless a failover
+        // re-routed a merge. Replicated computation: identical everywhere.
+        cx.final_rank = active[0];
     }
 }

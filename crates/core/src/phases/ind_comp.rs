@@ -43,6 +43,7 @@ impl Phase for IndComp {
 
             // Ghost-parent exchange + reduction (§3.3).
             self.merge.run(cx);
+            cx.recovery_point();
 
             // Global recursion decision (§4.3.3): recurse while any rank's
             // reduced holding is still over the threshold AND any rank made

@@ -35,12 +35,14 @@ use std::sync::Mutex;
 use mnd_device::DeviceSplit;
 use mnd_graph::types::WEdge;
 use mnd_graph::{CsrGraph, EdgeList};
+use mnd_hypar::chaos::{ChaosEvent, ChaosEventKind};
 use mnd_hypar::observe::{PhaseKind, PhaseObserver, PhaseSample};
 use mnd_hypar::HyParConfig;
 use mnd_kernels::cgraph::CGraph;
 use mnd_kernels::msf::MsfResult;
 use mnd_net::Comm;
 
+use crate::checkpoint::RankCheckpoint;
 use crate::ghost::GhostDirectory;
 use crate::result::PhaseTimes;
 use crate::runner::{MndMstRunner, RankResult};
@@ -113,6 +115,15 @@ pub struct RankCtx<'a> {
     pub exchange_rounds: usize,
     /// Largest paper-scale holding seen.
     pub max_holding_bytes: u64,
+    /// The rank that holds the fully merged data after [`HierMerge`] —
+    /// rank 0 unless chaos forced a leader failover along the way.
+    pub final_rank: usize,
+    /// Recovery points passed so far (the boundary counter chaos
+    /// schedules key on). Identical across ranks: recovery points sit at
+    /// lockstep phase boundaries.
+    pub boundary: u32,
+    /// Last checkpoint written (chaos runs only).
+    pub checkpoint: Option<RankCheckpoint>,
     recorder: PhaseTimesRecorder,
 }
 
@@ -137,6 +148,9 @@ impl<'a> RankCtx<'a> {
             levels: 0,
             exchange_rounds: 0,
             max_holding_bytes: 0,
+            final_rank: 0,
+            boundary: 0,
+            checkpoint: None,
             recorder: PhaseTimesRecorder::new(),
         }
     }
@@ -165,6 +179,68 @@ impl<'a> RankCtx<'a> {
         self.recorder.on_phase(kind, &sample);
         self.runner.config.observer.emit(kind, &sample);
         out
+    }
+
+    /// A phase-boundary recovery point. No-op unless a chaos schedule is
+    /// armed, keeping fault-free runs byte-identical to pre-chaos builds.
+    ///
+    /// With chaos armed the rank, in order: serves any scheduled stall,
+    /// writes a checkpoint (charged at the runner's storage rate, counted
+    /// in [`mnd_net::RankStats::checkpoint_writes`]), and — if the
+    /// schedule crashes it here — loses its in-memory state, pays the
+    /// restart penalty, and rebuilds from the checkpoint it just wrote.
+    /// Everything is rank-local (no communication), so the lockstep
+    /// discipline of the collectives is unaffected.
+    pub fn recovery_point(&mut self) {
+        let chaos = &self.cfg().chaos;
+        if !chaos.is_set() {
+            return;
+        }
+        let b = self.boundary;
+        self.boundary += 1;
+        let rank = self.comm.rank();
+
+        let stall = chaos.stall_seconds(rank, b);
+        if stall > 0.0 {
+            self.comm.stall(stall);
+            self.emit_chaos(ChaosEventKind::Stall, b, (stall * 1e6) as u64);
+        }
+
+        let ckpt = RankCheckpoint::capture(self, b);
+        let bytes = mnd_net::Wire::wire_bytes(&ckpt);
+        self.comm.compute(self.runner.checkpoint_seconds(bytes));
+        self.comm.note_checkpoint_write();
+        self.emit_chaos(ChaosEventKind::CheckpointWrite, b, bytes);
+        self.checkpoint = Some(ckpt);
+
+        if chaos.crashes_at(rank, b) {
+            self.emit_chaos(ChaosEventKind::Crash, b, 0);
+            // The crash wipes the rank's in-memory state...
+            self.cg = CGraph::new();
+            self.dir = GhostDirectory::default();
+            self.msf_local = Vec::new();
+            // ...the restart pays respawn + checkpoint re-read...
+            self.comm.stall(self.runner.restart_seconds(bytes));
+            // ...and the state comes back from stable storage.
+            let ckpt = self.checkpoint.take().expect("checkpoint written above");
+            ckpt.restore(self);
+            self.comm.note_checkpoint_restore();
+            self.emit_chaos(ChaosEventKind::CheckpointRestore, b, bytes);
+        }
+    }
+
+    /// Emits a chaos event (stamped with this rank, the current merge
+    /// level, and the virtual clock) to the configured observer.
+    pub(crate) fn emit_chaos(&self, kind: ChaosEventKind, boundary: u32, detail: u64) {
+        let event = ChaosEvent {
+            rank: self.comm.rank() as u32,
+            kind,
+            level: self.levels as u32,
+            boundary,
+            time: self.comm.now(),
+            detail,
+        };
+        self.runner.config.observer.emit_chaos(&event);
     }
 
     /// Updates the high-water mark of holding memory.

@@ -94,5 +94,6 @@ impl Phase for Partition {
                 }
             }
         });
+        cx.recovery_point();
     }
 }

@@ -8,9 +8,9 @@ use mnd_kernels::msf::MsfResult;
 
 use crate::phases::{Phase, RankCtx};
 
-/// Finishes the forest on the final rank and gathers it at rank 0 (always
-/// rank 0: leaders are first group members), setting [`RankCtx::msf`]
-/// there.
+/// Finishes the forest on the final rank — rank 0 unless chaos leader
+/// failovers re-routed the merge hierarchy ([`RankCtx::final_rank`]) —
+/// and gathers the MSF there, setting [`RankCtx::msf`].
 #[derive(Debug, Default)]
 pub struct PostProcess;
 
@@ -22,7 +22,7 @@ impl Phase for PostProcess {
     fn run(&mut self, cx: &mut RankCtx<'_>) {
         cx.observed(PhaseKind::PostProcess, |cx| {
             let comm = cx.comm;
-            let final_rank = 0usize;
+            let final_rank = cx.final_rank;
             if comm.rank() == final_rank && !cx.cg.is_empty() {
                 debug_assert_eq!(
                     cx.cg.num_cut_edges(),

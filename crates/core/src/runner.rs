@@ -23,7 +23,7 @@ use mnd_graph::{CsrGraph, EdgeList};
 use mnd_hypar::HyParConfig;
 use mnd_kernels::cgraph::CGraph;
 use mnd_kernels::msf::MsfResult;
-use mnd_net::{Cluster, Comm};
+use mnd_net::{Cluster, Comm, FaultInjector, InjectorHook};
 
 use crate::phases::{HierMerge, IndComp, Partition, Phase, PostProcess, RankCtx};
 use crate::result::{MndMstReport, PhaseTimes};
@@ -42,6 +42,9 @@ pub struct MndMstRunner {
     pub ghost_phase_size: usize,
     /// Cap on recursion rounds inside one computation step (§4.3.3).
     pub max_recursion_rounds: usize,
+    /// Optional message-fault injector armed on the simulated fabric
+    /// (drops/delays/duplicates/reorders — see [`mnd_net::fault`]).
+    pub faults: InjectorHook,
 }
 
 impl MndMstRunner {
@@ -53,7 +56,17 @@ impl MndMstRunner {
             config: HyParConfig::default(),
             ghost_phase_size: 1 << 16,
             max_recursion_rounds: 3,
+            faults: InjectorHook::none(),
         }
+    }
+
+    /// Arms a message-fault injector on the simulated fabric. Pair with
+    /// [`HyParConfig::with_chaos`] (via [`MndMstRunner::with_config`]) to
+    /// also schedule phase-level stalls/crashes — an
+    /// `Arc<mnd_chaos::FaultPlan>` implements both interfaces.
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.faults = InjectorHook::new(injector);
+        self
     }
 
     /// Replaces the platform (e.g. `NodePlatform::cray_xc40(true)`).
@@ -82,7 +95,7 @@ impl MndMstRunner {
         let csr = Arc::new(CsrGraph::from_edge_list(el));
         let el_arc = Arc::new(el.clone());
         let network = self.platform.network.scaled(self.config.sim_scale);
-        let cluster = Cluster::new(self.nranks, network);
+        let cluster = Cluster::new(self.nranks, network).with_fault_hook(self.faults.clone());
 
         let outcomes = cluster.run(|comm| self.rank_main(comm, &csr, &el_arc));
 
@@ -108,7 +121,7 @@ impl MndMstRunner {
         }
         let comm_time = rank_stats.iter().map(|s| s.comm_time).fold(0.0, f64::max);
         MndMstReport {
-            msf: msf.expect("rank 0 always produces the final MSF"),
+            msf: msf.expect("the final rank always produces the MSF"),
             total_time,
             comm_time,
             phases,
@@ -146,6 +159,19 @@ impl MndMstRunner {
     /// occupy).
     pub(crate) fn paper_bytes(&self, cg: &CGraph) -> u64 {
         (cg.approx_bytes() as f64 * self.config.sim_scale) as u64
+    }
+
+    /// Seconds one phase-boundary checkpoint write of `bytes` costs: a
+    /// fixed metadata sync plus streaming the state to node-local storage
+    /// at 2 GB/s (paper-scale bytes).
+    pub(crate) fn checkpoint_seconds(&self, bytes: u64) -> f64 {
+        1e-4 + bytes as f64 * self.config.sim_scale / 2e9
+    }
+
+    /// Seconds a crashed rank spends restarting: a one-second process
+    /// respawn penalty plus re-reading its checkpoint.
+    pub(crate) fn restart_seconds(&self, bytes: u64) -> f64 {
+        1.0 + self.checkpoint_seconds(bytes)
     }
 
     /// Per-segment byte cap: a quarter of node memory (at paper scale), so

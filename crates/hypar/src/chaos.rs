@@ -1,0 +1,202 @@
+//! Phase-level chaos control and fault/recovery events.
+//!
+//! The fabric-level fault plane (message drops, delays, duplicates) lives
+//! in `mnd-net::fault`; this module carries the **phase-level** half of the
+//! chaos subsystem, which needs to know where a rank stands in the HyPar
+//! pipeline rather than which message is in flight:
+//!
+//! * [`ChaosControl`] — the driver consults it at every checkpoint
+//!   boundary (stall? crash?) and at every hierarchical-merge level (is
+//!   this group's leader down?). Implementations must be deterministic
+//!   pure functions of their arguments, like `FaultInjector`.
+//! * [`ChaosEvent`] — what the driver reports back through the observer
+//!   hook when faults fire and recovery machinery runs, so harnesses can
+//!   log, trace, and assert on the recovery path.
+//!
+//! Both ride on [`crate::HyParConfig`] next to the phase observer; a
+//! `FaultPlan` from `mnd-chaos` implements `ChaosControl` and
+//! `FaultInjector` so one seeded plan drives both layers.
+
+use std::sync::Arc;
+
+/// What kind of fault or recovery action an event reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChaosEventKind {
+    /// The rank stalled for `ChaosEvent::detail` microseconds of virtual
+    /// time at a checkpoint boundary.
+    Stall,
+    /// The rank wrote a checkpoint of `detail` wire bytes.
+    CheckpointWrite,
+    /// The rank crashed at a checkpoint boundary (its live state was
+    /// destroyed).
+    Crash,
+    /// The rank restored `detail` wire bytes from its last checkpoint.
+    CheckpointRestore,
+    /// The rank's merge group elected rank `detail` because its configured
+    /// leader is down at this level.
+    LeaderFailover,
+}
+
+impl ChaosEventKind {
+    /// Stable lower-case name (log/JSONL friendly).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosEventKind::Stall => "stall",
+            ChaosEventKind::CheckpointWrite => "checkpoint_write",
+            ChaosEventKind::Crash => "crash",
+            ChaosEventKind::CheckpointRestore => "checkpoint_restore",
+            ChaosEventKind::LeaderFailover => "leader_failover",
+        }
+    }
+}
+
+/// One fault or recovery action on one rank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosEvent {
+    /// The rank the event happened on.
+    pub rank: u32,
+    /// What happened.
+    pub kind: ChaosEventKind,
+    /// Hierarchical-merge level (0 outside hierarchical merging).
+    pub level: u32,
+    /// Checkpoint-boundary ordinal on this rank (0 = after Partition; the
+    /// counter advances at every boundary, identically on every rank).
+    pub boundary: u32,
+    /// Virtual time on the rank's clock when the event fired.
+    pub time: f64,
+    /// Kind-specific payload — see [`ChaosEventKind`].
+    pub detail: u64,
+}
+
+/// Phase-level fault schedule: consulted by the driver at checkpoint
+/// boundaries and merge levels. All methods must be deterministic pure
+/// functions (no interior mutability, no wall clock) so that a seed fully
+/// determines the recovery path.
+pub trait ChaosControl: Send + Sync {
+    /// Virtual seconds `rank` stalls at checkpoint boundary `boundary`
+    /// (0 = no stall).
+    fn stall_seconds(&self, rank: usize, boundary: u32) -> f64;
+
+    /// Whether `rank` crashes at checkpoint boundary `boundary` (and is
+    /// restarted from the checkpoint written at that boundary).
+    fn crashes_at(&self, rank: usize, boundary: u32) -> bool;
+
+    /// Whether `rank` is down for leader duty at merge level `level`; its
+    /// group elects the first healthy member instead.
+    fn leader_down(&self, rank: usize, level: u32) -> bool;
+}
+
+/// An optional, shareable [`ChaosControl`] slot carried by the config.
+/// Same contract as [`crate::ObserverHook`]: `Clone`/`Debug`, equality by
+/// identity, and every query is a no-fault default when unset.
+#[derive(Clone, Default)]
+pub struct ChaosHook(Option<Arc<dyn ChaosControl>>);
+
+impl ChaosHook {
+    /// The empty hook: no stalls, no crashes, no dead leaders — and the
+    /// driver skips checkpointing entirely, keeping fault-free runs
+    /// byte-identical to a build without the chaos subsystem.
+    pub fn none() -> Self {
+        ChaosHook(None)
+    }
+
+    /// Wraps a control plan.
+    pub fn new(control: Arc<dyn ChaosControl>) -> Self {
+        ChaosHook(Some(control))
+    }
+
+    /// Whether a control plan is attached.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Stall duration at a boundary (0 when unset; negative values from a
+    /// buggy plan are clamped to 0).
+    pub fn stall_seconds(&self, rank: usize, boundary: u32) -> f64 {
+        match &self.0 {
+            None => 0.0,
+            Some(c) => c.stall_seconds(rank, boundary).max(0.0),
+        }
+    }
+
+    /// Whether the rank crashes at a boundary (false when unset).
+    pub fn crashes_at(&self, rank: usize, boundary: u32) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|c| c.crashes_at(rank, boundary))
+    }
+
+    /// Whether the rank is down for leader duty (false when unset).
+    pub fn leader_down(&self, rank: usize, level: u32) -> bool {
+        self.0.as_ref().is_some_and(|c| c.leader_down(rank, level))
+    }
+}
+
+impl std::fmt::Debug for ChaosHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.is_set() {
+            "ChaosHook(set)"
+        } else {
+            "ChaosHook(none)"
+        })
+    }
+}
+
+impl PartialEq for ChaosHook {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StallTwo;
+    impl ChaosControl for StallTwo {
+        fn stall_seconds(&self, rank: usize, boundary: u32) -> f64 {
+            if rank == 2 && boundary == 1 {
+                0.5
+            } else {
+                -3.0 // clamped by the hook
+            }
+        }
+        fn crashes_at(&self, rank: usize, boundary: u32) -> bool {
+            rank == 2 && boundary == 3
+        }
+        fn leader_down(&self, rank: usize, level: u32) -> bool {
+            rank == 0 && level == 1
+        }
+    }
+
+    #[test]
+    fn empty_hook_injects_nothing() {
+        let h = ChaosHook::none();
+        assert!(!h.is_set());
+        assert_eq!(h.stall_seconds(0, 0), 0.0);
+        assert!(!h.crashes_at(0, 0));
+        assert!(!h.leader_down(0, 0));
+    }
+
+    #[test]
+    fn hook_delegates_and_clamps() {
+        let h = ChaosHook::new(Arc::new(StallTwo));
+        assert_eq!(h.stall_seconds(2, 1), 0.5);
+        assert_eq!(h.stall_seconds(1, 1), 0.0); // negative clamped
+        assert!(h.crashes_at(2, 3));
+        assert!(!h.crashes_at(2, 2));
+        assert!(h.leader_down(0, 1));
+        assert!(!h.leader_down(0, 2));
+    }
+
+    #[test]
+    fn event_kind_names_are_stable() {
+        assert_eq!(ChaosEventKind::Stall.name(), "stall");
+        assert_eq!(ChaosEventKind::LeaderFailover.name(), "leader_failover");
+        assert_eq!(ChaosEventKind::CheckpointWrite.name(), "checkpoint_write");
+    }
+}

@@ -2,6 +2,7 @@
 
 use mnd_kernels::policy::{ExcpCond, FreezePolicy, StopPolicy};
 
+use crate::chaos::ChaosHook;
 use crate::observe::ObserverHook;
 
 /// All tunables of the HyPar runtime, with the paper's defaults.
@@ -46,6 +47,11 @@ pub struct HyParConfig {
     /// Optional phase observer: fired by the driver at every phase boundary
     /// with the phase's time/traffic sample (see [`crate::observe`]).
     pub observer: ObserverHook,
+    /// Optional phase-level chaos control: stalls/crashes at checkpoint
+    /// boundaries and leader failures at merge levels (see
+    /// [`crate::chaos`]). When unset the driver skips all checkpointing, so
+    /// fault-free runs are byte-identical to pre-chaos builds.
+    pub chaos: ChaosHook,
 }
 
 impl Default for HyParConfig {
@@ -66,6 +72,7 @@ impl Default for HyParConfig {
             max_exchange_rounds: 8,
             seed: 0x4D4E_442D,
             observer: ObserverHook::none(),
+            chaos: ChaosHook::none(),
         }
     }
 }
@@ -94,6 +101,14 @@ impl HyParConfig {
         observer: std::sync::Arc<dyn crate::observe::PhaseObserver>,
     ) -> Self {
         self.observer = ObserverHook::new(observer);
+        self
+    }
+
+    /// Attaches a phase-level chaos control (see
+    /// [`crate::chaos::ChaosControl`]); this also enables checkpointing at
+    /// phase boundaries.
+    pub fn with_chaos(mut self, control: std::sync::Arc<dyn crate::chaos::ChaosControl>) -> Self {
+        self.chaos = ChaosHook::new(control);
         self
     }
 }

@@ -71,6 +71,13 @@ pub struct PhaseSample {
 pub trait PhaseObserver: Send + Sync {
     /// Called once per completed phase execution per rank.
     fn on_phase(&self, kind: PhaseKind, sample: &PhaseSample);
+
+    /// Called when a fault fires or recovery machinery runs on a rank
+    /// (see [`crate::chaos`]); defaults to ignoring the event so existing
+    /// observers are unaffected.
+    fn on_chaos(&self, event: &crate::chaos::ChaosEvent) {
+        let _ = event;
+    }
 }
 
 /// An optional, shareable observer slot carried by the config.
@@ -102,6 +109,14 @@ impl ObserverHook {
     pub fn emit(&self, kind: PhaseKind, sample: &PhaseSample) {
         if let Some(obs) = &self.0 {
             obs.on_phase(kind, sample);
+        }
+    }
+
+    /// Forwards a chaos event to the observer, if set.
+    #[inline]
+    pub fn emit_chaos(&self, event: &crate::chaos::ChaosEvent) {
+        if let Some(obs) = &self.0 {
+            obs.on_chaos(event);
         }
     }
 }
@@ -163,6 +178,40 @@ mod tests {
             got,
             vec![(PhaseKind::IndComp, 3), (PhaseKind::HierMerge, 1)]
         );
+    }
+
+    #[test]
+    fn chaos_events_forward_to_observer() {
+        use crate::chaos::{ChaosEvent, ChaosEventKind};
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        #[derive(Default)]
+        struct CountChaos(AtomicU32);
+        impl PhaseObserver for CountChaos {
+            fn on_phase(&self, _: PhaseKind, _: &PhaseSample) {}
+            fn on_chaos(&self, event: &ChaosEvent) {
+                assert_eq!(event.kind, ChaosEventKind::Crash);
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let obs = Arc::new(CountChaos::default());
+        let hook = ObserverHook::new(obs.clone());
+        let ev = ChaosEvent {
+            rank: 1,
+            kind: ChaosEventKind::Crash,
+            level: 0,
+            boundary: 2,
+            time: 1.5,
+            detail: 0,
+        };
+        hook.emit_chaos(&ev);
+        hook.emit_chaos(&ev);
+        ObserverHook::none().emit_chaos(&ev); // no-op
+        assert_eq!(obs.0.load(Ordering::Relaxed), 2);
+        // Observers that don't override on_chaos ignore events.
+        let plain = ObserverHook::new(Arc::new(Collect(Mutex::new(Vec::new()))));
+        plain.emit_chaos(&ev);
     }
 
     #[test]

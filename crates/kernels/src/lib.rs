@@ -15,6 +15,8 @@
 //! * [`parallel`] — the data-driven worklist variant with concurrent
 //!   min-edge election (the CPU kernel of §3.5, rayon-backed),
 //! * [`reduce`] — self-edge and multi-edge removal (§3.3),
+//! * [`scan`] — the standalone min-edge election over the holding's SoA
+//!   columns, sequential and rayon-chunked,
 //! * [`binning`] — degree-binned adjacency scheduling (the "hierarchical
 //!   strategy for processing adjacency lists" of §3.5),
 //! * [`policy`] — the diminishing-benefits stop policy (§4.3.2),
@@ -31,6 +33,7 @@ pub mod oracle;
 pub mod parallel;
 pub mod policy;
 pub mod reduce;
+pub mod scan;
 
 pub use boruvka::{boruvka_msf, local_boruvka, LocalOutput};
 pub use cgraph::{CEdge, CGraph, CompId};
@@ -40,3 +43,4 @@ pub use filter_kruskal::filter_kruskal_msf;
 pub use msf::{verify_msf, MsfResult};
 pub use oracle::{kruskal_msf, prim_mst};
 pub use policy::{ExcpCond, StopPolicy};
+pub use scan::{min_edge_scan, min_edge_scan_par, min_edge_scan_seq};

@@ -1,0 +1,169 @@
+//! Min-edge election scans over the holding's SoA columns.
+//!
+//! The hottest loop of every Boruvka variant is the per-component
+//! lightest-edge election. This module provides it as a standalone kernel
+//! over [`CGraph`]'s column storage: [`min_edge_scan_seq`] is the
+//! sequential reference, [`min_edge_scan_par`] splits the endpoint columns
+//! ([`CGraph::endpoint_cols`]) into row chunks, elects per-chunk winners on
+//! rayon workers, and merges the partial tables.
+//!
+//! Winners are ordered by `(edge, row index)` — a total order even with
+//! multi-edges — so the parallel merge is associative and the two scans
+//! return *identical* tables regardless of chunking (the oracle test
+//! asserts this).
+
+use mnd_graph::types::WEdge;
+use rayon::prelude::*;
+
+use crate::cgraph::{CGraph, CompId};
+
+/// Default row-chunk size for [`min_edge_scan`]: big enough that the
+/// per-chunk winner table amortizes, small enough to load-balance.
+pub const DEFAULT_CHUNK_ROWS: usize = 4096;
+
+/// The lightest incident edge per resident component, as a row index into
+/// the holding's edge columns (`None` for isolated components). Resident
+/// slot `i` corresponds to `cg.resident()[i]`. Self edges (both endpoints
+/// the same component) elect nobody.
+pub fn min_edge_scan_seq(cg: &CGraph) -> Vec<Option<u32>> {
+    let mut best = vec![None; cg.num_resident()];
+    scan_rows(cg, 0, cg.num_edges(), &mut best);
+    best
+}
+
+/// As [`min_edge_scan_seq`], but electing over `chunk_rows`-row column
+/// chunks in parallel. Returns exactly the sequential table.
+pub fn min_edge_scan_par(cg: &CGraph, chunk_rows: usize) -> Vec<Option<u32>> {
+    assert!(chunk_rows > 0, "chunk_rows must be positive");
+    let m = cg.num_edges();
+    let ranges: Vec<(usize, usize)> = (0..m)
+        .step_by(chunk_rows)
+        .map(|lo| (lo, (lo + chunk_rows).min(m)))
+        .collect();
+    let partials: Vec<Vec<Option<u32>>> = ranges
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let mut best = vec![None; cg.num_resident()];
+            scan_rows(cg, lo, hi, &mut best);
+            best
+        })
+        .collect();
+    let orig = cg.orig_col();
+    let mut best = vec![None; cg.num_resident()];
+    for partial in &partials {
+        for (slot, &candidate) in best.iter_mut().zip(partial) {
+            if let Some(j) = candidate {
+                take_if_lighter(slot, j, orig);
+            }
+        }
+    }
+    best
+}
+
+/// The election with the default parallel policy: sequential for holdings
+/// under one chunk of edges (thread spawn would dominate), chunked-parallel
+/// above.
+pub fn min_edge_scan(cg: &CGraph) -> Vec<Option<u32>> {
+    if cg.num_edges() <= DEFAULT_CHUNK_ROWS {
+        min_edge_scan_seq(cg)
+    } else {
+        min_edge_scan_par(cg, DEFAULT_CHUNK_ROWS)
+    }
+}
+
+/// Elects over rows `lo..hi` into `best` (one slot per resident index).
+fn scan_rows(cg: &CGraph, lo: usize, hi: usize, best: &mut [Option<u32>]) {
+    let resident = cg.resident();
+    let (ca, cb) = cg.endpoint_cols();
+    let orig = cg.orig_col();
+    let index_of = |c: CompId| resident.binary_search(&c).ok();
+    for row in lo..hi {
+        if ca[row] == cb[row] {
+            continue;
+        }
+        for c in [ca[row], cb[row]] {
+            if let Some(i) = index_of(c) {
+                take_if_lighter(&mut best[i], row as u32, orig);
+            }
+        }
+    }
+}
+
+/// Replaces `slot` with `candidate` if the candidate's `(edge, row)` key is
+/// smaller — the comparison both scans order winners by.
+#[inline]
+fn take_if_lighter(slot: &mut Option<u32>, candidate: u32, orig: &[WEdge]) {
+    let lighter = match *slot {
+        Some(cur) => (orig[candidate as usize], candidate) < (orig[cur as usize], cur),
+        None => true,
+    };
+    if lighter {
+        *slot = Some(candidate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::gen;
+
+    fn holdings() -> Vec<CGraph> {
+        vec![
+            CGraph::from_edge_list(&gen::path(40, 1)),
+            CGraph::from_edge_list(&gen::complete(25, 2)),
+            CGraph::from_edge_list(&gen::gnm(500, 3000, 3)),
+            CGraph::from_edge_list(&gen::rmat(256, 2048, gen::RmatProbs::GRAPH500, 4)),
+            CGraph::from_edge_list(&gen::disconnected_union(&[
+                gen::path(10, 5),
+                gen::gnm(50, 150, 6),
+            ])),
+            CGraph::new(),
+        ]
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_chunkings() {
+        for cg in holdings() {
+            let seq = min_edge_scan_seq(&cg);
+            for chunk in [1, 3, 64, DEFAULT_CHUNK_ROWS, usize::MAX] {
+                assert_eq!(min_edge_scan_par(&cg, chunk), seq, "chunk={chunk}");
+            }
+            assert_eq!(min_edge_scan(&cg), seq);
+        }
+    }
+
+    #[test]
+    fn winners_are_the_lightest_incident_edges() {
+        let cg = CGraph::from_edge_list(&gen::gnm(200, 1000, 7));
+        let best = min_edge_scan_seq(&cg);
+        let orig = cg.orig_col();
+        for (i, &c) in cg.resident().iter().enumerate() {
+            // Brute-force oracle over the AoS view.
+            let expected = cg
+                .iter_edges()
+                .enumerate()
+                .filter(|(_, e)| !e.is_self() && (e.a == c || e.b == c))
+                .min_by_key(|&(row, e)| (e.orig, row as u32))
+                .map(|(row, _)| row as u32);
+            assert_eq!(best[i], expected, "component {c}");
+            if let Some(row) = best[i] {
+                let e = cg.edge(row as usize);
+                assert!(e.a == c || e.b == c);
+                assert_eq!(e.orig, orig[row as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_components_elect_nothing() {
+        let cg = CGraph::from_edge_list(&mnd_graph::EdgeList::new(5));
+        let best = min_edge_scan_seq(&cg);
+        assert_eq!(best, vec![None; cg.num_resident()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_rows")]
+    fn zero_chunk_is_rejected() {
+        min_edge_scan_par(&CGraph::new(), 0);
+    }
+}

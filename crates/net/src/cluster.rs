@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::comm::{Comm, Fabric};
 use crate::cost::CostModel;
+use crate::fault::{FaultInjector, InjectorHook};
 use crate::mailbox::Mailbox;
 use crate::stats::RankStats;
 
@@ -23,13 +24,30 @@ pub struct RankOutcome<T> {
 pub struct Cluster {
     nranks: usize,
     cost: CostModel,
+    faults: InjectorHook,
 }
 
 impl Cluster {
     /// A cluster of `nranks` ranks.
     pub fn new(nranks: usize, cost: CostModel) -> Self {
         assert!(nranks >= 1, "need at least one rank");
-        Cluster { nranks, cost }
+        Cluster {
+            nranks,
+            cost,
+            faults: InjectorHook::none(),
+        }
+    }
+
+    /// Installs a fault injector on the fabric (see [`crate::fault`]).
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.faults = InjectorHook::new(injector);
+        self
+    }
+
+    /// Installs a (possibly empty) fault-injector hook.
+    pub fn with_fault_hook(mut self, faults: InjectorHook) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Number of ranks.
@@ -48,6 +66,7 @@ impl Cluster {
         let fabric = Arc::new(Fabric {
             mailboxes: (0..self.nranks).map(|_| Mailbox::new()).collect(),
             cost: self.cost,
+            faults: self.faults.clone(),
         });
         let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..self.nranks).map(|_| None).collect();
 

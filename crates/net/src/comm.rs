@@ -12,11 +12,13 @@
 //! counts, so accounting cannot drift from the data.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use mnd_wire::Wire;
 
 use crate::cost::CostModel;
+use crate::fault::InjectorHook;
 use crate::mailbox::{Envelope, Mailbox};
 use crate::stats::RankStats;
 
@@ -44,13 +46,38 @@ impl Tag {
     pub const fn is_collective(self) -> bool {
         self.0 & Self::COLLECTIVE_BASE != 0
     }
+
+    /// Human-readable name for traffic tables: collective tags get their
+    /// collective's name, user tags print as `user(id)`.
+    pub fn name(self) -> String {
+        if self.is_collective() {
+            match self.0 & !Self::COLLECTIVE_BASE {
+                0 => "barrier".to_string(),
+                1 => "reduce".to_string(),
+                2 => "bcast".to_string(),
+                3 => "gather".to_string(),
+                4 => "alltoall".to_string(),
+                5 => "reduce_vec".to_string(),
+                6 => "phased".to_string(),
+                other => format!("collective({other})"),
+            }
+        } else {
+            format!("user({})", self.0)
+        }
+    }
 }
 
 /// Shared (read-only) cluster state.
 pub(crate) struct Fabric {
     pub mailboxes: Vec<Mailbox>,
     pub cost: CostModel,
+    /// Fault plane (clean fabric when empty) — see [`crate::fault`].
+    pub faults: InjectorHook,
 }
+
+/// The payload of a redundant copy injected by the fault plane; carries no
+/// data because the receiver discards duplicates without downcasting.
+struct DupGhost;
 
 /// One rank's state: identity, clock, statistics.
 pub struct Comm {
@@ -59,6 +86,10 @@ pub struct Comm {
     fabric: Arc<Fabric>,
     clock: RefCell<f64>,
     stats: RefCell<RankStats>,
+    /// Next send sequence number per `(dst, tag)`.
+    send_seq: RefCell<HashMap<(usize, Tag), u64>>,
+    /// Next expected delivery sequence number per `(src, tag)`.
+    recv_seq: RefCell<HashMap<(usize, Tag), u64>>,
 }
 
 impl Comm {
@@ -69,6 +100,8 @@ impl Comm {
             fabric,
             clock: RefCell::new(0.0),
             stats: RefCell::new(RankStats::default()),
+            send_seq: RefCell::new(HashMap::new()),
+            recv_seq: RefCell::new(HashMap::new()),
         }
     }
 
@@ -118,11 +151,43 @@ impl Comm {
         self.stats.borrow_mut().comm_time += seconds;
     }
 
+    /// Advances the clock by `seconds` of injected stall: booked as
+    /// communication (dead air on the fabric) and additionally tracked in
+    /// [`RankStats::stall_time`] so chaos runs can separate fault latency
+    /// from real traffic.
+    pub fn stall(&self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative stall time");
+        *self.clock.borrow_mut() += seconds;
+        let mut s = self.stats.borrow_mut();
+        s.comm_time += seconds;
+        s.stall_time += seconds;
+    }
+
+    /// Counts one phase-boundary checkpoint write (the time cost is charged
+    /// separately by the caller, which knows the checkpoint's wire size).
+    pub fn note_checkpoint_write(&self) {
+        self.stats.borrow_mut().checkpoint_writes += 1;
+    }
+
+    /// Counts one checkpoint restore after an injected crash.
+    pub fn note_checkpoint_restore(&self) {
+        self.stats.borrow_mut().checkpoint_restores += 1;
+    }
+
     /// Sends `value` to `dst`. The payload size charged to the cost model
     /// and to [`RankStats`] is `value.wire_bytes()`.
     ///
     /// The sender's clock advances by the send busy time; the message's
     /// arrival time at `dst` is `now + latency + bytes/bandwidth`.
+    ///
+    /// When a fault injector is installed ([`crate::fault`]), the
+    /// transmission's [`crate::fault::SendFate`] may perturb this: each
+    /// drop costs the sender a retransmission (busy time plus
+    /// [`CostModel::retry_timeout`] of dead air, counted in
+    /// [`RankStats::retries`]), delivery may pick up extra transit skew,
+    /// and duplicate copies may be deposited for the receiver to discard.
+    /// Delivery itself stays reliable and in order — faults perturb time
+    /// and accounting, never the payload stream.
     ///
     /// # Panics
     ///
@@ -136,24 +201,57 @@ impl Comm {
         );
         let bytes = value.wire_bytes();
         let cost = &self.fabric.cost;
+        let seq = {
+            let mut m = self.send_seq.borrow_mut();
+            let slot = m.entry((dst, tag)).or_insert(0);
+            let seq = *slot;
+            *slot += 1;
+            seq
+        };
+        let fate = self.fabric.faults.fate(self.rank, dst, tag, seq, bytes);
         let depart = self.now();
         let busy = cost.send_busy(bytes);
-        *self.clock.borrow_mut() += busy;
+        // Each dropped copy costs a full (re)serialisation plus a
+        // retransmission timeout of dead air before the next attempt.
+        let retry_wait: f64 = (0..fate.retries).map(|k| cost.retry_timeout(k)).sum();
+        let total_busy = busy * (1 + fate.retries) as f64 + retry_wait;
+        *self.clock.borrow_mut() += total_busy;
         {
             let mut s = self.stats.borrow_mut();
-            s.comm_time += busy;
+            s.comm_time += total_busy;
             s.record_send(tag, bytes);
+            s.record_retries(tag, fate.retries as u64);
         }
-        let arrival = depart + cost.transit(bytes);
-        self.fabric.mailboxes[dst].deposit(
+        // The surviving copy departs at the start of the last attempt.
+        let arrival =
+            depart + busy * fate.retries as f64 + retry_wait + cost.transit(bytes) + fate.delay;
+        let mailbox = &self.fabric.mailboxes[dst];
+        let ghost = |arrival: f64| Envelope {
+            payload: Box::new(DupGhost),
+            arrival,
+            bytes,
+            seq,
+            dup: true,
+        };
+        if fate.reorder {
+            // A stale copy races ahead of the real one: deposited first, so
+            // the receiver encounters it out of order and must filter it.
+            mailbox.deposit(self.rank, tag, ghost(arrival));
+        }
+        mailbox.deposit(
             self.rank,
             tag,
             Envelope {
                 payload: Box::new(value),
                 arrival,
                 bytes,
+                seq,
+                dup: false,
             },
         );
+        for k in 0..fate.duplicates {
+            mailbox.deposit(self.rank, tag, ghost(arrival + cost.retry_timeout(k)));
+        }
     }
 
     /// Receives the next message from `(src, tag)`, blocking until it is
@@ -169,8 +267,31 @@ impl Comm {
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
         assert_ne!(src, self.rank, "self-recv unsupported");
-        let env = self.fabric.mailboxes[self.rank].take(src, tag, self.rank);
         let cost = &self.fabric.cost;
+        let env = loop {
+            let env = self.fabric.mailboxes[self.rank].take(src, tag, self.rank);
+            if !env.dup {
+                break env;
+            }
+            // A redundant copy injected by the fault plane: examine (pay
+            // the receive overhead at its arrival) and discard.
+            let mut clock = self.clock.borrow_mut();
+            let mut s = self.stats.borrow_mut();
+            let before = *clock;
+            *clock = env.arrival.max(before) + cost.recv_busy();
+            s.comm_time += *clock - before;
+            s.record_redelivery(tag);
+        };
+        {
+            let mut expected = self.recv_seq.borrow_mut();
+            let slot = expected.entry((src, tag)).or_insert(0);
+            debug_assert_eq!(
+                env.seq, *slot,
+                "rank {}: out-of-sequence delivery from rank {src} tag {tag:?}",
+                self.rank
+            );
+            *slot = env.seq + 1;
+        }
         {
             let mut clock = self.clock.borrow_mut();
             let mut s = self.stats.borrow_mut();
@@ -298,5 +419,113 @@ mod tests {
     fn tag_space_split() {
         assert_eq!(Tag::user(7).id(), 7);
         assert!(!Tag::user(7).is_collective());
+        assert_eq!(Tag::user(7).name(), "user(7)");
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::{FaultInjector, SendFate};
+        use std::sync::Arc;
+
+        /// Drops the first copy of every message once.
+        struct DropOnce;
+        impl FaultInjector for DropOnce {
+            fn fate(&self, _: usize, _: usize, _: Tag, _: u64, _: u64) -> SendFate {
+                SendFate {
+                    retries: 1,
+                    ..SendFate::CLEAN
+                }
+            }
+        }
+
+        /// Duplicates every message and races one stale copy ahead.
+        struct DupAndReorder;
+        impl FaultInjector for DupAndReorder {
+            fn fate(&self, _: usize, _: usize, _: Tag, _: u64, _: u64) -> SendFate {
+                SendFate {
+                    duplicates: 1,
+                    reorder: true,
+                    ..SendFate::CLEAN
+                }
+            }
+        }
+
+        #[test]
+        fn drops_charge_retry_latency_and_count() {
+            let run = |faulty: bool| {
+                let cost = CostModel::default_cluster();
+                let mut cluster = Cluster::new(2, cost);
+                if faulty {
+                    cluster = cluster.with_fault_injector(Arc::new(DropOnce));
+                }
+                cluster.run(|c| {
+                    if c.rank() == 0 {
+                        c.send(1, Tag::user(0), vec![1u8; 512]);
+                    } else {
+                        let v: Vec<u8> = c.recv(0, Tag::user(0));
+                        assert_eq!(v.len(), 512);
+                    }
+                })
+            };
+            let clean = run(false);
+            let faulty = run(true);
+            assert_eq!(clean[0].stats.retries, 0);
+            assert_eq!(faulty[0].stats.retries, 1);
+            assert_eq!(faulty[0].stats.by_tag[&Tag::user(0)].retries, 1);
+            // One retransmission: at least one retry timeout of extra time
+            // on both the sender and the (waiting) receiver.
+            let rto = CostModel::default_cluster().retry_timeout(0);
+            assert!(faulty[0].final_clock >= clean[0].final_clock + rto);
+            assert!(faulty[1].final_clock >= clean[1].final_clock + rto);
+            // Payload accounting is unchanged: one logical message.
+            assert_eq!(faulty[0].stats.messages_sent, 1);
+            assert_eq!(faulty[0].stats.bytes_sent, 512);
+        }
+
+        #[test]
+        fn duplicates_are_discarded_in_order() {
+            let out = Cluster::new(2, CostModel::free())
+                .with_fault_injector(Arc::new(DupAndReorder))
+                .run(|c| {
+                    if c.rank() == 0 {
+                        for i in 0..5u32 {
+                            c.send(1, Tag::user(3), i);
+                        }
+                        vec![]
+                    } else {
+                        (0..5)
+                            .map(|_| c.recv::<u32>(0, Tag::user(3)))
+                            .collect::<Vec<_>>()
+                    }
+                });
+            // The payload stream is intact and in order...
+            assert_eq!(out[1].result, (0..5).collect::<Vec<_>>());
+            // ...and the receiver discarded the racing copies it saw: all 5
+            // reordered ghosts arrive ahead of their real copy; trailing
+            // duplicates of the final message linger undisturbed.
+            assert!(out[1].stats.redeliveries >= 5);
+            assert_eq!(out[1].stats.messages_received, 5);
+        }
+
+        #[test]
+        fn fault_schedule_is_deterministic() {
+            let run = || {
+                Cluster::new(3, CostModel::default_cluster())
+                    .with_fault_injector(Arc::new(DropOnce))
+                    .run(|c| {
+                        let n = c.size();
+                        let me = c.rank();
+                        for round in 0..3u32 {
+                            c.send((me + 1) % n, Tag::user(round), vec![0u8; 256]);
+                            let _: Vec<u8> = c.recv((me + n - 1) % n, Tag::user(round));
+                        }
+                        c.now()
+                    })
+                    .iter()
+                    .map(|o| (o.result, o.stats.retries, o.stats.redeliveries))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(run(), run(), "fault schedule must be replayable");
+        }
     }
 }

@@ -100,6 +100,19 @@ impl CostModel {
     pub fn recv_busy(&self) -> f64 {
         self.overhead
     }
+
+    /// Retransmission timeout before the `attempt`-th resend (0-based) of a
+    /// dropped message: a few round-trips of dead air with exponential
+    /// backoff, like a TCP RTO. Derived from the model's own latency and
+    /// overhead (a method, not a field, so existing `CostModel` literals
+    /// keep working); the zero-cost model uses a 1µs floor so retries still
+    /// register on the virtual clock.
+    #[inline]
+    pub fn retry_timeout(&self, attempt: u32) -> f64 {
+        let rtt = 2.0 * (self.latency + self.overhead);
+        let base = if rtt > 0.0 { 4.0 * rtt } else { 1e-6 };
+        base * (1u64 << attempt.min(10)) as f64
+    }
 }
 
 impl Default for CostModel {
@@ -143,6 +156,19 @@ mod tests {
         let s = c.scaled(100.0);
         assert!((s.transit(1000) - 0.1).abs() < 1e-12);
         assert!((c.transit(1000) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_timeout_backs_off_exponentially() {
+        let c = CostModel::default_cluster();
+        let t0 = c.retry_timeout(0);
+        assert!(t0 > 0.0);
+        assert_eq!(c.retry_timeout(1), 2.0 * t0);
+        assert_eq!(c.retry_timeout(3), 8.0 * t0);
+        // The cap keeps a buggy attempt count from overflowing the shift.
+        assert_eq!(c.retry_timeout(10), c.retry_timeout(u32::MAX));
+        // Even the free model charges something for a retry.
+        assert!(CostModel::free().retry_timeout(0) > 0.0);
     }
 
     #[test]

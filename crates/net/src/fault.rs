@@ -1,0 +1,179 @@
+//! Fabric-level fault injection.
+//!
+//! A [`FaultInjector`] decides, for every point-to-point transmission, what
+//! the network does to it: how many times the first copy is lost (forcing
+//! retransmission), how much extra transit skew it picks up, whether stale
+//! duplicates arrive, and whether one such duplicate races *ahead* of the
+//! real copy. The decision must be a **pure function** of the message
+//! identity `(src, dst, tag, seq, bytes)` — injectors hold no mutable
+//! state — so the fault schedule is byte-identical across runs regardless
+//! of OS thread scheduling. That preserves the crate's core determinism
+//! contract (see `Cluster`'s `deterministic_clocks_across_runs` test).
+//!
+//! The transport built on top in `comm.rs` stays *reliable and in-order*:
+//! drops surface as retry latency charged to the virtual clock (via
+//! [`crate::CostModel::retry_timeout`]), duplicates are filtered by
+//! sequence number and counted as redeliveries, and the payload stream a
+//! receiver observes is unchanged. Faults therefore perturb **time and
+//! traffic accounting**, never algorithm semantics — which is exactly what
+//! makes chaos runs comparable against the fault-free baseline.
+
+use std::sync::Arc;
+
+use crate::comm::Tag;
+
+/// What the network does to one transmission. [`SendFate::CLEAN`] (the
+/// default) is an undisturbed delivery.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SendFate {
+    /// Lost first copies: the sender retransmits this many times before a
+    /// copy gets through, paying `CostModel::retry_timeout(k)` before the
+    /// `k`-th retransmission.
+    pub retries: u32,
+    /// Extra transit skew (virtual seconds, >= 0) on the delivered copy.
+    pub delay: f64,
+    /// Stale duplicate copies arriving *after* the real one; the receiver
+    /// discards each and counts a redelivery.
+    pub duplicates: u32,
+    /// Whether a stale duplicate also races *ahead* of the real copy
+    /// (out-of-order arrival the receiver must filter before delivery).
+    pub reorder: bool,
+}
+
+impl SendFate {
+    /// An undisturbed transmission.
+    pub const CLEAN: SendFate = SendFate {
+        retries: 0,
+        delay: 0.0,
+        duplicates: 0,
+        reorder: false,
+    };
+
+    /// Whether this fate perturbs the transmission at all.
+    pub fn is_clean(&self) -> bool {
+        *self == SendFate::CLEAN
+    }
+}
+
+/// Decides the [`SendFate`] of every transmission. `seq` is the per
+/// `(dst, tag)` send sequence number at the sender, so an injector can
+/// target e.g. "the third merge message rank 2 sends to rank 0".
+///
+/// Implementations must be deterministic: the same arguments must always
+/// yield the same fate (no interior mutability, no wall-clock input).
+pub trait FaultInjector: Send + Sync {
+    /// The fate of message `seq` from `src` to `dst` under `tag`.
+    fn fate(&self, src: usize, dst: usize, tag: Tag, seq: u64, bytes: u64) -> SendFate;
+}
+
+/// An optional, shareable [`FaultInjector`] slot — `None` means a clean
+/// fabric with zero per-message overhead. Mirrors the observer-hook
+/// pattern: `Clone`/`Debug`/`PartialEq` (by identity) so the structs that
+/// embed it keep their derives.
+#[derive(Clone, Default)]
+pub struct InjectorHook(Option<Arc<dyn FaultInjector>>);
+
+impl InjectorHook {
+    /// The empty hook (clean fabric).
+    pub fn none() -> Self {
+        InjectorHook(None)
+    }
+
+    /// A hook around `injector`.
+    pub fn new(injector: Arc<dyn FaultInjector>) -> Self {
+        InjectorHook(Some(injector))
+    }
+
+    /// Whether an injector is installed.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The fate of a transmission: the injector's verdict, or
+    /// [`SendFate::CLEAN`] when no injector is installed. Negative delays
+    /// are clamped to zero and retry counts are capped so a buggy injector
+    /// cannot stall the simulation unboundedly.
+    pub fn fate(&self, src: usize, dst: usize, tag: Tag, seq: u64, bytes: u64) -> SendFate {
+        match &self.0 {
+            None => SendFate::CLEAN,
+            Some(inj) => {
+                let mut fate = inj.fate(src, dst, tag, seq, bytes);
+                fate.retries = fate.retries.min(16);
+                fate.duplicates = fate.duplicates.min(16);
+                if !fate.delay.is_finite() || fate.delay < 0.0 {
+                    fate.delay = 0.0;
+                }
+                fate
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for InjectorHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.is_set() {
+            "InjectorHook(set)"
+        } else {
+            "InjectorHook(none)"
+        })
+    }
+}
+
+/// Identity comparison: two hooks are equal when they point at the same
+/// injector (or are both empty).
+impl PartialEq for InjectorHook {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EveryOther;
+    impl FaultInjector for EveryOther {
+        fn fate(&self, _src: usize, _dst: usize, _tag: Tag, seq: u64, _bytes: u64) -> SendFate {
+            SendFate {
+                retries: (seq % 2) as u32,
+                delay: -1.0, // sanitised to 0 by the hook
+                duplicates: 99,
+                reorder: false,
+            }
+        }
+    }
+
+    #[test]
+    fn empty_hook_is_clean() {
+        let h = InjectorHook::none();
+        assert!(!h.is_set());
+        assert!(h.fate(0, 1, Tag::user(0), 7, 100).is_clean());
+    }
+
+    #[test]
+    fn hook_sanitises_injector_output() {
+        let h = InjectorHook::new(Arc::new(EveryOther));
+        assert!(h.is_set());
+        let f = h.fate(0, 1, Tag::user(0), 1, 8);
+        assert_eq!(f.retries, 1);
+        assert_eq!(f.duplicates, 16); // capped
+        assert_eq!(f.delay, 0.0); // clamped
+        assert!(h.fate(0, 1, Tag::user(0), 0, 8).retries == 0);
+    }
+
+    #[test]
+    fn hook_equality_is_by_identity() {
+        let a: Arc<dyn FaultInjector> = Arc::new(EveryOther);
+        let h1 = InjectorHook::new(Arc::clone(&a));
+        let h2 = InjectorHook::new(a);
+        let h3 = InjectorHook::new(Arc::new(EveryOther));
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_eq!(InjectorHook::none(), InjectorHook::none());
+        assert_ne!(h1, InjectorHook::none());
+    }
+}

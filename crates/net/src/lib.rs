@@ -17,7 +17,11 @@
 //!   cost emerges from the same model,
 //! * per-rank [`RankStats`] split time into compute vs. communication and
 //!   count bytes/messages — the quantities behind the paper's Figures 5
-//!   and 7.
+//!   and 7,
+//! * an optional **fault plane** ([`fault`]) interposes on every
+//!   transmission: drops surface as retransmission latency, duplicates and
+//!   out-of-order copies are filtered by sequence number, all charged to
+//!   the same virtual clocks and counted in [`RankStats`].
 //!
 //! Everything is deterministic: virtual timestamps depend only on the
 //! communication DAG, never on OS scheduling (tests assert bit-equal clocks
@@ -38,6 +42,7 @@ pub mod cluster;
 pub mod collectives;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod group;
 pub mod mailbox;
 pub mod stats;
@@ -45,6 +50,7 @@ pub mod stats;
 pub use cluster::{Cluster, RankOutcome};
 pub use comm::{Comm, Tag};
 pub use cost::CostModel;
+pub use fault::{FaultInjector, InjectorHook, SendFate};
 pub use group::Group;
 pub use mnd_wire::Wire;
 pub use stats::{RankStats, TagTraffic};

@@ -21,6 +21,12 @@ pub struct Envelope {
     pub arrival: f64,
     /// Payload size under the cost model.
     pub bytes: u64,
+    /// Per-`(src, tag)` send sequence number (delivery-order check and
+    /// duplicate filtering under fault injection).
+    pub seq: u64,
+    /// Whether this is a redundant copy injected by the fault plane; the
+    /// receiver discards it (counting a redelivery) instead of delivering.
+    pub dup: bool,
 }
 
 /// Wall-clock guard: a receive that stays empty this long indicates a
@@ -119,6 +125,8 @@ mod tests {
             payload: Box::new(v),
             arrival: 0.0,
             bytes: 4,
+            seq: 0,
+            dup: false,
         }
     }
 

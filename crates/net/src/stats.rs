@@ -16,6 +16,10 @@ pub struct TagTraffic {
     pub bytes_received: u64,
     /// Messages received under this tag.
     pub messages_received: u64,
+    /// Retransmissions the fault plane forced on sends under this tag.
+    pub retries: u64,
+    /// Duplicate arrivals discarded by the receiver under this tag.
+    pub redeliveries: u64,
 }
 
 impl TagTraffic {
@@ -24,6 +28,8 @@ impl TagTraffic {
         self.messages_sent += other.messages_sent;
         self.bytes_received += other.bytes_received;
         self.messages_received += other.messages_received;
+        self.retries += other.retries;
+        self.redeliveries += other.redeliveries;
     }
 
     fn sub(&self, earlier: &TagTraffic) -> TagTraffic {
@@ -32,6 +38,8 @@ impl TagTraffic {
             messages_sent: self.messages_sent - earlier.messages_sent,
             bytes_received: self.bytes_received - earlier.bytes_received,
             messages_received: self.messages_received - earlier.messages_received,
+            retries: self.retries - earlier.retries,
+            redeliveries: self.redeliveries - earlier.redeliveries,
         }
     }
 
@@ -56,6 +64,19 @@ pub struct RankStats {
     pub bytes_received: u64,
     /// Messages received.
     pub messages_received: u64,
+    /// Retransmissions forced by the fault plane (sends that were dropped
+    /// and automatically resent; the first copy of a message is not a
+    /// retry).
+    pub retries: u64,
+    /// Duplicate arrivals this rank discarded (redundant copies injected
+    /// by the fault plane, filtered by sequence number before delivery).
+    pub redeliveries: u64,
+    /// Phase-boundary checkpoints this rank wrote.
+    pub checkpoint_writes: u64,
+    /// Checkpoint restores after an injected crash.
+    pub checkpoint_restores: u64,
+    /// Virtual seconds lost to injected stalls (a subset of `comm_time`).
+    pub stall_time: f64,
     /// Per-tag breakdown of the byte/message totals above. Invariant:
     /// summing any counter over all tags equals the corresponding total.
     pub by_tag: BTreeMap<Tag, TagTraffic>,
@@ -96,6 +117,21 @@ impl RankStats {
         t.messages_received += 1;
     }
 
+    /// Books `n` forced retransmissions under `tag`.
+    pub(crate) fn record_retries(&mut self, tag: Tag, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.retries += n;
+        self.by_tag.entry(tag).or_default().retries += n;
+    }
+
+    /// Books one discarded duplicate arrival under `tag`.
+    pub(crate) fn record_redelivery(&mut self, tag: Tag) {
+        self.redeliveries += 1;
+        self.by_tag.entry(tag).or_default().redeliveries += 1;
+    }
+
     /// Element-wise accumulation (used when merging phase-level snapshots).
     pub fn add(&mut self, other: &RankStats) {
         self.compute_time += other.compute_time;
@@ -104,6 +140,11 @@ impl RankStats {
         self.messages_sent += other.messages_sent;
         self.bytes_received += other.bytes_received;
         self.messages_received += other.messages_received;
+        self.retries += other.retries;
+        self.redeliveries += other.redeliveries;
+        self.checkpoint_writes += other.checkpoint_writes;
+        self.checkpoint_restores += other.checkpoint_restores;
+        self.stall_time += other.stall_time;
         for (tag, t) in &other.by_tag {
             self.by_tag.entry(*tag).or_default().add(t);
         }
@@ -126,6 +167,11 @@ impl RankStats {
             messages_sent: self.messages_sent - earlier.messages_sent,
             bytes_received: self.bytes_received - earlier.bytes_received,
             messages_received: self.messages_received - earlier.messages_received,
+            retries: self.retries - earlier.retries,
+            redeliveries: self.redeliveries - earlier.redeliveries,
+            checkpoint_writes: self.checkpoint_writes - earlier.checkpoint_writes,
+            checkpoint_restores: self.checkpoint_restores - earlier.checkpoint_restores,
+            stall_time: self.stall_time - earlier.stall_time,
             by_tag,
         }
     }
@@ -164,6 +210,26 @@ mod tests {
         let before = a.clone();
         a.add(&b);
         assert_eq!(a.delta_since(&before), b);
+    }
+
+    #[test]
+    fn fault_counters_roundtrip_add_and_delta() {
+        let mut a = RankStats::default();
+        a.record_retries(Tag::user(1), 3);
+        a.record_redelivery(Tag::user(1));
+        a.checkpoint_writes = 2;
+        a.checkpoint_restores = 1;
+        a.stall_time = 0.25;
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.by_tag[&Tag::user(1)].retries, 3);
+        assert_eq!(a.by_tag[&Tag::user(1)].redeliveries, 1);
+        // Zero retries must not create a tag entry (delta cleanliness).
+        a.record_retries(Tag::user(9), 0);
+        assert!(!a.by_tag.contains_key(&Tag::user(9)));
+        let before = RankStats::default();
+        let mut sum = before.clone();
+        sum.add(&a);
+        assert_eq!(sum.delta_since(&before), a);
     }
 
     #[test]

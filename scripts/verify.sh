@@ -27,4 +27,9 @@ fi
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+if [[ "$QUICK" -eq 0 ]]; then
+  echo "==> cargo bench (smoke: one sample per bench)"
+  cargo bench -p mnd-bench --features criterion-bench -- --test
+fi
+
 echo "verify: OK"

@@ -9,6 +9,7 @@
 //! stand-ins). See `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
 
+pub use mnd_chaos as chaos;
 pub use mnd_device as device;
 pub use mnd_graph as graph;
 pub use mnd_hypar as hypar;

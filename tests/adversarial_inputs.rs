@@ -1,5 +1,6 @@
-//! Failure-injection / adversarial-input tests: the full pipeline on
-//! degenerate, hostile, and boundary-condition inputs.
+//! Adversarial-input tests: the full pipeline on degenerate, hostile, and
+//! boundary-condition inputs. (Fault *injection* — message drops, crashes,
+//! leader failures — lives in `tests/chaos.rs`.)
 
 use mnd::device::NodePlatform;
 use mnd::graph::{gen, EdgeList, WEdge};
