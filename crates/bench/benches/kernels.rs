@@ -12,7 +12,7 @@ use mnd_kernels::boruvka::boruvka_msf;
 use mnd_kernels::cgraph::CGraph;
 use mnd_kernels::oracle::kruskal_msf;
 use mnd_kernels::parallel::par_boruvka_msf;
-use mnd_kernels::policy::{ExcpCond, FreezePolicy, StopPolicy};
+use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
 use mnd_kernels::{local_boruvka, DisjointSets};
 
 /// MST algorithms head to head on an arabic-2005 stand-in (§3.2/§3.5
@@ -86,6 +86,64 @@ fn bench_reductions(c: &mut Criterion) {
     grp.finish();
 }
 
+/// The parallel holding plane: seq vs chunk-parallel election scans and
+/// reductions across holding sizes up to a million-plus edges. Above the
+/// calibrated crossover on a multicore host the par rows should win; on a
+/// single core they show the rayon overhead the crossover exists to avoid.
+fn bench_holding_plane(c: &mut Criterion) {
+    for rows in [1usize << 16, 1 << 20] {
+        let el = gen::gnm((rows / 8) as u32, rows as u64, 77);
+        let cg = CGraph::from_edge_list(&el);
+
+        let mut grp = c.benchmark_group("holding_plane_scan");
+        grp.throughput(Throughput::Elements(rows as u64));
+        grp.sample_size(10);
+        grp.bench_with_input(BenchmarkId::new("seq", rows), &cg, |b, cg| {
+            b.iter(|| mnd_kernels::min_edge_scan_with(cg, &KernelPolicy::seq()))
+        });
+        for chunk in [4096usize, 16384] {
+            grp.bench_with_input(
+                BenchmarkId::new(&format!("par{chunk}"), rows),
+                &cg,
+                |b, cg| {
+                    b.iter(|| mnd_kernels::min_edge_scan_with(cg, &KernelPolicy::force_par(chunk)))
+                },
+            );
+        }
+        grp.finish();
+
+        let mut grp = c.benchmark_group("holding_plane_reduce");
+        grp.throughput(Throughput::Elements(rows as u64));
+        grp.sample_size(10);
+        grp.bench_with_input(BenchmarkId::new("seq", rows), &cg, |b, cg| {
+            b.iter_batched(
+                || cg.clone(),
+                |mut cg| mnd_kernels::reduce::reduce_holding_with(&mut cg, &KernelPolicy::seq()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        for chunk in [4096usize, 16384] {
+            grp.bench_with_input(
+                BenchmarkId::new(&format!("par{chunk}"), rows),
+                &cg,
+                |b, cg| {
+                    b.iter_batched(
+                        || cg.clone(),
+                        |mut cg| {
+                            mnd_kernels::reduce::reduce_holding_with(
+                                &mut cg,
+                                &KernelPolicy::force_par(chunk),
+                            )
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+        grp.finish();
+    }
+}
+
 /// Union-find micro-costs (the inner loop of every kernel).
 fn bench_union_find(c: &mut Criterion) {
     let n = 100_000u32;
@@ -153,6 +211,7 @@ criterion_group!(
     bench_mst_kernels,
     bench_exception_conditions,
     bench_reductions,
+    bench_holding_plane,
     bench_union_find,
     bench_partitioning,
     bench_generators

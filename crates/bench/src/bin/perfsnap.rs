@@ -1,0 +1,88 @@
+//! `perfsnap` — writes a machine-readable perf snapshot of the build.
+//!
+//! ```text
+//! perfsnap [PATH]    # default BENCH_3.json
+//! ```
+//!
+//! The snapshot records (a) the measured kernel-policy crossover table,
+//! (b) the seq-vs-par kernel sweep up to a million-plus-edge holding, and
+//! (c) wall-clock plus simulated times for a verified end-to-end run — so
+//! the bench trajectory across PRs lives in versioned JSON, not just in
+//! criterion's target directory. JSON is assembled by hand: every value is
+//! a number or a fixed identifier, no escaping needed.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mnd_bench::{kernel_sweep, run_mnd, ExpContext, SWEEP_SIZES};
+use mnd_device::{calibrate_kernel_policy, NodePlatform};
+use mnd_graph::presets::Preset;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_3.json".into());
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let cal = calibrate_kernel_policy(42);
+    let sweep = kernel_sweep(42, &SWEEP_SIZES);
+
+    // End-to-end: verified runs at the default scale divisor.
+    let ctx = ExpContext::default();
+    let el = ctx.graph(Preset::Arabic2005);
+    let mut e2e = Vec::new();
+    for nodes in [4usize, 16] {
+        let t = Instant::now();
+        let r = run_mnd(&ctx, &el, nodes, NodePlatform::amd_cluster(), ctx.hypar());
+        e2e.push((nodes, t.elapsed().as_millis() as u64, r.total_time));
+    }
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"pr\": 3,");
+    let _ = writeln!(j, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        j,
+        "  \"policy\": {{\"par_threshold\": {}, \"chunk_rows\": {}}},",
+        cal.policy.par_threshold, cal.policy.chunk_rows
+    );
+    j.push_str("  \"crossover\": [\n");
+    for (i, row) in cal.table.iter().enumerate() {
+        let pars: Vec<String> = row
+            .par_ns
+            .iter()
+            .map(|(chunk, ns)| format!("{{\"chunk\": {chunk}, \"ns\": {ns}}}"))
+            .collect();
+        let _ = write!(
+            j,
+            "    {{\"rows\": {}, \"seq_ns\": {}, \"par\": [{}]}}",
+            row.rows,
+            row.seq_ns,
+            pars.join(", ")
+        );
+        j.push_str(if i + 1 < cal.table.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n  \"kernel_sweep\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"kernel\": \"{}\", \"rows\": {}, \"chunk\": {}, \"seq_ns\": {}, \"par_ns\": {}, \"speedup\": {:.3}}}",
+            r.kernel, r.rows, r.chunk, r.seq_ns, r.par_ns, r.speedup()
+        );
+        j.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n  \"end_to_end\": [\n");
+    for (i, (nodes, wall_ms, sim_s)) in e2e.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"graph\": \"arabic-2005\", \"nodes\": {nodes}, \"wall_ms\": {wall_ms}, \"sim_time_s\": {sim_s:.3}}}"
+        );
+        j.push_str(if i + 1 < e2e.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+
+    std::fs::write(&path, &j).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("perf snapshot written to {path}");
+}

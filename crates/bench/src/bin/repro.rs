@@ -63,7 +63,7 @@ fn main() {
                     "             ablation-group ablation-excp ablation-thresh ablation-locality"
                 );
                 println!("             ablation-weights ablation-network calibration");
-                println!("             chaos traffic");
+                println!("             kernel-sweep chaos traffic");
                 println!(
                     "--trace PATH streams phase samples + chaos events as JSON lines (- = stdout)"
                 );
@@ -358,6 +358,49 @@ fn main() {
                         r.messages.to_string(),
                         r.retries.to_string(),
                         r.redeliveries.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("kernel-sweep") {
+        let cal = mnd_device::calibrate_kernel_policy(ctx.seed);
+        emit(
+            "kernel-crossover",
+            &format!(
+                "Kernel crossover calibration (policy: par_threshold={}, chunk_rows={})",
+                cal.policy.par_threshold, cal.policy.chunk_rows
+            ),
+            &["rows", "seq ns", "best par ns", "best chunk"],
+            &cal.table
+                .iter()
+                .map(|r| {
+                    let (chunk, ns) = r.best_par().unwrap_or((0, u64::MAX));
+                    vec![
+                        r.rows.to_string(),
+                        r.seq_ns.to_string(),
+                        ns.to_string(),
+                        chunk.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let rows = kernel_sweep(ctx.seed, &SWEEP_SIZES);
+        emit(
+            "kernel-sweep",
+            "Kernel sweep: seq vs chunk-parallel holding-plane kernels",
+            &["kernel", "rows", "seq ns", "par ns", "chunk", "speedup"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.kernel.into(),
+                        r.rows.to_string(),
+                        r.seq_ns.to_string(),
+                        r.par_ns.to_string(),
+                        r.chunk.to_string(),
+                        format!("{:.2}x", r.speedup()),
                     ]
                 })
                 .collect::<Vec<_>>(),

@@ -725,6 +725,134 @@ pub fn calibration(ctx: &ExpContext) -> Vec<CalibrationRow> {
 }
 
 // --------------------------------------------------------------------- //
+// Kernel sweep: seq vs par holding-plane kernels
+// --------------------------------------------------------------------- //
+
+/// One seq-vs-par wall-clock measurement of a holding-plane kernel.
+#[derive(Clone, Debug)]
+pub struct KernelSweepRow {
+    /// Kernel name (`min_edge_scan`, `reduce_holding`, `incident_counts`).
+    pub kernel: &'static str,
+    /// Holding size in edges.
+    pub rows: usize,
+    /// Chunk size of the best parallel run.
+    pub chunk: usize,
+    /// Sequential nanoseconds (best of 3).
+    pub seq_ns: u64,
+    /// Best parallel nanoseconds across the chunk candidates (best of 3).
+    pub par_ns: u64,
+}
+
+impl KernelSweepRow {
+    /// Seq/par speedup (>1 means the parallel path wins).
+    pub fn speedup(&self) -> f64 {
+        self.seq_ns as f64 / self.par_ns.max(1) as f64
+    }
+}
+
+/// Holding sizes for [`kernel_sweep`]: the largest is above a million edges
+/// (the acceptance scale for the parallel plane).
+pub const SWEEP_SIZES: [usize; 3] = [1 << 14, 1 << 17, 1 << 20];
+
+fn best_of(k: u32, mut f: impl FnMut() -> std::time::Duration) -> u64 {
+    (0..k)
+        .map(|_| f().as_nanos() as u64)
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+/// Measures the holding-plane kernels sequentially and chunk-parallel on
+/// `gnm` holdings of the given sizes. The result is byte-identical either
+/// way (the determinism contract); only the wall-clock differs, and on a
+/// single-core host the sequential path is expected to keep winning — that
+/// is exactly what the calibrated crossover encodes.
+pub fn kernel_sweep(seed: u64, sizes: &[usize]) -> Vec<KernelSweepRow> {
+    use mnd_kernels::policy::KernelPolicy;
+    use mnd_kernels::reduce::reduce_holding_with;
+    use mnd_kernels::scan::min_edge_scan_with;
+    use std::time::Instant;
+
+    let chunks = [1024usize, 4096, 16384];
+    let mut rows = Vec::new();
+    for &m in sizes {
+        let el = mnd_graph::gen::gnm(((m / 8).max(16)) as u32, m as u64, seed ^ m as u64);
+        let cg = mnd_kernels::cgraph::CGraph::from_edge_list(&el);
+        let seq = KernelPolicy::seq();
+
+        let best_par = |f: &mut dyn FnMut(&KernelPolicy) -> std::time::Duration| {
+            chunks
+                .iter()
+                .filter(|&&c| c < m)
+                .map(|&c| {
+                    let policy = KernelPolicy::force_par(c);
+                    (best_of(3, || f(&policy)), c)
+                })
+                .min()
+                .unwrap_or((u64::MAX, 0))
+        };
+
+        let seq_ns = best_of(3, || {
+            let t = Instant::now();
+            std::hint::black_box(min_edge_scan_with(&cg, &seq));
+            t.elapsed()
+        });
+        let (par_ns, chunk) = best_par(&mut |p| {
+            let t = Instant::now();
+            std::hint::black_box(min_edge_scan_with(&cg, p));
+            t.elapsed()
+        });
+        rows.push(KernelSweepRow {
+            kernel: "min_edge_scan",
+            rows: m,
+            chunk,
+            seq_ns,
+            par_ns,
+        });
+
+        let seq_ns = best_of(3, || {
+            let mut c = cg.clone();
+            let t = Instant::now();
+            std::hint::black_box(reduce_holding_with(&mut c, &seq));
+            t.elapsed()
+        });
+        let (par_ns, chunk) = best_par(&mut |p| {
+            let mut c = cg.clone();
+            let t = Instant::now();
+            std::hint::black_box(reduce_holding_with(&mut c, p));
+            t.elapsed()
+        });
+        rows.push(KernelSweepRow {
+            kernel: "reduce_holding",
+            rows: m,
+            chunk,
+            seq_ns,
+            par_ns,
+        });
+
+        let seq_ns = best_of(3, || {
+            let mut c = cg.clone();
+            let t = Instant::now();
+            std::hint::black_box(c.incident_counts_with(&seq));
+            t.elapsed()
+        });
+        let (par_ns, chunk) = best_par(&mut |p| {
+            let mut c = cg.clone();
+            let t = Instant::now();
+            std::hint::black_box(c.incident_counts_with(p));
+            t.elapsed()
+        });
+        rows.push(KernelSweepRow {
+            kernel: "incident_counts",
+            rows: m,
+            chunk,
+            seq_ns,
+            par_ns,
+        });
+    }
+    rows
+}
+
+// --------------------------------------------------------------------- //
 // Chaos: fault-plane overhead sweep
 // --------------------------------------------------------------------- //
 
@@ -972,6 +1100,17 @@ mod tests {
         assert!(tags.contains(&"leader merge (user 2)"), "{tags:?}");
         // 2% drops over the whole run should force at least one retry.
         assert!(rows.iter().map(|r| r.retries).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn kernel_sweep_reports_all_kernels() {
+        let rows = kernel_sweep(7, &[1 << 12]);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.seq_ns > 0 && r.par_ns > 0, "{r:?}");
+            assert!(r.chunk > 0, "{r:?}");
+            assert!(r.speedup() > 0.0, "{r:?}");
+        }
     }
 
     #[test]

@@ -48,3 +48,4 @@ pub mod segment;
 pub use cc::{distributed_components, CcReport};
 pub use result::{MndMstReport, PhaseTimes};
 pub use runner::MndMstRunner;
+pub use segment::SegmentStrategy;

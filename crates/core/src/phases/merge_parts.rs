@@ -3,7 +3,7 @@
 
 use mnd_hypar::observe::PhaseKind;
 use mnd_kernels::cgraph::CompId;
-use mnd_kernels::reduce::{apply_ghost_parents, ghost_parent_message, reduce_holding};
+use mnd_kernels::reduce::{apply_ghost_parents_with, ghost_parent_message, reduce_holding_with};
 
 use crate::ghost::relabel_buckets;
 use crate::phases::{Phase, RankCtx};
@@ -31,18 +31,19 @@ impl Phase for MergeParts {
             // device results may repeat pairs; §3.3 sends each once).
             ghost_parent_message(&mut relabel);
 
+            let policy = cx.runner.config.kernel_policy;
             let buckets = relabel_buckets(&cx.cg, &relabel, &cx.dir, comm.rank(), comm.size());
             let received = comm.alltoallv_phased(buckets, cx.runner.ghost_phase_size);
             cx.dir.apply_relabels(&relabel);
             for pairs in &received {
                 if !pairs.is_empty() {
-                    apply_ghost_parents(&mut cx.cg, pairs);
+                    apply_ghost_parents_with(&mut cx.cg, &policy, pairs);
                     cx.dir.apply_relabels(pairs);
                 }
             }
 
             // Reduce: self-edge removal + multi-edge removal, in place.
-            let stats = reduce_holding(&mut cx.cg);
+            let stats = reduce_holding_with(&mut cx.cg, &policy);
             comm.compute(cx.runner.sweep_seconds(stats.edges_before));
         });
     }

@@ -27,6 +27,7 @@ use mnd_net::{Cluster, Comm, FaultInjector, InjectorHook};
 
 use crate::phases::{HierMerge, IndComp, Partition, Phase, PostProcess, RankCtx};
 use crate::result::{MndMstReport, PhaseTimes};
+use crate::segment::SegmentStrategy;
 
 /// Configuration + entry point for distributed runs.
 #[derive(Clone, Debug)]
@@ -42,6 +43,10 @@ pub struct MndMstRunner {
     pub ghost_phase_size: usize,
     /// Cap on recursion rounds inside one computation step (§4.3.3).
     pub max_recursion_rounds: usize,
+    /// How ring-exchange segments are packed (§3.4). The default
+    /// best-fit-decreasing packing ships heavy components first; see
+    /// [`crate::segment::SegmentStrategy`].
+    pub segment_strategy: SegmentStrategy,
     /// Optional message-fault injector armed on the simulated fabric
     /// (drops/delays/duplicates/reorders — see [`mnd_net::fault`]).
     pub faults: InjectorHook,
@@ -56,8 +61,15 @@ impl MndMstRunner {
             config: HyParConfig::default(),
             ghost_phase_size: 1 << 16,
             max_recursion_rounds: 3,
+            segment_strategy: SegmentStrategy::default(),
             faults: InjectorHook::none(),
         }
+    }
+
+    /// Replaces the ring-segment packing strategy.
+    pub fn with_segment_strategy(mut self, strategy: SegmentStrategy) -> Self {
+        self.segment_strategy = strategy;
+        self
     }
 
     /// Arms a message-fault injector on the simulated fabric. Pair with
@@ -253,6 +265,44 @@ mod tests {
             let r = MndMstRunner::new(8).with_config(cfg).run(&el);
             assert_eq!(r.msf, oracle, "group_size={gs}");
         }
+    }
+
+    /// §3.4 segment packing: on a skewed holding with a binding segment
+    /// cap, best-fit-decreasing ships the heavy components in the first
+    /// exchanges while the first-fit suffix walk trickles light ones, so
+    /// the group needs fewer ring rounds to fall under the merge
+    /// threshold. BorderVertex + a large sim scale keep the holdings fat
+    /// into the merge hierarchy so the ring (not indComp) does the work.
+    #[test]
+    fn best_fit_segments_need_fewer_ring_rounds() {
+        use crate::segment::SegmentStrategy;
+        let el = gen::rmat(512, 4096, gen::RmatProbs::GRAPH500, 5);
+        let oracle = kruskal_msf(&el);
+        let cfg = HyParConfig {
+            group_size: 8,
+            excp: mnd_kernels::policy::ExcpCond::BorderVertex,
+            merge_min_shrink: 0.0,
+            group_edge_threshold: 16,
+            max_exchange_rounds: 64,
+            ..Default::default()
+        }
+        .with_sim_scale(1e7);
+        let ff = MndMstRunner::new(8)
+            .with_config(cfg.clone())
+            .with_segment_strategy(SegmentStrategy::FirstFit)
+            .run(&el);
+        let bfd = MndMstRunner::new(8)
+            .with_config(cfg)
+            .with_segment_strategy(SegmentStrategy::BestFitDecreasing)
+            .run(&el);
+        assert_eq!(ff.msf, oracle);
+        assert_eq!(bfd.msf, oracle);
+        assert!(
+            bfd.exchange_rounds < ff.exchange_rounds,
+            "bfd {} rounds vs ff {}",
+            bfd.exchange_rounds,
+            ff.exchange_rounds
+        );
     }
 
     #[test]

@@ -5,11 +5,17 @@
 //! will be able to accommodate at least one segment it receives from
 //! another processor in addition to the segments that it contains."
 //!
-//! A segment here is a suffix of the holder's resident components carrying
-//! roughly half of its incident edges, additionally capped so the segment's
-//! (paper-scale) bytes fit within the receiver's guaranteed headroom.
+//! A segment carries roughly half of the holder's incident edges,
+//! additionally capped so the segment's (paper-scale) bytes fit within the
+//! receiver's guaranteed headroom. Which components make up that half is a
+//! bin-packing choice ([`SegmentStrategy`]): the original first-fit suffix
+//! walk, or the default size-aware best-fit-decreasing packing that fills
+//! the budget with the heaviest components first — on skewed holdings the
+//! latter moves the hub components immediately instead of trickling leaves,
+//! so groups converge in fewer ring rounds.
 
 use mnd_kernels::cgraph::{CEdge, CGraph, CompId};
+use mnd_kernels::policy::KernelPolicy;
 use mnd_net::Wire;
 
 /// A segment in flight between two ranks: resident components, their
@@ -68,43 +74,104 @@ impl Wire for SegmentMsg {
     }
 }
 
-/// Picks the components of the next outgoing segment: the suffix of the
-/// resident list holding at most half of the incident edges, capped at
-/// `max_bytes` (estimated as edges × edge size).
+/// How the next outgoing segment is packed from the holder's components.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SegmentStrategy {
+    /// The original walk: take the suffix of the resident list (highest
+    /// ids first) until the edge budget fills. Oblivious to component
+    /// sizes — a heavy hub sitting at a low id never moves until
+    /// everything above it has.
+    FirstFit,
+    /// Size-aware best-fit decreasing: components are considered from
+    /// heaviest (most incident edges) to lightest and greedily added while
+    /// they fit the budget, so each round ships the fullest segment the
+    /// cap allows. On skewed holdings this retires hub components in the
+    /// first rounds and groups need fewer ring exchanges to converge.
+    #[default]
+    BestFitDecreasing,
+}
+
+/// Picks the components of the next outgoing segment: a subset of the
+/// resident components carrying at most half of the incident edges, capped
+/// at `max_bytes` (estimated as edges × edge size), packed per the default
+/// [`SegmentStrategy`]. The holder always keeps at least one component so
+/// it still participates in collaborative merging.
 ///
 /// Returns an empty vector when the holder has fewer than 2 components
 /// (nothing sensible to send).
-pub fn choose_segment(cg: &CGraph, max_bytes: u64) -> Vec<CompId> {
-    if cg.num_resident() < 2 {
+pub fn choose_segment(cg: &mut CGraph, max_bytes: u64) -> Vec<CompId> {
+    choose_segment_with(
+        cg,
+        max_bytes,
+        SegmentStrategy::default(),
+        &KernelPolicy::default(),
+    )
+}
+
+/// As [`choose_segment`] with an explicit packing strategy and kernel
+/// policy (the incident-count column is a parallel reduction above the
+/// policy crossover).
+pub fn choose_segment_with(
+    cg: &mut CGraph,
+    max_bytes: u64,
+    strategy: SegmentStrategy,
+    policy: &KernelPolicy,
+) -> Vec<CompId> {
+    let n = cg.num_resident();
+    if n < 2 {
         return Vec::new();
     }
-    let mut incident: std::collections::HashMap<CompId, u64> = std::collections::HashMap::new();
-    for e in cg.iter_edges() {
-        *incident.entry(e.a).or_insert(0) += 1;
-        *incident.entry(e.b).or_insert(0) += 1;
-    }
-    let total: u64 = cg
-        .resident()
-        .iter()
-        .map(|c| incident.get(c).copied().unwrap_or(0))
-        .sum();
+    let resident: Vec<CompId> = cg.resident().to_vec();
+    let counts = cg.incident_counts_with(policy);
+    let total: u64 = counts.iter().sum();
     let edge_bytes = std::mem::size_of::<CEdge>() as u64;
     let budget_edges = (max_bytes / edge_bytes.max(1)).max(1);
     let target = (total / 2).min(budget_edges);
 
     let mut acc = 0u64;
     let mut take = Vec::new();
-    // Walk the suffix but never take everything: the holder keeps at least
-    // one component so it still participates in collaborative merging.
-    for &c in cg.resident().iter().rev().take(cg.num_resident() - 1) {
-        let w = incident.get(&c).copied().unwrap_or(0);
-        if !take.is_empty() && acc + w > target {
-            break;
+    match strategy {
+        SegmentStrategy::FirstFit => {
+            // Suffix walk; the first component is taken unconditionally so
+            // the segment always makes progress.
+            for i in (1..n).rev() {
+                let w = counts[i];
+                if !take.is_empty() && acc + w > target {
+                    break;
+                }
+                take.push(resident[i]);
+                acc += w;
+                if acc >= target {
+                    break;
+                }
+            }
         }
-        take.push(c);
-        acc += w;
-        if acc >= target {
-            break;
+        SegmentStrategy::BestFitDecreasing => {
+            // Heaviest-first greedy packing; ties broken by id so the
+            // choice is deterministic.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_unstable_by(|&a, &b| {
+                counts[b]
+                    .cmp(&counts[a])
+                    .then(resident[a].cmp(&resident[b]))
+            });
+            for &i in &order {
+                if take.len() + 1 == n || acc >= target {
+                    break;
+                }
+                if acc + counts[i] <= target {
+                    take.push(resident[i]);
+                    acc += counts[i];
+                }
+            }
+            if take.is_empty() {
+                // Every single component overshoots the budget: send the
+                // lightest one anyway (minimal overshoot, same progress
+                // guarantee as first-fit's unconditional first pick).
+                if let Some(&i) = order.last() {
+                    take.push(resident[i]);
+                }
+            }
         }
     }
     take.sort_unstable();
@@ -123,7 +190,7 @@ mod tests {
     #[test]
     fn segment_round_trips_through_message() {
         let mut cg = holding(1);
-        let take = choose_segment(&cg, u64::MAX);
+        let take = choose_segment(&mut cg, u64::MAX);
         assert!(!take.is_empty());
         let seg = cg.split_off(&take);
         let before = seg.clone();
@@ -135,33 +202,89 @@ mod tests {
 
     #[test]
     fn segment_takes_roughly_half_edges() {
-        let cg = holding(2);
-        let take = choose_segment(&cg, u64::MAX);
-        let frac = take.len() as f64 / cg.num_resident() as f64;
-        assert!((0.25..0.75).contains(&frac), "fraction {frac}");
+        for strategy in [
+            SegmentStrategy::FirstFit,
+            SegmentStrategy::BestFitDecreasing,
+        ] {
+            let mut cg = holding(2);
+            let take = choose_segment_with(&mut cg, u64::MAX, strategy, &KernelPolicy::default());
+            let frac = take.len() as f64 / cg.num_resident() as f64;
+            assert!((0.15..0.85).contains(&frac), "{strategy:?} fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn best_fit_needs_no_more_components_than_first_fit() {
+        let mut cg = holding(2);
+        let ff = choose_segment_with(
+            &mut cg,
+            u64::MAX,
+            SegmentStrategy::FirstFit,
+            &KernelPolicy::default(),
+        );
+        let bfd = choose_segment_with(
+            &mut cg,
+            u64::MAX,
+            SegmentStrategy::BestFitDecreasing,
+            &KernelPolicy::default(),
+        );
+        // Both fill the same edge target; BFD does it with the heaviest
+        // components, so it never needs more of them.
+        assert!(bfd.len() <= ff.len(), "bfd {} > ff {}", bfd.len(), ff.len());
+    }
+
+    #[test]
+    fn best_fit_ships_the_hub_of_a_star() {
+        // Hub component 0 touches ten leaves: counts are 10, 1, 1, ...
+        // (total 20, target 10). BFD ships the hub alone; the suffix walk
+        // trickles every leaf instead.
+        let edges: Vec<CEdge> = (1..=10u32)
+            .map(|k| CEdge::new(0, k, mnd_graph::WEdge::new(0, k, k)))
+            .collect();
+        let resident: Vec<CompId> = (0..=10).collect();
+        let mut cg = CGraph::from_parts(resident, edges, vec![]);
+        let bfd = choose_segment_with(
+            &mut cg,
+            u64::MAX,
+            SegmentStrategy::BestFitDecreasing,
+            &KernelPolicy::default(),
+        );
+        assert_eq!(bfd, vec![0]);
+        let ff = choose_segment_with(
+            &mut cg,
+            u64::MAX,
+            SegmentStrategy::FirstFit,
+            &KernelPolicy::default(),
+        );
+        assert_eq!(ff.len(), 10, "first-fit takes every leaf: {ff:?}");
     }
 
     #[test]
     fn byte_cap_limits_segment() {
-        let cg = holding(3);
-        let small = choose_segment(&cg, 200); // ~10 edges worth
-        let large = choose_segment(&cg, u64::MAX);
+        let mut cg = holding(3);
+        let small = choose_segment(&mut cg, 200); // ~10 edges worth
+        let large = choose_segment(&mut cg, u64::MAX);
         assert!(small.len() <= large.len());
         assert!(!small.is_empty());
     }
 
     #[test]
     fn holder_always_keeps_a_component() {
-        let cg = holding(4);
-        let take = choose_segment(&cg, u64::MAX);
-        assert!(take.len() < cg.num_resident());
+        for strategy in [
+            SegmentStrategy::FirstFit,
+            SegmentStrategy::BestFitDecreasing,
+        ] {
+            let mut cg = holding(4);
+            let take = choose_segment_with(&mut cg, u64::MAX, strategy, &KernelPolicy::default());
+            assert!(take.len() < cg.num_resident());
+        }
     }
 
     #[test]
     fn tiny_holdings_send_nothing() {
-        let cg = CGraph::from_parts(vec![7], vec![], vec![]);
-        assert!(choose_segment(&cg, u64::MAX).is_empty());
-        assert!(choose_segment(&CGraph::new(), u64::MAX).is_empty());
+        let mut cg = CGraph::from_parts(vec![7], vec![], vec![]);
+        assert!(choose_segment(&mut cg, u64::MAX).is_empty());
+        assert!(choose_segment(&mut CGraph::new(), u64::MAX).is_empty());
     }
 
     #[test]

@@ -4,12 +4,22 @@
 //! we used 5-10 subgraphs), execute each subgraph on both CPU and GPU, find
 //! the performance ratio, and obtain an average of the ratios … In addition
 //! to performance, we also take into account the GPU memory requirements."
+//!
+//! The same measure-then-decide idea drives [`calibrate_kernel_policy`]:
+//! the profitable seq/par crossover and chunk size of the holding-plane
+//! kernels are platform-dependent, so they are timed on synthetic holdings
+//! at startup (wall clock, not the simulated device models) and packaged as
+//! a [`mnd_kernels::policy::KernelPolicy`] for the whole run.
+
+use std::time::Instant;
 
 use mnd_graph::edgelist::splitmix64;
+use mnd_graph::gen;
 use mnd_graph::{CsrGraph, VertexId};
 use mnd_kernels::boruvka::local_boruvka;
 use mnd_kernels::cgraph::CGraph;
-use mnd_kernels::policy::{ExcpCond, FreezePolicy, StopPolicy};
+use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
+use mnd_kernels::scan::{min_edge_scan_par, min_edge_scan_seq};
 
 use crate::exec::ExecDevice;
 use crate::model::DeviceModel;
@@ -73,8 +83,8 @@ pub fn calibrate_split(
             StopPolicy::Exhaustive,
         );
         let skew = {
-            let cg = CGraph::from_edge_list(&el);
-            ExecDevice::holding_skew(&cg)
+            let mut cg = CGraph::from_edge_list(&el);
+            ExecDevice::holding_skew(&mut cg)
         };
         let t_cpu = cpu.kernel_time(&out.work, skew);
         // The GPU pays its transfers in real use; include them so tiny
@@ -109,6 +119,115 @@ pub fn calibrate_split(
         gpu_speedup,
         memory_limited,
     }
+}
+
+/// One measured row of the kernel-policy calibration: wall-clock election
+/// times on a holding of `rows` edges, sequential and per candidate chunk.
+#[derive(Clone, Debug)]
+pub struct CrossoverRow {
+    /// Holding size (edge rows).
+    pub rows: usize,
+    /// Best-of-k sequential election time, nanoseconds.
+    pub seq_ns: u64,
+    /// Best-of-k parallel election time per `(chunk_rows, ns)` candidate.
+    pub par_ns: Vec<(usize, u64)>,
+}
+
+impl CrossoverRow {
+    /// The fastest parallel candidate of this row, if any was measured.
+    pub fn best_par(&self) -> Option<(usize, u64)> {
+        self.par_ns.iter().copied().min_by_key(|&(_, ns)| ns)
+    }
+}
+
+/// Output of [`calibrate_kernel_policy`]: the chosen policy plus the raw
+/// measurements (the crossover table `repro` prints and BENCH snapshots
+/// record).
+#[derive(Clone, Debug)]
+pub struct KernelCalibration {
+    /// The policy the run should use.
+    pub policy: KernelPolicy,
+    /// One row per measured holding size, ascending.
+    pub table: Vec<CrossoverRow>,
+}
+
+/// Holding sizes (edge rows) the calibration times.
+pub const CALIBRATION_SIZES: [usize; 5] = [1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16];
+/// Candidate chunk sizes (rows per parallel chunk).
+pub const CALIBRATION_CHUNKS: [usize; 3] = [1024, 4096, 16384];
+
+/// Measures the seq/par crossover of the min-edge election — the
+/// holding-plane kernel every `indComp` iteration runs — on synthetic G(n,m)
+/// holdings, and derives a [`KernelPolicy`]: `chunk_rows` is the candidate
+/// that wins at the largest size, `par_threshold` sits just below the
+/// smallest size where that candidate beats sequential. If the parallel
+/// path never wins (single hardware thread, tiny machines), the policy
+/// stays sequential at every measured size.
+///
+/// Wall-clock timing, best of 3 — noisy by nature, which is fine: the
+/// determinism contract guarantees the *result* is policy-independent, so a
+/// mis-calibrated policy costs only time.
+pub fn calibrate_kernel_policy(seed: u64) -> KernelCalibration {
+    let mut table = Vec::with_capacity(CALIBRATION_SIZES.len());
+    for &rows in &CALIBRATION_SIZES {
+        // Components ~ rows/4 keeps the winner tables a realistic fraction
+        // of the sweep (degree ~8).
+        let n = (rows / 4).max(16) as VertexId;
+        let cg = CGraph::from_edge_list(&gen::gnm(n, rows as u64, splitmix64(seed ^ rows as u64)));
+        let seq_ns = best_of(3, || {
+            let t = Instant::now();
+            std::hint::black_box(min_edge_scan_seq(&cg));
+            t.elapsed().as_nanos() as u64
+        });
+        let par_ns = CALIBRATION_CHUNKS
+            .iter()
+            .filter(|&&chunk| chunk < rows)
+            .map(|&chunk| {
+                let ns = best_of(3, || {
+                    let t = Instant::now();
+                    std::hint::black_box(min_edge_scan_par(&cg, chunk));
+                    t.elapsed().as_nanos() as u64
+                });
+                (chunk, ns)
+            })
+            .collect();
+        table.push(CrossoverRow {
+            rows,
+            seq_ns,
+            par_ns,
+        });
+    }
+
+    // Winning chunk: fastest parallel candidate at the largest size.
+    let chunk_rows = table
+        .last()
+        .and_then(|r| r.best_par())
+        .map(|(chunk, _)| chunk)
+        .unwrap_or(KernelPolicy::default().chunk_rows);
+    // Crossover: smallest size where that chunk beats sequential.
+    let crossover = table.iter().find(|r| {
+        r.par_ns
+            .iter()
+            .any(|&(c, ns)| c == chunk_rows && ns < r.seq_ns)
+    });
+    let policy = match crossover {
+        Some(row) => KernelPolicy {
+            par_threshold: row.rows - 1,
+            chunk_rows,
+        },
+        // Parallel never won: stay sequential for everything we measured,
+        // let unmeasured giant holdings still try the parallel path.
+        None => KernelPolicy {
+            par_threshold: CALIBRATION_SIZES[CALIBRATION_SIZES.len() - 1],
+            chunk_rows,
+        },
+    };
+    KernelCalibration { policy, table }
+}
+
+/// Smallest of `k` samples of `f` (classic micro-benchmark noise floor).
+fn best_of(k: usize, mut f: impl FnMut() -> u64) -> u64 {
+    (0..k).map(|_| f()).min().unwrap_or(u64::MAX)
 }
 
 /// Deterministic pseudo-random sorted sample of `k` distinct vertices.
@@ -226,6 +345,27 @@ mod tests {
             split.cpu_fraction > 0.5,
             "cpu_fraction {}",
             split.cpu_fraction
+        );
+    }
+
+    #[test]
+    fn kernel_policy_calibration_is_well_formed() {
+        let cal = calibrate_kernel_policy(7);
+        assert_eq!(cal.table.len(), CALIBRATION_SIZES.len());
+        for (row, &rows) in cal.table.iter().zip(&CALIBRATION_SIZES) {
+            assert_eq!(row.rows, rows);
+            assert!(row.seq_ns > 0);
+            // Every candidate chunk smaller than the holding was measured.
+            let expect = CALIBRATION_CHUNKS.iter().filter(|&&c| c < rows).count();
+            assert_eq!(row.par_ns.len(), expect);
+        }
+        // The chosen chunk is one of the candidates, and the threshold is
+        // either just below a measured size or the conservative max.
+        assert!(CALIBRATION_CHUNKS.contains(&cal.policy.chunk_rows));
+        let max = CALIBRATION_SIZES[CALIBRATION_SIZES.len() - 1];
+        assert!(
+            cal.policy.par_threshold == max
+                || CALIBRATION_SIZES.contains(&(cal.policy.par_threshold + 1))
         );
     }
 

@@ -1,9 +1,9 @@
 //! Executing kernels "on" a device: real computation + modelled time.
 
 use mnd_kernels::binning::BinnedSchedule;
-use mnd_kernels::boruvka::{local_boruvka, LocalOutput};
+use mnd_kernels::boruvka::{local_boruvka_with, LocalOutput};
 use mnd_kernels::cgraph::CGraph;
-use mnd_kernels::policy::{ExcpCond, FreezePolicy, StopPolicy};
+use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
 
 use crate::model::DeviceModel;
 
@@ -55,22 +55,20 @@ impl ExecDevice {
     }
 
     /// Degree-skew fraction of a holding, as the GPU scheduler would see
-    /// it: per-resident-component incident-edge counts, binned.
-    pub fn holding_skew(cg: &CGraph) -> f64 {
+    /// it: the holding's incident-count column
+    /// ([`CGraph::incident_counts_with`] — reusable scratch, parallel
+    /// reduction above the policy crossover), binned.
+    pub fn holding_skew(cg: &mut CGraph) -> f64 {
+        Self::holding_skew_with(cg, &KernelPolicy::default())
+    }
+
+    /// Policy-aware [`ExecDevice::holding_skew`].
+    pub fn holding_skew_with(cg: &mut CGraph, policy: &KernelPolicy) -> f64 {
         if cg.num_resident() == 0 {
             return 0.0;
         }
-        let mut deg: std::collections::HashMap<u32, u64> =
-            std::collections::HashMap::with_capacity(cg.num_resident());
-        for e in cg.iter_edges() {
-            *deg.entry(e.a).or_insert(0) += 1;
-            *deg.entry(e.b).or_insert(0) += 1;
-        }
-        let sched = BinnedSchedule::build(
-            cg.resident()
-                .iter()
-                .map(|c| deg.get(c).copied().unwrap_or(0)),
-        );
+        let counts = cg.incident_counts_with(policy).to_vec();
+        let sched = BinnedSchedule::build(counts);
         sched.skew_fraction()
     }
 
@@ -85,9 +83,24 @@ impl ExecDevice {
         freeze: FreezePolicy,
         stop: StopPolicy,
     ) -> IndCompRun {
-        let skew = Self::holding_skew(cg);
+        self.run_ind_comp_with(cg, &KernelPolicy::default(), excp, freeze, stop)
+    }
+
+    /// As [`ExecDevice::run_ind_comp`], under an explicit (typically
+    /// calibrated) [`KernelPolicy`] governing the election sweep and the
+    /// holding reductions. Results are identical for every policy; only
+    /// wall-clock changes.
+    pub fn run_ind_comp_with(
+        &mut self,
+        cg: &mut CGraph,
+        policy: &KernelPolicy,
+        excp: ExcpCond,
+        freeze: FreezePolicy,
+        stop: StopPolicy,
+    ) -> IndCompRun {
+        let skew = Self::holding_skew_with(cg, policy);
         let upload_bytes = cg.approx_bytes() as u64;
-        let output = local_boruvka(cg, excp, freeze, stop);
+        let output = local_boruvka_with(cg, policy, excp, freeze, stop);
         let kernel_time = self.model.kernel_time(&output.work, skew);
         let download_bytes =
             (output.msf_edges.len() * std::mem::size_of::<mnd_graph::WEdge>()) as u64;
@@ -190,10 +203,10 @@ mod tests {
 
     #[test]
     fn skew_of_star_holding_is_high() {
-        let cg = CGraph::from_edge_list(&gen::star(2000, 5));
-        assert!(ExecDevice::holding_skew(&cg) > 0.4);
-        let road = CGraph::from_edge_list(&gen::road_grid(20, 20, 0.02, 0.3, 5));
-        assert!(ExecDevice::holding_skew(&road) < 0.05);
+        let mut cg = CGraph::from_edge_list(&gen::star(2000, 5));
+        assert!(ExecDevice::holding_skew(&mut cg) > 0.4);
+        let mut road = CGraph::from_edge_list(&gen::road_grid(20, 20, 0.02, 0.3, 5));
+        assert!(ExecDevice::holding_skew(&mut road) < 0.05);
     }
 
     #[test]

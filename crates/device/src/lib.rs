@@ -26,7 +26,9 @@ pub mod exec;
 pub mod model;
 pub mod platform;
 
-pub use calibrate::{calibrate_split, DeviceSplit};
+pub use calibrate::{
+    calibrate_kernel_policy, calibrate_split, CrossoverRow, DeviceSplit, KernelCalibration,
+};
 pub use exec::{ExecDevice, IndCompRun};
 pub use model::{DeviceKind, DeviceModel};
 pub use platform::NodePlatform;

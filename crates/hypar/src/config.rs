@@ -1,6 +1,6 @@
 //! HyPar runtime configuration (§4.3).
 
-use mnd_kernels::policy::{ExcpCond, FreezePolicy, StopPolicy};
+use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
 
 use crate::chaos::ChaosHook;
 use crate::observe::ObserverHook;
@@ -44,6 +44,12 @@ pub struct HyParConfig {
     pub max_exchange_rounds: usize,
     /// Deterministic seed for calibration sampling.
     pub seed: u64,
+    /// Seq/par crossover and chunk size for the holding-plane kernels
+    /// (election, reductions, relabels, incident counts). Populate from
+    /// `mnd_device::calibrate_kernel_policy` for measured numbers; the
+    /// default is a conservative uncalibrated fallback. Results never
+    /// depend on this — only wall-clock does.
+    pub kernel_policy: KernelPolicy,
     /// Optional phase observer: fired by the driver at every phase boundary
     /// with the phase's time/traffic sample (see [`crate::observe`]).
     pub observer: ObserverHook,
@@ -71,6 +77,7 @@ impl Default for HyParConfig {
             sim_scale: 1.0,
             max_exchange_rounds: 8,
             seed: 0x4D4E_442D,
+            kernel_policy: KernelPolicy::default(),
             observer: ObserverHook::none(),
             chaos: ChaosHook::none(),
         }
@@ -93,6 +100,13 @@ impl HyParConfig {
     /// The group-merge threshold in scaled-down edges.
     pub fn scaled_group_threshold(&self) -> u64 {
         ((self.group_edge_threshold as f64 / self.sim_scale).ceil() as u64).max(1)
+    }
+
+    /// Sets the holding-plane kernel policy (typically from
+    /// `mnd_device::calibrate_kernel_policy`).
+    pub fn with_kernel_policy(mut self, policy: KernelPolicy) -> Self {
+        self.kernel_policy = policy;
+        self
     }
 
     /// Attaches a phase observer (see [`crate::observe::PhaseObserver`]).

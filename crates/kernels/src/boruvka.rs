@@ -14,12 +14,27 @@
 //! contracted edge is the minimum over **all** edges leaving the component,
 //! the cut property guarantees it belongs to the (unique) MSF — no edge is
 //! ever contracted speculatively.
+//!
+//! ## Deterministic parallel election
+//!
+//! Above the [`KernelPolicy`] crossover the election sweeps worklist chunks
+//! on rayon workers, each producing a partial winner table; partials merge
+//! in chunk order under the total order `(original edge, worklist row)`, so
+//! the merged table is byte-identical to the sequential sweep for any
+//! chunking. The union-find is fully path-compressed before each election
+//! (`MinDsu::compress_all`), so workers can resolve roots through the
+//! shared `&MinDsu` without mutation. Contraction then visits winner slots
+//! in root-index order — safe because the elected edges form a forest under
+//! the total edge order (mutual elections are the same edge), so the union
+//! *set* is order-independent, and making the order fixed makes the whole
+//! kernel deterministic across policies and thread counts.
 
 use mnd_graph::types::WEdge;
+use rayon::prelude::*;
 
 use crate::cgraph::{CGraph, CompId};
 use crate::msf::MsfResult;
-use crate::policy::{ExcpCond, FreezePolicy, IterWork, StopPolicy, WorkProfile};
+use crate::policy::{ExcpCond, FreezePolicy, IterWork, KernelPolicy, StopPolicy, WorkProfile};
 
 /// Output of one `indComp` invocation on a holding.
 #[derive(Clone, Debug, Default)]
@@ -50,6 +65,19 @@ pub struct LocalOutput {
 /// the MSF — we make that a loud error instead).
 pub fn local_boruvka(
     cg: &mut CGraph,
+    excp: ExcpCond,
+    freeze: FreezePolicy,
+    stop: StopPolicy,
+) -> LocalOutput {
+    local_boruvka_with(cg, &KernelPolicy::default(), excp, freeze, stop)
+}
+
+/// As [`local_boruvka`], under an explicit (typically calibrated)
+/// [`KernelPolicy`] governing the election sweep, the commit relabel and
+/// the fused self-edge compaction. Output is identical for every policy.
+pub fn local_boruvka_with(
+    cg: &mut CGraph,
+    policy: &KernelPolicy,
     excp: ExcpCond,
     freeze: FreezePolicy,
     stop: StopPolicy,
@@ -104,36 +132,39 @@ pub fn local_boruvka(
     let mut prev_cost: Option<u64> = None;
     loop {
         // --- Min-edge election ------------------------------------------
-        // Winner per resident root, with root-resolved endpoints so the
-        // contraction phase needs no re-lookup.
-        type Winner = (WEdge, Option<u32>, Option<u32>);
-        let mut best: Vec<Option<Winner>> = vec![None; n];
-        let mut touched: Vec<u32> = Vec::new();
+        // Roots are fully compressed up front so the sweep — sequential or
+        // chunked across workers — resolves them through &MinDsu in one hop.
+        dsu.compress_all();
         let scanned = worklist.len() as u64;
-        for e in &worklist {
-            let ra = e.a.map(|i| dsu.find(i));
-            let rb = e.b.map(|i| dsu.find(i));
-            if let (Some(x), Some(y)) = (ra, rb) {
-                if x == y {
-                    continue; // self edge at current contraction
-                }
-            }
-            for r in [ra, rb].into_iter().flatten() {
-                if frozen[r as usize] && freeze == FreezePolicy::Sticky {
-                    continue;
-                }
-                let slot = &mut best[r as usize];
-                match slot {
-                    Some((cur, _, _)) if *cur <= e.orig => {}
-                    _ => {
-                        if slot.is_none() {
-                            touched.push(r);
-                        }
-                        *slot = Some((e.orig, ra, rb));
+        let best: Vec<Option<Winner>> = if policy.use_par(worklist.len()) {
+            let dsu_ref = &dsu;
+            let frozen_ref = &frozen;
+            let rows: &[CEdgeLocal] = &worklist;
+            let partials: Vec<Vec<Option<Winner>>> = policy
+                .chunk_ranges(rows.len())
+                .into_par_iter()
+                .map(|(lo, hi)| {
+                    let mut part = vec![None; n];
+                    elect_rows(&rows[lo..hi], lo, dsu_ref, frozen_ref, freeze, &mut part);
+                    part
+                })
+                .collect();
+            // Merge partial tables in chunk order; the (edge, row) key makes
+            // the merge associative, so this equals the sequential sweep.
+            let mut best = vec![None; n];
+            for part in partials {
+                for (slot, cand) in best.iter_mut().zip(part) {
+                    if let Some(w) = cand {
+                        take_winner(slot, w);
                     }
                 }
             }
-        }
+            best
+        } else {
+            let mut best = vec![None; n];
+            elect_rows(&worklist, 0, &dsu, &frozen, freeze, &mut best);
+            best
+        };
 
         // --- Contraction / freezing -------------------------------------
         // Recheck policy re-derives freezes every round.
@@ -143,9 +174,12 @@ pub fn local_boruvka(
             }
         }
         let mut unions = 0u64;
-        let active = touched.len() as u64;
-        for &r in &touched {
-            let (win, ea, eb) = match best[r as usize] {
+        let active = best.iter().filter(|s| s.is_some()).count() as u64;
+        // Winner slots are visited in root-index order (not election order):
+        // the elected edges form a forest, so any visit order unions the
+        // same edge set — the fixed order keeps the kernel deterministic.
+        for r in 0..n as u32 {
+            let (win, _, ea, eb) = match best[r as usize] {
                 Some(w) => w,
                 None => continue,
             };
@@ -221,11 +255,12 @@ pub fn local_boruvka(
     }
     // dsu is path-compressed by the loop above; a const find suffices.
     let resident_ref = &resident;
-    cg.relabel(|c| match resident_ref.binary_search(&c) {
-        Ok(i) => resident_ref[dsu.find_const(i as u32) as usize],
+    let dsu_ref = &dsu;
+    cg.relabel_with(policy, |c| match resident_ref.binary_search(&c) {
+        Ok(i) => resident_ref[dsu_ref.find_const(i as u32) as usize],
         Err(_) => c,
     });
-    cg.remove_self_edges();
+    cg.remove_self_edges_with(policy);
     cg.set_resident(new_resident);
     cg.set_frozen(new_frozen);
 
@@ -248,6 +283,54 @@ pub fn boruvka_msf(el: &mnd_graph::EdgeList) -> MsfResult {
         StopPolicy::Exhaustive,
     );
     MsfResult::from_edges(el.num_vertices(), out.msf_edges)
+}
+
+/// A per-root election winner: the elected original edge, its worklist row
+/// (tie-break making the election order-free), and the root-resolved
+/// endpoints so contraction needs no re-lookup.
+type Winner = (WEdge, u32, Option<u32>, Option<u32>);
+
+/// Elects over `rows` (worklist rows starting at global index `lo`) into
+/// `best`, one slot per resident root. Reads the union-find through
+/// [`MinDsu::find_const`] — callers compress fully first — so chunks can
+/// run on rayon workers against the shared `&MinDsu`.
+fn elect_rows(
+    rows: &[CEdgeLocal],
+    lo: usize,
+    dsu: &MinDsu,
+    frozen: &[bool],
+    freeze: FreezePolicy,
+    best: &mut [Option<Winner>],
+) {
+    for (k, e) in rows.iter().enumerate() {
+        let row = (lo + k) as u32;
+        let ra = e.a.map(|i| dsu.find_const(i));
+        let rb = e.b.map(|i| dsu.find_const(i));
+        if let (Some(x), Some(y)) = (ra, rb) {
+            if x == y {
+                continue; // self edge at current contraction
+            }
+        }
+        for r in [ra, rb].into_iter().flatten() {
+            if frozen[r as usize] && freeze == FreezePolicy::Sticky {
+                continue;
+            }
+            take_winner(&mut best[r as usize], (e.orig, row, ra, rb));
+        }
+    }
+}
+
+/// Replaces `slot` with `cand` if the candidate's `(edge, row)` key is
+/// smaller — the total order both the sweep and the chunk merge use.
+#[inline]
+fn take_winner(slot: &mut Option<Winner>, cand: Winner) {
+    let lighter = match slot {
+        Some((cur, cur_row, _, _)) => (cand.0, cand.1) < (*cur, *cur_row),
+        None => true,
+    };
+    if lighter {
+        *slot = Some(cand);
+    }
 }
 
 /// Min-representative DSU: links always orient the larger root under the
@@ -282,6 +365,15 @@ impl MinDsu {
             x = self.parent[x as usize];
         }
         x
+    }
+
+    /// Fully path-compresses: afterwards `parent[x]` is `x`'s root, so
+    /// [`MinDsu::find_const`] resolves in one hop from shared references.
+    fn compress_all(&mut self) {
+        for i in 0..self.parent.len() as u32 {
+            let r = self.find(i);
+            self.parent[i as usize] = r;
+        }
     }
 
     fn union(&mut self, a: u32, b: u32) -> bool {

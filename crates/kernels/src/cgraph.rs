@@ -38,6 +38,9 @@ use mnd_graph::partition::VertexRange;
 use mnd_graph::types::{VertexId, WEdge};
 use mnd_graph::{CsrGraph, EdgeList};
 use mnd_wire::Wire;
+use rayon::prelude::*;
+
+use crate::policy::KernelPolicy;
 
 /// A component identifier. Components are named by the smallest original
 /// vertex they contain, so ids stay globally consistent without any central
@@ -140,6 +143,9 @@ pub struct CGraph {
     frozen: Vec<CompId>,
     /// Reusable index buffer for in-place sorts; never part of identity.
     scratch: Vec<u32>,
+    /// Reusable per-resident incident-count column (see
+    /// [`CGraph::incident_counts_with`]); never part of identity.
+    counts: Vec<u64>,
 }
 
 impl PartialEq for CGraph {
@@ -319,18 +325,40 @@ impl CGraph {
     /// Applies a component renaming to **all** edge endpoints. `map` returns
     /// the new id of a component (identity for unknown ids). Resident ids
     /// and frozen marks are remapped too.
-    pub fn relabel(&mut self, map: impl Fn(CompId) -> CompId) {
-        for (a, b) in self.ea.iter_mut().zip(&mut self.eb) {
-            let na = map(*a);
-            let nb = map(*b);
-            // Keep the per-row canonical a <= b invariant.
-            if na <= nb {
-                *a = na;
-                *b = nb;
-            } else {
-                *a = nb;
-                *b = na;
+    pub fn relabel(&mut self, map: impl Fn(CompId) -> CompId + Sync) {
+        self.relabel_with(&KernelPolicy::default(), map);
+    }
+
+    /// As [`CGraph::relabel`], with the endpoint sweep chunked across rayon
+    /// workers when the policy says the holding is big enough. Rows are
+    /// independent, so any chunking produces the sequential result.
+    pub fn relabel_with(&mut self, policy: &KernelPolicy, map: impl Fn(CompId) -> CompId + Sync) {
+        let remap_rows = |ca: &mut [CompId], cb: &mut [CompId]| {
+            for (a, b) in ca.iter_mut().zip(cb.iter_mut()) {
+                let na = map(*a);
+                let nb = map(*b);
+                // Keep the per-row canonical a <= b invariant.
+                if na <= nb {
+                    *a = na;
+                    *b = nb;
+                } else {
+                    *a = nb;
+                    *b = na;
+                }
             }
+        };
+        if policy.use_par(self.ea.len()) {
+            let chunk = policy.chunk_rows.max(1);
+            let pairs: Vec<(&mut [CompId], &mut [CompId])> = self
+                .ea
+                .chunks_mut(chunk)
+                .zip(self.eb.chunks_mut(chunk))
+                .collect();
+            pairs
+                .into_par_iter()
+                .for_each(|(ca, cb)| remap_rows(ca, cb));
+        } else {
+            remap_rows(&mut self.ea, &mut self.eb);
         }
         for r in &mut self.resident {
             *r = map(*r);
@@ -345,9 +373,39 @@ impl CGraph {
     }
 
     /// In-place column compaction: keeps row `i` iff `keep(i)`, preserving
-    /// order. Allocation-free (write-cursor sweep over the three columns).
-    fn retain_rows(&mut self, mut keep: impl FnMut(&Self, usize) -> bool) {
+    /// order. Below the policy's crossover this is the allocation-free
+    /// write-cursor sweep; above it the predicate is evaluated over row
+    /// chunks on rayon workers first and the (memory-bound) compaction
+    /// follows the precomputed flags, so any chunking yields the
+    /// sequential result.
+    fn retain_rows_with(
+        &mut self,
+        policy: &KernelPolicy,
+        keep: impl Fn(&Self, usize) -> bool + Sync,
+    ) {
         let n = self.ea.len();
+        if policy.use_par(n) {
+            let this: &Self = self;
+            let flags: Vec<Vec<bool>> = policy
+                .chunk_ranges(n)
+                .into_par_iter()
+                .map(|(lo, hi)| (lo..hi).map(|i| keep(this, i)).collect())
+                .collect();
+            let mut w = 0usize;
+            let mut flat = flags.iter().flatten();
+            for i in 0..n {
+                if *flat.next().expect("one flag per row") {
+                    if w != i {
+                        self.ea[w] = self.ea[i];
+                        self.eb[w] = self.eb[i];
+                        self.eorig[w] = self.eorig[i];
+                    }
+                    w += 1;
+                }
+            }
+            self.truncate_rows(w);
+            return;
+        }
         let mut w = 0usize;
         for i in 0..n {
             if keep(self, i) {
@@ -359,6 +417,11 @@ impl CGraph {
                 w += 1;
             }
         }
+        self.truncate_rows(w);
+    }
+
+    /// Drops every row past `w` from the three columns.
+    fn truncate_rows(&mut self, w: usize) {
         self.ea.truncate(w);
         self.eb.truncate(w);
         self.eorig.truncate(w);
@@ -393,14 +456,26 @@ impl CGraph {
     }
 
     /// Sorts the edge rows by `key` without allocating a row vector: an
-    /// index permutation is built in the reusable scratch buffer and applied
-    /// across the columns by cycle-walking.
-    fn sort_rows_by_key<K: Ord>(&mut self, key: impl Fn(&Self, usize) -> K) {
+    /// index permutation is built in the reusable scratch buffer, sorted
+    /// (sequentially or, above the policy crossover, with the rayon
+    /// chunk-sort-and-merge), and applied across the columns by
+    /// cycle-walking. The sort key is made injective by appending the row
+    /// index, so the permutation — and therefore the row order — is the
+    /// same whichever path ran.
+    fn sort_rows_by_key<K: Ord + Send>(
+        &mut self,
+        policy: &KernelPolicy,
+        key: impl Fn(&Self, usize) -> K + Sync,
+    ) {
         let n = self.ea.len();
         let mut perm = std::mem::take(&mut self.scratch);
         perm.clear();
         perm.extend(0..n as u32);
-        perm.sort_unstable_by_key(|&i| key(self, i as usize));
+        if policy.use_par(n) {
+            perm.par_sort_unstable_by_key(|&i| (key(self, i as usize), i));
+        } else {
+            perm.sort_unstable_by_key(|&i| (key(self, i as usize), i));
+        }
         self.apply_perm(&mut perm);
         self.scratch = perm;
     }
@@ -408,7 +483,12 @@ impl CGraph {
     /// Removes self edges (endpoints in the same component) — the paper's
     /// `removeSelfEdges` (§3.3). In-place compaction.
     pub fn remove_self_edges(&mut self) {
-        self.retain_rows(|cg, i| cg.ea[i] != cg.eb[i]);
+        self.remove_self_edges_with(&KernelPolicy::default());
+    }
+
+    /// Policy-aware [`CGraph::remove_self_edges`].
+    pub fn remove_self_edges_with(&mut self, policy: &KernelPolicy) {
+        self.retain_rows_with(policy, |cg, i| cg.ea[i] != cg.eb[i]);
     }
 
     /// Keeps only the lightest edge between every component pair — the
@@ -418,29 +498,97 @@ impl CGraph {
     /// restored. Equivalent to the hash-table-of-minimums the paper
     /// describes, without the table.
     pub fn remove_multi_edges(&mut self) {
+        self.remove_multi_edges_with(&KernelPolicy::default());
+    }
+
+    /// Policy-aware [`CGraph::remove_multi_edges`].
+    pub fn remove_multi_edges_with(&mut self, policy: &KernelPolicy) {
         debug_assert!(
             self.ea.iter().zip(&self.eb).all(|(a, b)| a != b),
             "run remove_self_edges first"
         );
-        self.sort_rows_by_key(|cg, i| (cg.ea[i], cg.eb[i], cg.eorig[i].key()));
-        self.retain_rows(|cg, i| i == 0 || cg.ea[i] != cg.ea[i - 1] || cg.eb[i] != cg.eb[i - 1]);
-        self.sort_edges();
+        self.sort_rows_by_key(policy, |cg, i| (cg.ea[i], cg.eb[i], cg.eorig[i].key()));
+        self.retain_rows_with(policy, |cg, i| {
+            i == 0 || cg.ea[i] != cg.ea[i - 1] || cg.eb[i] != cg.eb[i - 1]
+        });
+        self.sort_edges_with(policy);
     }
 
     /// Removes duplicate holdings of the *same original edge* (arises when
     /// a moved segment recombines with a holding that kept a boundary copy).
     /// In place, same sort-compact-restore scheme as multi-edge removal.
     pub fn dedup_edges(&mut self) {
-        self.sort_rows_by_key(|cg, i| (cg.eorig[i].u, cg.eorig[i].v, cg.ea[i], cg.eb[i]));
-        self.retain_rows(|cg, i| {
+        self.dedup_edges_with(&KernelPolicy::default());
+    }
+
+    /// Policy-aware [`CGraph::dedup_edges`].
+    pub fn dedup_edges_with(&mut self, policy: &KernelPolicy) {
+        self.sort_rows_by_key(policy, |cg, i| {
+            (cg.eorig[i].u, cg.eorig[i].v, cg.ea[i], cg.eb[i])
+        });
+        self.retain_rows_with(policy, |cg, i| {
             i == 0 || cg.eorig[i].u != cg.eorig[i - 1].u || cg.eorig[i].v != cg.eorig[i - 1].v
         });
-        self.sort_edges();
+        self.sort_edges_with(policy);
     }
 
     /// Canonical deterministic edge order (by original-edge key).
     pub fn sort_edges(&mut self) {
-        self.sort_rows_by_key(|cg, i| cg.eorig[i].key());
+        self.sort_edges_with(&KernelPolicy::default());
+    }
+
+    /// Policy-aware [`CGraph::sort_edges`].
+    pub fn sort_edges_with(&mut self, policy: &KernelPolicy) {
+        self.sort_rows_by_key(policy, |cg, i| cg.eorig[i].key());
+    }
+
+    /// Per-resident-component incident-edge counts (slot `i` counts edges
+    /// touching `resident()[i]`; a self edge counts twice, matching a
+    /// per-endpoint tally). The column lives in reusable scratch so the
+    /// repeated callers — device splitting, skew estimation, segment
+    /// choice — stop rebuilding a hash map per call; above the policy
+    /// crossover the tally is a chunked parallel column reduction whose
+    /// per-chunk partial counts are summed in chunk order.
+    pub fn incident_counts_with(&mut self, policy: &KernelPolicy) -> &[u64] {
+        let n = self.resident.len();
+        let rows = self.ea.len();
+        let mut counts = std::mem::take(&mut self.counts);
+        counts.clear();
+        counts.resize(n, 0);
+        let tally = |range: (usize, usize), counts: &mut [u64]| {
+            for i in range.0..range.1 {
+                for c in [self.ea[i], self.eb[i]] {
+                    if let Ok(slot) = self.resident.binary_search(&c) {
+                        counts[slot] += 1;
+                    }
+                }
+            }
+        };
+        if policy.use_par(rows) {
+            let partials: Vec<Vec<u64>> = policy
+                .chunk_ranges(rows)
+                .into_par_iter()
+                .map(|range| {
+                    let mut part = vec![0u64; n];
+                    tally(range, &mut part);
+                    part
+                })
+                .collect();
+            for part in partials {
+                for (dst, v) in counts.iter_mut().zip(part) {
+                    *dst += v;
+                }
+            }
+        } else {
+            tally((0, rows), &mut counts);
+        }
+        self.counts = counts;
+        &self.counts
+    }
+
+    /// [`CGraph::incident_counts_with`] under the default policy.
+    pub fn incident_counts(&mut self) -> &[u64] {
+        self.incident_counts_with(&KernelPolicy::default())
     }
 
     /// Absorbs another holding: unions resident sets, concatenates edges,
@@ -618,7 +766,9 @@ mod tests {
         let el = gen::gnm(60, 300, 17);
         let mut cg = CGraph::from_edge_list(&el);
         let mut rows = cg.edges_vec();
-        cg.sort_rows_by_key(|cg, i| (cg.eb[i], cg.ea[i], cg.eorig[i].key()));
+        cg.sort_rows_by_key(&KernelPolicy::default(), |cg, i| {
+            (cg.eb[i], cg.ea[i], cg.eorig[i].key())
+        });
         rows.sort_unstable_by_key(|e| (e.b, e.a, e.key()));
         assert_eq!(cg.edges_vec(), rows);
         // And the scratch buffer is reused across calls, not regrown.

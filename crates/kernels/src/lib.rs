@@ -35,12 +35,12 @@ pub mod policy;
 pub mod reduce;
 pub mod scan;
 
-pub use boruvka::{boruvka_msf, local_boruvka, LocalOutput};
+pub use boruvka::{boruvka_msf, local_boruvka, local_boruvka_with, LocalOutput};
 pub use cgraph::{CEdge, CGraph, CompId};
 pub use contraction::contraction_boruvka_msf;
 pub use dsu::DisjointSets;
 pub use filter_kruskal::filter_kruskal_msf;
 pub use msf::{verify_msf, MsfResult};
 pub use oracle::{kruskal_msf, prim_mst};
-pub use policy::{ExcpCond, StopPolicy};
-pub use scan::{min_edge_scan, min_edge_scan_par, min_edge_scan_seq};
+pub use policy::{ExcpCond, KernelPolicy, StopPolicy};
+pub use scan::{min_edge_scan, min_edge_scan_par, min_edge_scan_seq, min_edge_scan_with};

@@ -1,5 +1,80 @@
 //! Execution policies for the independent-computation kernel, plus the work
 //! profile it reports to the cost model.
+//!
+//! [`KernelPolicy`] governs the *parallel holding plane*: every hot sweep
+//! over a holding's SoA columns — min-edge election, permutation sorts,
+//! compaction, ghost relabels, incident-count reductions — consults it to
+//! decide sequential vs. rayon-chunked execution and, above the crossover,
+//! which chunk size to use. The numbers are platform-dependent (Durbhakula
+//! 2020), so the `mnd-device` calibration plane measures them at startup
+//! rather than hard-coding constants; [`KernelPolicy::default`] provides
+//! conservative fallbacks for uncalibrated contexts.
+//!
+//! **Determinism contract:** for any policy, any chunk size and any worker
+//! count, every kernel must produce output *byte-identical* to
+//! [`KernelPolicy::seq`] — parallel merges are ordered by `(key, row)` so
+//! they are associative, and sorts use injective keys. The oracle tests in
+//! `tests/parallel_plane_oracle.rs` assert this across adversarial
+//! chunkings.
+
+/// Seq/par crossover sizes and chunk granularity for the holding-plane
+/// kernels (election scans, permutation sorts, compactions, relabels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelPolicy {
+    /// Row count at or below which every kernel stays sequential (thread
+    /// spawn + partial-table merge would dominate).
+    pub par_threshold: usize,
+    /// Rows per parallel chunk above the threshold.
+    pub chunk_rows: usize,
+}
+
+impl Default for KernelPolicy {
+    /// Uncalibrated fallback: one default chunk of slack before going
+    /// parallel, 4K-row chunks (matches the pre-policy scan constant).
+    fn default() -> Self {
+        KernelPolicy {
+            par_threshold: 4096,
+            chunk_rows: 4096,
+        }
+    }
+}
+
+impl KernelPolicy {
+    /// A policy that never parallelises — the sequential reference the
+    /// oracle tests compare against, and the right choice inside contexts
+    /// that are already running on a rayon worker.
+    pub fn seq() -> Self {
+        KernelPolicy {
+            par_threshold: usize::MAX,
+            chunk_rows: usize::MAX,
+        }
+    }
+
+    /// A policy that parallelises everything with the given chunk size
+    /// (tests use this to force the par path onto tiny fixtures).
+    pub fn force_par(chunk_rows: usize) -> Self {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        KernelPolicy {
+            par_threshold: 0,
+            chunk_rows,
+        }
+    }
+
+    /// Whether a sweep over `rows` rows should take the parallel path.
+    #[inline]
+    pub fn use_par(&self, rows: usize) -> bool {
+        rows > self.par_threshold
+    }
+
+    /// The row ranges a parallel sweep over `rows` rows is chunked into.
+    pub fn chunk_ranges(&self, rows: usize) -> Vec<(usize, usize)> {
+        let chunk = self.chunk_rows.max(1);
+        (0..rows)
+            .step_by(chunk)
+            .map(|lo| (lo, lo.saturating_add(chunk).min(rows)))
+            .collect()
+    }
+}
 
 /// Exception condition of the HyPar `indComp` API (§4.1.2).
 ///
@@ -117,6 +192,19 @@ impl WorkProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn policy_crossover_and_chunking() {
+        let p = KernelPolicy::default();
+        assert!(!p.use_par(p.par_threshold));
+        assert!(p.use_par(p.par_threshold + 1));
+        assert!(!KernelPolicy::seq().use_par(usize::MAX - 1));
+        assert!(KernelPolicy::force_par(8).use_par(1));
+        let ranges = KernelPolicy::force_par(3).chunk_ranges(8);
+        assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 8)]);
+        assert!(KernelPolicy::force_par(usize::MAX).chunk_ranges(5) == vec![(0, 5)]);
+        assert!(p.chunk_ranges(0).is_empty());
+    }
 
     #[test]
     fn exhaustive_always_continues() {

@@ -13,6 +13,7 @@
 //! proportional to the edge count.
 
 use crate::cgraph::{CGraph, CompId};
+use crate::policy::KernelPolicy;
 
 /// Summary of one reduction pass (reported to the cost model; the paper
 /// charges these operations to the merge phase).
@@ -31,10 +32,18 @@ pub struct ReduceStats {
 /// Runs self-edge removal followed by multi-edge removal on a holding,
 /// entirely in place.
 pub fn reduce_holding(cg: &mut CGraph) -> ReduceStats {
+    reduce_holding_with(cg, &KernelPolicy::default())
+}
+
+/// As [`reduce_holding`], under an explicit (typically calibrated)
+/// [`KernelPolicy`]: above the crossover the compactions evaluate their
+/// predicates over row chunks on rayon workers and the ordering passes use
+/// the parallel permutation sort. Oracle-identical for any chunking.
+pub fn reduce_holding_with(cg: &mut CGraph, policy: &KernelPolicy) -> ReduceStats {
     let before = cg.num_edges() as u64;
-    cg.remove_self_edges();
+    cg.remove_self_edges_with(policy);
     let after_self = cg.num_edges() as u64;
-    cg.remove_multi_edges();
+    cg.remove_multi_edges_with(policy);
     let after = cg.num_edges() as u64;
     ReduceStats {
         edges_before: before,
@@ -60,13 +69,24 @@ pub fn ghost_parent_message(msg: &mut Vec<(CompId, CompId)>) {
 /// renames of resident components were already committed by the local
 /// kernel; this call is specifically for ghost (non-resident) endpoints.
 pub fn apply_ghost_parents(cg: &mut CGraph, updates: &[(CompId, CompId)]) {
+    apply_ghost_parents_with(cg, &KernelPolicy::default(), updates);
+}
+
+/// As [`apply_ghost_parents`], with the endpoint relabel sweep chunked
+/// across rayon workers above the policy crossover (rows are independent,
+/// so any chunking produces the sequential result).
+pub fn apply_ghost_parents_with(
+    cg: &mut CGraph,
+    policy: &KernelPolicy,
+    updates: &[(CompId, CompId)],
+) {
     if updates.is_empty() {
         return;
     }
     let map: std::collections::HashMap<CompId, CompId> = updates.iter().copied().collect();
     let resident: Vec<CompId> = cg.resident().to_vec();
     let is_res = |c: CompId| resident.binary_search(&c).is_ok();
-    cg.relabel(|c| {
+    cg.relabel_with(policy, |c| {
         if is_res(c) {
             c
         } else {

@@ -16,6 +16,7 @@ use mnd_graph::types::WEdge;
 use rayon::prelude::*;
 
 use crate::cgraph::{CGraph, CompId};
+use crate::policy::KernelPolicy;
 
 /// Default row-chunk size for [`min_edge_scan`]: big enough that the
 /// per-chunk winner table amortizes, small enough to load-balance.
@@ -64,10 +65,17 @@ pub fn min_edge_scan_par(cg: &CGraph, chunk_rows: usize) -> Vec<Option<u32>> {
 /// under one chunk of edges (thread spawn would dominate), chunked-parallel
 /// above.
 pub fn min_edge_scan(cg: &CGraph) -> Vec<Option<u32>> {
-    if cg.num_edges() <= DEFAULT_CHUNK_ROWS {
-        min_edge_scan_seq(cg)
+    min_edge_scan_with(cg, &KernelPolicy::default())
+}
+
+/// The election under an explicit (typically calibrated) [`KernelPolicy`]:
+/// sequential at or below the crossover, chunked-parallel with the policy's
+/// chunk size above it. Identical output either way.
+pub fn min_edge_scan_with(cg: &CGraph, policy: &KernelPolicy) -> Vec<Option<u32>> {
+    if policy.use_par(cg.num_edges()) {
+        min_edge_scan_par(cg, policy.chunk_rows.max(1))
     } else {
-        min_edge_scan_par(cg, DEFAULT_CHUNK_ROWS)
+        min_edge_scan_seq(cg)
     }
 }
 

@@ -1,0 +1,181 @@
+//! Oracle tests for the parallel holding plane (DESIGN.md §5e).
+//!
+//! The determinism contract says every policy-aware kernel produces output
+//! **byte-identical** to the sequential reference — for any chunk size, any
+//! crossover and any rayon worker count. These tests force the parallel
+//! path onto small fixtures with adversarial chunkings (1, a prime, and
+//! `usize::MAX`) and diff entire holdings against `KernelPolicy::seq()`.
+
+use mnd_graph::partition::partition_1d;
+use mnd_graph::{gen, CsrGraph, EdgeList};
+use mnd_kernels::boruvka::local_boruvka_with;
+use mnd_kernels::cgraph::{CGraph, CompId};
+use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
+use mnd_kernels::reduce::{apply_ghost_parents_with, reduce_holding_with};
+use mnd_kernels::scan::min_edge_scan_with;
+
+/// Adversarial chunk sizes: degenerate single-row chunks, a prime that
+/// never divides the fixture sizes, and one chunk covering everything.
+const CHUNKS: [usize; 3] = [1, 13, usize::MAX];
+
+/// Graph families the paper evaluates: skewed (RMAT), uniform (ER/gnm)
+/// and high-diameter (road grid).
+fn fixtures() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        ("rmat", gen::rmat(512, 4096, gen::RmatProbs::GRAPH500, 31)),
+        ("er", gen::gnm(400, 2400, 32)),
+        ("road", gen::road_grid(20, 20, 0.02, 0.38, 33)),
+    ]
+}
+
+/// A 4-way partitioned holding (has cut edges) for kernels that need one.
+fn partitioned(el: &EdgeList) -> Vec<CGraph> {
+    let csr = CsrGraph::from_edge_list(el);
+    partition_1d(&csr, 4, 1.0)
+        .into_iter()
+        .map(|r| CGraph::from_partition(&csr, r))
+        .collect()
+}
+
+#[test]
+fn reduce_holding_matches_seq_for_any_chunking() {
+    for (name, el) in fixtures() {
+        let mut expect = CGraph::from_edge_list(&el);
+        let expect_stats = reduce_holding_with(&mut expect, &KernelPolicy::seq());
+        for chunk in CHUNKS {
+            let mut got = CGraph::from_edge_list(&el);
+            let got_stats = reduce_holding_with(&mut got, &KernelPolicy::force_par(chunk));
+            assert_eq!(got_stats, expect_stats, "{name} chunk={chunk}");
+            assert_eq!(got, expect, "{name} chunk={chunk}");
+        }
+    }
+}
+
+#[test]
+fn ghost_apply_matches_seq_for_any_chunking() {
+    for (name, el) in fixtures() {
+        for (part, base) in partitioned(&el).into_iter().enumerate() {
+            // Rename every ghost endpoint to a fresh id, like a real
+            // mergeParts round would after remote contractions.
+            let resident: Vec<CompId> = base.resident().to_vec();
+            let mut updates: Vec<(CompId, CompId)> = base
+                .iter_edges()
+                .flat_map(|e| [e.a, e.b])
+                .filter(|c| resident.binary_search(c).is_err())
+                .map(|c| (c, c / 2 + 1_000_000))
+                .collect();
+            updates.sort_unstable();
+            updates.dedup();
+
+            let mut expect = base.clone();
+            apply_ghost_parents_with(&mut expect, &KernelPolicy::seq(), &updates);
+            for chunk in CHUNKS {
+                let mut got = base.clone();
+                apply_ghost_parents_with(&mut got, &KernelPolicy::force_par(chunk), &updates);
+                assert_eq!(got, expect, "{name} part={part} chunk={chunk}");
+            }
+        }
+    }
+}
+
+#[test]
+fn min_edge_scan_matches_seq_for_any_chunking() {
+    for (name, el) in fixtures() {
+        let cg = CGraph::from_edge_list(&el);
+        let expect = min_edge_scan_with(&cg, &KernelPolicy::seq());
+        for chunk in CHUNKS {
+            let got = min_edge_scan_with(&cg, &KernelPolicy::force_par(chunk));
+            assert_eq!(got, expect, "{name} chunk={chunk}");
+        }
+    }
+}
+
+#[test]
+fn incident_counts_match_seq_for_any_chunking() {
+    for (name, el) in fixtures() {
+        let mut cg = CGraph::from_edge_list(&el);
+        let expect = cg.incident_counts_with(&KernelPolicy::seq()).to_vec();
+        for chunk in CHUNKS {
+            let got = cg
+                .incident_counts_with(&KernelPolicy::force_par(chunk))
+                .to_vec();
+            assert_eq!(got, expect, "{name} chunk={chunk}");
+        }
+    }
+}
+
+#[test]
+fn local_boruvka_matches_seq_for_any_chunking() {
+    for (name, el) in fixtures() {
+        for excp in [ExcpCond::BorderEdge, ExcpCond::BorderVertex] {
+            for freeze in [FreezePolicy::Sticky, FreezePolicy::Recheck] {
+                for (part, base) in partitioned(&el).into_iter().enumerate() {
+                    let mut expect_cg = base.clone();
+                    let expect = local_boruvka_with(
+                        &mut expect_cg,
+                        &KernelPolicy::seq(),
+                        excp,
+                        freeze,
+                        StopPolicy::Exhaustive,
+                    );
+                    for chunk in CHUNKS {
+                        let mut got_cg = base.clone();
+                        let got = local_boruvka_with(
+                            &mut got_cg,
+                            &KernelPolicy::force_par(chunk),
+                            excp,
+                            freeze,
+                            StopPolicy::Exhaustive,
+                        );
+                        let tag = format!("{name} {excp:?}/{freeze:?} part={part} chunk={chunk}");
+                        assert_eq!(got.msf_edges, expect.msf_edges, "{tag}");
+                        assert_eq!(got.relabel, expect.relabel, "{tag}");
+                        assert_eq!(got.work, expect.work, "{tag}");
+                        assert_eq!(got_cg, expect_cg, "{tag}");
+                        assert_eq!(got_cg.frozen(), expect_cg.frozen(), "{tag}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Worker count must not change anything either: the same forced-parallel
+/// pipeline run under 1, 2 and 8 rayon threads yields one answer. The shim
+/// reads `RAYON_NUM_THREADS` per call, so a single test can sweep it (other
+/// tests running concurrently only see their worker counts change, never
+/// their results — that is the point of the contract).
+#[test]
+fn thread_count_does_not_change_results() {
+    let el = gen::rmat(512, 4096, gen::RmatProbs::GRAPH500, 37);
+    let run = || -> (Vec<CGraph>, Vec<mnd_graph::WEdge>) {
+        let policy = KernelPolicy::force_par(13);
+        let mut holdings = partitioned(&el);
+        let mut msf = Vec::new();
+        for cg in &mut holdings {
+            let out = local_boruvka_with(
+                cg,
+                &policy,
+                ExcpCond::BorderEdge,
+                FreezePolicy::Sticky,
+                StopPolicy::Exhaustive,
+            );
+            msf.extend(out.msf_edges);
+            reduce_holding_with(cg, &policy);
+            cg.incident_counts_with(&policy);
+        }
+        (holdings, msf)
+    };
+
+    let mut results = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        results.push(run());
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let (first_holdings, first_msf) = &results[0];
+    for (i, (holdings, msf)) in results.iter().enumerate().skip(1) {
+        assert_eq!(holdings, first_holdings, "thread sweep entry {i}");
+        assert_eq!(msf, first_msf, "thread sweep entry {i}");
+    }
+}

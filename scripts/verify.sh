@@ -30,6 +30,9 @@ cargo test -q --workspace
 if [[ "$QUICK" -eq 0 ]]; then
   echo "==> cargo bench (smoke: one sample per bench)"
   cargo bench -p mnd-bench --features criterion-bench -- --test
+
+  echo "==> perf snapshot (BENCH_3.json)"
+  cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_3.json
 fi
 
 echo "verify: OK"

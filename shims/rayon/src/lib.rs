@@ -11,11 +11,19 @@
 
 use std::ops::Range;
 
-/// Upper bound on worker threads; small inputs use fewer.
+/// Upper bound on worker threads; small inputs use fewer. Honours
+/// `RAYON_NUM_THREADS` like real rayon (read per call, so tests can vary
+/// the thread count without rebuilding pools).
 fn num_threads(items: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let hw = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
     hw.min(8).min(items.max(1))
 }
 
@@ -167,9 +175,84 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// `par_sort_unstable_by_key` — mutable-slice parallel operations. The shim
+/// covers `Copy` element types (the workspace sorts index permutations);
+/// real rayon is more general.
+pub trait ParallelSliceMut<T: Send + Copy> {
+    /// Sorts the slice in parallel: chunks are sorted on worker threads and
+    /// merged pairwise. Unstable in the same sense as
+    /// `slice::sort_unstable_by_key`; callers needing a deterministic
+    /// permutation should make the key injective.
+    fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
+    where
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send + Copy> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
+    where
+        F: Fn(&T) -> K + Sync,
+    {
+        let n = self.len();
+        let nt = num_threads(n);
+        if n < 2 || nt <= 1 {
+            self.sort_unstable_by_key(|t| key(t));
+            return;
+        }
+        // Sort disjoint chunks on scoped threads...
+        let chunk_len = n.div_ceil(nt);
+        let key_ref = &key;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in self.chunks_mut(chunk_len) {
+                handles.push(s.spawn(move || chunk.sort_unstable_by_key(|t| key_ref(t))));
+            }
+            for h in handles {
+                h.join().expect("rayon shim sort worker panicked");
+            }
+        });
+        // ...then merge sorted runs pairwise until one run remains.
+        let mut run = chunk_len;
+        while run < n {
+            let mut lo = 0;
+            while lo + run < n {
+                let hi = (lo + 2 * run).min(n);
+                merge_in_place(&mut self[lo..hi], run, key_ref);
+                lo = hi;
+            }
+            run *= 2;
+        }
+    }
+}
+
+/// Merges the two sorted runs `s[..mid]` and `s[mid..]` (stably: on equal
+/// keys the left run's elements come first).
+fn merge_in_place<T: Copy, K: Ord>(s: &mut [T], mid: usize, key: &impl Fn(&T) -> K) {
+    if mid == 0 || mid >= s.len() || key(&s[mid - 1]) <= key(&s[mid]) {
+        return;
+    }
+    let mut merged: Vec<T> = Vec::with_capacity(s.len());
+    {
+        let (left, right) = s.split_at(mid);
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() && j < right.len() {
+            if key(&right[j]) < key(&left[i]) {
+                merged.push(right[j]);
+                j += 1;
+            } else {
+                merged.push(left[i]);
+                i += 1;
+            }
+        }
+        merged.extend_from_slice(&left[i..]);
+        merged.extend_from_slice(&right[j..]);
+    }
+    s.copy_from_slice(&merged);
+}
+
 pub mod prelude {
     //! Glob-importable traits, mirroring `rayon::prelude`.
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -206,5 +289,28 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_sort_matches_sequential_sort() {
+        // Pseudo-random but deterministic input, incl. duplicate keys.
+        let mut v: Vec<u32> = (0..10_007u32)
+            .map(|i| i.wrapping_mul(2654435761) % 512)
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        v.par_sort_unstable_by_key(|&x| x);
+        assert_eq!(v, expect);
+        let mut empty: Vec<u32> = Vec::new();
+        empty.par_sort_unstable_by_key(|&x| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn thread_count_honours_env() {
+        std::env::set_var("RAYON_NUM_THREADS", "2");
+        assert_eq!(super::num_threads(1000), 2);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(super::num_threads(1000) >= 1);
     }
 }
