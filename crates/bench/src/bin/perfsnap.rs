@@ -1,7 +1,7 @@
 //! `perfsnap` — writes a machine-readable perf snapshot of the build.
 //!
 //! ```text
-//! perfsnap [PATH]    # default BENCH_3.json
+//! perfsnap [PATH]    # default BENCH_4.json
 //! ```
 //!
 //! The snapshot records (a) the measured kernel-policy crossover table,
@@ -21,7 +21,7 @@ use mnd_graph::presets::Preset;
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".into());
+        .unwrap_or_else(|| "BENCH_4.json".into());
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -29,8 +29,13 @@ fn main() {
     let cal = calibrate_kernel_policy(42);
     let sweep = kernel_sweep(42, &SWEEP_SIZES);
 
-    // End-to-end: verified runs at the default scale divisor.
-    let ctx = ExpContext::default();
+    // End-to-end: verified runs at the default scale divisor, under the
+    // policy just calibrated (results are policy-invariant; wall-clock is
+    // what the snapshot tracks).
+    let ctx = ExpContext {
+        kernel_policy: cal.policy,
+        ..Default::default()
+    };
     let el = ctx.graph(Preset::Arabic2005);
     let mut e2e = Vec::new();
     for nodes in [4usize, 16] {
@@ -41,12 +46,15 @@ fn main() {
 
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"pr\": 3,");
+    let _ = writeln!(j, "  \"pr\": 4,");
     let _ = writeln!(j, "  \"host_threads\": {host_threads},");
     let _ = writeln!(
         j,
-        "  \"policy\": {{\"par_threshold\": {}, \"chunk_rows\": {}}},",
-        cal.policy.par_threshold, cal.policy.chunk_rows
+        "  \"policy\": {{\"par_threshold\": {}, \"reduce_par_threshold\": {}, \"relabel_par_threshold\": {}, \"chunk_rows\": {}}},",
+        cal.policy.par_threshold,
+        cal.policy.reduce_par_threshold,
+        cal.policy.relabel_par_threshold,
+        cal.policy.chunk_rows
     );
     j.push_str("  \"crossover\": [\n");
     for (i, row) in cal.table.iter().enumerate() {

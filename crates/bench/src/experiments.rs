@@ -11,7 +11,7 @@ use mnd_graph::{CsrGraph, EdgeList};
 use mnd_hypar::observe::ObserverHook;
 use mnd_hypar::HyParConfig;
 use mnd_kernels::oracle::kruskal_msf;
-use mnd_kernels::policy::{ExcpCond, FreezePolicy, StopPolicy};
+use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
 use mnd_mst::{MndMstReport, MndMstRunner};
 use mnd_net::Tag;
 use mnd_pregel::{pregel_msf, BspConfig, PregelReport};
@@ -30,6 +30,11 @@ pub struct ExpContext {
     /// Optional observer attached to every MND run's config — the
     /// `--trace` plumbing (see [`crate::trace`]). Unset by default.
     pub observer: ObserverHook,
+    /// Holding-plane kernel policy threaded into every MND run. Defaults
+    /// to the conservative fallback; the `repro` binary installs the
+    /// host-calibrated (disk-cached) policy instead. Never changes
+    /// results — only which kernels take the chunk-parallel path.
+    pub kernel_policy: KernelPolicy,
 }
 
 impl Default for ExpContext {
@@ -39,6 +44,7 @@ impl Default for ExpContext {
             seed: 42,
             verify: true,
             observer: ObserverHook::none(),
+            kernel_policy: KernelPolicy::default(),
         }
     }
 }
@@ -52,7 +58,9 @@ impl ExpContext {
     /// HyPar config carrying the simulation scale (and the context's
     /// observer, when one is attached).
     pub fn hypar(&self) -> HyParConfig {
-        let mut cfg = HyParConfig::default().with_sim_scale(self.scale as f64);
+        let mut cfg = HyParConfig::default()
+            .with_sim_scale(self.scale as f64)
+            .with_kernel_policy(self.kernel_policy);
         cfg.observer = self.observer.clone();
         cfg
     }
@@ -893,12 +901,17 @@ pub struct ChaosRow {
     pub restores: u64,
     /// Total virtual seconds lost to injected stalls.
     pub stall: f64,
+    /// Compute seconds re-executed during rollback recovery (charged).
+    pub replayed_compute: f64,
+    /// Inbound bytes served from replay logs (not re-charged).
+    pub replayed_in_bytes: u64,
 }
 
 /// The chaos sweep: the same run under increasingly hostile fault plans,
 /// reporting recovery overhead over the fault-free baseline. Every run —
-/// drops, delays, duplicates, a mid-pipeline crash, a dead merge leader —
-/// still produces the oracle MSF.
+/// drops, delays, duplicates, a boundary crash, a mid-phase crash replayed
+/// from the previous checkpoint, a dead merge leader — still produces the
+/// oracle MSF.
 pub fn chaos(ctx: &ExpContext, nranks: usize) -> Vec<ChaosRow> {
     let el = ctx.graph(Preset::RoadUsa);
     let platform = NodePlatform::amd_cluster();
@@ -926,6 +939,10 @@ pub fn chaos(ctx: &ExpContext, nranks: usize) -> Vec<ChaosRow> {
                 .with_crash(crash_rank, 1),
         ),
         (
+            "mid-phase crash @indComp",
+            FaultPlan::new(ctx.seed).with_mid_phase_crash(crash_rank, 1, 3),
+        ),
+        (
             "dead leader @L1, drop 1%",
             FaultPlan::new(ctx.seed)
                 .with_drop_rate(0.01)
@@ -941,6 +958,8 @@ pub fn chaos(ctx: &ExpContext, nranks: usize) -> Vec<ChaosRow> {
         redeliveries: 0,
         restores: 0,
         stall: 0.0,
+        replayed_compute: 0.0,
+        replayed_in_bytes: 0,
     }];
     for (name, plan) in plans {
         let r = run_mnd_chaos(ctx, &el, nranks, platform.clone(), Arc::new(plan));
@@ -952,6 +971,8 @@ pub fn chaos(ctx: &ExpContext, nranks: usize) -> Vec<ChaosRow> {
             redeliveries: r.rank_stats.iter().map(|s| s.redeliveries).sum(),
             restores: r.rank_stats.iter().map(|s| s.checkpoint_restores).sum(),
             stall: r.rank_stats.iter().map(|s| s.stall_time).sum(),
+            replayed_compute: r.rank_stats.iter().map(|s| s.replayed_compute).sum(),
+            replayed_in_bytes: r.rank_stats.iter().map(|s| s.replayed_in_bytes).sum(),
         });
     }
     rows
@@ -1080,8 +1101,8 @@ mod tests {
     #[test]
     fn chaos_sweep_verifies_and_counts_faults() {
         let rows = chaos(&tiny(), 4);
-        // Baseline + armed-but-clean + 6 fault plans.
-        assert_eq!(rows.len(), 8);
+        // Baseline + armed-but-clean + 7 fault plans.
+        assert_eq!(rows.len(), 9);
         assert_eq!(rows[0].overhead, 0.0);
         // The 10% drop plan must force retries somewhere.
         let drops = rows.iter().find(|r| r.plan == "drop 10%").unwrap();
@@ -1089,6 +1110,18 @@ mod tests {
         // The crash plan must restore from checkpoint.
         let crash = rows.iter().find(|r| r.plan.starts_with("crash")).unwrap();
         assert_eq!(crash.restores, 1, "{crash:?}");
+        // The mid-phase crash must roll back and re-execute: nonzero
+        // replayed compute, replayed bytes served from logs for free.
+        let mid = rows
+            .iter()
+            .find(|r| r.plan.starts_with("mid-phase"))
+            .unwrap();
+        assert_eq!(mid.restores, 1, "{mid:?}");
+        assert!(mid.replayed_compute > 0.0, "{mid:?}");
+        assert!(mid.replayed_in_bytes > 0, "{mid:?}");
+        // Boundary crashes re-read a checkpoint; only mid-phase crashes
+        // re-execute work.
+        assert_eq!(crash.replayed_compute, 0.0, "{crash:?}");
     }
 
     #[test]

@@ -49,4 +49,4 @@ pub mod plan;
 pub mod rng;
 
 pub use log::ChaosLog;
-pub use plan::{FaultPlan, FaultRule};
+pub use plan::{CrashPoint, FaultPlan, FaultRule};

@@ -13,6 +13,23 @@ use mnd_net::{FaultInjector, SendFate, Tag};
 
 use crate::rng::{mix, unit};
 
+/// Where in the pipeline a scheduled crash kills a rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CrashPoint {
+    /// At a checkpoint boundary: the classic same-boundary wipe/restore
+    /// (no modelled work is lost).
+    Boundary(u32),
+    /// Inside a phase, just before fabric op `op` of `epoch`: the rank
+    /// rolls back to the checkpoint *before* the epoch and replays
+    /// (DESIGN.md §5f).
+    MidPhase {
+        /// Epoch (recovery points passed) in which the crash fires.
+        epoch: u32,
+        /// Fabric-op ordinal within the epoch.
+        op: u64,
+    },
+}
+
 /// Message-fault probabilities for one traffic class. Rates are per
 /// transmission, in `[0, 1]`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -62,6 +79,7 @@ pub struct FaultPlan {
     by_src: BTreeMap<usize, FaultRule>,
     stalls: BTreeMap<(usize, u32), f64>,
     crashes: BTreeSet<(usize, u32)>,
+    mid_phase_crashes: BTreeMap<(usize, u32), u64>,
     dead_leaders: BTreeSet<(usize, u32)>,
 }
 
@@ -75,6 +93,7 @@ impl FaultPlan {
             by_src: BTreeMap::new(),
             stalls: BTreeMap::new(),
             crashes: BTreeSet::new(),
+            mid_phase_crashes: BTreeMap::new(),
             dead_leaders: BTreeSet::new(),
         }
     }
@@ -140,6 +159,23 @@ impl FaultPlan {
     pub fn with_crash(mut self, rank: usize, boundary: u32) -> Self {
         self.crashes.insert((rank, boundary));
         self
+    }
+
+    /// Schedules a crash on `rank` *inside* a phase: the rank dies just
+    /// before issuing fabric op `op` of `epoch` (epoch = recovery points
+    /// passed; epoch 0 is Partition). It restores the checkpoint written
+    /// before the epoch, replays logged traffic, and re-executes.
+    pub fn with_mid_phase_crash(mut self, rank: usize, epoch: u32, op: u64) -> Self {
+        self.mid_phase_crashes.insert((rank, epoch), op);
+        self
+    }
+
+    /// Schedules a crash at an arbitrary [`CrashPoint`].
+    pub fn with_crash_point(self, rank: usize, point: CrashPoint) -> Self {
+        match point {
+            CrashPoint::Boundary(b) => self.with_crash(rank, b),
+            CrashPoint::MidPhase { epoch, op } => self.with_mid_phase_crash(rank, epoch, op),
+        }
     }
 
     /// Marks `rank` as down for leader duty at merge level `level`, forcing
@@ -209,6 +245,10 @@ impl ChaosControl for FaultPlan {
 
     fn leader_down(&self, rank: usize, level: u32) -> bool {
         self.dead_leaders.contains(&(rank, level))
+    }
+
+    fn mid_phase_crash(&self, rank: usize, epoch: u32) -> Option<u64> {
+        self.mid_phase_crashes.get(&(rank, epoch)).copied()
     }
 }
 
@@ -287,13 +327,26 @@ mod tests {
         let plan = FaultPlan::new(0)
             .with_stall(2, 1, 0.75)
             .with_crash(3, 4)
+            .with_mid_phase_crash(1, 2, 17)
             .with_dead_leader(0, 1);
         assert_eq!(plan.stall_seconds(2, 1), 0.75);
         assert_eq!(plan.stall_seconds(2, 2), 0.0);
         assert!(plan.crashes_at(3, 4));
         assert!(!plan.crashes_at(3, 5));
+        assert_eq!(plan.mid_phase_crash(1, 2), Some(17));
+        assert_eq!(plan.mid_phase_crash(1, 3), None);
+        assert_eq!(plan.mid_phase_crash(0, 2), None);
         assert!(plan.leader_down(0, 1));
         assert!(!plan.leader_down(1, 1));
+    }
+
+    #[test]
+    fn crash_points_route_to_both_planes() {
+        let plan = FaultPlan::new(0)
+            .with_crash_point(2, CrashPoint::Boundary(1))
+            .with_crash_point(3, CrashPoint::MidPhase { epoch: 1, op: 5 });
+        assert!(plan.crashes_at(2, 1));
+        assert_eq!(plan.mid_phase_crash(3, 1), Some(5));
     }
 
     #[test]

@@ -3,7 +3,6 @@
 
 use mnd_hypar::api::ind_comp;
 use mnd_hypar::observe::PhaseKind;
-use mnd_hypar::runtime::should_recurse;
 
 use crate::phases::{MergeParts, Phase, RankCtx};
 
@@ -30,6 +29,11 @@ impl Phase for IndComp {
     }
 
     fn run(&mut self, cx: &mut RankCtx<'_>) {
+        // Resolved once per step: the paper's fixed constant or the
+        // platform-calibrated break-even point (§4.3.3), already in scaled
+        // edges. Identical on every rank, so the lockstep break below is a
+        // global decision.
+        let threshold = cx.runner.recursion_threshold_edges();
         for _round in 0..cx.runner.max_recursion_rounds.max(1) {
             // Independent computations on the node's device(s).
             let unions = cx.observed(PhaseKind::IndComp, |cx| {
@@ -54,7 +58,7 @@ impl Phase for IndComp {
                     cx.comm.allreduce_u64(unions, |a, b| a + b),
                 )
             });
-            if total_unions == 0 || !should_recurse(cx.cfg(), max_edges) {
+            if total_unions == 0 || max_edges <= threshold {
                 break;
             }
         }

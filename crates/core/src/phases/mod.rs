@@ -30,7 +30,10 @@ pub use merge_parts::MergeParts;
 pub use partition::Partition;
 pub use post_process::PostProcess;
 
-use std::sync::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mnd_device::DeviceSplit;
 use mnd_graph::types::WEdge;
@@ -65,11 +68,11 @@ pub trait Phase {
 pub struct PhaseTimesRecorder(Mutex<PhaseTimes>);
 
 impl PhaseTimesRecorder {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         PhaseTimesRecorder(Mutex::new(PhaseTimes::default()))
     }
 
-    fn snapshot(&self) -> PhaseTimes {
+    pub(crate) fn snapshot(&self) -> PhaseTimes {
         *self.0.lock().expect("recorder poisoned")
     }
 }
@@ -122,18 +125,32 @@ pub struct RankCtx<'a> {
     /// schedules key on). Identical across ranks: recovery points sit at
     /// lockstep phase boundaries.
     pub boundary: u32,
-    /// Last checkpoint written (chaos runs only).
-    pub checkpoint: Option<RankCheckpoint>,
-    recorder: PhaseTimesRecorder,
+    /// Boundary whose checkpoint this re-execution resumes from (`None`
+    /// outside post-crash re-execution): the rank fast-forwards to it and
+    /// swaps the stored checkpoint in there.
+    pub resume_boundary: Option<u32>,
+    /// Last checkpoint written (chaos runs only). Owned by `rank_main` so
+    /// it survives the unwind of a mid-phase crash.
+    pub checkpoint: Rc<RefCell<Option<RankCheckpoint>>>,
+    /// Mid-phase crash points `(epoch, op)` that already fired — owned by
+    /// `rank_main`; a fired crash is never re-armed during re-execution.
+    fired: &'a RefCell<BTreeSet<(u32, u64)>>,
+    recorder: Arc<PhaseTimesRecorder>,
 }
 
 impl<'a> RankCtx<'a> {
     /// Fresh context at rank start; [`Partition`] populates the holding.
+    /// `recorder`, `checkpoint`, and `fired` are owned by the caller so
+    /// they survive a mid-phase crash unwind and carry over into the next
+    /// re-execution attempt.
     pub fn new(
         runner: &'a MndMstRunner,
         comm: &'a Comm,
         csr: &'a CsrGraph,
         el: &'a EdgeList,
+        recorder: Arc<PhaseTimesRecorder>,
+        checkpoint: Rc<RefCell<Option<RankCheckpoint>>>,
+        fired: &'a RefCell<BTreeSet<(u32, u64)>>,
     ) -> Self {
         RankCtx {
             runner,
@@ -150,8 +167,10 @@ impl<'a> RankCtx<'a> {
             max_holding_bytes: 0,
             final_rank: 0,
             boundary: 0,
-            checkpoint: None,
-            recorder: PhaseTimesRecorder::new(),
+            resume_boundary: None,
+            checkpoint,
+            fired,
+            recorder,
         }
     }
 
@@ -165,6 +184,12 @@ impl<'a> RankCtx<'a> {
     /// the rank's stats are snapshotted around the call and the difference
     /// is emitted to the internal recorder and the configured observer.
     pub fn observed<R>(&mut self, kind: PhaseKind, f: impl FnOnce(&mut Self) -> R) -> R {
+        if self.comm.fast_forward() {
+            // Zero-cost re-execution of an already-observed stretch: the
+            // stats cannot move, so neither sink gets a (spurious, empty)
+            // sample.
+            return f(self);
+        }
         let before = self.comm.stats();
         let out = f(self);
         let delta = self.comm.stats().delta_since(&before);
@@ -186,11 +211,18 @@ impl<'a> RankCtx<'a> {
     ///
     /// With chaos armed the rank, in order: serves any scheduled stall,
     /// writes a checkpoint (charged at the runner's storage rate, counted
-    /// in [`mnd_net::RankStats::checkpoint_writes`]), and — if the
-    /// schedule crashes it here — loses its in-memory state, pays the
-    /// restart penalty, and rebuilds from the checkpoint it just wrote.
-    /// Everything is rank-local (no communication), so the lockstep
+    /// in [`mnd_net::RankStats::checkpoint_writes`]), commits it — which
+    /// garbage-collects the send-side replay log and advances the epoch —
+    /// and, if the schedule crashes it here, loses its in-memory state,
+    /// pays the restart penalty, and rebuilds from the checkpoint it just
+    /// wrote. Everything is rank-local (no communication), so the lockstep
     /// discipline of the collectives is unaffected.
+    ///
+    /// During post-crash fast-forward the boundary is only *traversed*:
+    /// stall/checkpoint/crash work was already charged before the crash.
+    /// At the resume boundary the stored checkpoint is swapped in and the
+    /// rank switches to live replay of the interrupted epoch
+    /// (DESIGN.md §5f).
     pub fn recovery_point(&mut self) {
         let chaos = &self.cfg().chaos;
         if !chaos.is_set() {
@@ -199,6 +231,30 @@ impl<'a> RankCtx<'a> {
         let b = self.boundary;
         self.boundary += 1;
         let rank = self.comm.rank();
+
+        if self.comm.fast_forward() {
+            self.comm.advance_epoch();
+            if Some(b) == self.resume_boundary {
+                let ckpt = self
+                    .checkpoint
+                    .borrow()
+                    .clone()
+                    .expect("resume boundary must have a committed checkpoint");
+                debug_assert_eq!(ckpt.boundary, b, "stale checkpoint in the slot");
+                let bytes = mnd_net::Wire::wire_bytes(&ckpt);
+                ckpt.restore(self);
+                self.comm.set_fast_forward(false);
+                self.comm.set_replay_live(true);
+                self.comm.note_checkpoint_restore();
+                self.emit_chaos(ChaosEventKind::CheckpointRestore, b, bytes);
+                self.arm_crash_for_current_epoch();
+            }
+            return;
+        }
+        // Replay normally goes live inside send/recv when it catches up
+        // with the crash point; an epoch tail without fabric ops ends here
+        // at the latest.
+        self.comm.set_replay_live(false);
 
         let stall = chaos.stall_seconds(rank, b);
         if stall > 0.0 {
@@ -211,7 +267,13 @@ impl<'a> RankCtx<'a> {
         self.comm.compute(self.runner.checkpoint_seconds(bytes));
         self.comm.note_checkpoint_write();
         self.emit_chaos(ChaosEventKind::CheckpointWrite, b, bytes);
-        self.checkpoint = Some(ckpt);
+        *self.checkpoint.borrow_mut() = Some(ckpt);
+        // Commit: rollback can never re-enter epochs at or before this
+        // boundary, so their send-side replay entries fold away; the epoch
+        // beginning here may carry a scheduled mid-phase crash.
+        self.comm.gc_replay_sends(self.comm.epoch());
+        self.comm.advance_epoch();
+        self.arm_crash_for_current_epoch();
 
         if chaos.crashes_at(rank, b) {
             self.emit_chaos(ChaosEventKind::Crash, b, 0);
@@ -221,17 +283,41 @@ impl<'a> RankCtx<'a> {
             self.msf_local = Vec::new();
             // ...the restart pays respawn + checkpoint re-read...
             self.comm.stall(self.runner.restart_seconds(bytes));
-            // ...and the state comes back from stable storage.
-            let ckpt = self.checkpoint.take().expect("checkpoint written above");
+            // ...and the state comes back from stable storage (the slot
+            // keeps its copy: a later mid-phase crash may need it again).
+            let ckpt = self
+                .checkpoint
+                .borrow()
+                .clone()
+                .expect("checkpoint written above");
             ckpt.restore(self);
             self.comm.note_checkpoint_restore();
             self.emit_chaos(ChaosEventKind::CheckpointRestore, b, bytes);
         }
     }
 
+    /// Arms the chaos plan's mid-phase crash for the epoch the rank is in,
+    /// unless that crash already fired (a fired crash must not loop).
+    pub(crate) fn arm_crash_for_current_epoch(&self) {
+        if self.comm.fast_forward() {
+            return;
+        }
+        let epoch = self.comm.epoch();
+        if let Some(op) = self.cfg().chaos.mid_phase_crash(self.comm.rank(), epoch) {
+            if !self.fired.borrow().contains(&(epoch, op)) {
+                self.comm.arm_mid_phase_crash(op);
+            }
+        }
+    }
+
     /// Emits a chaos event (stamped with this rank, the current merge
     /// level, and the virtual clock) to the configured observer.
     pub(crate) fn emit_chaos(&self, kind: ChaosEventKind, boundary: u32, detail: u64) {
+        if self.comm.fast_forward() {
+            // Fast-forward re-traverses boundaries whose events were
+            // already reported before the crash; don't report them twice.
+            return;
+        }
         let event = ChaosEvent {
             rank: self.comm.rank() as u32,
             kind,

@@ -16,16 +16,23 @@
 //! a real MPI job, and lets per-group decisions (§4.3.4) be taken from
 //! globally replicated data without extra coordination messages.
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use mnd_device::NodePlatform;
 use mnd_graph::{CsrGraph, EdgeList};
-use mnd_hypar::HyParConfig;
+use mnd_hypar::chaos::ChaosEventKind;
+use mnd_hypar::{HyParConfig, RecursionThresholdSource};
 use mnd_kernels::cgraph::CGraph;
 use mnd_kernels::msf::MsfResult;
-use mnd_net::{Cluster, Comm, FaultInjector, InjectorHook};
+use mnd_net::{Cluster, Comm, FaultInjector, InjectorHook, MidPhaseCrash};
 
-use crate::phases::{HierMerge, IndComp, Partition, Phase, PostProcess, RankCtx};
+use crate::checkpoint::RankCheckpoint;
+use crate::phases::{
+    HierMerge, IndComp, Partition, Phase, PhaseTimesRecorder, PostProcess, RankCtx,
+};
 use crate::result::{MndMstReport, PhaseTimes};
 use crate::segment::SegmentStrategy;
 
@@ -145,19 +152,111 @@ impl MndMstRunner {
         }
     }
 
-    /// The per-rank program: the phase pipeline over a shared context.
+    /// The per-rank program: the phase pipeline over a shared context,
+    /// wrapped in a re-execution loop when a chaos schedule is armed.
+    ///
+    /// A mid-phase crash unwinds the pipeline as a [`MidPhaseCrash`] panic.
+    /// The loop catches it, pays the restart penalty, resets the per-peer
+    /// sequence cursors, and re-runs the pipeline from the top: epochs
+    /// before the crashed one fast-forward at zero cost against the replay
+    /// log, the checkpoint written at the previous recovery boundary is
+    /// swapped in there, and the crashed epoch replays live — its inbound
+    /// messages are served from the log without re-charging the fabric
+    /// (DESIGN.md §5f). Recorder, checkpoint slot, and fired-crash set are
+    /// owned here so they survive the unwind.
     fn rank_main(&self, comm: &Comm, csr: &CsrGraph, el: &EdgeList) -> RankResult {
-        let mut cx = RankCtx::new(self, comm, csr, el);
-        let mut pipeline: [Box<dyn Phase>; 4] = [
-            Box::new(Partition),
-            Box::new(IndComp::new()),
-            Box::new(HierMerge::new()),
-            Box::new(PostProcess),
-        ];
-        for phase in pipeline.iter_mut() {
-            phase.run(&mut cx);
+        if self.config.chaos.is_set() {
+            mnd_net::install_quiet_crash_hook();
+            comm.enable_replay_log();
         }
-        cx.into_result()
+        let recorder = Arc::new(PhaseTimesRecorder::new());
+        let checkpoint: Rc<RefCell<Option<RankCheckpoint>>> = Rc::new(RefCell::new(None));
+        let fired: RefCell<BTreeSet<(u32, u64)>> = RefCell::new(BTreeSet::new());
+        // `None` = first execution; `Some(rb)` = re-execution resuming from
+        // checkpoint boundary `rb` (`Some(None)` = crash in epoch 0, no
+        // checkpoint exists: replay the whole prefix live from scratch).
+        let mut resume: Option<Option<u32>> = None;
+        loop {
+            let mut cx = RankCtx::new(
+                self,
+                comm,
+                csr,
+                el,
+                Arc::clone(&recorder),
+                Rc::clone(&checkpoint),
+                &fired,
+            );
+            if let Some(rb) = resume {
+                cx.resume_boundary = rb;
+                match rb {
+                    Some(_) => comm.set_fast_forward(true),
+                    None => comm.set_replay_live(true),
+                }
+            }
+            cx.arm_crash_for_current_epoch();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut pipeline: [Box<dyn Phase>; 4] = [
+                    Box::new(Partition),
+                    Box::new(IndComp::new()),
+                    Box::new(HierMerge::new()),
+                    Box::new(PostProcess),
+                ];
+                for phase in pipeline.iter_mut() {
+                    phase.run(&mut cx);
+                }
+            }));
+            match result {
+                Ok(()) => {
+                    comm.clear_replay_log();
+                    return cx.into_result();
+                }
+                Err(payload) => match payload.downcast::<MidPhaseCrash>() {
+                    Ok(crash) => {
+                        let crash = *crash;
+                        fired.borrow_mut().insert((crash.epoch, crash.op));
+                        comm.set_fast_forward(false);
+                        comm.set_replay_live(false);
+                        cx.emit_chaos(ChaosEventKind::MidPhaseCrash, crash.epoch, crash.op);
+                        // The restart pays respawn + re-reading whatever
+                        // checkpoint exists; replayed bytes are free but
+                        // re-executed compute is charged as it re-runs.
+                        let ckpt_bytes = checkpoint
+                            .borrow()
+                            .as_ref()
+                            .map_or(0, mnd_net::Wire::wire_bytes);
+                        comm.stall(self.restart_seconds(ckpt_bytes));
+                        comm.reset_sequences();
+                        resume = Some(if crash.epoch == 0 {
+                            None
+                        } else {
+                            Some(crash.epoch - 1)
+                        });
+                    }
+                    Err(other) => std::panic::resume_unwind(other),
+                },
+            }
+        }
+    }
+
+    /// The recursion-stop threshold for independent computations, in
+    /// *simulated* edges: below it a holding is small enough that another
+    /// distributed recursion round costs more than finishing locally.
+    ///
+    /// With [`RecursionThresholdSource::Fixed`] this is the configured
+    /// paper constant scaled by `sim_scale`; with the default
+    /// [`RecursionThresholdSource::Calibrated`] it is derived from the
+    /// platform model — the edge volume whose local processing time equals
+    /// a recursion round's collective latency (see
+    /// [`mnd_device::calibrated_recursion_threshold`]).
+    pub(crate) fn recursion_threshold_edges(&self) -> u64 {
+        match self.config.recursion_threshold_source {
+            RecursionThresholdSource::Fixed => self.config.scaled_recursion_threshold(),
+            RecursionThresholdSource::Calibrated => {
+                let paper_edges =
+                    mnd_device::calibrated_recursion_threshold(&self.platform, self.nranks);
+                ((paper_edges as f64 / self.config.sim_scale).ceil() as u64).max(1)
+            }
+        }
     }
 
     /// Seconds a single linear sweep over `items` costs on this node's CPU

@@ -5,9 +5,9 @@
 //! will be able to accommodate at least one segment it receives from
 //! another processor in addition to the segments that it contains."
 //!
-//! A segment carries roughly half of the holder's incident edges,
-//! additionally capped so the segment's (paper-scale) bytes fit within the
-//! receiver's guaranteed headroom. Which components make up that half is a
+//! A segment carries roughly half of the holder's wire bytes, additionally
+//! capped so the segment's (paper-scale) bytes fit within the receiver's
+//! guaranteed headroom. Which components make up that half is a
 //! bin-packing choice ([`SegmentStrategy`]): the original first-fit suffix
 //! walk, or the default size-aware best-fit-decreasing packing that fills
 //! the budget with the heaviest components first — on skewed holdings the
@@ -92,10 +92,10 @@ pub enum SegmentStrategy {
 }
 
 /// Picks the components of the next outgoing segment: a subset of the
-/// resident components carrying at most half of the incident edges, capped
-/// at `max_bytes` (estimated as edges × edge size), packed per the default
-/// [`SegmentStrategy`]. The holder always keeps at least one component so
-/// it still participates in collaborative merging.
+/// resident components carrying at most half of the holding's wire bytes,
+/// capped at `max_bytes`, packed per the default [`SegmentStrategy`]. The
+/// holder always keeps at least one component so it still participates in
+/// collaborative merging.
 ///
 /// Returns an empty vector when the holder has fewer than 2 components
 /// (nothing sensible to send).
@@ -111,6 +111,13 @@ pub fn choose_segment(cg: &mut CGraph, max_bytes: u64) -> Vec<CompId> {
 /// As [`choose_segment`] with an explicit packing strategy and kernel
 /// policy (the incident-count column is a parallel reduction above the
 /// policy crossover).
+///
+/// Components are weighed by the **wire bytes** they put in the outgoing
+/// [`SegmentMsg`] — resident id + incident edges × edge size + the frozen
+/// mark if present — so the packing weight and the `max_bytes` cap share
+/// units. The old incident-*count* weighting under-counted components with
+/// frozen marks and made the cap an edge-count estimate that drifted from
+/// what [`mnd_net::Comm::send`] actually charges.
 pub fn choose_segment_with(
     cg: &mut CGraph,
     max_bytes: u64,
@@ -122,11 +129,20 @@ pub fn choose_segment_with(
         return Vec::new();
     }
     let resident: Vec<CompId> = cg.resident().to_vec();
-    let counts = cg.incident_counts_with(policy);
-    let total: u64 = counts.iter().sum();
+    let frozen: std::collections::HashSet<CompId> = cg.frozen().iter().copied().collect();
     let edge_bytes = std::mem::size_of::<CEdge>() as u64;
-    let budget_edges = (max_bytes / edge_bytes.max(1)).max(1);
-    let target = (total / 2).min(budget_edges);
+    let id_bytes = std::mem::size_of::<CompId>() as u64;
+    let weights: Vec<u64> = cg
+        .incident_counts_with(policy)
+        .iter()
+        .zip(&resident)
+        .map(|(&cnt, c)| {
+            let mark = if frozen.contains(c) { id_bytes } else { 0 };
+            id_bytes + cnt * edge_bytes + mark
+        })
+        .collect();
+    let total: u64 = weights.iter().sum();
+    let target = (total / 2).min(max_bytes).max(1);
 
     let mut acc = 0u64;
     let mut take = Vec::new();
@@ -135,7 +151,7 @@ pub fn choose_segment_with(
             // Suffix walk; the first component is taken unconditionally so
             // the segment always makes progress.
             for i in (1..n).rev() {
-                let w = counts[i];
+                let w = weights[i];
                 if !take.is_empty() && acc + w > target {
                     break;
                 }
@@ -151,17 +167,17 @@ pub fn choose_segment_with(
             // choice is deterministic.
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_unstable_by(|&a, &b| {
-                counts[b]
-                    .cmp(&counts[a])
+                weights[b]
+                    .cmp(&weights[a])
                     .then(resident[a].cmp(&resident[b]))
             });
             for &i in &order {
                 if take.len() + 1 == n || acc >= target {
                     break;
                 }
-                if acc + counts[i] <= target {
+                if acc + weights[i] <= target {
                     take.push(resident[i]);
-                    acc += counts[i];
+                    acc += weights[i];
                 }
             }
             if take.is_empty() {
@@ -256,7 +272,31 @@ mod tests {
             SegmentStrategy::FirstFit,
             &KernelPolicy::default(),
         );
-        assert_eq!(ff.len(), 10, "first-fit takes every leaf: {ff:?}");
+        // The suffix walk trickles leaves until the byte budget fills (it
+        // stops one leaf short of half the holding's bytes, never touching
+        // the hub).
+        assert!(!ff.contains(&0), "first-fit must miss the hub: {ff:?}");
+        assert_eq!(ff.len(), 9, "first-fit trickles the leaves: {ff:?}");
+    }
+
+    #[test]
+    fn frozen_marks_count_toward_segment_weight() {
+        // Components 1 and 2 have identical edge counts (one boundary edge
+        // each); freezing 2 makes it strictly heavier on the wire, so BFD
+        // must ship it first — under count weighting the id tiebreak would
+        // pick 1.
+        let edges = vec![
+            CEdge::new(1, 7, mnd_graph::WEdge::new(1, 7, 1)),
+            CEdge::new(2, 8, mnd_graph::WEdge::new(2, 8, 2)),
+        ];
+        let mut cg = CGraph::from_parts(vec![1, 2, 3], edges, vec![2]);
+        let bfd = choose_segment_with(
+            &mut cg,
+            u64::MAX,
+            SegmentStrategy::BestFitDecreasing,
+            &KernelPolicy::default(),
+        );
+        assert_eq!(bfd, vec![2], "the frozen component weighs more: {bfd:?}");
     }
 
     #[test]

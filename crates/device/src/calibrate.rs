@@ -19,10 +19,12 @@ use mnd_graph::{CsrGraph, VertexId};
 use mnd_kernels::boruvka::local_boruvka;
 use mnd_kernels::cgraph::CGraph;
 use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
+use mnd_kernels::reduce::reduce_holding_with;
 use mnd_kernels::scan::{min_edge_scan_par, min_edge_scan_seq};
 
 use crate::exec::ExecDevice;
 use crate::model::DeviceModel;
+use crate::platform::NodePlatform;
 
 /// The calibrated intra-node split.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -141,14 +143,18 @@ impl CrossoverRow {
 }
 
 /// Output of [`calibrate_kernel_policy`]: the chosen policy plus the raw
-/// measurements (the crossover table `repro` prints and BENCH snapshots
+/// measurements (the crossover tables `repro` prints and BENCH snapshots
 /// record).
 #[derive(Clone, Debug)]
 pub struct KernelCalibration {
     /// The policy the run should use.
     pub policy: KernelPolicy,
-    /// One row per measured holding size, ascending.
+    /// Election-kernel rows, one per measured holding size, ascending.
     pub table: Vec<CrossoverRow>,
+    /// Reduction-kernel rows (compaction + sorts), same sizes.
+    pub reduce_table: Vec<CrossoverRow>,
+    /// Relabel-kernel rows, same sizes.
+    pub relabel_table: Vec<CrossoverRow>,
 }
 
 /// Holding sizes (edge rows) the calibration times.
@@ -156,78 +162,212 @@ pub const CALIBRATION_SIZES: [usize; 5] = [1 << 12, 1 << 13, 1 << 14, 1 << 15, 1
 /// Candidate chunk sizes (rows per parallel chunk).
 pub const CALIBRATION_CHUNKS: [usize; 3] = [1024, 4096, 16384];
 
-/// Measures the seq/par crossover of the min-edge election — the
-/// holding-plane kernel every `indComp` iteration runs — on synthetic G(n,m)
-/// holdings, and derives a [`KernelPolicy`]: `chunk_rows` is the candidate
-/// that wins at the largest size, `par_threshold` sits just below the
-/// smallest size where that candidate beats sequential. If the parallel
-/// path never wins (single hardware thread, tiny machines), the policy
-/// stays sequential at every measured size.
+/// Measures the seq/par crossover of the three holding-plane kernel
+/// classes — the min-edge election every `indComp` iteration runs, the
+/// reduction pass (self/multi-edge compaction with its sorts), and the
+/// ghost relabel — on synthetic G(n,m) holdings, and derives a
+/// [`KernelPolicy`]: `chunk_rows` is the candidate that wins the election
+/// at the largest size; each class's `*par_threshold` sits just below the
+/// smallest size where that chunk beats that class's sequential path. If a
+/// class's parallel path never wins (single hardware thread, tiny
+/// machines), its threshold stays at the largest measured size.
 ///
 /// Wall-clock timing, best of 3 — noisy by nature, which is fine: the
 /// determinism contract guarantees the *result* is policy-independent, so a
 /// mis-calibrated policy costs only time.
 pub fn calibrate_kernel_policy(seed: u64) -> KernelCalibration {
     let mut table = Vec::with_capacity(CALIBRATION_SIZES.len());
+    let mut reduce_table = Vec::with_capacity(CALIBRATION_SIZES.len());
+    let mut relabel_table = Vec::with_capacity(CALIBRATION_SIZES.len());
     for &rows in &CALIBRATION_SIZES {
         // Components ~ rows/4 keeps the winner tables a realistic fraction
         // of the sweep (degree ~8).
         let n = (rows / 4).max(16) as VertexId;
         let cg = CGraph::from_edge_list(&gen::gnm(n, rows as u64, splitmix64(seed ^ rows as u64)));
-        let seq_ns = best_of(3, || {
+        table.push(measure_row(rows, |chunk| {
             let t = Instant::now();
-            std::hint::black_box(min_edge_scan_seq(&cg));
+            match chunk {
+                None => std::hint::black_box(min_edge_scan_seq(&cg)),
+                Some(c) => std::hint::black_box(min_edge_scan_par(&cg, c)),
+            };
             t.elapsed().as_nanos() as u64
-        });
-        let par_ns = CALIBRATION_CHUNKS
-            .iter()
-            .filter(|&&chunk| chunk < rows)
-            .map(|&chunk| {
-                let ns = best_of(3, || {
-                    let t = Instant::now();
-                    std::hint::black_box(min_edge_scan_par(&cg, chunk));
-                    t.elapsed().as_nanos() as u64
-                });
-                (chunk, ns)
-            })
-            .collect();
-        table.push(CrossoverRow {
-            rows,
-            seq_ns,
-            par_ns,
-        });
+        }));
+        reduce_table.push(measure_row(rows, |chunk| {
+            // The reduction mutates; clone outside the timed region.
+            let mut c = cg.clone();
+            let pol = policy_for(chunk);
+            let t = Instant::now();
+            std::hint::black_box(reduce_holding_with(&mut c, &pol));
+            t.elapsed().as_nanos() as u64
+        }));
+        relabel_table.push(measure_row(rows, |chunk| {
+            // Identity relabel: full sweep cost, idempotent, no clone.
+            let mut c = cg.clone();
+            let pol = policy_for(chunk);
+            let t = Instant::now();
+            c.relabel_with(&pol, |id| id);
+            std::hint::black_box(&c);
+            t.elapsed().as_nanos() as u64
+        }));
     }
 
-    // Winning chunk: fastest parallel candidate at the largest size.
+    // Winning chunk: fastest parallel election candidate at the largest
+    // size (elections run far more often than the other classes, so the
+    // shared chunk granularity follows them).
     let chunk_rows = table
         .last()
         .and_then(|r| r.best_par())
         .map(|(chunk, _)| chunk)
         .unwrap_or(KernelPolicy::default().chunk_rows);
-    // Crossover: smallest size where that chunk beats sequential.
-    let crossover = table.iter().find(|r| {
-        r.par_ns
-            .iter()
-            .any(|&(c, ns)| c == chunk_rows && ns < r.seq_ns)
-    });
-    let policy = match crossover {
-        Some(row) => KernelPolicy {
-            par_threshold: row.rows - 1,
-            chunk_rows,
-        },
-        // Parallel never won: stay sequential for everything we measured,
-        // let unmeasured giant holdings still try the parallel path.
-        None => KernelPolicy {
-            par_threshold: CALIBRATION_SIZES[CALIBRATION_SIZES.len() - 1],
-            chunk_rows,
-        },
+    let policy = KernelPolicy {
+        par_threshold: class_threshold(&table, chunk_rows),
+        reduce_par_threshold: class_threshold(&reduce_table, chunk_rows),
+        relabel_par_threshold: class_threshold(&relabel_table, chunk_rows),
+        chunk_rows,
     };
-    KernelCalibration { policy, table }
+    KernelCalibration {
+        policy,
+        table,
+        reduce_table,
+        relabel_table,
+    }
+}
+
+/// Times one holding size: sequential (`None`) plus every candidate chunk
+/// smaller than the holding.
+fn measure_row(rows: usize, mut run: impl FnMut(Option<usize>) -> u64) -> CrossoverRow {
+    let seq_ns = best_of(3, || run(None));
+    let par_ns = CALIBRATION_CHUNKS
+        .iter()
+        .filter(|&&chunk| chunk < rows)
+        .map(|&chunk| (chunk, best_of(3, || run(Some(chunk)))))
+        .collect();
+    CrossoverRow {
+        rows,
+        seq_ns,
+        par_ns,
+    }
+}
+
+/// The policy that forces a measurement down one path: sequential for
+/// `None`, all-parallel with the given chunk otherwise.
+fn policy_for(chunk: Option<usize>) -> KernelPolicy {
+    match chunk {
+        None => KernelPolicy::seq(),
+        Some(c) => KernelPolicy::force_par(c),
+    }
+}
+
+/// The crossover for one class's table: one below the smallest size where
+/// `chunk_rows` beats sequential, or the largest measured size when the
+/// parallel path never won (unmeasured giant holdings still try it).
+fn class_threshold(table: &[CrossoverRow], chunk_rows: usize) -> usize {
+    table
+        .iter()
+        .find(|r| {
+            r.par_ns
+                .iter()
+                .any(|&(c, ns)| c == chunk_rows && ns < r.seq_ns)
+        })
+        .map(|row| row.rows - 1)
+        .unwrap_or(CALIBRATION_SIZES[CALIBRATION_SIZES.len() - 1])
+}
+
+/// [`calibrate_kernel_policy`] behind an on-disk cache: the measured
+/// thresholds depend only on the machine, not the run, so repeated harness
+/// invocations (every `repro` subcommand, every benchmark) reuse the first
+/// run's numbers instead of re-timing ~45 kernel sweeps. The cache key is
+/// hostname + available parallelism; the file is a `key=value` snapshot of
+/// the four policy fields in the system temp directory. Any IO or parse
+/// problem falls back to measuring (and best-effort rewrites the file) —
+/// the cache can never fail a run, only speed it up.
+pub fn calibrate_kernel_policy_cached(seed: u64) -> KernelPolicy {
+    let path = kernel_policy_cache_path();
+    if let Some(policy) = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| parse_policy_cache(&text))
+    {
+        return policy;
+    }
+    let policy = calibrate_kernel_policy(seed).policy;
+    let _ = std::fs::write(
+        &path,
+        format!(
+            "par_threshold={}\nreduce_par_threshold={}\nrelabel_par_threshold={}\nchunk_rows={}\n",
+            policy.par_threshold,
+            policy.reduce_par_threshold,
+            policy.relabel_par_threshold,
+            policy.chunk_rows
+        ),
+    );
+    policy
+}
+
+/// Where the kernel-policy cache for this host/thread-count lives.
+fn kernel_policy_cache_path() -> std::path::PathBuf {
+    let host = std::fs::read_to_string("/etc/hostname")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .unwrap_or_else(|| "unknown".to_string());
+    let host: String = host
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    std::env::temp_dir().join(format!("mnd-kernel-policy-{host}-t{threads}.txt"))
+}
+
+/// Parses a cache snapshot; `None` unless all four fields parse.
+fn parse_policy_cache(text: &str) -> Option<KernelPolicy> {
+    let mut policy = KernelPolicy::default();
+    let mut seen = 0u8;
+    for line in text.lines() {
+        let (key, value) = line.split_once('=')?;
+        let value: usize = value.trim().parse().ok()?;
+        match key.trim() {
+            "par_threshold" => policy.par_threshold = value,
+            "reduce_par_threshold" => policy.reduce_par_threshold = value,
+            "relabel_par_threshold" => policy.relabel_par_threshold = value,
+            "chunk_rows" => policy.chunk_rows = value,
+            _ => continue,
+        }
+        seen += 1;
+    }
+    (seen == 4).then_some(policy)
 }
 
 /// Smallest of `k` samples of `f` (classic micro-benchmark noise floor).
 fn best_of(k: usize, mut f: impl FnMut() -> u64) -> u64 {
     (0..k).map(|_| f()).min().unwrap_or(u64::MAX)
+}
+
+/// How many rounds of local work a recursion round's fixed cost must be
+/// amortised over before recursing pays (empirically, a distributed round
+/// removes only a fraction of the edges, so the collective overheads are
+/// paid many times before the holding is gone).
+const RECURSION_AMORTIZATION_ROUNDS: f64 = 128.0;
+
+/// The recursion-stop threshold in **paper-scale** edges, derived from the
+/// platform model instead of the paper's static 100M constant (§4.3.3).
+///
+/// One more recursion round costs at least an alltoallv (ghost exchange:
+/// `p - 1` sequential peer messages under LogGP `o`) plus two tree
+/// allreduces (`2⌈log₂ p⌉` hops) of fixed per-message cost
+/// `latency + overhead`. The threshold is the edge volume the node's CPU
+/// chews through in that collective time, scaled by
+/// [`RECURSION_AMORTIZATION_ROUNDS`] because the fixed cost recurs every
+/// round of the recursion it triggers. On the AMD cluster at 16 ranks this
+/// lands at ~4×10⁷ edges — the paper's order of magnitude — and shrinks on
+/// the low-latency Cray Aries fabric, where recursing is cheaper.
+pub fn calibrated_recursion_threshold(platform: &NodePlatform, nranks: usize) -> u64 {
+    let p = nranks.max(2) as f64;
+    let msgs = (p - 1.0) + 2.0 * p.log2().ceil();
+    let round_seconds = msgs * (platform.network.latency + platform.network.overhead);
+    let edges_per_second = platform.cpu.edge_throughput * platform.cpu.efficiency;
+    let threshold = round_seconds * edges_per_second * RECURSION_AMORTIZATION_ROUNDS;
+    (threshold.ceil() as u64).max(1)
 }
 
 /// Deterministic pseudo-random sorted sample of `k` distinct vertices.
@@ -351,22 +491,73 @@ mod tests {
     #[test]
     fn kernel_policy_calibration_is_well_formed() {
         let cal = calibrate_kernel_policy(7);
-        assert_eq!(cal.table.len(), CALIBRATION_SIZES.len());
-        for (row, &rows) in cal.table.iter().zip(&CALIBRATION_SIZES) {
-            assert_eq!(row.rows, rows);
-            assert!(row.seq_ns > 0);
-            // Every candidate chunk smaller than the holding was measured.
-            let expect = CALIBRATION_CHUNKS.iter().filter(|&&c| c < rows).count();
-            assert_eq!(row.par_ns.len(), expect);
+        for table in [&cal.table, &cal.reduce_table, &cal.relabel_table] {
+            assert_eq!(table.len(), CALIBRATION_SIZES.len());
+            for (row, &rows) in table.iter().zip(&CALIBRATION_SIZES) {
+                assert_eq!(row.rows, rows);
+                assert!(row.seq_ns > 0);
+                // Every candidate chunk below the holding was measured.
+                let expect = CALIBRATION_CHUNKS.iter().filter(|&&c| c < rows).count();
+                assert_eq!(row.par_ns.len(), expect);
+            }
         }
-        // The chosen chunk is one of the candidates, and the threshold is
-        // either just below a measured size or the conservative max.
+        // The chosen chunk is one of the candidates, and every class
+        // threshold is either just below a measured size or the
+        // conservative max.
         assert!(CALIBRATION_CHUNKS.contains(&cal.policy.chunk_rows));
         let max = CALIBRATION_SIZES[CALIBRATION_SIZES.len() - 1];
-        assert!(
-            cal.policy.par_threshold == max
-                || CALIBRATION_SIZES.contains(&(cal.policy.par_threshold + 1))
+        for threshold in [
+            cal.policy.par_threshold,
+            cal.policy.reduce_par_threshold,
+            cal.policy.relabel_par_threshold,
+        ] {
+            assert!(threshold == max || CALIBRATION_SIZES.contains(&(threshold + 1)));
+        }
+    }
+
+    #[test]
+    fn policy_cache_round_trips_and_rejects_partial_snapshots() {
+        let p = KernelPolicy {
+            par_threshold: 8191,
+            reduce_par_threshold: 16383,
+            relabel_par_threshold: 65536,
+            chunk_rows: 4096,
+        };
+        let text = format!(
+            "par_threshold={}\nreduce_par_threshold={}\nrelabel_par_threshold={}\nchunk_rows={}\n",
+            p.par_threshold, p.reduce_par_threshold, p.relabel_par_threshold, p.chunk_rows
         );
+        assert_eq!(parse_policy_cache(&text), Some(p));
+        assert_eq!(parse_policy_cache("par_threshold=1\n"), None);
+        assert_eq!(parse_policy_cache("par_threshold=banana\n"), None);
+        assert_eq!(parse_policy_cache(""), None);
+    }
+
+    #[test]
+    fn policy_cache_path_is_host_and_thread_keyed() {
+        let path = kernel_policy_cache_path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("mnd-kernel-policy-"), "{name}");
+        assert!(name.contains("-t"), "{name}");
+    }
+
+    #[test]
+    fn calibrated_threshold_tracks_network_latency() {
+        let amd = calibrated_recursion_threshold(&NodePlatform::amd_cluster(), 16);
+        let cray = calibrated_recursion_threshold(&NodePlatform::cray_xc40(false), 16);
+        // Same order of magnitude as the paper's 100M constant on the
+        // commodity cluster ...
+        assert!(
+            (1_000_000..1_000_000_000).contains(&amd),
+            "amd threshold {amd}"
+        );
+        // ... and smaller on the low-latency Aries fabric (recursing is
+        // cheaper there, even with the faster Xeon raising the local rate).
+        assert!(cray < amd, "cray {cray} >= amd {amd}");
+        // More ranks -> more collective cost -> higher break-even.
+        let amd4 = calibrated_recursion_threshold(&NodePlatform::amd_cluster(), 4);
+        assert!(amd4 < amd, "amd4 {amd4} >= amd16 {amd}");
+        assert!(calibrated_recursion_threshold(&NodePlatform::amd_cluster(), 0) >= 1);
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub mod model;
 pub mod platform;
 
 pub use calibrate::{
-    calibrate_kernel_policy, calibrate_split, CrossoverRow, DeviceSplit, KernelCalibration,
+    calibrate_kernel_policy, calibrate_kernel_policy_cached, calibrate_split,
+    calibrated_recursion_threshold, CrossoverRow, DeviceSplit, KernelCalibration,
 };
 pub use exec::{ExecDevice, IndCompRun};
 pub use model::{DeviceKind, DeviceModel};

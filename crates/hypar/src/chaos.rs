@@ -35,6 +35,10 @@ pub enum ChaosEventKind {
     /// The rank's merge group elected rank `detail` because its configured
     /// leader is down at this level.
     LeaderFailover,
+    /// The rank crashed *inside* a phase, at fabric op `detail` of epoch
+    /// `boundary` — it rolls back to the checkpoint before that epoch and
+    /// replays (DESIGN.md §5f).
+    MidPhaseCrash,
 }
 
 impl ChaosEventKind {
@@ -46,6 +50,7 @@ impl ChaosEventKind {
             ChaosEventKind::Crash => "crash",
             ChaosEventKind::CheckpointRestore => "checkpoint_restore",
             ChaosEventKind::LeaderFailover => "leader_failover",
+            ChaosEventKind::MidPhaseCrash => "mid_phase_crash",
         }
     }
 }
@@ -84,6 +89,16 @@ pub trait ChaosControl: Send + Sync {
     /// Whether `rank` is down for leader duty at merge level `level`; its
     /// group elects the first healthy member instead.
     fn leader_down(&self, rank: usize, level: u32) -> bool;
+
+    /// The fabric-op ordinal within `epoch` at which `rank` crashes
+    /// mid-phase, or `None` for no crash in that epoch. Unlike
+    /// [`ChaosControl::crashes_at`] this kills the rank *inside* a phase;
+    /// it rolls back to the checkpoint before `epoch` and replays. The
+    /// default schedules nothing, so plans predating mid-phase crashes
+    /// keep working unchanged.
+    fn mid_phase_crash(&self, _rank: usize, _epoch: u32) -> Option<u64> {
+        None
+    }
 }
 
 /// An optional, shareable [`ChaosControl`] slot carried by the config.
@@ -129,6 +144,11 @@ impl ChaosHook {
     /// Whether the rank is down for leader duty (false when unset).
     pub fn leader_down(&self, rank: usize, level: u32) -> bool {
         self.0.as_ref().is_some_and(|c| c.leader_down(rank, level))
+    }
+
+    /// Mid-phase crash op for `(rank, epoch)` (`None` when unset).
+    pub fn mid_phase_crash(&self, rank: usize, epoch: u32) -> Option<u64> {
+        self.0.as_ref().and_then(|c| c.mid_phase_crash(rank, epoch))
     }
 }
 
@@ -198,5 +218,13 @@ mod tests {
         assert_eq!(ChaosEventKind::Stall.name(), "stall");
         assert_eq!(ChaosEventKind::LeaderFailover.name(), "leader_failover");
         assert_eq!(ChaosEventKind::CheckpointWrite.name(), "checkpoint_write");
+        assert_eq!(ChaosEventKind::MidPhaseCrash.name(), "mid_phase_crash");
+    }
+
+    #[test]
+    fn mid_phase_crash_defaults_to_none() {
+        let h = ChaosHook::new(Arc::new(StallTwo));
+        assert_eq!(h.mid_phase_crash(2, 1), None);
+        assert_eq!(ChaosHook::none().mid_phase_crash(0, 0), None);
     }
 }

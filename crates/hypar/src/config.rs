@@ -5,6 +5,21 @@ use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
 use crate::chaos::ChaosHook;
 use crate::observe::ObserverHook;
 
+/// Where the recursion-stop threshold (§4.3.3) comes from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecursionThresholdSource {
+    /// Use [`HyParConfig::recursion_edge_threshold`] verbatim (the paper's
+    /// static 100M-edge constant).
+    Fixed,
+    /// Derive the threshold from the platform model: the edge volume whose
+    /// local processing time matches a recursion round's collective
+    /// latency (`mnd_device::calibrated_recursion_threshold`), so the
+    /// recursion stops exactly when another distributed round would cost
+    /// more than it saves on *this* hardware.
+    #[default]
+    Calibrated,
+}
+
 /// All tunables of the HyPar runtime, with the paper's defaults.
 #[derive(Clone, Debug, PartialEq)]
 pub struct HyParConfig {
@@ -18,8 +33,13 @@ pub struct HyParConfig {
     pub stop: StopPolicy,
     /// Recursion threshold in **paper-scale** edges (§4.3.3: re-enter
     /// partition→indComp→merge while the reduced graph exceeds this; the
-    /// paper uses 100M edges).
+    /// paper uses 100M edges). Only consulted when
+    /// [`HyParConfig::recursion_threshold_source`] is
+    /// [`RecursionThresholdSource::Fixed`].
     pub recursion_edge_threshold: u64,
+    /// How the recursion threshold is chosen: the paper's fixed constant
+    /// or a platform-calibrated break-even point (the default).
+    pub recursion_threshold_source: RecursionThresholdSource,
     /// Hierarchical-merge convergence (§4.3.4): stop ring exchanges and
     /// merge to the leader once an exchange round shrinks the group's data
     /// by less than this fraction.
@@ -70,6 +90,7 @@ impl Default for HyParConfig {
                 min_improvement: 0.05,
             },
             recursion_edge_threshold: 100_000_000,
+            recursion_threshold_source: RecursionThresholdSource::default(),
             merge_min_shrink: 0.10,
             group_edge_threshold: 1_000_000_000,
             calibration_samples: 6,
@@ -100,6 +121,13 @@ impl HyParConfig {
     /// The group-merge threshold in scaled-down edges.
     pub fn scaled_group_threshold(&self) -> u64 {
         ((self.group_edge_threshold as f64 / self.sim_scale).ceil() as u64).max(1)
+    }
+
+    /// Sets where the recursion threshold comes from (fixed paper constant
+    /// vs. platform-calibrated break-even).
+    pub fn with_recursion_threshold_source(mut self, source: RecursionThresholdSource) -> Self {
+        self.recursion_threshold_source = source;
+        self
     }
 
     /// Sets the holding-plane kernel policy (typically from
@@ -136,6 +164,10 @@ mod tests {
         let c = HyParConfig::default();
         assert_eq!(c.group_size, 4);
         assert_eq!(c.recursion_edge_threshold, 100_000_000);
+        assert_eq!(
+            c.recursion_threshold_source,
+            RecursionThresholdSource::Calibrated
+        );
         assert_eq!(c.excp, ExcpCond::BorderEdge);
         assert!((0.0..1.0).contains(&c.calibration_frac));
     }

@@ -26,5 +26,5 @@ pub use api::{
     NodePartition,
 };
 pub use chaos::{ChaosControl, ChaosEvent, ChaosEventKind, ChaosHook};
-pub use config::HyParConfig;
+pub use config::{HyParConfig, RecursionThresholdSource};
 pub use observe::{ObserverHook, PhaseKind, PhaseObserver, PhaseSample};

@@ -34,7 +34,9 @@ use rayon::prelude::*;
 
 use crate::cgraph::{CGraph, CompId};
 use crate::msf::MsfResult;
-use crate::policy::{ExcpCond, FreezePolicy, IterWork, KernelPolicy, StopPolicy, WorkProfile};
+use crate::policy::{
+    ExcpCond, FreezePolicy, IterWork, KernelClass, KernelPolicy, StopPolicy, WorkProfile,
+};
 
 /// Output of one `indComp` invocation on a holding.
 #[derive(Clone, Debug, Default)]
@@ -136,7 +138,8 @@ pub fn local_boruvka_with(
         // chunked across workers — resolves them through &MinDsu in one hop.
         dsu.compress_all();
         let scanned = worklist.len() as u64;
-        let best: Vec<Option<Winner>> = if policy.use_par(worklist.len()) {
+        let best: Vec<Option<Winner>> = if policy.use_par_for(KernelClass::Election, worklist.len())
+        {
             let dsu_ref = &dsu;
             let frozen_ref = &frozen;
             let rows: &[CEdgeLocal] = &worklist;

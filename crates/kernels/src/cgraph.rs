@@ -40,7 +40,7 @@ use mnd_graph::{CsrGraph, EdgeList};
 use mnd_wire::Wire;
 use rayon::prelude::*;
 
-use crate::policy::KernelPolicy;
+use crate::policy::{KernelClass, KernelPolicy};
 
 /// A component identifier. Components are named by the smallest original
 /// vertex they contain, so ids stay globally consistent without any central
@@ -347,7 +347,7 @@ impl CGraph {
                 }
             }
         };
-        if policy.use_par(self.ea.len()) {
+        if policy.use_par_for(KernelClass::Relabel, self.ea.len()) {
             let chunk = policy.chunk_rows.max(1);
             let pairs: Vec<(&mut [CompId], &mut [CompId])> = self
                 .ea
@@ -384,7 +384,7 @@ impl CGraph {
         keep: impl Fn(&Self, usize) -> bool + Sync,
     ) {
         let n = self.ea.len();
-        if policy.use_par(n) {
+        if policy.use_par_for(KernelClass::Reduce, n) {
             let this: &Self = self;
             let flags: Vec<Vec<bool>> = policy
                 .chunk_ranges(n)
@@ -471,7 +471,7 @@ impl CGraph {
         let mut perm = std::mem::take(&mut self.scratch);
         perm.clear();
         perm.extend(0..n as u32);
-        if policy.use_par(n) {
+        if policy.use_par_for(KernelClass::Reduce, n) {
             perm.par_sort_unstable_by_key(|&i| (key(self, i as usize), i));
         } else {
             perm.sort_unstable_by_key(|&i| (key(self, i as usize), i));
@@ -564,7 +564,7 @@ impl CGraph {
                 }
             }
         };
-        if policy.use_par(rows) {
+        if policy.use_par_for(KernelClass::Reduce, rows) {
             let partials: Vec<Vec<u64>> = policy
                 .chunk_ranges(rows)
                 .into_par_iter()

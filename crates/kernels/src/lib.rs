@@ -42,5 +42,5 @@ pub use dsu::DisjointSets;
 pub use filter_kruskal::filter_kruskal_msf;
 pub use msf::{verify_msf, MsfResult};
 pub use oracle::{kruskal_msf, prim_mst};
-pub use policy::{ExcpCond, KernelPolicy, StopPolicy};
+pub use policy::{ExcpCond, KernelClass, KernelPolicy, StopPolicy};
 pub use scan::{min_edge_scan, min_edge_scan_par, min_edge_scan_seq, min_edge_scan_with};

@@ -17,23 +17,45 @@
 //! `tests/parallel_plane_oracle.rs` assert this across adversarial
 //! chunkings.
 
+/// The three kernel families of the holding plane, each with its own
+/// seq/par crossover: their per-row work differs by an order of magnitude
+/// (an election row is a compare, a reduction row may hash, a relabel row
+/// is two table lookups plus a write), so one shared threshold either
+/// under-parallelises elections or thrashes relabels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Min-edge election scans (the per-iteration winner search).
+    Election,
+    /// Reductions and permutations: compaction, key sorts, incident counts.
+    Reduce,
+    /// Ghost/parent relabels (two lookups + write per row).
+    Relabel,
+}
+
 /// Seq/par crossover sizes and chunk granularity for the holding-plane
 /// kernels (election scans, permutation sorts, compactions, relabels).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KernelPolicy {
-    /// Row count at or below which every kernel stays sequential (thread
-    /// spawn + partial-table merge would dominate).
+    /// Row count at or below which election kernels stay sequential
+    /// (thread spawn + partial-table merge would dominate).
     pub par_threshold: usize,
+    /// Crossover for reduction kernels (compaction, sorts, counts).
+    pub reduce_par_threshold: usize,
+    /// Crossover for relabel kernels.
+    pub relabel_par_threshold: usize,
     /// Rows per parallel chunk above the threshold.
     pub chunk_rows: usize,
 }
 
 impl Default for KernelPolicy {
     /// Uncalibrated fallback: one default chunk of slack before going
-    /// parallel, 4K-row chunks (matches the pre-policy scan constant).
+    /// parallel, 4K-row chunks (matches the pre-policy scan constant), all
+    /// three classes at the same conservative crossover.
     fn default() -> Self {
         KernelPolicy {
             par_threshold: 4096,
+            reduce_par_threshold: 4096,
+            relabel_par_threshold: 4096,
             chunk_rows: 4096,
         }
     }
@@ -46,6 +68,8 @@ impl KernelPolicy {
     pub fn seq() -> Self {
         KernelPolicy {
             par_threshold: usize::MAX,
+            reduce_par_threshold: usize::MAX,
+            relabel_par_threshold: usize::MAX,
             chunk_rows: usize::MAX,
         }
     }
@@ -56,14 +80,30 @@ impl KernelPolicy {
         assert!(chunk_rows > 0, "chunk_rows must be positive");
         KernelPolicy {
             par_threshold: 0,
+            reduce_par_threshold: 0,
+            relabel_par_threshold: 0,
             chunk_rows,
         }
     }
 
-    /// Whether a sweep over `rows` rows should take the parallel path.
+    /// Whether an *election* sweep over `rows` rows should take the
+    /// parallel path (the historical single-threshold query; kernels with
+    /// a known class use [`KernelPolicy::use_par_for`]).
     #[inline]
     pub fn use_par(&self, rows: usize) -> bool {
-        rows > self.par_threshold
+        self.use_par_for(KernelClass::Election, rows)
+    }
+
+    /// Whether a sweep of `class` over `rows` rows should take the
+    /// parallel path, judged against that class's own crossover.
+    #[inline]
+    pub fn use_par_for(&self, class: KernelClass, rows: usize) -> bool {
+        let threshold = match class {
+            KernelClass::Election => self.par_threshold,
+            KernelClass::Reduce => self.reduce_par_threshold,
+            KernelClass::Relabel => self.relabel_par_threshold,
+        };
+        rows > threshold
     }
 
     /// The row ranges a parallel sweep over `rows` rows is chunked into.
@@ -204,6 +244,24 @@ mod tests {
         assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 8)]);
         assert!(KernelPolicy::force_par(usize::MAX).chunk_ranges(5) == vec![(0, 5)]);
         assert!(p.chunk_ranges(0).is_empty());
+    }
+
+    #[test]
+    fn per_class_crossovers_are_independent() {
+        let p = KernelPolicy {
+            par_threshold: 10,
+            reduce_par_threshold: 100,
+            relabel_par_threshold: 1000,
+            chunk_rows: 8,
+        };
+        assert!(p.use_par_for(KernelClass::Election, 11));
+        assert!(!p.use_par_for(KernelClass::Reduce, 11));
+        assert!(!p.use_par_for(KernelClass::Relabel, 11));
+        assert!(p.use_par_for(KernelClass::Reduce, 101));
+        assert!(!p.use_par_for(KernelClass::Relabel, 101));
+        assert!(p.use_par_for(KernelClass::Relabel, 1001));
+        // The legacy single-threshold query is the election class.
+        assert_eq!(p.use_par(11), p.use_par_for(KernelClass::Election, 11));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use mnd_graph::types::WEdge;
 use rayon::prelude::*;
 
 use crate::cgraph::{CGraph, CompId};
-use crate::policy::KernelPolicy;
+use crate::policy::{KernelClass, KernelPolicy};
 
 /// Default row-chunk size for [`min_edge_scan`]: big enough that the
 /// per-chunk winner table amortizes, small enough to load-balance.
@@ -72,7 +72,7 @@ pub fn min_edge_scan(cg: &CGraph) -> Vec<Option<u32>> {
 /// sequential at or below the crossover, chunked-parallel with the policy's
 /// chunk size above it. Identical output either way.
 pub fn min_edge_scan_with(cg: &CGraph, policy: &KernelPolicy) -> Vec<Option<u32>> {
-    if policy.use_par(cg.num_edges()) {
+    if policy.use_par_for(KernelClass::Election, cg.num_edges()) {
         min_edge_scan_par(cg, policy.chunk_rows.max(1))
     } else {
         min_edge_scan_seq(cg)

@@ -145,7 +145,7 @@ impl Comm {
 
     /// Gathers every rank's vector at `root` (rank order). Root returns
     /// `Some(vec of per-rank vectors)`, others `None`.
-    pub fn gather_vec<T: Wire>(&self, root: usize, value: Vec<T>) -> Option<Vec<Vec<T>>> {
+    pub fn gather_vec<T: Wire + Clone>(&self, root: usize, value: Vec<T>) -> Option<Vec<Vec<T>>> {
         if self.rank() == root {
             let mut value = Some(value);
             let out: Vec<Vec<T>> = (0..self.size())
@@ -176,7 +176,7 @@ impl Comm {
     /// bucket requires. This is the paper's multi-phase boundary exchange
     /// (§3.1/§3.3: boundary data is "communicated in multiple phases" to
     /// bound message sizes).
-    pub fn alltoallv_phased<T: Wire>(
+    pub fn alltoallv_phased<T: Wire + Clone>(
         &self,
         mut per_dest: Vec<Vec<T>>,
         phase_size: usize,
@@ -218,7 +218,7 @@ impl Comm {
     ///
     /// This is the paper's multi-phase ghost-vertex exchange primitive: the
     /// driver calls it once per phase with bounded message sizes.
-    pub fn alltoallv<T: Wire>(&self, mut per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Wire + Clone>(&self, mut per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let p = self.size();
         let me = self.rank();
         assert_eq!(per_dest.len(), p, "alltoallv needs one bucket per rank");

@@ -11,7 +11,7 @@
 //! single point where it enters the fabric — call sites never supply byte
 //! counts, so accounting cannot drift from the data.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -20,6 +20,7 @@ use mnd_wire::Wire;
 use crate::cost::CostModel;
 use crate::fault::InjectorHook;
 use crate::mailbox::{Envelope, Mailbox};
+use crate::replay::{MidPhaseCrash, ReplayLog};
 use crate::stats::RankStats;
 
 /// Message tag. User code uses [`Tag::user`]; the collectives reserve the
@@ -79,7 +80,9 @@ pub(crate) struct Fabric {
 /// data because the receiver discards duplicates without downcasting.
 struct DupGhost;
 
-/// One rank's state: identity, clock, statistics.
+/// One rank's state: identity, clock, statistics — plus, when rollback
+/// recovery is armed, the current epoch, the replay log, and the recovery
+/// mode flags (see [`crate::replay`] and DESIGN.md §5f).
 pub struct Comm {
     rank: usize,
     size: usize,
@@ -90,6 +93,22 @@ pub struct Comm {
     send_seq: RefCell<HashMap<(usize, Tag), u64>>,
     /// Next expected delivery sequence number per `(src, tag)`.
     recv_seq: RefCell<HashMap<(usize, Tag), u64>>,
+    /// Recovery points passed so far (drives replay-log keying and
+    /// mid-phase crash scheduling).
+    epoch: Cell<u32>,
+    /// Fabric ops (sends + recvs) issued in the current epoch.
+    ops_in_epoch: Cell<u64>,
+    /// Op ordinal at which an injected mid-phase crash fires this epoch.
+    armed_crash: Cell<Option<u64>>,
+    /// Re-executing already-charged epochs after a crash: every charge is
+    /// suppressed, sends are swallowed, recvs come from the log.
+    fast_forward: Cell<bool>,
+    /// Re-executing the interrupted epoch: compute is charged (and tracked
+    /// as replayed), logged traffic is served free, first un-logged op
+    /// drops back to live execution.
+    replay_live: Cell<bool>,
+    /// Send/recv log; `Some` once [`Comm::enable_replay_log`] ran.
+    replay: RefCell<Option<ReplayLog>>,
 }
 
 impl Comm {
@@ -102,6 +121,12 @@ impl Comm {
             stats: RefCell::new(RankStats::default()),
             send_seq: RefCell::new(HashMap::new()),
             recv_seq: RefCell::new(HashMap::new()),
+            epoch: Cell::new(0),
+            ops_in_epoch: Cell::new(0),
+            armed_crash: Cell::new(None),
+            fast_forward: Cell::new(false),
+            replay_live: Cell::new(false),
+            replay: RefCell::new(None),
         }
     }
 
@@ -135,18 +160,33 @@ impl Comm {
         self.stats.borrow().clone()
     }
 
-    /// Advances the clock by `seconds` of modelled computation.
+    /// Advances the clock by `seconds` of modelled computation. Suppressed
+    /// entirely in fast-forward (the work was charged before the crash);
+    /// during replay of the interrupted epoch the re-execution is real
+    /// recovery cost — charged normally and additionally tracked in
+    /// [`RankStats::replayed_compute`].
     pub fn compute(&self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "negative compute time");
+        if self.fast_forward.get() {
+            return;
+        }
         *self.clock.borrow_mut() += seconds;
-        self.stats.borrow_mut().compute_time += seconds;
+        let mut s = self.stats.borrow_mut();
+        s.compute_time += seconds;
+        if self.replay_live.get() {
+            s.replayed_compute += seconds;
+        }
     }
 
     /// Advances the clock by `seconds` booked as *communication* — for
     /// modelled messaging-stack overheads (serialisation, envelopes) that
-    /// are not captured by the per-payload cost model.
+    /// are not captured by the per-payload cost model. Suppressed in
+    /// fast-forward like [`Comm::compute`].
     pub fn charge_comm(&self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "negative comm time");
+        if self.fast_forward.get() {
+            return;
+        }
         *self.clock.borrow_mut() += seconds;
         self.stats.borrow_mut().comm_time += seconds;
     }
@@ -154,9 +194,12 @@ impl Comm {
     /// Advances the clock by `seconds` of injected stall: booked as
     /// communication (dead air on the fabric) and additionally tracked in
     /// [`RankStats::stall_time`] so chaos runs can separate fault latency
-    /// from real traffic.
+    /// from real traffic. Suppressed in fast-forward.
     pub fn stall(&self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "negative stall time");
+        if self.fast_forward.get() {
+            return;
+        }
         *self.clock.borrow_mut() += seconds;
         let mut s = self.stats.borrow_mut();
         s.comm_time += seconds;
@@ -172,6 +215,110 @@ impl Comm {
     /// Counts one checkpoint restore after an injected crash.
     pub fn note_checkpoint_restore(&self) {
         self.stats.borrow_mut().checkpoint_restores += 1;
+    }
+
+    /// Turns on the send/recv replay log (no-op if already on). Armed by
+    /// the driver whenever a chaos plan is attached; logging itself never
+    /// touches the virtual clock, so fault-free results are unchanged.
+    pub fn enable_replay_log(&self) {
+        let mut replay = self.replay.borrow_mut();
+        if replay.is_none() {
+            *replay = Some(ReplayLog::default());
+        }
+    }
+
+    /// Drops the replay log (end of run).
+    pub fn clear_replay_log(&self) {
+        *self.replay.borrow_mut() = None;
+    }
+
+    /// Current epoch: the number of recovery points this rank has passed.
+    #[inline]
+    pub fn epoch(&self) -> u32 {
+        self.epoch.get()
+    }
+
+    /// Enters the next epoch (called by the driver at each recovery
+    /// point): the per-epoch op counter restarts and any armed mid-phase
+    /// crash is disarmed (it belonged to the epoch that just ended).
+    pub fn advance_epoch(&self) {
+        self.epoch.set(self.epoch.get() + 1);
+        self.ops_in_epoch.set(0);
+        self.armed_crash.set(None);
+    }
+
+    /// Arms an injected crash at fabric-op `at_op` of the current epoch.
+    /// The crash fires *before* the op executes, as a
+    /// [`MidPhaseCrash`] panic the driver catches.
+    pub fn arm_mid_phase_crash(&self, at_op: u64) {
+        self.armed_crash.set(Some(at_op));
+    }
+
+    /// Enters/leaves fast-forward: zero-cost re-execution of epochs that
+    /// were fully charged before a crash (sends swallowed, recvs served
+    /// from the log, no clock or stats movement).
+    pub fn set_fast_forward(&self, on: bool) {
+        self.fast_forward.set(on);
+    }
+
+    /// Whether the rank is fast-forwarding (drivers gate observation and
+    /// checkpointing off while it is).
+    #[inline]
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward.get()
+    }
+
+    /// Enters/leaves replay of the interrupted epoch: compute is charged
+    /// (and tracked as replayed), logged traffic is free, and the first
+    /// op beyond the log drops back to live execution automatically.
+    pub fn set_replay_live(&self, on: bool) {
+        self.replay_live.set(on);
+    }
+
+    /// Whether the rank is replaying the interrupted epoch.
+    #[inline]
+    pub fn replay_live(&self) -> bool {
+        self.replay_live.get()
+    }
+
+    /// Resets message sequence numbers, epoch, and op counters for a
+    /// from-the-top re-execution after a crash. The sequence maps double
+    /// as the replay cursors: they re-advance through the log and the
+    /// first miss marks the op where the crash interrupted the rank.
+    pub fn reset_sequences(&self) {
+        self.send_seq.borrow_mut().clear();
+        self.recv_seq.borrow_mut().clear();
+        self.epoch.set(0);
+        self.ops_in_epoch.set(0);
+        self.armed_crash.set(None);
+    }
+
+    /// Garbage-collects the send-side replay tally for epochs `<= epoch`
+    /// (called when the checkpoint ending `epoch` commits — rollback can
+    /// never re-enter those epochs).
+    pub fn gc_replay_sends(&self, epoch: u32) {
+        if let Some(log) = self.replay.borrow_mut().as_mut() {
+            log.gc_sends_through(epoch);
+        }
+    }
+
+    /// Books one fabric op (send or recv): the mid-phase crash trigger.
+    /// Not counted during fast-forward — op ordinals are defined over the
+    /// charged execution, and fast-forward replays ops that were already
+    /// counted before the crash.
+    fn fabric_op(&self) {
+        if self.fast_forward.get() {
+            return;
+        }
+        let op = self.ops_in_epoch.get();
+        self.ops_in_epoch.set(op + 1);
+        if self.armed_crash.get() == Some(op) {
+            self.armed_crash.set(None);
+            std::panic::panic_any(MidPhaseCrash {
+                epoch: self.epoch.get(),
+                op,
+            });
+        }
     }
 
     /// Sends `value` to `dst`. The payload size charged to the cost model
@@ -199,6 +346,7 @@ impl Comm {
             dst, self.rank,
             "self-send unsupported (use a local variable)"
         );
+        self.fabric_op();
         let bytes = value.wire_bytes();
         let cost = &self.fabric.cost;
         let seq = {
@@ -208,6 +356,33 @@ impl Comm {
             *slot += 1;
             seq
         };
+        if self.fast_forward.get() || self.replay_live.get() {
+            // Re-execution after a crash: a copy with this sequence number
+            // may already be on the fabric (the receiver holds or consumed
+            // it) — depositing again would corrupt the stream and double-
+            // charge bytes. Suppress it; the sequence number stays burned.
+            let transmitted = self
+                .replay
+                .borrow()
+                .as_ref()
+                .map_or(0, |log| log.transmitted(dst, tag));
+            if seq < transmitted {
+                return;
+            }
+            if self.fast_forward.get() {
+                panic!(
+                    "rank {}: fast-forward reached an unsent message to rank {dst} \
+                     tag {tag:?} seq {seq} — non-deterministic re-execution",
+                    self.rank
+                );
+            }
+            // Replay caught up with the crash point: this op never made it
+            // onto the fabric, so execution is live again from here on.
+            self.replay_live.set(false);
+        }
+        if let Some(log) = self.replay.borrow_mut().as_mut() {
+            log.record_send(self.epoch.get(), dst, tag);
+        }
         let fate = self.fabric.faults.fate(self.rank, dst, tag, seq, bytes);
         let depart = self.now();
         let busy = cost.send_busy(bytes);
@@ -226,11 +401,13 @@ impl Comm {
         let arrival =
             depart + busy * fate.retries as f64 + retry_wait + cost.transit(bytes) + fate.delay;
         let mailbox = &self.fabric.mailboxes[dst];
+        let epoch = self.epoch.get();
         let ghost = |arrival: f64| Envelope {
             payload: Box::new(DupGhost),
             arrival,
             bytes,
             seq,
+            epoch,
             dup: true,
         };
         if fate.reorder {
@@ -246,6 +423,7 @@ impl Comm {
                 arrival,
                 bytes,
                 seq,
+                epoch,
                 dup: false,
             },
         );
@@ -259,15 +437,62 @@ impl Comm {
     /// arrival time (the wait is booked as communication), plus the
     /// receiver overhead.
     ///
+    /// During post-crash re-execution, deliveries the rank already
+    /// consumed are served from the replay log instead of the fabric: no
+    /// wait, no byte accounting (the bytes were charged at first
+    /// delivery), with the replayed volume tracked in
+    /// [`RankStats::replayed_in_bytes`] while the interrupted epoch
+    /// re-runs. The payload must be `Clone` so the log can keep a copy.
+    ///
     /// # Panics
     ///
     /// If the payload's type is not `T` (datatype mismatch), if `src` is
     /// out of range or equal to this rank, or — after a generous wall-clock
     /// timeout — if the message never arrives (distributed deadlock).
-    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+    pub fn recv<T: Clone + Send + 'static>(&self, src: usize, tag: Tag) -> T {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
         assert_ne!(src, self.rank, "self-recv unsupported");
+        self.fabric_op();
         let cost = &self.fabric.cost;
+        if self.fast_forward.get() || self.replay_live.get() {
+            let seq = self
+                .recv_seq
+                .borrow()
+                .get(&(src, tag))
+                .copied()
+                .unwrap_or(0);
+            let served = self
+                .replay
+                .borrow()
+                .as_ref()
+                .and_then(|log| log.replay_recv(src, tag, seq));
+            match served {
+                Some((bytes, payload)) => {
+                    *self.recv_seq.borrow_mut().entry((src, tag)).or_insert(0) = seq + 1;
+                    if self.replay_live.get() {
+                        self.stats.borrow_mut().replayed_in_bytes += bytes;
+                    }
+                    return *payload.downcast::<T>().unwrap_or_else(|_| {
+                        panic!(
+                            "rank {}: type mismatch replaying from rank {src} tag {tag:?} \
+                             (expected {})",
+                            self.rank,
+                            std::any::type_name::<T>()
+                        )
+                    });
+                }
+                None if self.fast_forward.get() => panic!(
+                    "rank {}: fast-forward missed a logged message from rank {src} \
+                     tag {tag:?} seq {seq} — non-deterministic re-execution",
+                    self.rank
+                ),
+                None => {
+                    // First delivery beyond the log: the crash interrupted
+                    // the rank before this op, so execution is live again.
+                    self.replay_live.set(false);
+                }
+            }
+        }
         let env = loop {
             let env = self.fabric.mailboxes[self.rank].take(src, tag, self.rank);
             if !env.dup {
@@ -301,19 +526,31 @@ impl Comm {
             s.comm_time += *clock - before;
             s.record_recv(tag, env.bytes);
         }
-        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+        let value = *env.payload.downcast::<T>().unwrap_or_else(|_| {
             panic!(
                 "rank {}: type mismatch receiving from rank {src} tag {tag:?} (expected {})",
                 self.rank,
                 std::any::type_name::<T>()
             )
-        })
+        });
+        if let Some(log) = self.replay.borrow_mut().as_mut() {
+            let copy = value.clone();
+            log.record_recv(
+                env.epoch,
+                src,
+                tag,
+                env.seq,
+                env.bytes,
+                Box::new(move || Box::new(copy.clone())),
+            );
+        }
+        value
     }
 
     /// Sends to `dst` and receives from `src` — the deadlock-free pairwise
     /// exchange used by ring steps (send is non-blocking in this model, so
     /// ordering is safe; the helper exists for readability).
-    pub fn send_recv<T: Wire, U: Send + 'static>(
+    pub fn send_recv<T: Wire, U: Clone + Send + 'static>(
         &self,
         dst: usize,
         send_tag: Tag,

@@ -45,6 +45,7 @@ pub mod cost;
 pub mod fault;
 pub mod group;
 pub mod mailbox;
+pub mod replay;
 pub mod stats;
 
 pub use cluster::{Cluster, RankOutcome};
@@ -53,4 +54,5 @@ pub use cost::CostModel;
 pub use fault::{FaultInjector, InjectorHook, SendFate};
 pub use group::Group;
 pub use mnd_wire::Wire;
+pub use replay::{install_quiet_crash_hook, MidPhaseCrash};
 pub use stats::{RankStats, TagTraffic};

@@ -24,6 +24,9 @@ pub struct Envelope {
     /// Per-`(src, tag)` send sequence number (delivery-order check and
     /// duplicate filtering under fault injection).
     pub seq: u64,
+    /// Sender's epoch (recovery points passed) when the message was
+    /// deposited — keys the receiver's replay log under rollback recovery.
+    pub epoch: u32,
     /// Whether this is a redundant copy injected by the fault plane; the
     /// receiver discards it (counting a redelivery) instead of delivering.
     pub dup: bool,
@@ -126,6 +129,7 @@ mod tests {
             arrival: 0.0,
             bytes: 4,
             seq: 0,
+            epoch: 0,
             dup: false,
         }
     }

@@ -77,6 +77,14 @@ pub struct RankStats {
     pub checkpoint_restores: u64,
     /// Virtual seconds lost to injected stalls (a subset of `comm_time`).
     pub stall_time: f64,
+    /// Compute re-executed while replaying a crash-interrupted epoch (a
+    /// subset of `compute_time`): the rollback-recovery cost the restart
+    /// model charges on top of the restart stall.
+    pub replayed_compute: f64,
+    /// Payload bytes served from the replay log while re-executing the
+    /// interrupted epoch. *Not* part of `bytes_received` — replayed
+    /// traffic never re-touches the fabric and is never re-charged.
+    pub replayed_in_bytes: u64,
     /// Per-tag breakdown of the byte/message totals above. Invariant:
     /// summing any counter over all tags equals the corresponding total.
     pub by_tag: BTreeMap<Tag, TagTraffic>,
@@ -145,6 +153,8 @@ impl RankStats {
         self.checkpoint_writes += other.checkpoint_writes;
         self.checkpoint_restores += other.checkpoint_restores;
         self.stall_time += other.stall_time;
+        self.replayed_compute += other.replayed_compute;
+        self.replayed_in_bytes += other.replayed_in_bytes;
         for (tag, t) in &other.by_tag {
             self.by_tag.entry(*tag).or_default().add(t);
         }
@@ -172,6 +182,8 @@ impl RankStats {
             checkpoint_writes: self.checkpoint_writes - earlier.checkpoint_writes,
             checkpoint_restores: self.checkpoint_restores - earlier.checkpoint_restores,
             stall_time: self.stall_time - earlier.stall_time,
+            replayed_compute: self.replayed_compute - earlier.replayed_compute,
+            replayed_in_bytes: self.replayed_in_bytes - earlier.replayed_in_bytes,
             by_tag,
         }
     }

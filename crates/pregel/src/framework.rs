@@ -80,7 +80,7 @@ pub struct BspStats {
 /// the per-source inbound buckets come back, and the barrier at the end is
 /// implicit in the all-to-all (every worker receives from every worker,
 /// empty or not — the BSP synchronisation the paper's analysis targets).
-pub fn superstep_exchange<T: mnd_net::Wire>(
+pub fn superstep_exchange<T: mnd_net::Wire + Clone>(
     comm: &Comm,
     buckets: Vec<Vec<T>>,
     stats: &mut BspStats,

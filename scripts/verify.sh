@@ -31,8 +31,12 @@ if [[ "$QUICK" -eq 0 ]]; then
   echo "==> cargo bench (smoke: one sample per bench)"
   cargo bench -p mnd-bench --features criterion-bench -- --test
 
-  echo "==> perf snapshot (BENCH_3.json)"
-  cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_3.json
+  echo "==> chaos recovery smoke (oracle-verified crash/replay grid)"
+  cargo run --release -q -p mnd-bench --bin repro -- \
+    --scale 65536 --nodes 4 --seed-grid 7,11 chaos
+
+  echo "==> perf snapshot (BENCH_4.json)"
+  cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_4.json
 fi
 
 echo "verify: OK"

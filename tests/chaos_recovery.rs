@@ -1,0 +1,178 @@
+//! Mid-phase crash recovery tests: a rank killed *inside* a phase rolls
+//! back to the checkpoint before the interrupted epoch, replays its peers'
+//! logged inbound messages without re-charging the fabric, and re-executes
+//! the epoch deterministically (DESIGN.md §5f).
+//!
+//! Three properties are asserted throughout:
+//!
+//! 1. **Correctness** — whatever the crash point, the MSF equals the
+//!    Kruskal oracle and is byte-identical to the fault-free run.
+//! 2. **No double-charged traffic** — replayed inbound messages are served
+//!    from the replay log, so the recovered run's fabric byte/message
+//!    counters equal the fault-free run's on every rank.
+//! 3. **Determinism** — the same plan seed yields the same recovery path,
+//!    the same stats, and the same virtual makespan, run after run.
+
+use std::sync::Arc;
+
+use mnd::chaos::{ChaosLog, CrashPoint, FaultPlan};
+use mnd::graph::{gen, EdgeList};
+use mnd::hypar::{ChaosEventKind, HyParConfig};
+use mnd::kernels::kruskal_msf;
+use mnd::mst::{MndMstReport, MndMstRunner};
+
+fn run_with_plan(
+    el: &EdgeList,
+    nranks: usize,
+    plan: Arc<FaultPlan>,
+    log: Option<Arc<ChaosLog>>,
+) -> MndMstReport {
+    let mut cfg = HyParConfig::default().with_chaos(plan.clone());
+    if let Some(log) = log {
+        cfg = cfg.with_observer(log);
+    }
+    MndMstRunner::new(nranks)
+        .with_config(cfg)
+        .with_fault_injector(plan)
+        .run(el)
+}
+
+/// The acceptance scenario: rank 2 dies at fabric op 5 of epoch 1 (inside
+/// the first independent-computation round), restores the
+/// Partition→IndComp boundary checkpoint, replays, and finishes with a
+/// forest byte-identical to the fault-free run.
+#[test]
+fn mid_ind_comp_crash_replays_from_partition_checkpoint() {
+    let el = gen::gnm(800, 4800, 13);
+    let oracle = kruskal_msf(&el);
+
+    let clean = run_with_plan(&el, 4, Arc::new(FaultPlan::new(3)), None);
+    let log = Arc::new(ChaosLog::new());
+    let plan = Arc::new(FaultPlan::new(3).with_mid_phase_crash(2, 1, 5));
+    let r = run_with_plan(&el, 4, plan, Some(log.clone()));
+
+    assert_eq!(r.msf, oracle);
+    assert_eq!(r.msf, clean.msf, "recovered forest must be byte-identical");
+    assert_eq!(log.count(ChaosEventKind::MidPhaseCrash), 1);
+    assert_eq!(log.count(ChaosEventKind::CheckpointRestore), 1);
+    assert_eq!(r.rank_stats[2].checkpoint_restores, 1);
+
+    // The crashed rank re-executed real compute ...
+    assert!(
+        r.rank_stats[2].replayed_compute > 0.0,
+        "re-executed epoch must charge compute"
+    );
+    // ... and replayed inbound traffic out of its log ...
+    assert!(
+        r.rank_stats[2].replayed_in_bytes > 0,
+        "rolled-back epoch must replay logged messages"
+    );
+    // ... but the fabric was not re-charged: every rank's byte and message
+    // counters match the fault-free run exactly.
+    for (rank, (s, c)) in r.rank_stats.iter().zip(&clean.rank_stats).enumerate() {
+        assert_eq!(s.bytes_received, c.bytes_received, "rank {rank}");
+        assert_eq!(s.bytes_sent, c.bytes_sent, "rank {rank}");
+        assert_eq!(s.messages_received, c.messages_received, "rank {rank}");
+        assert_eq!(s.messages_sent, c.messages_sent, "rank {rank}");
+    }
+    for (rank, s) in r.rank_stats.iter().enumerate() {
+        if rank != 2 {
+            assert_eq!(s.replayed_in_bytes, 0, "rank {rank} never crashed");
+            assert_eq!(s.replayed_compute, 0.0, "rank {rank} never crashed");
+        }
+    }
+    // Recovery costs time: restart stall plus the re-executed epoch.
+    assert!(r.total_time > clean.total_time, "recovery must cost time");
+}
+
+/// Crash every rank at every crash point (boundaries and mid-phase ops,
+/// including epoch 0 where no checkpoint exists yet) across seeds: the MSF
+/// always equals the oracle.
+#[test]
+fn crash_grid_over_points_and_seeds_matches_oracle() {
+    let points = [
+        CrashPoint::Boundary(0),
+        CrashPoint::Boundary(1),
+        CrashPoint::MidPhase { epoch: 0, op: 3 },
+        CrashPoint::MidPhase { epoch: 1, op: 7 },
+        CrashPoint::MidPhase { epoch: 2, op: 2 },
+    ];
+    for graph_seed in [5, 23] {
+        let el = gen::gnm(600, 3600, graph_seed);
+        let oracle = kruskal_msf(&el);
+        for rank in [0, 3] {
+            for point in points {
+                let plan = Arc::new(FaultPlan::new(11).with_crash_point(rank, point));
+                let r = run_with_plan(&el, 4, plan, None);
+                assert_eq!(
+                    r.msf, oracle,
+                    "graph_seed={graph_seed} rank={rank} point={point:?}"
+                );
+            }
+        }
+    }
+}
+
+/// A crash in epoch 0 has no checkpoint to fall back to: the rank replays
+/// the whole prefix live from scratch (no restore event) and still
+/// converges.
+#[test]
+fn epoch_zero_crash_restarts_from_scratch() {
+    let el = gen::gnm(500, 3000, 17);
+    let log = Arc::new(ChaosLog::new());
+    let plan = Arc::new(FaultPlan::new(7).with_mid_phase_crash(1, 0, 4));
+    let r = run_with_plan(&el, 4, plan, Some(log.clone()));
+
+    assert_eq!(r.msf, kruskal_msf(&el));
+    assert_eq!(log.count(ChaosEventKind::MidPhaseCrash), 1);
+    assert_eq!(
+        log.count(ChaosEventKind::CheckpointRestore),
+        0,
+        "no checkpoint exists before epoch 0"
+    );
+    assert_eq!(r.rank_stats[1].checkpoint_restores, 0);
+    assert!(r.rank_stats[1].replayed_compute > 0.0);
+}
+
+/// The recovery path is deterministic: same plan, same graph → identical
+/// forest, stats, event stream, and virtual makespan.
+#[test]
+fn mid_phase_recovery_path_is_deterministic() {
+    let el = gen::web_crawl(1200, 9_000, gen::CrawlParams::default(), 31);
+    let plan = Arc::new(
+        FaultPlan::new(42)
+            .with_drop_rate(0.02)
+            .with_mid_phase_crash(2, 1, 6),
+    );
+    let (log_a, log_b) = (Arc::new(ChaosLog::new()), Arc::new(ChaosLog::new()));
+    let a = run_with_plan(&el, 4, plan.clone(), Some(log_a.clone()));
+    let b = run_with_plan(&el, 4, plan, Some(log_b.clone()));
+
+    assert_eq!(a.msf, b.msf);
+    assert_eq!(a.total_time, b.total_time);
+    for (ra, rb) in a.rank_stats.iter().zip(&b.rank_stats) {
+        assert_eq!(ra.replayed_in_bytes, rb.replayed_in_bytes);
+        assert_eq!(ra.replayed_compute, rb.replayed_compute);
+        assert_eq!(ra.checkpoint_restores, rb.checkpoint_restores);
+        assert_eq!(ra.stall_time, rb.stall_time);
+    }
+    assert_eq!(log_a.events_sorted(), log_b.events_sorted());
+}
+
+/// Mid-phase crashes compose with message-plane faults and boundary
+/// crashes on other ranks.
+#[test]
+fn mid_phase_crash_composes_with_other_faults() {
+    let el = gen::gnm(700, 4200, 19);
+    let plan = Arc::new(
+        FaultPlan::new(9)
+            .with_drop_rate(0.05)
+            .with_duplicates(0.05)
+            .with_crash(3, 1)
+            .with_mid_phase_crash(0, 1, 9),
+    );
+    let r = run_with_plan(&el, 4, plan, None);
+    assert_eq!(r.msf, kruskal_msf(&el));
+    assert!(r.rank_stats[0].replayed_compute > 0.0);
+    assert_eq!(r.rank_stats[3].checkpoint_restores, 1);
+}
