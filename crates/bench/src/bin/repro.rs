@@ -9,7 +9,8 @@
 //! ```
 //!
 //! Experiments: table2 table3 table4 fig4 fig5 fig6 fig7 fig8
-//! ablation-group ablation-excp ablation-thresh calibration chaos traffic
+//! ablation-group ablation-excp ablation-thresh calibration chaos
+//! resilience traffic
 //!
 //! `--trace PATH` streams every phase sample and chaos event as JSON
 //! lines to PATH (`-` = stdout) while the experiments run.
@@ -73,11 +74,11 @@ fn main() {
                     "             ablation-group ablation-excp ablation-thresh ablation-locality"
                 );
                 println!("             ablation-weights ablation-network calibration");
-                println!("             kernel-sweep chaos traffic");
+                println!("             kernel-sweep chaos resilience traffic");
                 println!(
                     "--trace PATH streams phase samples + chaos events as JSON lines (- = stdout)"
                 );
-                println!("--seed-grid S1,S2,... repeats the chaos sweep once per seed");
+                println!("--seed-grid S1,S2,... repeats the chaos/resilience sweeps once per seed");
                 return;
             }
             other => experiments.push(other.to_string()),
@@ -379,6 +380,57 @@ fn main() {
                 "stall",
                 "replayed comp",
                 "replayed bytes",
+            ],
+            &flat,
+        );
+    }
+
+    if want("resilience") {
+        // Both engines under the same fault schedule, one sweep per grid
+        // seed — the BSP runs are oracle-verified and every faulted run's
+        // logical traffic is asserted equal to its fault-free baseline.
+        let seeds = if seed_grid.is_empty() {
+            vec![ctx.seed]
+        } else {
+            seed_grid.clone()
+        };
+        let mut flat: Vec<Vec<String>> = Vec::new();
+        for &seed in &seeds {
+            let sctx = ExpContext {
+                seed,
+                ..ctx.clone()
+            };
+            for r in resilience(&sctx, nranks) {
+                flat.push(vec![
+                    seed.to_string(),
+                    r.engine.to_string(),
+                    r.plan.clone(),
+                    secs(r.exe),
+                    secs(r.recovery),
+                    pct(r.overhead),
+                    r.restores.to_string(),
+                    secs(r.stall),
+                    secs(r.replayed_compute),
+                    r.replayed_in_bytes.to_string(),
+                    r.reexec.to_string(),
+                ]);
+            }
+        }
+        emit(
+            "resilience",
+            &format!("Resilience: D&C vs BSP under the same fault plans ({nranks} nodes, oracle-verified)"),
+            &[
+                "seed",
+                "engine",
+                "fault plan",
+                "exe",
+                "recovery",
+                "overhead",
+                "restores",
+                "stall",
+                "replayed comp",
+                "replayed bytes",
+                "reexec",
             ],
             &flat,
         );

@@ -14,7 +14,7 @@ use mnd_kernels::oracle::kruskal_msf;
 use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
 use mnd_mst::{MndMstReport, MndMstRunner};
 use mnd_net::Tag;
-use mnd_pregel::{pregel_msf, BspConfig, PregelReport};
+use mnd_pregel::{pregel_msf, pregel_msf_chaos, BspChaos, BspConfig, PregelReport};
 
 /// Shared experiment parameters.
 #[derive(Clone, Debug)]
@@ -973,6 +973,153 @@ pub fn chaos(ctx: &ExpContext, nranks: usize) -> Vec<ChaosRow> {
             stall: r.rank_stats.iter().map(|s| s.stall_time).sum(),
             replayed_compute: r.rank_stats.iter().map(|s| s.replayed_compute).sum(),
             replayed_in_bytes: r.rank_stats.iter().map(|s| s.replayed_in_bytes).sum(),
+        });
+    }
+    rows
+}
+
+// --------------------------------------------------------------------- //
+// Resilience: D&C vs BSP under the same fault schedule
+// --------------------------------------------------------------------- //
+
+/// Runs the BSP baseline with the chaos plane armed (fabric faults,
+/// superstep-boundary checkpoints, mid-superstep rollback), verified
+/// against the oracle.
+pub fn run_bsp_chaos(
+    ctx: &ExpContext,
+    el: &EdgeList,
+    nranks: usize,
+    plan: Arc<FaultPlan>,
+) -> PregelReport {
+    let chaos = BspChaos::from_plan(plan).with_observer(ctx.observer.clone());
+    let r = pregel_msf_chaos(el, nranks, &NodePlatform::amd_cluster(), &ctx.bsp(), &chaos);
+    ctx.check_bsp(el, &r, "run_bsp_chaos");
+    r
+}
+
+/// One row of the resilience comparison (one engine under one plan).
+#[derive(Clone, Debug)]
+pub struct ResilienceRow {
+    /// Engine label: `"mnd"` (divide-and-conquer) or `"bsp"`.
+    pub engine: &'static str,
+    /// Fault-plan label (shared across engines).
+    pub plan: String,
+    /// Execution time under faults (simulated seconds, paper scale).
+    pub exe: f64,
+    /// Recovery time: `exe - baseline` for this engine (simulated s).
+    pub recovery: f64,
+    /// Slowdown relative to this engine's fault-free run.
+    pub overhead: f64,
+    /// Total checkpoint restores across ranks.
+    pub restores: u64,
+    /// Total virtual seconds lost to stalls and restarts.
+    pub stall: f64,
+    /// Compute seconds re-executed during rollback (charged).
+    pub replayed_compute: f64,
+    /// Inbound bytes served from replay logs (not re-charged).
+    pub replayed_in_bytes: u64,
+    /// Work units re-executed at live cost: supersteps for the BSP
+    /// engine, recovery intervals (epochs) rolled back for the D&C one.
+    pub reexec: u64,
+}
+
+/// The resilience comparison (DESIGN.md §5g): both engines run the same
+/// graph under the *same* fault plans — the apples-to-apples counterpart
+/// of the performance comparison, measuring what a fault costs each
+/// execution model. Every run must produce the oracle MSF, and because
+/// suppressed re-sends and replayed receives bypass the fabric counters,
+/// each faulted run's logical traffic must equal its engine's fault-free
+/// baseline on every rank (asserted when `ctx.verify`).
+pub fn resilience(ctx: &ExpContext, nranks: usize) -> Vec<ResilienceRow> {
+    let el = ctx.graph(Preset::RoadUsa);
+    let platform = NodePlatform::amd_cluster();
+    let mnd_base = run_mnd(ctx, &el, nranks, platform.clone(), ctx.hypar());
+    let bsp_base = run_bsp(ctx, &el, nranks);
+
+    let crash_rank = 1 % nranks;
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("fault-free (chaos armed)", FaultPlan::new(ctx.seed)),
+        ("drop 2%", FaultPlan::new(ctx.seed).with_drop_rate(0.02)),
+        (
+            "dup+reorder 5%",
+            FaultPlan::new(ctx.seed)
+                .with_duplicates(0.05)
+                .with_reorder(0.05),
+        ),
+        (
+            "mid-phase crash @epoch 1",
+            FaultPlan::new(ctx.seed).with_mid_phase_crash(crash_rank, 1, 3),
+        ),
+    ];
+
+    let assert_logical_traffic =
+        |engine: &str, plan: &str, faulted: &[mnd_net::RankStats], base: &[mnd_net::RankStats]| {
+            if !ctx.verify {
+                return;
+            }
+            for (rank, (f, b)) in faulted.iter().zip(base).enumerate() {
+                assert_eq!(
+                    (
+                        f.bytes_sent,
+                        f.messages_sent,
+                        f.bytes_received,
+                        f.messages_received
+                    ),
+                    (
+                        b.bytes_sent,
+                        b.messages_sent,
+                        b.bytes_received,
+                        b.messages_received
+                    ),
+                    "{engine} under '{plan}': rank {rank} logical traffic diverged from fault-free"
+                );
+            }
+        };
+
+    // Logical-traffic baseline: the chaos-*armed* fault-free run (the
+    // first plan). Arming the plane adds a little real coordination
+    // traffic at recovery points, so the byte-match contract is against
+    // the armed run — faults and recovery on top of it must add nothing.
+    let mut mnd_traffic: Option<Vec<mnd_net::RankStats>> = None;
+    let mut bsp_traffic: Option<Vec<mnd_net::RankStats>> = None;
+
+    let mut rows = Vec::new();
+    for (name, plan) in plans {
+        let plan = Arc::new(plan);
+        let m = run_mnd_chaos(ctx, &el, nranks, platform.clone(), plan.clone());
+        match &mnd_traffic {
+            None => mnd_traffic = Some(m.rank_stats.clone()),
+            Some(base) => assert_logical_traffic("mnd", name, &m.rank_stats, base),
+        }
+        rows.push(ResilienceRow {
+            engine: "mnd",
+            plan: name.to_string(),
+            exe: m.total_time,
+            recovery: m.total_time - mnd_base.total_time,
+            overhead: m.total_time / mnd_base.total_time - 1.0,
+            restores: m.rank_stats.iter().map(|s| s.checkpoint_restores).sum(),
+            stall: m.rank_stats.iter().map(|s| s.stall_time).sum(),
+            replayed_compute: m.rank_stats.iter().map(|s| s.replayed_compute).sum(),
+            replayed_in_bytes: m.rank_stats.iter().map(|s| s.replayed_in_bytes).sum(),
+            reexec: m.rank_stats.iter().map(|s| s.checkpoint_restores).sum(),
+        });
+
+        let b = run_bsp_chaos(ctx, &el, nranks, plan);
+        match &bsp_traffic {
+            None => bsp_traffic = Some(b.rank_stats.clone()),
+            Some(base) => assert_logical_traffic("bsp", name, &b.rank_stats, base),
+        }
+        rows.push(ResilienceRow {
+            engine: "bsp",
+            plan: name.to_string(),
+            exe: b.total_time,
+            recovery: b.total_time - bsp_base.total_time,
+            overhead: b.total_time / bsp_base.total_time - 1.0,
+            restores: b.rank_stats.iter().map(|s| s.checkpoint_restores).sum(),
+            stall: b.rank_stats.iter().map(|s| s.stall_time).sum(),
+            replayed_compute: b.rank_stats.iter().map(|s| s.replayed_compute).sum(),
+            replayed_in_bytes: b.rank_stats.iter().map(|s| s.replayed_in_bytes).sum(),
+            reexec: b.recovered_supersteps,
         });
     }
     rows

@@ -250,6 +250,20 @@ impl ChaosControl for FaultPlan {
     fn mid_phase_crash(&self, rank: usize, epoch: u32) -> Option<u64> {
         self.mid_phase_crashes.get(&(rank, epoch)).copied()
     }
+
+    /// The schedule is an explicit table, so the horizon is exact: one
+    /// past the last epoch with a scheduled mid-phase crash on `rank`
+    /// (`Some(0)` when the plan never crashes `rank` mid-phase).
+    fn replay_horizon(&self, rank: usize) -> Option<u32> {
+        Some(
+            self.mid_phase_crashes
+                .keys()
+                .filter(|&&(r, _)| r == rank)
+                .map(|&(_, epoch)| epoch + 1)
+                .max()
+                .unwrap_or(0),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +352,20 @@ mod tests {
         assert_eq!(plan.mid_phase_crash(0, 2), None);
         assert!(plan.leader_down(0, 1));
         assert!(!plan.leader_down(1, 1));
+    }
+
+    #[test]
+    fn replay_horizon_covers_the_crash_schedule() {
+        let plan = FaultPlan::new(0)
+            .with_mid_phase_crash(1, 2, 17)
+            .with_mid_phase_crash(1, 5, 3)
+            .with_mid_phase_crash(2, 0, 9);
+        // One past the last scheduled crash epoch, per rank.
+        assert_eq!(plan.replay_horizon(1), Some(6));
+        assert_eq!(plan.replay_horizon(2), Some(1));
+        // No mid-phase crashes scheduled: the log is never needed.
+        assert_eq!(plan.replay_horizon(0), Some(0));
+        assert_eq!(FaultPlan::new(1).replay_horizon(3), Some(0));
     }
 
     #[test]

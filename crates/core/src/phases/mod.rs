@@ -273,6 +273,14 @@ impl<'a> RankCtx<'a> {
         // beginning here may carry a scheduled mid-phase crash.
         self.comm.gc_replay_sends(self.comm.epoch());
         self.comm.advance_epoch();
+        // Past the plan's replay horizon no mid-phase crash can fire on
+        // this rank again, so no rollback will ever read the log: retire
+        // it wholesale (ROADMAP replay-log GC).
+        if let Some(h) = chaos.replay_horizon(rank) {
+            if self.comm.epoch() >= h {
+                self.comm.retire_replay_log();
+            }
+        }
         self.arm_crash_for_current_epoch();
 
         if chaos.crashes_at(rank, b) {

@@ -167,7 +167,12 @@ impl MndMstRunner {
     fn rank_main(&self, comm: &Comm, csr: &CsrGraph, el: &EdgeList) -> RankResult {
         if self.config.chaos.is_set() {
             mnd_net::install_quiet_crash_hook();
-            comm.enable_replay_log();
+            // A horizon of 0 means the plan never crashes this rank
+            // mid-phase: no rollback can ever read the log, so don't
+            // build one (the GC degenerates to never logging at all).
+            if self.config.chaos.replay_horizon(comm.rank()) != Some(0) {
+                comm.enable_replay_log();
+            }
         }
         let recorder = Arc::new(PhaseTimesRecorder::new());
         let checkpoint: Rc<RefCell<Option<RankCheckpoint>>> = Rc::new(RefCell::new(None));

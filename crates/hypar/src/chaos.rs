@@ -99,6 +99,21 @@ pub trait ChaosControl: Send + Sync {
     fn mid_phase_crash(&self, _rank: usize, _epoch: u32) -> Option<u64> {
         None
     }
+
+    /// First epoch at which no further mid-phase crash can fire on `rank`
+    /// — the plan's *replay horizon*. Once a rank's epoch reaches the
+    /// horizon the driver retires its replay log wholesale (no future
+    /// rollback can consume it), bounding the log's footprint to the
+    /// faulty prefix of the run. `Some(0)` means the plan schedules no
+    /// mid-phase crash on `rank` at all; the default `None` means the
+    /// horizon is unknown and the log must be kept for the whole run.
+    /// Implementations must return a value `> epoch` for every epoch in
+    /// which [`ChaosControl::mid_phase_crash`] returns `Some` — an
+    /// under-reported horizon would discard payloads a rollback still
+    /// needs.
+    fn replay_horizon(&self, _rank: usize) -> Option<u32> {
+        None
+    }
 }
 
 /// An optional, shareable [`ChaosControl`] slot carried by the config.
@@ -149,6 +164,12 @@ impl ChaosHook {
     /// Mid-phase crash op for `(rank, epoch)` (`None` when unset).
     pub fn mid_phase_crash(&self, rank: usize, epoch: u32) -> Option<u64> {
         self.0.as_ref().and_then(|c| c.mid_phase_crash(rank, epoch))
+    }
+
+    /// The plan's replay horizon for `rank` (`None` when unset — an empty
+    /// hook never arms the replay log in the first place).
+    pub fn replay_horizon(&self, rank: usize) -> Option<u32> {
+        self.0.as_ref().and_then(|c| c.replay_horizon(rank))
     }
 }
 
@@ -226,5 +247,12 @@ mod tests {
         let h = ChaosHook::new(Arc::new(StallTwo));
         assert_eq!(h.mid_phase_crash(2, 1), None);
         assert_eq!(ChaosHook::none().mid_phase_crash(0, 0), None);
+    }
+
+    #[test]
+    fn replay_horizon_defaults_to_unknown() {
+        let h = ChaosHook::new(Arc::new(StallTwo));
+        assert_eq!(h.replay_horizon(2), None);
+        assert_eq!(ChaosHook::none().replay_horizon(0), None);
     }
 }

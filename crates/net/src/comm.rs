@@ -232,6 +232,27 @@ impl Comm {
         *self.replay.borrow_mut() = None;
     }
 
+    /// Retires the replay log because the active chaos plan can no longer
+    /// crash this rank mid-phase (the rank's epoch passed the plan's
+    /// *replay horizon*): all logged payloads and send tallies are dropped
+    /// and no further traffic is logged. Unlike [`Comm::clear_replay_log`]
+    /// this is a GC decision taken mid-run — it is only sound when the
+    /// horizon really covers every scheduled crash (see
+    /// [`crate::replay`] module docs).
+    pub fn retire_replay_log(&self) {
+        *self.replay.borrow_mut() = None;
+    }
+
+    /// Number of inbound payloads currently held by the replay log
+    /// (0 when the log is off or retired). Lets tests assert the
+    /// replay-horizon GC keeps the log bounded.
+    pub fn replay_recv_entries(&self) -> usize {
+        self.replay
+            .borrow()
+            .as_ref()
+            .map_or(0, |log| log.recv_entries())
+    }
+
     /// Current epoch: the number of recovery points this rank has passed.
     #[inline]
     pub fn epoch(&self) -> u32 {
@@ -657,6 +678,57 @@ mod tests {
         assert_eq!(Tag::user(7).id(), 7);
         assert!(!Tag::user(7).is_collective());
         assert_eq!(Tag::user(7).name(), "user(7)");
+    }
+
+    mod replay_gc {
+        use super::*;
+
+        /// Drives a long multi-epoch exchange, committing a recovery point
+        /// per epoch, and returns (peak, final) recv-log sizes. With a
+        /// finite horizon the log must be retired once the epoch passes
+        /// it; with no horizon it grows for the whole run.
+        fn run_epochs(epochs: u32, horizon: Option<u32>) -> Vec<(usize, usize)> {
+            Cluster::new(2, CostModel::free())
+                .run(move |c| {
+                    c.enable_replay_log();
+                    let peer = 1 - c.rank();
+                    let mut peak = 0usize;
+                    for e in 0..epochs {
+                        c.send(peer, Tag::user(0), vec![e; 4]);
+                        let _: Vec<u32> = c.recv(peer, Tag::user(0));
+                        peak = peak.max(c.replay_recv_entries());
+                        // Recovery-point commit, as the drivers do it.
+                        c.gc_replay_sends(c.epoch());
+                        c.advance_epoch();
+                        if let Some(h) = horizon {
+                            if c.epoch() >= h {
+                                c.retire_replay_log();
+                            }
+                        }
+                    }
+                    (peak, c.replay_recv_entries())
+                })
+                .into_iter()
+                .map(|o| o.result)
+                .collect()
+        }
+
+        #[test]
+        fn replay_horizon_bounds_the_recv_log() {
+            // Last possible mid-phase crash in epoch 2 => horizon 3: the
+            // log holds at most the 3 faulty-prefix epochs' messages and
+            // is empty from the horizon on.
+            for (peak, fin) in run_epochs(64, Some(3)) {
+                assert!(peak <= 3, "log grew past the faulty prefix: {peak}");
+                assert_eq!(fin, 0, "log must be retired at the horizon");
+            }
+            // Without a horizon the log keeps every delivery of the run —
+            // the unbounded growth the GC exists to prevent.
+            for (peak, fin) in run_epochs(64, None) {
+                assert_eq!(peak, 64);
+                assert_eq!(fin, 64);
+            }
+        }
     }
 
     mod faults {

@@ -15,9 +15,16 @@
 //! The send tally is garbage-collected when a checkpoint commits: epochs at
 //! or before the committed boundary are folded into a per-channel base
 //! count, since a future rollback can never re-enter them. Receive entries
-//! must survive until the run ends — recovery replays the *whole* prefix of
-//! the pipeline (in zero-cost fast-forward) to rebuild control flow, so
-//! even garbage-collected epochs' payloads are read again.
+//! cannot be trimmed epoch-by-epoch — recovery replays the *whole* prefix
+//! of the pipeline (in zero-cost fast-forward) to rebuild control flow, so
+//! even garbage-collected epochs' payloads are read again. They *can* be
+//! dropped wholesale: once the rank's epoch passes the last point at which
+//! the active chaos plan could still crash it mid-phase (the plan's
+//! *replay horizon*, [`mnd-hypar::ChaosControl::replay_horizon`]), no
+//! future rollback can consume any logged payload, and the driver retires
+//! the entire log via `Comm::retire_replay_log`. That bound keeps the
+//! log's footprint proportional to the faulty prefix of a run instead of
+//! its whole length.
 
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
@@ -102,6 +109,12 @@ impl ReplayLog {
                 .values()
                 .filter_map(|m| m.get(&(dst, tag)))
                 .sum::<u64>()
+    }
+
+    /// Number of logged inbound payloads currently held (across all
+    /// channels). Drivers use this to assert the GC bound.
+    pub fn recv_entries(&self) -> usize {
+        self.recvs.values().map(|m| m.len()).sum()
     }
 
     /// Serves a logged inbound payload, if present.

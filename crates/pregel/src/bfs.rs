@@ -10,8 +10,9 @@ use mnd_device::NodePlatform;
 use mnd_graph::partition::{owner_of, partition_1d};
 use mnd_graph::types::VertexId;
 use mnd_graph::{CsrGraph, EdgeList};
-use mnd_net::{Cluster, Comm, RankStats};
+use mnd_net::{Cluster, Comm, RankStats, Wire};
 
+use crate::chaos::{run_recoverable, BspChaos, BspRecovery};
 use crate::framework::{superstep_exchange, BspConfig, BspPartitioning, BspStats};
 
 /// Result of a BSP BFS run.
@@ -29,6 +30,24 @@ pub struct BspBfsReport {
     pub rank_stats: Vec<RankStats>,
 }
 
+/// The mutable per-worker BFS state — the checkpoint unit for rollback
+/// recovery under a chaos plan (see [`crate::chaos`]).
+#[derive(Clone)]
+struct BfsState {
+    /// Hop distance of each owned vertex (`u64::MAX` = unreached).
+    dist: Vec<u64>,
+    /// Frontier vertices owned by this worker.
+    active: Vec<VertexId>,
+    /// Superstep counters, checkpointed with the state.
+    stats: BspStats,
+}
+
+impl Wire for BfsState {
+    fn wire_bytes(&self) -> u64 {
+        self.dist.wire_bytes() + self.active.wire_bytes() + 4 * 8
+    }
+}
+
 /// Runs level-synchronised BFS from `source` on `nranks` BSP workers.
 pub fn pregel_bfs(
     el: &EdgeList,
@@ -37,10 +56,30 @@ pub fn pregel_bfs(
     platform: &NodePlatform,
     cfg: &BspConfig,
 ) -> BspBfsReport {
+    pregel_bfs_chaos(el, source, nranks, platform, cfg, &BspChaos::none())
+}
+
+/// [`pregel_bfs`] with the chaos plane armed: fabric faults plus
+/// superstep-boundary checkpoints and mid-superstep crash rollback (see
+/// [`crate::chaos`]). With [`BspChaos::none`] this is exactly the
+/// fault-free run.
+pub fn pregel_bfs_chaos(
+    el: &EdgeList,
+    source: VertexId,
+    nranks: usize,
+    platform: &NodePlatform,
+    cfg: &BspConfig,
+    chaos: &BspChaos,
+) -> BspBfsReport {
     assert!(source < el.num_vertices());
     let csr = Arc::new(CsrGraph::from_edge_list(el));
-    let cluster = Cluster::new(nranks, platform.network.scaled(cfg.sim_scale));
-    let outcomes = cluster.run(|comm| worker_bfs(comm, &csr, source, platform, cfg));
+    let cluster = Cluster::new(nranks, platform.network.scaled(cfg.sim_scale))
+        .with_fault_hook(chaos.faults.clone());
+    let outcomes = cluster.run(|comm| {
+        run_recoverable(comm, chaos, cfg, |rp| {
+            worker_bfs(comm, &csr, source, platform, cfg, rp)
+        })
+    });
     let total_time = Cluster::makespan(&outcomes);
     let mut dist = None;
     let mut supersteps = 0;
@@ -69,10 +108,10 @@ fn worker_bfs(
     source: VertexId,
     platform: &NodePlatform,
     cfg: &BspConfig,
+    rp: &mut BspRecovery<'_, BfsState>,
 ) -> (Option<Vec<u64>>, BspStats) {
     let me = comm.rank();
     let p = comm.size();
-    let mut stats = BspStats::default();
     let charge = |items: u64| {
         let m = &platform.cpu;
         comm.compute(items as f64 * cfg.sim_scale / (m.edge_throughput * m.efficiency));
@@ -105,19 +144,27 @@ fn worker_bfs(
         }
     };
 
-    let mut dist = vec![u64::MAX; mine.len()];
-    let mut active: Vec<VertexId> = Vec::new();
+    let mut st = BfsState {
+        dist: vec![u64::MAX; mine.len()],
+        active: Vec::new(),
+        stats: BspStats::default(),
+    };
     if owner(source) == me {
-        dist[idx(source)] = 0;
-        active.push(source);
+        st.dist[idx(source)] = 0;
+        st.active.push(source);
     }
 
     // One superstep per level: actives send dist+1 to every neighbour.
     loop {
+        // Recovery point between levels (no-op unless chaos is armed and
+        // the checkpoint interval has elapsed).
+        let ss = st.stats.supersteps;
+        rp.superstep_boundary(&mut st, ss);
+
         let mut buckets: Vec<Vec<(VertexId, u64)>> = (0..p).map(|_| Vec::new()).collect();
         let mut scanned = 0u64;
-        for &u in &active {
-            let du = dist[idx(u)];
+        for &u in &st.active {
+            let du = st.dist[idx(u)];
             for (v, _) in csr.neighbors(u) {
                 scanned += 1;
                 buckets[owner(v)].push((v, du + 1));
@@ -130,28 +177,29 @@ fn worker_bfs(
                 b.dedup_by_key(|(v, _)| *v);
             }
         }
-        let inbound = superstep_exchange(comm, buckets, &mut stats, cfg);
-        active.clear();
+        let inbound = superstep_exchange(comm, buckets, &mut st.stats, cfg);
+        st.active.clear();
         let mut applied = 0u64;
         for b in inbound {
             for (v, d) in b {
                 applied += 1;
-                let dv = &mut dist[idx(v)];
+                let dv = &mut st.dist[idx(v)];
                 if *dv > d {
                     *dv = d;
-                    active.push(v);
+                    st.active.push(v);
                 }
             }
         }
         charge(applied);
-        if comm.allreduce_u64(active.len() as u64, |a, b| a + b) == 0 {
+        if comm.allreduce_u64(st.active.len() as u64, |a, b| a + b) == 0 {
             break;
         }
     }
 
+    let stats = st.stats;
     // Gather: distances must come back in global vertex order. With hash
     // partitioning worker w owns vertices w, w+p, …, so rank 0 interleaves.
-    let gathered = comm.gather_vec(0, dist);
+    let gathered = comm.gather_vec(0, st.dist);
     let all = gathered.map(|parts| {
         let n = csr.num_vertices() as usize;
         let mut out = vec![u64::MAX; n];

@@ -41,6 +41,12 @@ pub struct BspConfig {
     /// Simulation scale (see DESIGN.md): multiplies modelled compute work
     /// and message bytes.
     pub sim_scale: f64,
+    /// Supersteps between recovery points when a chaos plan is armed
+    /// (`crate::chaos`): every `checkpoint_interval` supersteps the worker
+    /// writes a state checkpoint it can roll back to after an injected
+    /// mid-superstep crash. Ignored (no checkpoints at all) on fault-free
+    /// runs, so the baseline's clean numbers are unchanged.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for BspConfig {
@@ -51,6 +57,7 @@ impl Default for BspConfig {
             mirror_threshold: Some(128),
             per_message_cost: 0.06e-6,
             sim_scale: 1.0,
+            checkpoint_interval: 4,
         }
     }
 }
@@ -74,6 +81,11 @@ pub struct BspStats {
     /// Messages sent by this worker (before cost-model accounting, after
     /// combining).
     pub messages: u64,
+    /// Supersteps re-executed at recovery cost after a mid-superstep
+    /// crash: the stretch between the restored checkpoint and the crash
+    /// point replays with compute charged (see `crate::chaos`). 0 on
+    /// fault-free runs.
+    pub recovered_supersteps: u64,
 }
 
 /// One superstep's message exchange: per-destination-worker buckets go out,
@@ -87,6 +99,13 @@ pub fn superstep_exchange<T: mnd_net::Wire + Clone>(
     cfg: &BspConfig,
 ) -> Vec<Vec<T>> {
     stats.supersteps += 1;
+    if comm.replay_live() {
+        // Post-crash replay of the interrupted epoch: this superstep
+        // re-executes at real recovery cost (fast-forwarded supersteps
+        // don't count — their stats are overwritten at the checkpoint
+        // restore).
+        stats.recovered_supersteps += 1;
+    }
     let outgoing: u64 = buckets.iter().map(|b| b.len() as u64).sum();
     stats.messages += outgoing;
     // Messaging-stack overhead at the sender (per logical message, at

@@ -30,10 +30,19 @@
 //! synchronisation and traffic that §5.2 of the paper measures as 75% of
 //! Pregel+'s runtime.
 
+//!
+//! Chaos-armed entry points ([`pregel_msf_chaos`], [`pregel_bfs_chaos`])
+//! run the same algorithms under an injected fault schedule with
+//! superstep-boundary checkpoints and mid-superstep crash rollback — the
+//! BSP half of the resilience comparison (see [`chaos`] and
+//! DESIGN.md §5g).
+
 pub mod bfs;
+pub mod chaos;
 pub mod framework;
 pub mod msf;
 
-pub use bfs::{pregel_bfs, BspBfsReport};
+pub use bfs::{pregel_bfs, pregel_bfs_chaos, BspBfsReport};
+pub use chaos::BspChaos;
 pub use framework::{BspConfig, BspStats};
-pub use msf::{pregel_msf, PregelReport};
+pub use msf::{pregel_msf, pregel_msf_chaos, PregelReport};

@@ -3,6 +3,13 @@
 //! Vertices never move between workers; components are tracked by parent
 //! pointers and resolved with conjoined-tree + pointer-jumping supersteps.
 //! See the crate docs for the round structure.
+//!
+//! The worker's mutable state lives in [`MsfState`] so that a chaos-armed
+//! run ([`pregel_msf_chaos`]) can checkpoint it at superstep boundaries
+//! and roll back after an injected mid-superstep crash (see
+//! [`crate::chaos`]). Everything else in the worker (partition maps,
+//! the CSR graph) is immutable and rebuilt deterministically on
+//! re-execution.
 
 use std::sync::Arc;
 
@@ -11,8 +18,9 @@ use mnd_graph::partition::{owner_of, partition_1d};
 use mnd_graph::types::{VertexId, WEdge};
 use mnd_graph::{CsrGraph, EdgeList};
 use mnd_kernels::msf::MsfResult;
-use mnd_net::{Cluster, Comm, RankStats};
+use mnd_net::{Cluster, Comm, RankStats, Wire};
 
+use crate::chaos::{run_recoverable, BspChaos, BspRecovery};
 use crate::framework::{
     combine_messages, superstep_exchange, BspConfig, BspPartitioning, BspStats,
 };
@@ -32,6 +40,9 @@ pub struct PregelReport {
     pub supersteps: u64,
     /// Boruvka rounds.
     pub rounds: u64,
+    /// Supersteps re-executed at recovery cost after injected crashes,
+    /// summed over workers (0 on fault-free runs).
+    pub recovered_supersteps: u64,
     /// Per-worker raw statistics.
     pub rank_stats: Vec<RankStats>,
 }
@@ -46,6 +57,42 @@ struct AdjEntry {
     orig: WEdge,
 }
 
+impl Wire for AdjEntry {
+    fn wire_bytes(&self) -> u64 {
+        self.target_vertex.wire_bytes() + self.target_super.wire_bytes() + self.orig.wire_bytes()
+    }
+}
+
+/// The mutable per-worker state of the BSP MSF — the checkpoint unit for
+/// rollback recovery. Cloning it captures everything a re-executed worker
+/// needs to resume at a superstep boundary.
+#[derive(Clone)]
+struct MsfState {
+    /// Supervertex (root) of each owned vertex.
+    parent: Vec<VertexId>,
+    /// Live adjacency of each owned vertex (pruned as components merge).
+    adj: Vec<Vec<AdjEntry>>,
+    /// MSF edges this worker has settled so far.
+    msf_local: Vec<WEdge>,
+    /// Parents as of the last adjacency broadcast: only vertices whose
+    /// parent changed re-broadcast (vote-to-halt-style traffic reduction;
+    /// receivers keep valid entries for unchanged neighbours).
+    broadcast_parent: Vec<VertexId>,
+    /// Superstep/round/message counters (checkpointed with the state so
+    /// restored counters stay consistent with the restored supersteps).
+    stats: BspStats,
+}
+
+impl Wire for MsfState {
+    fn wire_bytes(&self) -> u64 {
+        self.parent.wire_bytes()
+            + self.adj.wire_bytes()
+            + self.msf_local.wire_bytes()
+            + self.broadcast_parent.wire_bytes()
+            + 4 * 8 // the BspStats counters
+    }
+}
+
 /// Runs the BSP MSF on `nranks` workers over the platform's network and CPU
 /// model. Returns the unique MSF (oracle-comparable) plus simulated times.
 pub fn pregel_msf(
@@ -54,18 +101,37 @@ pub fn pregel_msf(
     platform: &NodePlatform,
     cfg: &BspConfig,
 ) -> PregelReport {
+    pregel_msf_chaos(el, nranks, platform, cfg, &BspChaos::none())
+}
+
+/// [`pregel_msf`] with the chaos plane armed: fabric faults from
+/// `chaos.faults`, and superstep-boundary checkpoints with mid-superstep
+/// crash rollback from `chaos.control` (see [`crate::chaos`]). With
+/// [`BspChaos::none`] this is exactly the fault-free run.
+pub fn pregel_msf_chaos(
+    el: &EdgeList,
+    nranks: usize,
+    platform: &NodePlatform,
+    cfg: &BspConfig,
+    chaos: &BspChaos,
+) -> PregelReport {
     assert!(nranks >= 1);
     let csr = Arc::new(CsrGraph::from_edge_list(el));
     let n = el.num_vertices();
     let network = platform.network.scaled(cfg.sim_scale);
-    let cluster = Cluster::new(nranks, network);
+    let cluster = Cluster::new(nranks, network).with_fault_hook(chaos.faults.clone());
 
-    let outcomes = cluster.run(|comm| worker_main(comm, &csr, n, platform, cfg));
+    let outcomes = cluster.run(|comm| {
+        run_recoverable(comm, chaos, cfg, |rp| {
+            worker_main(comm, &csr, n, platform, cfg, rp)
+        })
+    });
 
     let total_time = Cluster::makespan(&outcomes);
     let mut msf = None;
     let mut supersteps = 0;
     let mut rounds = 0;
+    let mut recovered_supersteps = 0;
     let mut rank_stats = Vec::new();
     for o in &outcomes {
         let (m, stats) = &o.result;
@@ -74,6 +140,7 @@ pub fn pregel_msf(
         }
         supersteps = supersteps.max(stats.supersteps);
         rounds = rounds.max(stats.rounds);
+        recovered_supersteps += stats.recovered_supersteps;
         rank_stats.push(o.stats.clone());
     }
     let comm_time = rank_stats.iter().map(|s| s.comm_time).fold(0.0, f64::max);
@@ -83,6 +150,7 @@ pub fn pregel_msf(
         comm_time,
         supersteps,
         rounds,
+        recovered_supersteps,
         rank_stats,
     }
 }
@@ -93,10 +161,10 @@ fn worker_main(
     n: VertexId,
     platform: &NodePlatform,
     cfg: &BspConfig,
+    rp: &mut BspRecovery<'_, MsfState>,
 ) -> (Option<MsfResult>, BspStats) {
     let me = comm.rank();
     let p = comm.size();
-    let mut stats = BspStats::default();
     let charge = |comm: &Comm, items: u64| {
         let m = &platform.cpu;
         comm.compute(items as f64 * cfg.sim_scale / (m.edge_throughput * m.efficiency));
@@ -132,35 +200,39 @@ fn worker_main(
             (v - first) as usize
         }
     };
-    let mut parent: Vec<VertexId> = mine.clone();
-    let mut adj: Vec<Vec<AdjEntry>> = mine
-        .iter()
-        .map(|&u| {
-            csr.neighbors(u)
-                .map(|(v, w)| AdjEntry {
-                    target_vertex: v,
-                    target_super: v,
-                    orig: WEdge::new(u, v, w),
-                })
-                .collect()
-        })
-        .collect();
-    charge(comm, adj.iter().map(|a| a.len() as u64).sum());
-
-    let mut msf_local: Vec<WEdge> = Vec::new();
-    // Parents as of the last adjacency broadcast: only vertices whose
-    // parent changed re-broadcast (vote-to-halt-style traffic reduction;
-    // receivers keep valid entries for unchanged neighbours).
-    let mut broadcast_parent: Vec<VertexId> = parent.clone();
+    let mut st = MsfState {
+        parent: mine.clone(),
+        adj: mine
+            .iter()
+            .map(|&u| {
+                csr.neighbors(u)
+                    .map(|(v, w)| AdjEntry {
+                        target_vertex: v,
+                        target_super: v,
+                        orig: WEdge::new(u, v, w),
+                    })
+                    .collect()
+            })
+            .collect(),
+        msf_local: Vec::new(),
+        broadcast_parent: mine.clone(),
+        stats: BspStats::default(),
+    };
+    charge(comm, st.adj.iter().map(|a| a.len() as u64).sum());
 
     loop {
+        // Recovery point between Boruvka rounds (no-op unless chaos is
+        // armed and the checkpoint interval has elapsed).
+        let ss = st.stats.supersteps;
+        rp.superstep_boundary(&mut st, ss);
+
         // ---- S1: candidate election --------------------------------------
         let mut cand_msgs: Vec<(VertexId, (WEdge, VertexId))> = Vec::new();
         let mut scanned = 0u64;
         for ui in 0..count {
-            let pu = parent[ui];
+            let pu = st.parent[ui];
             let mut best: Option<(WEdge, VertexId)> = None;
-            for e in &adj[ui] {
+            for e in &st.adj[ui] {
                 scanned += 1;
                 if e.target_super == pu {
                     continue;
@@ -180,7 +252,7 @@ fn worker_main(
         if total_candidates == 0 {
             break;
         }
-        stats.rounds += 1;
+        st.stats.rounds += 1;
         if cfg.combine {
             cand_msgs = combine_messages(cand_msgs, |a, b| if a.0 <= b.0 { a } else { b });
         }
@@ -189,7 +261,7 @@ fn worker_main(
         for (dest, (e, other)) in cand_msgs {
             buckets[owner(dest)].push((dest, e, other));
         }
-        let inbound = superstep_exchange(comm, buckets, &mut stats, cfg);
+        let inbound = superstep_exchange(comm, buckets, &mut st.stats, cfg);
 
         // Roots pick the component minimum.
         let mut best_at: std::collections::HashMap<VertexId, (WEdge, VertexId)> =
@@ -218,12 +290,12 @@ fn worker_main(
         let mut buckets: Vec<Vec<(VertexId, VertexId, WEdge)>> =
             (0..p).map(|_| Vec::new()).collect();
         for (&s, &(e, t)) in &best_at {
-            debug_assert_eq!(parent[idx(s)], s, "candidates are addressed to roots");
+            debug_assert_eq!(st.parent[idx(s)], s, "candidates are addressed to roots");
             pending.insert(s, (e, t));
-            parent[idx(s)] = t; // tentative link; mutual pairs fixed below
+            st.parent[idx(s)] = t; // tentative link; mutual pairs fixed below
             buckets[owner(t)].push((t, s, e));
         }
-        let inbound = superstep_exchange(comm, buckets, &mut stats, cfg);
+        let inbound = superstep_exchange(comm, buckets, &mut st.stats, cfg);
 
         // ---- S3: conjoined-tree resolution --------------------------------
         let mut proposals = 0u64;
@@ -235,7 +307,7 @@ fn worker_main(
                         // Mutual: smaller id stays root and keeps the edge;
                         // larger id drops its duplicate.
                         if t < s {
-                            parent[idx(t)] = t;
+                            st.parent[idx(t)] = t;
                         } else {
                             pending.remove(&t);
                         }
@@ -244,37 +316,42 @@ fn worker_main(
             }
         }
         charge(comm, proposals);
-        msf_local.extend(pending.values().map(|&(e, _)| e));
+        st.msf_local.extend(pending.values().map(|&(e, _)| e));
 
         // ---- S4: pointer jumping ------------------------------------------
         loop {
+            // Recovery point between jump iterations: long compression
+            // chains are where a crash loses the most BSP work.
+            let ss = st.stats.supersteps;
+            rp.superstep_boundary(&mut st, ss);
+
             let mut buckets: Vec<Vec<(VertexId, VertexId)>> = (0..p).map(|_| Vec::new()).collect();
             let mut asked = 0u64;
-            for ui in 0..count {
-                let pu = parent[ui];
-                if pu != mine[ui] {
-                    buckets[owner(pu)].push((pu, mine[ui]));
+            for (ui, &u) in mine.iter().enumerate().take(count) {
+                let pu = st.parent[ui];
+                if pu != u {
+                    buckets[owner(pu)].push((pu, u));
                     asked += 1;
                 }
             }
             charge(comm, asked);
-            let queries = superstep_exchange(comm, buckets, &mut stats, cfg);
+            let queries = superstep_exchange(comm, buckets, &mut st.stats, cfg);
             let mut buckets: Vec<Vec<(VertexId, VertexId)>> = (0..p).map(|_| Vec::new()).collect();
             let mut served = 0u64;
             for b in queries {
                 for (dest_parent, asker) in b {
                     served += 1;
-                    buckets[owner(asker)].push((asker, parent[idx(dest_parent)]));
+                    buckets[owner(asker)].push((asker, st.parent[idx(dest_parent)]));
                 }
             }
             charge(comm, served);
-            let replies = superstep_exchange(comm, buckets, &mut stats, cfg);
+            let replies = superstep_exchange(comm, buckets, &mut st.stats, cfg);
             let mut changed = 0u64;
             for b in replies {
                 for (asker, gp) in b {
                     let ui = idx(asker);
-                    if parent[ui] != gp {
-                        parent[ui] = gp;
+                    if st.parent[ui] != gp {
+                        st.parent[ui] = gp;
                         changed = 1;
                     }
                 }
@@ -290,33 +367,32 @@ fn worker_main(
         // Pregel+ design, and the dominant BSP traffic.
         let mut update_msgs = 0u64;
         let mut buckets: Vec<Vec<(VertexId, VertexId)>> = (0..p).map(|_| Vec::new()).collect();
-        for ui in 0..count {
-            if adj[ui].is_empty() || parent[ui] == broadcast_parent[ui] {
+        for (ui, &u) in mine.iter().enumerate().take(count) {
+            if st.adj[ui].is_empty() || st.parent[ui] == st.broadcast_parent[ui] {
                 continue;
             }
-            broadcast_parent[ui] = parent[ui];
-            let u = mine[ui];
+            st.broadcast_parent[ui] = st.parent[ui];
             let mirrored = cfg
                 .mirror_threshold
-                .map(|t| adj[ui].len() as u64 >= t)
+                .map(|t| st.adj[ui].len() as u64 >= t)
                 .unwrap_or(false);
             if mirrored {
                 let mut dests: Vec<usize> =
-                    adj[ui].iter().map(|e| owner(e.target_vertex)).collect();
+                    st.adj[ui].iter().map(|e| owner(e.target_vertex)).collect();
                 dests.sort_unstable();
                 dests.dedup();
                 for d in dests {
-                    buckets[d].push((u, parent[ui]));
+                    buckets[d].push((u, st.parent[ui]));
                     update_msgs += 1;
                 }
             } else {
-                for e in &adj[ui] {
-                    buckets[owner(e.target_vertex)].push((u, parent[ui]));
+                for e in &st.adj[ui] {
+                    buckets[owner(e.target_vertex)].push((u, st.parent[ui]));
                     update_msgs += 1;
                 }
             }
         }
-        let inbound = superstep_exchange(comm, buckets, &mut stats, cfg);
+        let inbound = superstep_exchange(comm, buckets, &mut st.stats, cfg);
         charge(comm, update_msgs);
         // Apply updates with one relabel sweep over the live adjacency.
         // (Indexing entries by position would go stale across the per-round
@@ -329,7 +405,7 @@ fn worker_main(
             }
         }
         let mut applied = 0u64;
-        for a in adj.iter_mut() {
+        for a in st.adj.iter_mut() {
             for e in a.iter_mut() {
                 applied += 1;
                 if let Some(&ns) = new_super.get(&e.target_vertex) {
@@ -342,20 +418,20 @@ fn worker_main(
         // Prune internal edges (symmetric on both endpoints' workers).
         let mut pruned_scan = 0u64;
         for ui in 0..count {
-            let pu = parent[ui];
-            pruned_scan += adj[ui].len() as u64;
-            adj[ui].retain(|e| e.target_super != pu);
+            let pu = st.parent[ui];
+            pruned_scan += st.adj[ui].len() as u64;
+            st.adj[ui].retain(|e| e.target_super != pu);
         }
         charge(comm, pruned_scan);
     }
 
     // Gather the forest at worker 0.
-    let gathered = comm.gather_vec(0, msf_local);
+    let gathered = comm.gather_vec(0, st.msf_local);
     let msf = gathered.map(|parts| {
         let all: Vec<WEdge> = parts.into_iter().flatten().collect();
         MsfResult::from_edges(n, all)
     });
-    (msf, stats)
+    (msf, st.stats)
 }
 
 #[cfg(test)]
@@ -424,6 +500,7 @@ mod tests {
         assert!(r.rounds >= 2);
         assert!(r.comm_time > 0.0);
         assert!(r.total_time > r.comm_time);
+        assert_eq!(r.recovered_supersteps, 0, "fault-free run recovers nothing");
     }
 
     #[test]

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Performance regression gate, run by CI on pushes to main.
+#
+# Regenerates a fresh perf snapshot and diffs it against the committed
+# baseline (BENCH_4.json). The gate compares the *simulated* end-to-end
+# times (`sim_time_s`), which are deterministic — host wall-clock numbers
+# are printed for context but never gated on, since CI runners are noisy.
+#
+# Usage: scripts/bench_check.sh [--threshold PCT] [--baseline FILE]
+#   --threshold PCT  max allowed sim-time regression, percent (default 25)
+#   --baseline FILE  committed snapshot to diff against (default BENCH_4.json)
+
+set -euo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+THRESHOLD=25
+BASELINE=BENCH_4.json
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --threshold)
+      THRESHOLD="${2:?--threshold needs a value}"
+      shift 2
+      ;;
+    --baseline)
+      BASELINE="${2:?--baseline needs a file}"
+      shift 2
+      ;;
+    *)
+      echo "bench_check.sh: unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if ! command -v jq > /dev/null; then
+  echo "bench_check.sh: jq is required" >&2
+  exit 2
+fi
+if [[ ! -f "$BASELINE" ]]; then
+  echo "bench_check.sh: baseline $BASELINE not found" >&2
+  exit 2
+fi
+
+FRESH=$(mktemp --suffix=.json)
+trap 'rm -f "$FRESH"' EXIT
+
+echo "==> regenerating perf snapshot"
+cargo run --release -q -p mnd-bench --bin perfsnap -- "$FRESH"
+
+echo
+echo "==> end-to-end sim time vs $BASELINE (gate: +${THRESHOLD}%)"
+printf '%-16s %6s %12s %12s %8s %6s\n' graph nodes "base sim_s" "fresh sim_s" delta gate
+
+# Join baseline and fresh end_to_end rows on (graph, nodes); emit one
+# "graph nodes base fresh" line per metric present in both snapshots.
+FAIL=0
+while read -r graph nodes base fresh; do
+  delta=$(jq -n --argjson b "$base" --argjson f "$fresh" '(($f - $b) / $b * 100)')
+  over=$(jq -n --argjson d "$delta" --argjson t "$THRESHOLD" '$d > $t')
+  verdict=ok
+  if [[ "$over" == "true" ]]; then
+    verdict=FAIL
+    FAIL=1
+  fi
+  printf '%-16s %6s %12s %12s %7.1f%% %6s\n' \
+    "$graph" "$nodes" "$base" "$fresh" "$delta" "$verdict"
+done < <(
+  jq -r --slurpfile fresh "$FRESH" '
+    .end_to_end[] as $b
+    | ($fresh[0].end_to_end[] | select(.graph == $b.graph and .nodes == $b.nodes)) as $f
+    | "\($b.graph) \($b.nodes) \($b.sim_time_s) \($f.sim_time_s)"
+  ' "$BASELINE"
+)
+
+echo
+echo "==> host wall-clock (informational, not gated)"
+jq -r '
+  .end_to_end[] | "\(.graph) nodes=\(.nodes): \(.wall_ms) ms"
+' "$FRESH"
+
+if [[ "$FAIL" -ne 0 ]]; then
+  echo
+  echo "bench_check: FAIL — simulated time regressed more than ${THRESHOLD}% on at least one row"
+  exit 1
+fi
+echo
+echo "bench_check: OK"

@@ -1,17 +1,37 @@
 #!/usr/bin/env bash
 # Repo verification gate: formatting, lints, then the tier-1 suite
-# (ROADMAP.md: `cargo build --release && cargo test -q`).
+# (ROADMAP.md: `cargo build --release && cargo test -q`), and — in full
+# mode — the bench smoke, the chaos/resilience recovery grids, and a
+# fresh perf snapshot.
 #
 # Usage: scripts/verify.sh [--quick]
-#   --quick  skip the release build (lints + debug tests only)
+#   --quick  lints + debug tests only: skips the release build, the
+#            criterion smoke, the chaos and resilience sweeps, and the
+#            perf snapshot. This is the PR gate in CI; the full run
+#            gates pushes to main.
+#
+# Shellcheck-clean: CI lints this file (and every script here) with
+# shellcheck on each PR.
 
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 QUICK=0
-if [[ "${1:-}" == "--quick" ]]; then
-  QUICK=1
-fi
+for arg in "$@"; do
+  case "$arg" in
+    --quick)
+      QUICK=1
+      ;;
+    -h | --help)
+      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "verify.sh: unknown argument: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -27,16 +47,23 @@ fi
 echo "==> cargo test -q"
 cargo test -q --workspace
 
-if [[ "$QUICK" -eq 0 ]]; then
-  echo "==> cargo bench (smoke: one sample per bench)"
-  cargo bench -p mnd-bench --features criterion-bench -- --test
-
-  echo "==> chaos recovery smoke (oracle-verified crash/replay grid)"
-  cargo run --release -q -p mnd-bench --bin repro -- \
-    --scale 65536 --nodes 4 --seed-grid 7,11 chaos
-
-  echo "==> perf snapshot (BENCH_4.json)"
-  cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_4.json
+if [[ "$QUICK" -eq 1 ]]; then
+  echo "verify: OK (quick: skipped release build, bench smoke, chaos/resilience sweeps, perf snapshot)"
+  exit 0
 fi
+
+echo "==> cargo bench (smoke: one sample per bench)"
+cargo bench -p mnd-bench --features criterion-bench -- --test
+
+echo "==> chaos recovery smoke (oracle-verified crash/replay grid)"
+cargo run --release -q -p mnd-bench --bin repro -- \
+  --scale 65536 --nodes 4 --seed-grid 7,11 chaos
+
+echo "==> resilience smoke (D&C vs BSP under the same fault plans)"
+cargo run --release -q -p mnd-bench --bin repro -- \
+  --scale 65536 --nodes 4 --seed-grid 7,11 resilience
+
+echo "==> perf snapshot (BENCH_4.json)"
+cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_4.json
 
 echo "verify: OK"
