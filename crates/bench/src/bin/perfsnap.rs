@@ -1,27 +1,29 @@
 //! `perfsnap` — writes a machine-readable perf snapshot of the build.
 //!
 //! ```text
-//! perfsnap [PATH]    # default BENCH_4.json
+//! perfsnap [PATH]    # default BENCH_5.json
 //! ```
 //!
 //! The snapshot records (a) the measured kernel-policy crossover table,
 //! (b) the seq-vs-par kernel sweep up to a million-plus-edge holding, and
-//! (c) wall-clock plus simulated times for a verified end-to-end run — so
-//! the bench trajectory across PRs lives in versioned JSON, not just in
-//! criterion's target directory. JSON is assembled by hand: every value is
-//! a number or a fixed identifier, no escaping needed.
+//! (c) wall-clock plus simulated times for verified end-to-end runs —
+//! the D&C driver at two node counts plus every registered engine
+//! (`mnd::engines`) at 4 nodes, so the bench trajectory across PRs lives
+//! in versioned JSON, not just in criterion's target directory. JSON is
+//! assembled by hand: every value is a number or a fixed identifier, no
+//! escaping needed.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use mnd_bench::{kernel_sweep, run_mnd, ExpContext, SWEEP_SIZES};
+use mnd_bench::{engines_for, kernel_sweep, run_mnd, ExpContext, SWEEP_SIZES};
 use mnd_device::{calibrate_kernel_policy, NodePlatform};
 use mnd_graph::presets::Preset;
 
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".into());
+        .unwrap_or_else(|| "BENCH_5.json".into());
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -41,12 +43,30 @@ fn main() {
     for nodes in [4usize, 16] {
         let t = Instant::now();
         let r = run_mnd(&ctx, &el, nodes, NodePlatform::amd_cluster(), ctx.hypar());
-        e2e.push((nodes, t.elapsed().as_millis() as u64, r.total_time));
+        e2e.push((
+            "arabic-2005".to_string(),
+            nodes,
+            t.elapsed().as_millis() as u64,
+            r.total_time,
+        ));
+    }
+    // One row per registered engine (graph key carries the engine name so
+    // bench_check's (graph, nodes) join stays unique): gates sim-time
+    // neutrality of the shared recovery fabric across all three engines.
+    for engine in engines_for(&ctx, 4) {
+        let t = Instant::now();
+        let r = engine.run(&el);
+        e2e.push((
+            format!("arabic-2005:{}", engine.name()),
+            4,
+            t.elapsed().as_millis() as u64,
+            r.total_time,
+        ));
     }
 
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"pr\": 4,");
+    let _ = writeln!(j, "  \"pr\": 5,");
     let _ = writeln!(j, "  \"host_threads\": {host_threads},");
     let _ = writeln!(
         j,
@@ -82,10 +102,10 @@ fn main() {
         j.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
     }
     j.push_str("  ],\n  \"end_to_end\": [\n");
-    for (i, (nodes, wall_ms, sim_s)) in e2e.iter().enumerate() {
+    for (i, (graph, nodes, wall_ms, sim_s)) in e2e.iter().enumerate() {
         let _ = write!(
             j,
-            "    {{\"graph\": \"arabic-2005\", \"nodes\": {nodes}, \"wall_ms\": {wall_ms}, \"sim_time_s\": {sim_s:.3}}}"
+            "    {{\"graph\": \"{graph}\", \"nodes\": {nodes}, \"wall_ms\": {wall_ms}, \"sim_time_s\": {sim_s:.3}}}"
         );
         j.push_str(if i + 1 < e2e.len() { ",\n" } else { "\n" });
     }

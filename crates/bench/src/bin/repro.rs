@@ -10,7 +10,7 @@
 //!
 //! Experiments: table2 table3 table4 fig4 fig5 fig6 fig7 fig8
 //! ablation-group ablation-excp ablation-thresh calibration chaos
-//! resilience traffic
+//! resilience checkpoint-sweep traffic
 //!
 //! `--trace PATH` streams every phase sample and chaos event as JSON
 //! lines to PATH (`-` = stdout) while the experiments run.
@@ -74,7 +74,7 @@ fn main() {
                     "             ablation-group ablation-excp ablation-thresh ablation-locality"
                 );
                 println!("             ablation-weights ablation-network calibration");
-                println!("             kernel-sweep chaos resilience traffic");
+                println!("             kernel-sweep chaos resilience checkpoint-sweep traffic");
                 println!(
                     "--trace PATH streams phase samples + chaos events as JSON lines (- = stdout)"
                 );
@@ -418,7 +418,7 @@ fn main() {
         }
         emit(
             "resilience",
-            &format!("Resilience: D&C vs BSP under the same fault plans ({nranks} nodes, oracle-verified)"),
+            &format!("Resilience: every registered engine under the same fault plans ({nranks} nodes, oracle-verified)"),
             &[
                 "seed",
                 "engine",
@@ -431,6 +431,44 @@ fn main() {
                 "replayed comp",
                 "replayed bytes",
                 "reexec",
+            ],
+            &flat,
+        );
+    }
+
+    if want("checkpoint-sweep") {
+        let rows = checkpoint_sweep(&ctx, nranks);
+        let flat: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.engine.to_string(),
+                    r.interval.to_string(),
+                    secs(r.clean_exe),
+                    r.writes.to_string(),
+                    secs(r.crash_exe),
+                    secs(r.recovery),
+                    r.restores.to_string(),
+                    r.reexec.to_string(),
+                    secs(r.replayed_compute),
+                ]
+            })
+            .collect();
+        emit(
+            "checkpoint_sweep",
+            &format!(
+                "Checkpoint sweep: overhead vs recovery cost per cadence ({nranks} nodes, oracle-verified)"
+            ),
+            &[
+                "engine",
+                "interval",
+                "clean exe",
+                "writes",
+                "crash exe",
+                "recovery",
+                "restores",
+                "reexec",
+                "replayed comp",
             ],
             &flat,
         );

@@ -3,8 +3,10 @@
 
 use std::sync::Arc;
 
+use mnd::engines::{registry, EngineParams};
 use mnd_chaos::FaultPlan;
 use mnd_device::{calibrate_split, NodePlatform};
+use mnd_engine::{Engine, EngineChaos};
 use mnd_graph::presets::Preset;
 use mnd_graph::stats::graph_stats;
 use mnd_graph::{CsrGraph, EdgeList};
@@ -14,7 +16,7 @@ use mnd_kernels::oracle::kruskal_msf;
 use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
 use mnd_mst::{MndMstReport, MndMstRunner};
 use mnd_net::Tag;
-use mnd_pregel::{pregel_msf, pregel_msf_chaos, BspChaos, BspConfig, PregelReport};
+use mnd_pregel::{pregel_msf, BspConfig, PregelReport};
 
 /// Shared experiment parameters.
 #[derive(Clone, Debug)]
@@ -979,28 +981,24 @@ pub fn chaos(ctx: &ExpContext, nranks: usize) -> Vec<ChaosRow> {
 }
 
 // --------------------------------------------------------------------- //
-// Resilience: D&C vs BSP under the same fault schedule
+// Resilience: every registered engine under the same fault schedule
 // --------------------------------------------------------------------- //
 
-/// Runs the BSP baseline with the chaos plane armed (fabric faults,
-/// superstep-boundary checkpoints, mid-superstep rollback), verified
-/// against the oracle.
-pub fn run_bsp_chaos(
-    ctx: &ExpContext,
-    el: &EdgeList,
-    nranks: usize,
-    plan: Arc<FaultPlan>,
-) -> PregelReport {
-    let chaos = BspChaos::from_plan(plan).with_observer(ctx.observer.clone());
-    let r = pregel_msf_chaos(el, nranks, &NodePlatform::amd_cluster(), &ctx.bsp(), &chaos);
-    ctx.check_bsp(el, &r, "run_bsp_chaos");
-    r
+/// Builds the engine registry at the context's scale: the D&C config
+/// carries the context's observer and kernel policy, and every engine
+/// shares the platform and simulation scale.
+pub fn engines_for(ctx: &ExpContext, nranks: usize) -> Vec<Box<dyn Engine>> {
+    let mut params = EngineParams::new(nranks);
+    params.hypar = ctx.hypar();
+    params.bsp = ctx.bsp();
+    params.spmsf.sim_scale = ctx.scale as f64;
+    registry(&params)
 }
 
 /// One row of the resilience comparison (one engine under one plan).
 #[derive(Clone, Debug)]
 pub struct ResilienceRow {
-    /// Engine label: `"mnd"` (divide-and-conquer) or `"bsp"`.
+    /// Engine label ([`Engine::name`]): `"mnd-mst"`, `"bsp"`, `"spmsf"`.
     pub engine: &'static str,
     /// Fault-plan label (shared across engines).
     pub plan: String,
@@ -1018,39 +1016,44 @@ pub struct ResilienceRow {
     pub replayed_compute: f64,
     /// Inbound bytes served from replay logs (not re-charged).
     pub replayed_in_bytes: u64,
-    /// Work units re-executed at live cost: supersteps for the BSP
-    /// engine, recovery intervals (epochs) rolled back for the D&C one.
+    /// Work units re-executed at live cost: rolled-back epochs for the
+    /// D&C engine, supersteps for BSP, collective steps for min-plus.
     pub reexec: u64,
 }
 
-/// The resilience comparison (DESIGN.md §5g): both engines run the same
-/// graph under the *same* fault plans — the apples-to-apples counterpart
-/// of the performance comparison, measuring what a fault costs each
-/// execution model. Every run must produce the oracle MSF, and because
-/// suppressed re-sends and replayed receives bypass the fabric counters,
-/// each faulted run's logical traffic must equal its engine's fault-free
-/// baseline on every rank (asserted when `ctx.verify`).
+/// The resilience comparison (DESIGN.md §5g/§6): every registered engine
+/// runs the same graph under the *same* fault plans — the
+/// apples-to-apples counterpart of the performance comparison, measuring
+/// what a fault costs each execution model. Every run must produce the
+/// oracle MSF, and because suppressed re-sends and replayed receives
+/// bypass the fabric counters, each faulted run's logical traffic must
+/// equal its engine's chaos-armed fault-free baseline on every rank
+/// (asserted when `ctx.verify`).
 pub fn resilience(ctx: &ExpContext, nranks: usize) -> Vec<ResilienceRow> {
     let el = ctx.graph(Preset::RoadUsa);
-    let platform = NodePlatform::amd_cluster();
-    let mnd_base = run_mnd(ctx, &el, nranks, platform.clone(), ctx.hypar());
-    let bsp_base = run_bsp(ctx, &el, nranks);
+    let oracle = if ctx.verify {
+        Some(kruskal_msf(&el))
+    } else {
+        None
+    };
 
     let crash_rank = 1 % nranks;
-    let plans: Vec<(&str, FaultPlan)> = vec![
-        ("fault-free (chaos armed)", FaultPlan::new(ctx.seed)),
-        ("drop 2%", FaultPlan::new(ctx.seed).with_drop_rate(0.02)),
-        (
-            "dup+reorder 5%",
-            FaultPlan::new(ctx.seed)
-                .with_duplicates(0.05)
-                .with_reorder(0.05),
-        ),
-        (
-            "mid-phase crash @epoch 1",
-            FaultPlan::new(ctx.seed).with_mid_phase_crash(crash_rank, 1, 3),
-        ),
-    ];
+    let make_plans = || -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            ("fault-free (chaos armed)", FaultPlan::new(ctx.seed)),
+            ("drop 2%", FaultPlan::new(ctx.seed).with_drop_rate(0.02)),
+            (
+                "dup+reorder 5%",
+                FaultPlan::new(ctx.seed)
+                    .with_duplicates(0.05)
+                    .with_reorder(0.05),
+            ),
+            (
+                "mid-phase crash @epoch 1",
+                FaultPlan::new(ctx.seed).with_mid_phase_crash(crash_rank, 1, 3),
+            ),
+        ]
+    };
 
     let assert_logical_traffic =
         |engine: &str, plan: &str, faulted: &[mnd_net::RankStats], base: &[mnd_net::RankStats]| {
@@ -1076,51 +1079,145 @@ pub fn resilience(ctx: &ExpContext, nranks: usize) -> Vec<ResilienceRow> {
             }
         };
 
-    // Logical-traffic baseline: the chaos-*armed* fault-free run (the
-    // first plan). Arming the plane adds a little real coordination
-    // traffic at recovery points, so the byte-match contract is against
-    // the armed run — faults and recovery on top of it must add nothing.
-    let mut mnd_traffic: Option<Vec<mnd_net::RankStats>> = None;
-    let mut bsp_traffic: Option<Vec<mnd_net::RankStats>> = None;
+    let mut rows = Vec::new();
+    for engine in engines_for(ctx, nranks) {
+        let base = engine.run(&el);
+        if let Some(o) = &oracle {
+            assert_eq!(
+                &base.msf,
+                o,
+                "{}: fault-free result != oracle",
+                engine.name()
+            );
+        }
+        // Logical-traffic baseline: the chaos-*armed* fault-free run (the
+        // first plan). Arming the plane adds a little real coordination
+        // traffic at recovery points, so the byte-match contract is
+        // against the armed run — faults and recovery on top of it must
+        // add nothing.
+        let mut traffic_base: Option<Vec<mnd_net::RankStats>> = None;
+        for (name, plan) in make_plans() {
+            let mut chaos = EngineChaos::from_plan(Arc::new(plan));
+            if ctx.observer.is_set() {
+                chaos = chaos.with_observer(ctx.observer.clone());
+            }
+            let r = engine.run_chaos(&el, &chaos);
+            if let Some(o) = &oracle {
+                assert_eq!(
+                    &r.msf,
+                    o,
+                    "{} under '{name}': result != oracle",
+                    engine.name()
+                );
+            }
+            match &traffic_base {
+                None => traffic_base = Some(r.rank_stats.clone()),
+                Some(b) => assert_logical_traffic(engine.name(), name, &r.rank_stats, b),
+            }
+            rows.push(ResilienceRow {
+                engine: engine.name(),
+                plan: name.to_string(),
+                exe: r.total_time,
+                recovery: r.total_time - base.total_time,
+                overhead: r.total_time / base.total_time - 1.0,
+                restores: r.sum_stat(|s| s.checkpoint_restores),
+                stall: r.rank_stats.iter().map(|s| s.stall_time).sum(),
+                replayed_compute: r.rank_stats.iter().map(|s| s.replayed_compute).sum(),
+                replayed_in_bytes: r.sum_stat(|s| s.replayed_in_bytes),
+                reexec: r.recovered_units,
+            });
+        }
+    }
+    rows
+}
+
+// --------------------------------------------------------------------- //
+// Checkpoint sweep: overhead vs recovery cost across cadences
+// --------------------------------------------------------------------- //
+
+/// One row of the checkpoint-cadence sweep (one engine at one interval).
+#[derive(Clone, Debug)]
+pub struct CheckpointSweepRow {
+    /// Engine label ([`Engine::name`]).
+    pub engine: &'static str,
+    /// Recovery opportunities between checkpoints.
+    pub interval: u64,
+    /// Chaos-armed fault-free execution time (carries the checkpoint
+    /// overhead of this cadence and nothing else).
+    pub clean_exe: f64,
+    /// Checkpoint writes across ranks at this cadence.
+    pub writes: u64,
+    /// Execution time with a mid-phase crash injected.
+    pub crash_exe: f64,
+    /// Recovery cost: `crash_exe - clean_exe`.
+    pub recovery: f64,
+    /// Checkpoint restores across ranks (0 = the plan's crash window
+    /// never opened at this cadence — the run never reached epoch 1).
+    pub restores: u64,
+    /// Work units re-executed at live cost after the crash.
+    pub reexec: u64,
+    /// Compute seconds re-executed during rollback (charged).
+    pub replayed_compute: f64,
+}
+
+/// The checkpoint-cadence sweep: every registered engine, chaos-armed, at
+/// increasing checkpoint intervals — fault-free (isolating checkpoint
+/// overhead) and under the same mid-phase crash (measuring how much
+/// re-execution a sparser cadence buys back). The classic recovery
+/// trade-off chart, three engines wide.
+pub fn checkpoint_sweep(ctx: &ExpContext, nranks: usize) -> Vec<CheckpointSweepRow> {
+    let el = ctx.graph(Preset::RoadUsa);
+    let oracle = if ctx.verify {
+        Some(kruskal_msf(&el))
+    } else {
+        None
+    };
+    let crash_rank = 1 % nranks;
 
     let mut rows = Vec::new();
-    for (name, plan) in plans {
-        let plan = Arc::new(plan);
-        let m = run_mnd_chaos(ctx, &el, nranks, platform.clone(), plan.clone());
-        match &mnd_traffic {
-            None => mnd_traffic = Some(m.rank_stats.clone()),
-            Some(base) => assert_logical_traffic("mnd", name, &m.rank_stats, base),
+    for interval in [1u64, 2, 4, 8] {
+        let mut params = EngineParams::new(nranks);
+        params.hypar = ctx.hypar();
+        params.bsp = ctx.bsp();
+        params.spmsf.sim_scale = ctx.scale as f64;
+        let params = params.with_checkpoint_interval(interval);
+        for engine in registry(&params) {
+            let clean = engine.run_chaos(
+                &el,
+                &EngineChaos::from_plan(Arc::new(FaultPlan::new(ctx.seed))),
+            );
+            let crash = engine.run_chaos(
+                &el,
+                &EngineChaos::from_plan(Arc::new(
+                    FaultPlan::new(ctx.seed).with_mid_phase_crash(crash_rank, 1, 3),
+                )),
+            );
+            if let Some(o) = &oracle {
+                assert_eq!(
+                    &clean.msf,
+                    o,
+                    "{} clean@{interval} != oracle",
+                    engine.name()
+                );
+                assert_eq!(
+                    &crash.msf,
+                    o,
+                    "{} crash@{interval} != oracle",
+                    engine.name()
+                );
+            }
+            rows.push(CheckpointSweepRow {
+                engine: engine.name(),
+                interval,
+                clean_exe: clean.total_time,
+                writes: clean.sum_stat(|s| s.checkpoint_writes),
+                crash_exe: crash.total_time,
+                recovery: crash.total_time - clean.total_time,
+                restores: crash.sum_stat(|s| s.checkpoint_restores),
+                reexec: crash.recovered_units,
+                replayed_compute: crash.rank_stats.iter().map(|s| s.replayed_compute).sum(),
+            });
         }
-        rows.push(ResilienceRow {
-            engine: "mnd",
-            plan: name.to_string(),
-            exe: m.total_time,
-            recovery: m.total_time - mnd_base.total_time,
-            overhead: m.total_time / mnd_base.total_time - 1.0,
-            restores: m.rank_stats.iter().map(|s| s.checkpoint_restores).sum(),
-            stall: m.rank_stats.iter().map(|s| s.stall_time).sum(),
-            replayed_compute: m.rank_stats.iter().map(|s| s.replayed_compute).sum(),
-            replayed_in_bytes: m.rank_stats.iter().map(|s| s.replayed_in_bytes).sum(),
-            reexec: m.rank_stats.iter().map(|s| s.checkpoint_restores).sum(),
-        });
-
-        let b = run_bsp_chaos(ctx, &el, nranks, plan);
-        match &bsp_traffic {
-            None => bsp_traffic = Some(b.rank_stats.clone()),
-            Some(base) => assert_logical_traffic("bsp", name, &b.rank_stats, base),
-        }
-        rows.push(ResilienceRow {
-            engine: "bsp",
-            plan: name.to_string(),
-            exe: b.total_time,
-            recovery: b.total_time - bsp_base.total_time,
-            overhead: b.total_time / bsp_base.total_time - 1.0,
-            restores: b.rank_stats.iter().map(|s| s.checkpoint_restores).sum(),
-            stall: b.rank_stats.iter().map(|s| s.stall_time).sum(),
-            replayed_compute: b.rank_stats.iter().map(|s| s.replayed_compute).sum(),
-            replayed_in_bytes: b.rank_stats.iter().map(|s| s.replayed_in_bytes).sum(),
-            reexec: b.recovered_supersteps,
-        });
     }
     rows
 }

@@ -3,8 +3,10 @@
 //! When a chaos schedule is armed ([`mnd_hypar::HyParConfig::chaos`]),
 //! every rank serializes its recoverable state at each *recovery point* —
 //! the Partition → IndComp boundary and the boundary after every
-//! mergeParts pass (see [`crate::phases::RankCtx::recovery_point`]). An
-//! injected crash then restarts the rank from the checkpoint instead of
+//! mergeParts pass — through the shared recovery driver
+//! ([`mnd_engine::Recovery`]; the context implements
+//! [`mnd_engine::Recoverable`] with this type as its checkpoint payload).
+//! An injected crash then restarts the rank from the checkpoint instead of
 //! aborting the run.
 //!
 //! The holding travels in the same [`SegmentMsg`] wire format the ring
@@ -25,8 +27,6 @@ use crate::segment::SegmentMsg;
 /// input from the parallel filesystem.
 #[derive(Clone, Debug)]
 pub struct RankCheckpoint {
-    /// Recovery-point counter at capture time.
-    pub boundary: u32,
     /// The rank's holding, in ring-exchange wire format.
     pub holding: SegmentMsg,
     /// Component → owner directory.
@@ -41,9 +41,8 @@ pub struct RankCheckpoint {
 
 impl RankCheckpoint {
     /// Snapshots the recoverable state of `cx`.
-    pub fn capture(cx: &RankCtx<'_>, boundary: u32) -> Self {
+    pub fn capture(cx: &RankCtx<'_>) -> Self {
         RankCheckpoint {
-            boundary,
             holding: SegmentMsg::from_holding(cx.cg.clone()),
             dir: cx.dir.clone(),
             msf_local: cx.msf_local.clone(),
@@ -66,8 +65,7 @@ impl Wire for RankCheckpoint {
     /// Serialized size: the holding in segment format plus the directory,
     /// the local MSF, and the resume metadata.
     fn wire_bytes(&self) -> u64 {
-        self.boundary.wire_bytes()
-            + self.holding.wire_bytes()
+        self.holding.wire_bytes()
             + self.dir.approx_wire_bytes()
             + self.msf_local.wire_bytes()
             + self.levels.wire_bytes()

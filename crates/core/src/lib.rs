@@ -39,6 +39,7 @@
 pub mod bfs;
 pub mod cc;
 pub mod checkpoint;
+pub mod engine;
 pub mod ghost;
 pub mod phases;
 pub mod result;

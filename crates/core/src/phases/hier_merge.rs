@@ -8,7 +8,7 @@ use mnd_hypar::runtime::ExchangeMonitor;
 use mnd_kernels::cgraph::CompId;
 use mnd_net::{Comm, Group, Tag};
 
-use crate::phases::{IndComp, Phase, RankCtx};
+use crate::phases::{IndComp, Phase, RankCtx, RankRecovery};
 use crate::segment::{choose_segment_with, SegmentMsg};
 
 /// Ring-segment messages.
@@ -70,7 +70,7 @@ impl Phase for HierMerge {
         PhaseKind::HierMerge
     }
 
-    fn run(&mut self, cx: &mut RankCtx<'_>) {
+    fn run(&mut self, cx: &mut RankCtx<'_>, rec: &mut RankRecovery<'_>) {
         let comm = cx.comm;
         let me = comm.rank();
         let p = comm.size();
@@ -127,7 +127,7 @@ impl Phase for HierMerge {
                 cx.note_holding();
 
                 // Collaborative merging: indComp + ghost + reduce.
-                self.comp.run(cx);
+                self.comp.run(cx, rec);
             }
 
             // --- Leader (re-)election. Default leaders are the first
@@ -206,7 +206,7 @@ impl Phase for HierMerge {
             // before the next level ("We again perform independent
             // computation steps on the leader nodes").
             if active.len() > 1 {
-                self.comp.run(cx);
+                self.comp.run(cx, rec);
             }
         }
         // Where the fully merged data ended up — rank 0 unless a failover

@@ -4,7 +4,7 @@
 use mnd_hypar::api::ind_comp;
 use mnd_hypar::observe::PhaseKind;
 
-use crate::phases::{MergeParts, Phase, RankCtx};
+use crate::phases::{MergeParts, Phase, RankCtx, RankRecovery};
 
 /// One *computation step*: `indComp` on the node's device(s), ghost-parent
 /// exchange, self/multi-edge reduction — repeated while the global maximum
@@ -28,7 +28,7 @@ impl Phase for IndComp {
         PhaseKind::IndComp
     }
 
-    fn run(&mut self, cx: &mut RankCtx<'_>) {
+    fn run(&mut self, cx: &mut RankCtx<'_>, rec: &mut RankRecovery<'_>) {
         // Resolved once per step: the paper's fixed constant or the
         // platform-calibrated break-even point (§4.3.3), already in scaled
         // edges. Identical on every rank, so the lockstep break below is a
@@ -46,8 +46,8 @@ impl Phase for IndComp {
             });
 
             // Ghost-parent exchange + reduction (§3.3).
-            self.merge.run(cx);
-            cx.recovery_point();
+            self.merge.run(cx, rec);
+            rec.step(cx);
 
             // Global recursion decision (§4.3.3): recurse while any rank's
             // reduced holding is still over the threshold AND any rank made

@@ -6,7 +6,7 @@ use mnd_kernels::cgraph::CompId;
 use mnd_kernels::reduce::{apply_ghost_parents_with, ghost_parent_message, reduce_holding_with};
 
 use crate::ghost::relabel_buckets;
-use crate::phases::{Phase, RankCtx};
+use crate::phases::{Phase, RankCtx, RankRecovery};
 
 /// Consumes the relabels of the preceding `indComp` (stored in
 /// [`MergeParts::relabel`] by the caller), exchanges ghost parents, and
@@ -23,7 +23,7 @@ impl Phase for MergeParts {
         PhaseKind::MergeParts
     }
 
-    fn run(&mut self, cx: &mut RankCtx<'_>) {
+    fn run(&mut self, cx: &mut RankCtx<'_>, _rec: &mut RankRecovery<'_>) {
         let mut relabel = std::mem::take(&mut self.relabel);
         cx.observed(PhaseKind::MergeParts, |cx| {
             let comm = cx.comm;

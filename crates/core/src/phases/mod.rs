@@ -30,12 +30,10 @@ pub use merge_parts::MergeParts;
 pub use partition::Partition;
 pub use post_process::PostProcess;
 
-use std::cell::RefCell;
-use std::collections::BTreeSet;
-use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
 use mnd_device::DeviceSplit;
+use mnd_engine::{Recoverable, Recovery};
 use mnd_graph::types::WEdge;
 use mnd_graph::{CsrGraph, EdgeList};
 use mnd_hypar::chaos::{ChaosEvent, ChaosEventKind};
@@ -50,14 +48,23 @@ use crate::ghost::GhostDirectory;
 use crate::result::PhaseTimes;
 use crate::runner::{MndMstRunner, RankResult};
 
+/// The shared recovery driver specialised to the D&C driver's checkpoint
+/// payload. Phases call [`mnd_engine::Recovery::step`] with the context at
+/// their recovery points (after partitioning and after every mergeParts
+/// pass); everything else — stalls, checkpoint cost, replay-log epochs,
+/// mid-phase crash arming, fast-forward resume — lives in [`mnd_engine`].
+pub type RankRecovery<'a> = Recovery<'a, RankCheckpoint>;
+
 /// One stage of the per-rank pipeline. Phases mutate the shared [`RankCtx`]
 /// and report their cost through [`RankCtx::observed`].
 pub trait Phase {
     /// The observation kind this phase reports under.
     fn kind(&self) -> PhaseKind;
     /// Executes the phase (in lockstep across ranks — every phase runs on
-    /// every rank, with empty holdings making the work a no-op).
-    fn run(&mut self, cx: &mut RankCtx<'_>);
+    /// every rank, with empty holdings making the work a no-op). `rec` is
+    /// the shared recovery driver; phases with recovery points call
+    /// [`mnd_engine::Recovery::step`] on it.
+    fn run(&mut self, cx: &mut RankCtx<'_>, rec: &mut RankRecovery<'_>);
 }
 
 /// Folds phase samples into the report's four-bucket [`PhaseTimes`]:
@@ -121,36 +128,21 @@ pub struct RankCtx<'a> {
     /// The rank that holds the fully merged data after [`HierMerge`] —
     /// rank 0 unless chaos forced a leader failover along the way.
     pub final_rank: usize,
-    /// Recovery points passed so far (the boundary counter chaos
-    /// schedules key on). Identical across ranks: recovery points sit at
-    /// lockstep phase boundaries.
-    pub boundary: u32,
-    /// Boundary whose checkpoint this re-execution resumes from (`None`
-    /// outside post-crash re-execution): the rank fast-forwards to it and
-    /// swaps the stored checkpoint in there.
-    pub resume_boundary: Option<u32>,
-    /// Last checkpoint written (chaos runs only). Owned by `rank_main` so
-    /// it survives the unwind of a mid-phase crash.
-    pub checkpoint: Rc<RefCell<Option<RankCheckpoint>>>,
-    /// Mid-phase crash points `(epoch, op)` that already fired — owned by
-    /// `rank_main`; a fired crash is never re-armed during re-execution.
-    fired: &'a RefCell<BTreeSet<(u32, u64)>>,
     recorder: Arc<PhaseTimesRecorder>,
 }
 
 impl<'a> RankCtx<'a> {
     /// Fresh context at rank start; [`Partition`] populates the holding.
-    /// `recorder`, `checkpoint`, and `fired` are owned by the caller so
-    /// they survive a mid-phase crash unwind and carry over into the next
-    /// re-execution attempt.
+    /// `recorder` is owned by the caller so it survives a mid-phase crash
+    /// unwind and carries over into the next re-execution attempt (the
+    /// checkpoint slot and fired-crash set live in the shared recovery
+    /// driver, [`mnd_engine::run_recoverable`]).
     pub fn new(
         runner: &'a MndMstRunner,
         comm: &'a Comm,
         csr: &'a CsrGraph,
         el: &'a EdgeList,
         recorder: Arc<PhaseTimesRecorder>,
-        checkpoint: Rc<RefCell<Option<RankCheckpoint>>>,
-        fired: &'a RefCell<BTreeSet<(u32, u64)>>,
     ) -> Self {
         RankCtx {
             runner,
@@ -166,10 +158,6 @@ impl<'a> RankCtx<'a> {
             exchange_rounds: 0,
             max_holding_bytes: 0,
             final_rank: 0,
-            boundary: 0,
-            resume_boundary: None,
-            checkpoint,
-            fired,
             recorder,
         }
     }
@@ -204,118 +192,6 @@ impl<'a> RankCtx<'a> {
         self.recorder.on_phase(kind, &sample);
         self.runner.config.observer.emit(kind, &sample);
         out
-    }
-
-    /// A phase-boundary recovery point. No-op unless a chaos schedule is
-    /// armed, keeping fault-free runs byte-identical to pre-chaos builds.
-    ///
-    /// With chaos armed the rank, in order: serves any scheduled stall,
-    /// writes a checkpoint (charged at the runner's storage rate, counted
-    /// in [`mnd_net::RankStats::checkpoint_writes`]), commits it — which
-    /// garbage-collects the send-side replay log and advances the epoch —
-    /// and, if the schedule crashes it here, loses its in-memory state,
-    /// pays the restart penalty, and rebuilds from the checkpoint it just
-    /// wrote. Everything is rank-local (no communication), so the lockstep
-    /// discipline of the collectives is unaffected.
-    ///
-    /// During post-crash fast-forward the boundary is only *traversed*:
-    /// stall/checkpoint/crash work was already charged before the crash.
-    /// At the resume boundary the stored checkpoint is swapped in and the
-    /// rank switches to live replay of the interrupted epoch
-    /// (DESIGN.md §5f).
-    pub fn recovery_point(&mut self) {
-        let chaos = &self.cfg().chaos;
-        if !chaos.is_set() {
-            return;
-        }
-        let b = self.boundary;
-        self.boundary += 1;
-        let rank = self.comm.rank();
-
-        if self.comm.fast_forward() {
-            self.comm.advance_epoch();
-            if Some(b) == self.resume_boundary {
-                let ckpt = self
-                    .checkpoint
-                    .borrow()
-                    .clone()
-                    .expect("resume boundary must have a committed checkpoint");
-                debug_assert_eq!(ckpt.boundary, b, "stale checkpoint in the slot");
-                let bytes = mnd_net::Wire::wire_bytes(&ckpt);
-                ckpt.restore(self);
-                self.comm.set_fast_forward(false);
-                self.comm.set_replay_live(true);
-                self.comm.note_checkpoint_restore();
-                self.emit_chaos(ChaosEventKind::CheckpointRestore, b, bytes);
-                self.arm_crash_for_current_epoch();
-            }
-            return;
-        }
-        // Replay normally goes live inside send/recv when it catches up
-        // with the crash point; an epoch tail without fabric ops ends here
-        // at the latest.
-        self.comm.set_replay_live(false);
-
-        let stall = chaos.stall_seconds(rank, b);
-        if stall > 0.0 {
-            self.comm.stall(stall);
-            self.emit_chaos(ChaosEventKind::Stall, b, (stall * 1e6) as u64);
-        }
-
-        let ckpt = RankCheckpoint::capture(self, b);
-        let bytes = mnd_net::Wire::wire_bytes(&ckpt);
-        self.comm.compute(self.runner.checkpoint_seconds(bytes));
-        self.comm.note_checkpoint_write();
-        self.emit_chaos(ChaosEventKind::CheckpointWrite, b, bytes);
-        *self.checkpoint.borrow_mut() = Some(ckpt);
-        // Commit: rollback can never re-enter epochs at or before this
-        // boundary, so their send-side replay entries fold away; the epoch
-        // beginning here may carry a scheduled mid-phase crash.
-        self.comm.gc_replay_sends(self.comm.epoch());
-        self.comm.advance_epoch();
-        // Past the plan's replay horizon no mid-phase crash can fire on
-        // this rank again, so no rollback will ever read the log: retire
-        // it wholesale (ROADMAP replay-log GC).
-        if let Some(h) = chaos.replay_horizon(rank) {
-            if self.comm.epoch() >= h {
-                self.comm.retire_replay_log();
-            }
-        }
-        self.arm_crash_for_current_epoch();
-
-        if chaos.crashes_at(rank, b) {
-            self.emit_chaos(ChaosEventKind::Crash, b, 0);
-            // The crash wipes the rank's in-memory state...
-            self.cg = CGraph::new();
-            self.dir = GhostDirectory::default();
-            self.msf_local = Vec::new();
-            // ...the restart pays respawn + checkpoint re-read...
-            self.comm.stall(self.runner.restart_seconds(bytes));
-            // ...and the state comes back from stable storage (the slot
-            // keeps its copy: a later mid-phase crash may need it again).
-            let ckpt = self
-                .checkpoint
-                .borrow()
-                .clone()
-                .expect("checkpoint written above");
-            ckpt.restore(self);
-            self.comm.note_checkpoint_restore();
-            self.emit_chaos(ChaosEventKind::CheckpointRestore, b, bytes);
-        }
-    }
-
-    /// Arms the chaos plan's mid-phase crash for the epoch the rank is in,
-    /// unless that crash already fired (a fired crash must not loop).
-    pub(crate) fn arm_crash_for_current_epoch(&self) {
-        if self.comm.fast_forward() {
-            return;
-        }
-        let epoch = self.comm.epoch();
-        if let Some(op) = self.cfg().chaos.mid_phase_crash(self.comm.rank(), epoch) {
-            if !self.fired.borrow().contains(&(epoch, op)) {
-                self.comm.arm_mid_phase_crash(op);
-            }
-        }
     }
 
     /// Emits a chaos event (stamped with this rank, the current merge
@@ -353,5 +229,24 @@ impl<'a> RankCtx<'a> {
             exchange_rounds: self.exchange_rounds,
             max_holding_bytes: self.max_holding_bytes,
         }
+    }
+}
+
+/// The D&C driver's side of the shared recovery contract: checkpoints are
+/// [`RankCheckpoint`]s captured from the context, and chaos events carry
+/// the merge level the rank is at.
+impl Recoverable for RankCtx<'_> {
+    type State = RankCheckpoint;
+
+    fn capture(&self) -> RankCheckpoint {
+        RankCheckpoint::capture(self)
+    }
+
+    fn restore(&mut self, snapshot: RankCheckpoint) {
+        snapshot.restore(self);
+    }
+
+    fn chaos_level(&self) -> u32 {
+        self.levels as u32
     }
 }

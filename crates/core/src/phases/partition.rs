@@ -7,7 +7,7 @@ use mnd_hypar::observe::PhaseKind;
 use mnd_kernels::cgraph::{CGraph, CompId};
 
 use crate::ghost::GhostDirectory;
-use crate::phases::{Phase, RankCtx};
+use crate::phases::{Phase, RankCtx, RankRecovery};
 
 /// `partGraph`: leaves the context with a level-0 holding, a seeded ghost
 /// directory, and the calibrated CPU/GPU split.
@@ -19,7 +19,7 @@ impl Phase for Partition {
         PhaseKind::Partition
     }
 
-    fn run(&mut self, cx: &mut RankCtx<'_>) {
+    fn run(&mut self, cx: &mut RankCtx<'_>, rec: &mut RankRecovery<'_>) {
         cx.observed(PhaseKind::Partition, |cx| {
             let comm = cx.comm;
             let runner = cx.runner;
@@ -94,6 +94,6 @@ impl Phase for Partition {
                 }
             }
         });
-        cx.recovery_point();
+        rec.step(cx);
     }
 }

@@ -6,7 +6,7 @@ use mnd_hypar::api::post_process;
 use mnd_hypar::observe::PhaseKind;
 use mnd_kernels::msf::MsfResult;
 
-use crate::phases::{Phase, RankCtx};
+use crate::phases::{Phase, RankCtx, RankRecovery};
 
 /// Finishes the forest on the final rank — rank 0 unless chaos leader
 /// failovers re-routed the merge hierarchy ([`RankCtx::final_rank`]) —
@@ -19,7 +19,7 @@ impl Phase for PostProcess {
         PhaseKind::PostProcess
     }
 
-    fn run(&mut self, cx: &mut RankCtx<'_>) {
+    fn run(&mut self, cx: &mut RankCtx<'_>, _rec: &mut RankRecovery<'_>) {
         cx.observed(PhaseKind::PostProcess, |cx| {
             let comm = cx.comm;
             let final_rank = cx.final_rank;

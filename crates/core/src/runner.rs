@@ -16,18 +16,15 @@
 //! a real MPI job, and lets per-group decisions (§4.3.4) be taken from
 //! globally replicated data without extra coordination messages.
 
-use std::cell::RefCell;
-use std::collections::BTreeSet;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use mnd_device::NodePlatform;
+use mnd_engine::run_recoverable;
 use mnd_graph::{CsrGraph, EdgeList};
-use mnd_hypar::chaos::ChaosEventKind;
 use mnd_hypar::{HyParConfig, RecursionThresholdSource};
 use mnd_kernels::cgraph::CGraph;
 use mnd_kernels::msf::MsfResult;
-use mnd_net::{Cluster, Comm, FaultInjector, InjectorHook, MidPhaseCrash};
+use mnd_net::{Cluster, Comm, FaultInjector, InjectorHook};
 
 use crate::checkpoint::RankCheckpoint;
 use crate::phases::{
@@ -153,53 +150,29 @@ impl MndMstRunner {
     }
 
     /// The per-rank program: the phase pipeline over a shared context,
-    /// wrapped in a re-execution loop when a chaos schedule is armed.
+    /// wrapped in the workspace-wide rollback-recovery loop
+    /// ([`mnd_engine::run_recoverable`]) when a chaos schedule is armed.
     ///
-    /// A mid-phase crash unwinds the pipeline as a [`MidPhaseCrash`] panic.
-    /// The loop catches it, pays the restart penalty, resets the per-peer
-    /// sequence cursors, and re-runs the pipeline from the top: epochs
-    /// before the crashed one fast-forward at zero cost against the replay
-    /// log, the checkpoint written at the previous recovery boundary is
-    /// swapped in there, and the crashed epoch replays live — its inbound
-    /// messages are served from the log without re-charging the fabric
-    /// (DESIGN.md §5f). Recorder, checkpoint slot, and fired-crash set are
-    /// owned here so they survive the unwind.
+    /// A mid-phase crash unwinds the pipeline as a panic; the shared loop
+    /// catches it, pays the restart penalty, resets the per-peer sequence
+    /// cursors, and re-runs the pipeline from the top: epochs before the
+    /// crashed one fast-forward at zero cost against the replay log, the
+    /// checkpoint written at the previous recovery boundary is swapped in
+    /// there, and the crashed epoch replays live — its inbound messages
+    /// are served from the log without re-charging the fabric
+    /// (DESIGN.md §5f/§6). The recorder is owned here so phase times
+    /// survive the unwind; the checkpoint slot and fired-crash set live in
+    /// the shared driver.
     fn rank_main(&self, comm: &Comm, csr: &CsrGraph, el: &EdgeList) -> RankResult {
-        if self.config.chaos.is_set() {
-            mnd_net::install_quiet_crash_hook();
-            // A horizon of 0 means the plan never crashes this rank
-            // mid-phase: no rollback can ever read the log, so don't
-            // build one (the GC degenerates to never logging at all).
-            if self.config.chaos.replay_horizon(comm.rank()) != Some(0) {
-                comm.enable_replay_log();
-            }
-        }
         let recorder = Arc::new(PhaseTimesRecorder::new());
-        let checkpoint: Rc<RefCell<Option<RankCheckpoint>>> = Rc::new(RefCell::new(None));
-        let fired: RefCell<BTreeSet<(u32, u64)>> = RefCell::new(BTreeSet::new());
-        // `None` = first execution; `Some(rb)` = re-execution resuming from
-        // checkpoint boundary `rb` (`Some(None)` = crash in epoch 0, no
-        // checkpoint exists: replay the whole prefix live from scratch).
-        let mut resume: Option<Option<u32>> = None;
-        loop {
-            let mut cx = RankCtx::new(
-                self,
-                comm,
-                csr,
-                el,
-                Arc::clone(&recorder),
-                Rc::clone(&checkpoint),
-                &fired,
-            );
-            if let Some(rb) = resume {
-                cx.resume_boundary = rb;
-                match rb {
-                    Some(_) => comm.set_fast_forward(true),
-                    None => comm.set_replay_live(true),
-                }
-            }
-            cx.arm_crash_for_current_epoch();
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_recoverable::<RankCheckpoint, _>(
+            comm,
+            &self.config.chaos,
+            &self.config.observer,
+            self.config.checkpoint_interval,
+            self.config.sim_scale,
+            |rec| {
+                let mut cx = RankCtx::new(self, comm, csr, el, Arc::clone(&recorder));
                 let mut pipeline: [Box<dyn Phase>; 4] = [
                     Box::new(Partition),
                     Box::new(IndComp::new()),
@@ -207,40 +180,11 @@ impl MndMstRunner {
                     Box::new(PostProcess),
                 ];
                 for phase in pipeline.iter_mut() {
-                    phase.run(&mut cx);
+                    phase.run(&mut cx, rec);
                 }
-            }));
-            match result {
-                Ok(()) => {
-                    comm.clear_replay_log();
-                    return cx.into_result();
-                }
-                Err(payload) => match payload.downcast::<MidPhaseCrash>() {
-                    Ok(crash) => {
-                        let crash = *crash;
-                        fired.borrow_mut().insert((crash.epoch, crash.op));
-                        comm.set_fast_forward(false);
-                        comm.set_replay_live(false);
-                        cx.emit_chaos(ChaosEventKind::MidPhaseCrash, crash.epoch, crash.op);
-                        // The restart pays respawn + re-reading whatever
-                        // checkpoint exists; replayed bytes are free but
-                        // re-executed compute is charged as it re-runs.
-                        let ckpt_bytes = checkpoint
-                            .borrow()
-                            .as_ref()
-                            .map_or(0, mnd_net::Wire::wire_bytes);
-                        comm.stall(self.restart_seconds(ckpt_bytes));
-                        comm.reset_sequences();
-                        resume = Some(if crash.epoch == 0 {
-                            None
-                        } else {
-                            Some(crash.epoch - 1)
-                        });
-                    }
-                    Err(other) => std::panic::resume_unwind(other),
-                },
-            }
-        }
+                cx.into_result()
+            },
+        )
     }
 
     /// The recursion-stop threshold for independent computations, in
@@ -275,19 +219,6 @@ impl MndMstRunner {
     /// occupy).
     pub(crate) fn paper_bytes(&self, cg: &CGraph) -> u64 {
         (cg.approx_bytes() as f64 * self.config.sim_scale) as u64
-    }
-
-    /// Seconds one phase-boundary checkpoint write of `bytes` costs: a
-    /// fixed metadata sync plus streaming the state to node-local storage
-    /// at 2 GB/s (paper-scale bytes).
-    pub(crate) fn checkpoint_seconds(&self, bytes: u64) -> f64 {
-        1e-4 + bytes as f64 * self.config.sim_scale / 2e9
-    }
-
-    /// Seconds a crashed rank spends restarting: a one-second process
-    /// respawn penalty plus re-reading its checkpoint.
-    pub(crate) fn restart_seconds(&self, bytes: u64) -> f64 {
-        1.0 + self.checkpoint_seconds(bytes)
     }
 
     /// Per-segment byte cap: a quarter of node memory (at paper scale), so

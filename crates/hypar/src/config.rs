@@ -78,6 +78,14 @@ pub struct HyParConfig {
     /// [`crate::chaos`]). When unset the driver skips all checkpointing, so
     /// fault-free runs are byte-identical to pre-chaos builds.
     pub chaos: ChaosHook,
+    /// Recovery points between checkpoints when a chaos schedule is armed:
+    /// the driver reaches a recovery point after partitioning and after
+    /// every mergeParts pass, and takes every `checkpoint_interval`-th one
+    /// as a checkpoint boundary. The default of 1 checkpoints at every
+    /// recovery point (the historic behaviour); larger values trade
+    /// checkpoint overhead for more re-execution after a crash (see
+    /// `repro checkpoint-sweep`). Ignored on fault-free runs.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for HyParConfig {
@@ -101,6 +109,7 @@ impl Default for HyParConfig {
             kernel_policy: KernelPolicy::default(),
             observer: ObserverHook::none(),
             chaos: ChaosHook::none(),
+            checkpoint_interval: 1,
         }
     }
 }
@@ -151,6 +160,13 @@ impl HyParConfig {
     /// phase boundaries.
     pub fn with_chaos(mut self, control: std::sync::Arc<dyn crate::chaos::ChaosControl>) -> Self {
         self.chaos = ChaosHook::new(control);
+        self
+    }
+
+    /// Sets the checkpoint cadence at recovery points (see
+    /// [`HyParConfig::checkpoint_interval`]).
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval.max(1);
         self
     }
 }

@@ -12,7 +12,9 @@ use mnd_graph::types::VertexId;
 use mnd_graph::{CsrGraph, EdgeList};
 use mnd_net::{Cluster, Comm, RankStats, Wire};
 
-use crate::chaos::{run_recoverable, BspChaos, BspRecovery};
+use mnd_engine::{run_recoverable, Recoverable, Recovery};
+
+use crate::chaos::BspChaos;
 use crate::framework::{superstep_exchange, BspConfig, BspPartitioning, BspStats};
 
 /// Result of a BSP BFS run.
@@ -48,6 +50,16 @@ impl Wire for BfsState {
     }
 }
 
+impl Recoverable for BfsState {
+    type State = BfsState;
+    fn capture(&self) -> BfsState {
+        self.clone()
+    }
+    fn restore(&mut self, snapshot: BfsState) {
+        *self = snapshot;
+    }
+}
+
 /// Runs level-synchronised BFS from `source` on `nranks` BSP workers.
 pub fn pregel_bfs(
     el: &EdgeList,
@@ -76,9 +88,14 @@ pub fn pregel_bfs_chaos(
     let cluster = Cluster::new(nranks, platform.network.scaled(cfg.sim_scale))
         .with_fault_hook(chaos.faults.clone());
     let outcomes = cluster.run(|comm| {
-        run_recoverable(comm, chaos, cfg, |rp| {
-            worker_bfs(comm, &csr, source, platform, cfg, rp)
-        })
+        run_recoverable(
+            comm,
+            &chaos.control,
+            &chaos.observer,
+            cfg.checkpoint_interval,
+            cfg.sim_scale,
+            |rp| worker_bfs(comm, &csr, source, platform, cfg, rp),
+        )
     });
     let total_time = Cluster::makespan(&outcomes);
     let mut dist = None;
@@ -108,7 +125,7 @@ fn worker_bfs(
     source: VertexId,
     platform: &NodePlatform,
     cfg: &BspConfig,
-    rp: &mut BspRecovery<'_, BfsState>,
+    rp: &mut Recovery<'_, BfsState>,
 ) -> (Option<Vec<u64>>, BspStats) {
     let me = comm.rank();
     let p = comm.size();
@@ -159,7 +176,7 @@ fn worker_bfs(
         // Recovery point between levels (no-op unless chaos is armed and
         // the checkpoint interval has elapsed).
         let ss = st.stats.supersteps;
-        rp.superstep_boundary(&mut st, ss);
+        rp.boundary(&mut st, ss);
 
         let mut buckets: Vec<Vec<(VertexId, u64)>> = (0..p).map(|_| Vec::new()).collect();
         let mut scanned = 0u64;

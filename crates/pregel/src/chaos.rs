@@ -1,335 +1,29 @@
-//! Chaos arming and rollback recovery for the BSP baseline.
+//! Chaos arming for the BSP baseline.
 //!
-//! The D&C driver (`mnd-mst`) got the full fault plane in earlier work:
-//! fabric faults from a `FaultInjector`, phase-boundary checkpoints, and
-//! mid-phase crashes with replay-log rollback (DESIGN.md §5f). This module
-//! gives the Pregel+ baseline the *same* machinery so resilience can be
-//! compared apples-to-apples (DESIGN.md §5g):
+//! The checkpoint/rollback machinery that used to live here — the
+//! `BspRecovery` boundary protocol and the `run_recoverable` re-execution
+//! loop — is now the workspace-wide recovery driver in [`mnd_engine`]
+//! (DESIGN.md §6): every engine checkpoints and rolls back through the
+//! same code, so resilience comparisons are apples-to-apples by
+//! construction. This module keeps the BSP-facing names alive:
 //!
-//! * [`BspChaos`] bundles the three hooks a chaos run needs — the
-//!   fabric-level [`mnd_net::FaultInjector`], the phase-level
-//!   [`mnd_hypar::ChaosControl`], and an observer for
-//!   [`mnd_hypar::ChaosEvent`]s. One seeded `FaultPlan` from `mnd-chaos`
-//!   implements both fault traits, so [`BspChaos::from_plan`] arms a whole
-//!   run from a single plan.
-//! * [`run_recoverable`] is the per-worker re-execution loop: it catches
-//!   the [`MidPhaseCrash`] panic the fabric raises, pays the restart
-//!   penalty, and re-runs the vertex program from the top — already-charged
-//!   epochs fast-forward at zero cost against the replay log, the
-//!   checkpoint written before the interrupted epoch is swapped in, and
-//!   the interrupted epoch replays live (its inbound messages served from
-//!   the log for free, its compute charged as real recovery work).
-//! * [`BspRecovery::superstep_boundary`] is the recovery point the vertex
-//!   programs call between supersteps: every
-//!   [`crate::BspConfig::checkpoint_interval`] supersteps it stalls/
-//!   checkpoints/crashes per the schedule, exactly mirroring the D&C
-//!   driver's phase-boundary protocol.
+//! * [`BspChaos`] is the engine-neutral [`mnd_engine::EngineChaos`] — one
+//!   seeded `FaultPlan` from `mnd-chaos` arms the fabric injector and the
+//!   phase-level schedule for a BSP run exactly as it does for the other
+//!   engines.
+//! * The vertex programs ([`crate::pregel_msf_chaos`], bfs) thread an
+//!   [`mnd_engine::Recovery`] through their superstep loops and call
+//!   [`mnd_engine::Recovery::boundary`] with their superstep count — the
+//!   old `BspRecovery::superstep_boundary`, verbatim, gated on
+//!   [`crate::BspConfig::checkpoint_interval`].
 //!
-//! The contract carried over from §5f: *recovery never perturbs the
+//! The contract carried over unchanged: *recovery never perturbs the
 //! logical fabric accounting*. Suppressed re-sends and replayed receives
 //! are tracked separately (`RankStats::replayed_*`), so a recovered run's
 //! `bytes_sent`/`messages_sent`/`bytes_received`/`messages_received`
 //! byte-match the fault-free run — the invariant `tests/bsp_chaos.rs`
 //! asserts.
 
-use std::cell::RefCell;
-use std::collections::BTreeSet;
-
-use mnd_hypar::{ChaosEvent, ChaosEventKind, ChaosHook, ObserverHook};
-use mnd_net::{Comm, InjectorHook, MidPhaseCrash, Wire};
-
-use crate::framework::BspConfig;
-
-/// Everything that arms a BSP run against the chaos plane. The empty
-/// value ([`BspChaos::none`]) is a fault-free run with zero overhead: no
-/// checkpoints are written, no replay log is kept, and the simulated
-/// numbers are byte-identical to a build without this module.
-#[derive(Clone, Debug, Default)]
-pub struct BspChaos {
-    /// Fabric-level fault injector (drops/delays/duplicates/reorders),
-    /// handed to the cluster.
-    pub faults: InjectorHook,
-    /// Phase-level schedule (stalls, crashes, mid-superstep crashes),
-    /// consulted at superstep boundaries.
-    pub control: ChaosHook,
-    /// Sink for [`ChaosEvent`]s on the recovery path.
-    pub observer: ObserverHook,
-}
-
-impl BspChaos {
-    /// The unarmed (fault-free) value.
-    pub fn none() -> Self {
-        BspChaos::default()
-    }
-
-    /// Arms both fault layers from one seeded plan — typically an
-    /// `Arc<mnd_chaos::FaultPlan>`, which implements both traits, so the
-    /// BSP run and a D&C run armed with the same plan see the same fault
-    /// schedule.
-    pub fn from_plan<P>(plan: std::sync::Arc<P>) -> Self
-    where
-        P: mnd_net::FaultInjector + mnd_hypar::ChaosControl + 'static,
-    {
-        BspChaos {
-            faults: InjectorHook::new(plan.clone()),
-            control: ChaosHook::new(plan),
-            observer: ObserverHook::none(),
-        }
-    }
-
-    /// Attaches an observer for chaos events.
-    pub fn with_observer(mut self, observer: ObserverHook) -> Self {
-        self.observer = observer;
-        self
-    }
-
-    /// Whether a phase-level schedule is armed (the recovery machinery is
-    /// skipped entirely when not).
-    pub fn is_armed(&self) -> bool {
-        self.control.is_set()
-    }
-}
-
-/// Virtual seconds to write a checkpoint of `bytes` wire bytes — same
-/// storage model as the D&C driver (`MndMstRunner::checkpoint_seconds`),
-/// so the two engines pay identical recovery costs.
-pub(crate) fn checkpoint_seconds(bytes: u64, sim_scale: f64) -> f64 {
-    1e-4 + bytes as f64 * sim_scale / 2e9
-}
-
-/// Virtual seconds to restart a crashed worker: respawn plus re-reading
-/// the checkpoint.
-pub(crate) fn restart_seconds(bytes: u64, sim_scale: f64) -> f64 {
-    1.0 + checkpoint_seconds(bytes, sim_scale)
-}
-
-/// Per-execution recovery state a chaos-armed vertex program threads
-/// through its superstep loop. Created by [`run_recoverable`]; the vertex
-/// program only calls [`BspRecovery::superstep_boundary`].
-pub struct BspRecovery<'a, S> {
-    comm: &'a Comm,
-    chaos: &'a BspChaos,
-    interval: u64,
-    sim_scale: f64,
-    /// Superstep-boundary ordinal (advances at every *taken* boundary,
-    /// identically on every worker — supersteps are lockstep).
-    boundary: u32,
-    /// Superstep count at the last taken boundary.
-    last_ckpt: u64,
-    /// Boundary whose checkpoint this re-execution resumes from.
-    resume_boundary: Option<u32>,
-    /// Last committed checkpoint `(boundary, state)` — owned by
-    /// [`run_recoverable`] so it survives the crash unwind.
-    checkpoint: &'a RefCell<Option<(u32, S)>>,
-    /// Mid-superstep crash points that already fired (never re-armed).
-    fired: &'a RefCell<BTreeSet<(u32, u64)>>,
-}
-
-impl<S: Clone + Wire> BspRecovery<'_, S> {
-    /// A recovery point between supersteps. No-op unless a chaos schedule
-    /// is armed and `supersteps` has advanced past the checkpoint
-    /// interval; vertex programs call it unconditionally at the top of
-    /// their superstep loops.
-    ///
-    /// With the boundary taken the worker, in order: serves any scheduled
-    /// stall, clones `state` into a checkpoint (charged at the shared
-    /// storage rate), commits it — garbage-collecting the send-side replay
-    /// log, advancing the epoch, and retiring the whole log once past the
-    /// plan's replay horizon — arms the next scheduled mid-superstep
-    /// crash, and, if the schedule crashes it *at* this boundary, pays the
-    /// restart penalty and restores the checkpoint it just wrote.
-    ///
-    /// During post-crash fast-forward the boundary is only traversed; at
-    /// the resume boundary the stored checkpoint is swapped into `state`
-    /// and the worker switches to live replay of the interrupted epoch.
-    pub fn superstep_boundary(&mut self, state: &mut S, supersteps: u64) {
-        if !self.chaos.control.is_set() || supersteps - self.last_ckpt < self.interval {
-            return;
-        }
-        self.last_ckpt = supersteps;
-        let b = self.boundary;
-        self.boundary += 1;
-        let rank = self.comm.rank();
-
-        if self.comm.fast_forward() {
-            self.comm.advance_epoch();
-            if Some(b) == self.resume_boundary {
-                let (cb, snap) = self
-                    .checkpoint
-                    .borrow()
-                    .clone()
-                    .expect("resume boundary must have a committed checkpoint");
-                debug_assert_eq!(cb, b, "stale checkpoint in the slot");
-                let bytes = snap.wire_bytes();
-                *state = snap;
-                self.comm.set_fast_forward(false);
-                self.comm.set_replay_live(true);
-                self.comm.note_checkpoint_restore();
-                self.emit(ChaosEventKind::CheckpointRestore, b, bytes);
-                self.arm_crash_for_current_epoch();
-            }
-            return;
-        }
-        // Replay normally goes live inside send/recv when it catches up
-        // with the crash point; an epoch tail without fabric ops ends
-        // here at the latest.
-        self.comm.set_replay_live(false);
-
-        let stall = self.chaos.control.stall_seconds(rank, b);
-        if stall > 0.0 {
-            self.comm.stall(stall);
-            self.emit(ChaosEventKind::Stall, b, (stall * 1e6) as u64);
-        }
-
-        let snap = state.clone();
-        let bytes = snap.wire_bytes();
-        self.comm.compute(checkpoint_seconds(bytes, self.sim_scale));
-        self.comm.note_checkpoint_write();
-        self.emit(ChaosEventKind::CheckpointWrite, b, bytes);
-        *self.checkpoint.borrow_mut() = Some((b, snap));
-        // Commit: rollback can never re-enter epochs at or before this
-        // boundary.
-        self.comm.gc_replay_sends(self.comm.epoch());
-        self.comm.advance_epoch();
-        // Past the plan's replay horizon no mid-superstep crash can fire
-        // on this worker again: retire the log (ROADMAP replay-log GC).
-        if let Some(h) = self.chaos.control.replay_horizon(rank) {
-            if self.comm.epoch() >= h {
-                self.comm.retire_replay_log();
-            }
-        }
-        self.arm_crash_for_current_epoch();
-
-        if self.chaos.control.crashes_at(rank, b) {
-            self.emit(ChaosEventKind::Crash, b, 0);
-            // The crash wipes the worker's in-memory state; the restart
-            // pays respawn + checkpoint re-read, then the state comes
-            // back from stable storage (the slot keeps its copy: a later
-            // mid-superstep crash may need it again).
-            self.comm.stall(restart_seconds(bytes, self.sim_scale));
-            let (_, snap) = self
-                .checkpoint
-                .borrow()
-                .clone()
-                .expect("checkpoint written above");
-            *state = snap;
-            self.comm.note_checkpoint_restore();
-            self.emit(ChaosEventKind::CheckpointRestore, b, bytes);
-        }
-    }
-
-    /// Arms the plan's mid-superstep crash for the epoch the worker is
-    /// in, unless that crash already fired (a fired crash must not loop).
-    fn arm_crash_for_current_epoch(&self) {
-        if self.comm.fast_forward() {
-            return;
-        }
-        let epoch = self.comm.epoch();
-        if let Some(op) = self.chaos.control.mid_phase_crash(self.comm.rank(), epoch) {
-            if !self.fired.borrow().contains(&(epoch, op)) {
-                self.comm.arm_mid_phase_crash(op);
-            }
-        }
-    }
-
-    /// Emits a chaos event to the configured observer (suppressed during
-    /// fast-forward: those boundaries' events were reported before the
-    /// crash).
-    fn emit(&self, kind: ChaosEventKind, boundary: u32, detail: u64) {
-        if self.comm.fast_forward() {
-            return;
-        }
-        self.chaos.observer.emit_chaos(&ChaosEvent {
-            rank: self.comm.rank() as u32,
-            kind,
-            level: 0,
-            boundary,
-            time: self.comm.now(),
-            detail,
-        });
-    }
-}
-
-/// Runs a vertex program under the rollback-recovery loop. `body` must be
-/// a deterministic from-the-top execution of the whole program (state
-/// initialisation included) that calls
-/// [`BspRecovery::superstep_boundary`] at its superstep-loop heads; a
-/// [`MidPhaseCrash`] raised by the fabric unwinds it, and the loop re-runs
-/// it with the recovery mode flags set (see module docs). Unarmed, the
-/// body runs exactly once with every boundary a no-op.
-pub(crate) fn run_recoverable<S, R>(
-    comm: &Comm,
-    chaos: &BspChaos,
-    cfg: &BspConfig,
-    body: impl Fn(&mut BspRecovery<'_, S>) -> R,
-) -> R
-where
-    S: Clone + Wire,
-{
-    if chaos.is_armed() {
-        mnd_net::install_quiet_crash_hook();
-        // A horizon of 0 means the plan never crashes this worker
-        // mid-superstep: no rollback can ever read the log, so don't
-        // build one.
-        if chaos.control.replay_horizon(comm.rank()) != Some(0) {
-            comm.enable_replay_log();
-        }
-    }
-    let checkpoint: RefCell<Option<(u32, S)>> = RefCell::new(None);
-    let fired: RefCell<BTreeSet<(u32, u64)>> = RefCell::new(BTreeSet::new());
-    // `None` = first execution; `Some(rb)` = re-execution resuming from
-    // checkpoint boundary `rb` (`Some(None)` = crash in epoch 0, no
-    // checkpoint exists: replay the whole prefix live from scratch).
-    let mut resume: Option<Option<u32>> = None;
-    loop {
-        let mut rp = BspRecovery {
-            comm,
-            chaos,
-            interval: cfg.checkpoint_interval.max(1),
-            sim_scale: cfg.sim_scale,
-            boundary: 0,
-            last_ckpt: 0,
-            resume_boundary: resume.flatten(),
-            checkpoint: &checkpoint,
-            fired: &fired,
-        };
-        if let Some(rb) = resume {
-            match rb {
-                Some(_) => comm.set_fast_forward(true),
-                None => comm.set_replay_live(true),
-            }
-        }
-        rp.arm_crash_for_current_epoch();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rp)));
-        match result {
-            Ok(r) => {
-                comm.clear_replay_log();
-                return r;
-            }
-            Err(payload) => match payload.downcast::<MidPhaseCrash>() {
-                Ok(crash) => {
-                    let crash = *crash;
-                    fired.borrow_mut().insert((crash.epoch, crash.op));
-                    comm.set_fast_forward(false);
-                    comm.set_replay_live(false);
-                    rp.emit(ChaosEventKind::MidPhaseCrash, crash.epoch, crash.op);
-                    // The restart pays respawn + re-reading whatever
-                    // checkpoint exists; replayed bytes are free but
-                    // re-executed compute is charged as it re-runs.
-                    let ckpt_bytes = checkpoint
-                        .borrow()
-                        .as_ref()
-                        .map_or(0, |(_, s)| s.wire_bytes());
-                    comm.stall(restart_seconds(ckpt_bytes, cfg.sim_scale));
-                    comm.reset_sequences();
-                    resume = Some(if crash.epoch == 0 {
-                        None
-                    } else {
-                        Some(crash.epoch - 1)
-                    });
-                }
-                Err(other) => std::panic::resume_unwind(other),
-            },
-        }
-    }
-}
+/// Chaos arming bundle for a BSP run — an alias of the engine-neutral
+/// [`mnd_engine::EngineChaos`], kept for source compatibility.
+pub use mnd_engine::EngineChaos as BspChaos;

@@ -1,0 +1,50 @@
+//! [`Engine`] adapter for the BSP baseline: packages a rank count, a
+//! platform, and a [`BspConfig`] into the engine-registry contract so
+//! benches and agreement tests can drive the baseline next to the D&C
+//! driver and the min-plus engine without a per-engine arm.
+
+use mnd_device::NodePlatform;
+use mnd_engine::{Engine, EngineChaos, EngineReport};
+use mnd_graph::EdgeList;
+
+use crate::framework::BspConfig;
+use crate::msf::pregel_msf_chaos;
+
+/// The Pregel+-style BSP MSF as a registry engine.
+#[derive(Clone, Debug)]
+pub struct BspEngine {
+    /// Number of BSP workers.
+    pub nranks: usize,
+    /// Node hardware + interconnect.
+    pub platform: NodePlatform,
+    /// BSP optimisation and chaos-cadence knobs.
+    pub cfg: BspConfig,
+}
+
+impl BspEngine {
+    /// A BSP engine on the AMD-cluster platform with default tuning.
+    pub fn new(nranks: usize) -> Self {
+        BspEngine {
+            nranks,
+            platform: NodePlatform::amd_cluster(),
+            cfg: BspConfig::default(),
+        }
+    }
+}
+
+impl Engine for BspEngine {
+    fn name(&self) -> &'static str {
+        "bsp"
+    }
+
+    fn run_chaos(&self, el: &EdgeList, chaos: &EngineChaos) -> EngineReport {
+        let r = pregel_msf_chaos(el, self.nranks, &self.platform, &self.cfg, chaos);
+        EngineReport {
+            msf: r.msf,
+            total_time: r.total_time,
+            comm_time: r.comm_time,
+            rank_stats: r.rank_stats,
+            recovered_units: r.recovered_supersteps,
+        }
+    }
+}

@@ -39,10 +39,12 @@
 
 pub mod bfs;
 pub mod chaos;
+pub mod engine;
 pub mod framework;
 pub mod msf;
 
 pub use bfs::{pregel_bfs, pregel_bfs_chaos, BspBfsReport};
 pub use chaos::BspChaos;
+pub use engine::BspEngine;
 pub use framework::{BspConfig, BspStats};
 pub use msf::{pregel_msf, pregel_msf_chaos, PregelReport};

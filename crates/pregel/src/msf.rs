@@ -20,7 +20,9 @@ use mnd_graph::{CsrGraph, EdgeList};
 use mnd_kernels::msf::MsfResult;
 use mnd_net::{Cluster, Comm, RankStats, Wire};
 
-use crate::chaos::{run_recoverable, BspChaos, BspRecovery};
+use mnd_engine::{run_recoverable, Recoverable, Recovery};
+
+use crate::chaos::BspChaos;
 use crate::framework::{
     combine_messages, superstep_exchange, BspConfig, BspPartitioning, BspStats,
 };
@@ -93,6 +95,16 @@ impl Wire for MsfState {
     }
 }
 
+impl Recoverable for MsfState {
+    type State = MsfState;
+    fn capture(&self) -> MsfState {
+        self.clone()
+    }
+    fn restore(&mut self, snapshot: MsfState) {
+        *self = snapshot;
+    }
+}
+
 /// Runs the BSP MSF on `nranks` workers over the platform's network and CPU
 /// model. Returns the unique MSF (oracle-comparable) plus simulated times.
 pub fn pregel_msf(
@@ -122,9 +134,14 @@ pub fn pregel_msf_chaos(
     let cluster = Cluster::new(nranks, network).with_fault_hook(chaos.faults.clone());
 
     let outcomes = cluster.run(|comm| {
-        run_recoverable(comm, chaos, cfg, |rp| {
-            worker_main(comm, &csr, n, platform, cfg, rp)
-        })
+        run_recoverable(
+            comm,
+            &chaos.control,
+            &chaos.observer,
+            cfg.checkpoint_interval,
+            cfg.sim_scale,
+            |rp| worker_main(comm, &csr, n, platform, cfg, rp),
+        )
     });
 
     let total_time = Cluster::makespan(&outcomes);
@@ -161,7 +178,7 @@ fn worker_main(
     n: VertexId,
     platform: &NodePlatform,
     cfg: &BspConfig,
-    rp: &mut BspRecovery<'_, MsfState>,
+    rp: &mut Recovery<'_, MsfState>,
 ) -> (Option<MsfResult>, BspStats) {
     let me = comm.rank();
     let p = comm.size();
@@ -224,7 +241,7 @@ fn worker_main(
         // Recovery point between Boruvka rounds (no-op unless chaos is
         // armed and the checkpoint interval has elapsed).
         let ss = st.stats.supersteps;
-        rp.superstep_boundary(&mut st, ss);
+        rp.boundary(&mut st, ss);
 
         // ---- S1: candidate election --------------------------------------
         let mut cand_msgs: Vec<(VertexId, (WEdge, VertexId))> = Vec::new();
@@ -323,7 +340,7 @@ fn worker_main(
             // Recovery point between jump iterations: long compression
             // chains are where a crash loses the most BSP work.
             let ss = st.stats.supersteps;
-            rp.superstep_boundary(&mut st, ss);
+            rp.boundary(&mut st, ss);
 
             let mut buckets: Vec<Vec<(VertexId, VertexId)>> = (0..p).map(|_| Vec::new()).collect();
             let mut asked = 0u64;

@@ -1,0 +1,47 @@
+//! [`Engine`] adapter for the min-plus engine: packages a rank count, a
+//! platform, and a [`SpmsfConfig`] into the engine-registry contract.
+
+use mnd_device::NodePlatform;
+use mnd_engine::{Engine, EngineChaos, EngineReport};
+use mnd_graph::EdgeList;
+
+use crate::msf::{spmsf_msf_chaos, SpmsfConfig};
+
+/// The min-plus sparse-matrix MSF as a registry engine.
+#[derive(Clone, Debug)]
+pub struct SpmsfEngine {
+    /// Number of simulated ranks.
+    pub nranks: usize,
+    /// Node hardware + interconnect.
+    pub platform: NodePlatform,
+    /// Scale and chaos-cadence knobs.
+    pub cfg: SpmsfConfig,
+}
+
+impl SpmsfEngine {
+    /// A min-plus engine on the AMD-cluster platform with default tuning.
+    pub fn new(nranks: usize) -> Self {
+        SpmsfEngine {
+            nranks,
+            platform: NodePlatform::amd_cluster(),
+            cfg: SpmsfConfig::default(),
+        }
+    }
+}
+
+impl Engine for SpmsfEngine {
+    fn name(&self) -> &'static str {
+        "spmsf"
+    }
+
+    fn run_chaos(&self, el: &EdgeList, chaos: &EngineChaos) -> EngineReport {
+        let r = spmsf_msf_chaos(el, self.nranks, &self.platform, &self.cfg, chaos);
+        EngineReport {
+            msf: r.msf,
+            total_time: r.total_time,
+            comm_time: r.comm_time,
+            rank_stats: r.rank_stats,
+            recovered_units: r.recovered_steps,
+        }
+    }
+}

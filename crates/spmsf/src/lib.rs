@@ -1,0 +1,35 @@
+//! # mnd-spmsf — min-plus sparse-matrix MSF on the shared engine fabric
+//!
+//! The third registered [`mnd_engine::Engine`]: a linear-algebra
+//! formulation of Boruvka in the GraphBLAS style (cf. the LAGraph MSF),
+//! run over the same simulated cluster, cost models, fault plans, replay
+//! log, and checkpoint recovery as the D&C driver and the BSP baseline.
+//!
+//! Per Boruvka round:
+//!
+//! 1. **Min-plus SpMV** — each rank scans its 1D CSR row block and, per
+//!    source component, elects the minimum outgoing edge under the strict
+//!    `(w, u, v)` total order (the semiring "multiply" is edge lookup, the
+//!    "add" is min; the mask is `comp[u] != comp[v]`).
+//! 2. **Candidate reduction** — candidates route to the owner of their
+//!    source component, which min-reduces to the component's global
+//!    elected edge.
+//! 3. **Hook** — owners exchange probes to detect mutual pairs (two
+//!    components electing the same cut edge — guaranteed equal by the
+//!    total order) and break them toward the smaller id, keeping each
+//!    forest edge exactly once.
+//! 4. **Compress** — distributed pointer jumping over the hook forest
+//!    until every pointer names a root.
+//! 5. **Relabel + prune** — new roots broadcast; the replicated component
+//!    vector relabels and now-internal rows drop out of the row blocks.
+//!
+//! Every collective step is a recovery step of the shared driver
+//! ([`mnd_engine::run_recoverable`]): the worker state checkpoints on the
+//! configured cadence, and an injected mid-step crash rolls back and
+//! replays exactly like the other two engines (DESIGN.md §6).
+
+pub mod engine;
+pub mod msf;
+
+pub use engine::SpmsfEngine;
+pub use msf::{spmsf_msf, spmsf_msf_chaos, SpmsfConfig, SpmsfReport, SpmsfStats};

@@ -1,0 +1,497 @@
+//! The min-plus SpMV MSF algorithm (see the crate docs for the round
+//! structure).
+//!
+//! The worker's mutable state lives in [`SpmsfState`] so a chaos-armed run
+//! can checkpoint it at collective-step boundaries and roll back after an
+//! injected mid-step crash. The partition map and CSR graph are immutable
+//! and rebuilt deterministically on re-execution; the per-round hook
+//! pointers are transient between boundaries and re-derived by the replay.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use mnd_device::NodePlatform;
+use mnd_engine::{run_recoverable, EngineChaos, Recoverable, Recovery};
+use mnd_graph::partition::{owner_of, partition_1d};
+use mnd_graph::types::{VertexId, WEdge, Weight};
+use mnd_graph::{CsrGraph, EdgeList};
+use mnd_kernels::msf::MsfResult;
+use mnd_net::{Cluster, Comm, RankStats, Wire};
+
+/// Tunables of the min-plus engine.
+#[derive(Clone, Debug)]
+pub struct SpmsfConfig {
+    /// Simulation scale (see `HyParConfig::sim_scale`): device work and
+    /// message bytes are multiplied by this so fixed overheads keep their
+    /// paper-scale ratios.
+    pub sim_scale: f64,
+    /// Collective steps between checkpoints when a chaos schedule is
+    /// armed. A round costs a handful of steps, so the default of 2
+    /// checkpoints a few times per round; see `repro checkpoint-sweep`.
+    pub checkpoint_interval: u64,
+}
+
+impl Default for SpmsfConfig {
+    fn default() -> Self {
+        SpmsfConfig {
+            sim_scale: 1.0,
+            checkpoint_interval: 2,
+        }
+    }
+}
+
+/// Counters of one min-plus run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpmsfStats {
+    /// Boruvka rounds executed.
+    pub rounds: u64,
+    /// Collective steps (candidate exchanges, hook probes, jump
+    /// query/reply pairs, root broadcasts).
+    pub steps: u64,
+    /// Steps re-executed at recovery cost after injected crashes.
+    pub recovered_steps: u64,
+}
+
+/// Outcome of a min-plus run — mirrors `MndMstReport`/`PregelReport` so
+/// benches can print all three side by side.
+#[derive(Clone, Debug)]
+pub struct SpmsfReport {
+    /// The global minimum spanning forest.
+    pub msf: MsfResult,
+    /// Simulated makespan (max final virtual clock).
+    pub total_time: f64,
+    /// Max communication time across ranks.
+    pub comm_time: f64,
+    /// Boruvka rounds.
+    pub rounds: u64,
+    /// Collective steps (max across ranks — they run in lockstep).
+    pub steps: u64,
+    /// Steps re-executed at recovery cost, summed over ranks (0 on
+    /// fault-free runs).
+    pub recovered_steps: u64,
+    /// Per-rank raw statistics.
+    pub rank_stats: Vec<RankStats>,
+}
+
+/// The mutable per-rank state — the checkpoint unit for rollback
+/// recovery: the replicated component vector, this rank's surviving CSR
+/// row block, settled forest edges, and the step counters (checkpointed
+/// together so restored counters stay consistent with restored progress).
+#[derive(Clone)]
+struct SpmsfState {
+    /// Component of every vertex (replicated, relabelled each round).
+    comp: Vec<VertexId>,
+    /// This rank's directed row block: `(u, v, w)` with `u` owned. Rows
+    /// whose endpoints merge are pruned each round.
+    rows: Vec<(VertexId, VertexId, Weight)>,
+    /// Forest edges settled by this rank (as owner of the electing
+    /// component).
+    msf_local: Vec<WEdge>,
+    /// Round/step counters.
+    stats: SpmsfStats,
+}
+
+impl Wire for SpmsfState {
+    fn wire_bytes(&self) -> u64 {
+        self.comp.wire_bytes() + self.rows.wire_bytes() + self.msf_local.wire_bytes() + 3 * 8
+    }
+}
+
+impl Recoverable for SpmsfState {
+    type State = SpmsfState;
+    fn capture(&self) -> SpmsfState {
+        self.clone()
+    }
+    fn restore(&mut self, snapshot: SpmsfState) {
+        *self = snapshot;
+    }
+}
+
+/// Runs the min-plus MSF on `nranks` ranks over the platform's network and
+/// CPU model. Returns the unique MSF (oracle-comparable) plus simulated
+/// times.
+pub fn spmsf_msf(
+    el: &EdgeList,
+    nranks: usize,
+    platform: &NodePlatform,
+    cfg: &SpmsfConfig,
+) -> SpmsfReport {
+    spmsf_msf_chaos(el, nranks, platform, cfg, &EngineChaos::none())
+}
+
+/// [`spmsf_msf`] with the chaos plane armed: fabric faults from
+/// `chaos.faults`, step-boundary checkpoints and mid-step crash rollback
+/// from `chaos.control`. With [`EngineChaos::none`] this is exactly the
+/// fault-free run.
+pub fn spmsf_msf_chaos(
+    el: &EdgeList,
+    nranks: usize,
+    platform: &NodePlatform,
+    cfg: &SpmsfConfig,
+    chaos: &EngineChaos,
+) -> SpmsfReport {
+    assert!(nranks >= 1);
+    let csr = Arc::new(CsrGraph::from_edge_list(el));
+    let n = el.num_vertices();
+    let network = platform.network.scaled(cfg.sim_scale);
+    let cluster = Cluster::new(nranks, network).with_fault_hook(chaos.faults.clone());
+
+    let outcomes = cluster.run(|comm| {
+        run_recoverable(
+            comm,
+            &chaos.control,
+            &chaos.observer,
+            cfg.checkpoint_interval,
+            cfg.sim_scale,
+            |rp| worker_main(comm, &csr, n, platform, cfg, rp),
+        )
+    });
+
+    let total_time = Cluster::makespan(&outcomes);
+    let mut msf = None;
+    let mut rounds = 0;
+    let mut steps = 0;
+    let mut recovered_steps = 0;
+    let mut rank_stats = Vec::new();
+    for o in &outcomes {
+        let (m, stats) = &o.result;
+        if let Some(m) = m {
+            msf = Some(m.clone());
+        }
+        rounds = rounds.max(stats.rounds);
+        steps = steps.max(stats.steps);
+        recovered_steps += stats.recovered_steps;
+        rank_stats.push(o.stats.clone());
+    }
+    let comm_time = rank_stats.iter().map(|s| s.comm_time).fold(0.0, f64::max);
+    SpmsfReport {
+        msf: msf.expect("rank 0 returns the MSF"),
+        total_time,
+        comm_time,
+        rounds,
+        steps,
+        recovered_steps,
+        rank_stats,
+    }
+}
+
+/// One collective step: counts it (at recovery cost when replaying a
+/// crashed epoch live) and runs the exchange.
+fn exchange<T: Wire + Clone>(
+    comm: &Comm,
+    buckets: Vec<Vec<T>>,
+    stats: &mut SpmsfStats,
+) -> Vec<Vec<T>> {
+    stats.steps += 1;
+    if comm.replay_live() {
+        stats.recovered_steps += 1;
+    }
+    comm.alltoallv(buckets)
+}
+
+fn worker_main(
+    comm: &Comm,
+    csr: &CsrGraph,
+    n: VertexId,
+    platform: &NodePlatform,
+    cfg: &SpmsfConfig,
+    rp: &mut Recovery<'_, SpmsfState>,
+) -> (Option<MsfResult>, SpmsfStats) {
+    let me = comm.rank();
+    let p = comm.size();
+    let cpu = &platform.cpu;
+    let charge = |comm: &Comm, items: u64| {
+        comm.compute(items as f64 * cfg.sim_scale / (cpu.edge_throughput * cpu.efficiency));
+    };
+
+    let ranges = partition_1d(csr, p, 0.0);
+    let mut st = SpmsfState {
+        comp: (0..n).collect(),
+        rows: ranges[me]
+            .iter()
+            .flat_map(|u| csr.neighbors(u).map(move |(v, w)| (u, v, w)))
+            .collect(),
+        msf_local: Vec::new(),
+        stats: SpmsfStats::default(),
+    };
+    charge(comm, st.rows.len() as u64);
+
+    loop {
+        let progress = st.stats.steps;
+        rp.boundary(&mut st, progress);
+
+        // (1) Min-plus SpMV over the row block: per source component, the
+        // minimum outgoing edge under the strict (w, u, v) order.
+        let mut local_best: HashMap<VertexId, (WEdge, VertexId)> = HashMap::new();
+        for &(u, v, w) in &st.rows {
+            let (cu, cv) = (st.comp[u as usize], st.comp[v as usize]);
+            if cu == cv {
+                continue;
+            }
+            let e = WEdge::new(u, v, w);
+            match local_best.entry(cu) {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    if e < o.get().0 {
+                        o.insert((e, cv));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert((e, cv));
+                }
+            }
+        }
+        charge(comm, st.rows.len() as u64);
+
+        // Fixpoint: no component anywhere has an outgoing edge.
+        if comm.allreduce_u64(local_best.len() as u64, |a, b| a + b) == 0 {
+            break;
+        }
+        st.stats.rounds += 1;
+
+        // (2) Route candidates to the owner of their source component,
+        // which min-reduces to the global elected edge.
+        let mut buckets: Vec<Vec<(VertexId, WEdge, VertexId)>> = vec![Vec::new(); p];
+        for (c, (e, t)) in local_best {
+            buckets[owner_of(&ranges, c)].push((c, e, t));
+        }
+        let inbound = exchange(comm, buckets, &mut st.stats);
+        let mut best: HashMap<VertexId, (WEdge, VertexId)> = HashMap::new();
+        let mut incoming = 0u64;
+        for msgs in inbound {
+            for (c, e, t) in msgs {
+                incoming += 1;
+                match best.entry(c) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        if e < o.get().0 {
+                            o.insert((e, t));
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert((e, t));
+                    }
+                }
+            }
+        }
+        charge(comm, incoming);
+
+        // (3) Hook. Probes `(t, c)` tell owner(t) that component c elected
+        // an edge into t; a mutual pair elected the *same* cut edge (both
+        // are the minimum of the c–t cut under a total order), so the
+        // smaller id becomes the pair's root and keeps the edge once.
+        let mut probes: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); p];
+        for (&c, &(_, t)) in &best {
+            probes[owner_of(&ranges, t)].push((t, c));
+        }
+        let inbound = exchange(comm, probes, &mut st.stats);
+        let mut pointers: HashSet<(VertexId, VertexId)> = HashSet::new();
+        for msgs in inbound {
+            for (t, c) in msgs {
+                pointers.insert((t, c));
+            }
+        }
+        let mut parent: HashMap<VertexId, VertexId> = HashMap::new();
+        for (&c, &(e, t)) in &best {
+            let mutual = pointers.contains(&(c, t));
+            if mutual && c > t {
+                // The partner keeps the shared edge; c just hooks.
+                parent.insert(c, t);
+            } else {
+                if mutual {
+                    // c < t: c is the pair's root.
+                    parent.insert(c, c);
+                } else {
+                    parent.insert(c, t);
+                }
+                st.msf_local.push(e);
+            }
+        }
+        charge(comm, best.len() as u64);
+
+        // (4) Compress: distributed pointer jumping. The hook forest is
+        // acyclic (mutual pairs were broken), so pointer depth halves per
+        // iteration and the changed-count allreduce reaches zero.
+        loop {
+            let progress = st.stats.steps;
+            rp.boundary(&mut st, progress);
+            let mut queries: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); p];
+            for (&c, &t) in &parent {
+                if t != c {
+                    queries[owner_of(&ranges, t)].push((t, c));
+                }
+            }
+            let pending: u64 = queries.iter().map(|q| q.len() as u64).sum();
+            let inbound = exchange(comm, queries, &mut st.stats);
+            let mut replies: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); p];
+            for msgs in inbound {
+                for (t, c) in msgs {
+                    // Components absent from `parent` elected nothing:
+                    // they are roots.
+                    let gp = parent.get(&t).copied().unwrap_or(t);
+                    replies[owner_of(&ranges, c)].push((c, gp));
+                }
+            }
+            let back = exchange(comm, replies, &mut st.stats);
+            let mut changed = 0u64;
+            for msgs in back {
+                for (c, gp) in msgs {
+                    let cur = parent.get_mut(&c).expect("reply for unknown component");
+                    if *cur != gp {
+                        *cur = gp;
+                        changed += 1;
+                    }
+                }
+            }
+            charge(comm, pending);
+            if comm.allreduce_u64(changed, |a, b| a.max(b)) == 0 {
+                break;
+            }
+        }
+
+        // (5) Relabel: merged components broadcast their new root and
+        // every rank applies the map to its replicated component vector,
+        // then prunes rows the merge made internal.
+        st.stats.steps += 1;
+        if comm.replay_live() {
+            st.stats.recovered_steps += 1;
+        }
+        let moved: Vec<(VertexId, VertexId)> = parent
+            .iter()
+            .filter(|&(c, t)| c != t)
+            .map(|(&c, &t)| (c, t))
+            .collect();
+        let mut remap: HashMap<VertexId, VertexId> = HashMap::new();
+        for msgs in comm.allgather_vec(moved) {
+            for (c, r) in msgs {
+                remap.insert(c, r);
+            }
+        }
+        for cu in st.comp.iter_mut() {
+            if let Some(&r) = remap.get(cu) {
+                *cu = r;
+            }
+        }
+        charge(comm, n as u64);
+
+        let before = st.rows.len() as u64;
+        let comp = &st.comp;
+        st.rows
+            .retain(|&(u, v, _)| comp[u as usize] != comp[v as usize]);
+        charge(comm, before);
+    }
+
+    // Settled edges gather to rank 0, which assembles the canonical
+    // forest (sorted, deduplicated by construction).
+    let msf = comm.gather_vec(0, st.msf_local.clone()).map(|per_rank| {
+        let edges: Vec<WEdge> = per_rank.into_iter().flatten().collect();
+        MsfResult::from_edges(n, edges)
+    });
+    (msf, st.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::gen;
+    use mnd_kernels::kruskal_msf;
+
+    fn run(el: &EdgeList, nranks: usize) -> SpmsfReport {
+        spmsf_msf(
+            el,
+            nranks,
+            &NodePlatform::amd_cluster(),
+            &SpmsfConfig::default(),
+        )
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for (n, m, seed) in [(50u32, 120u64, 1u64), (400, 2400, 2), (1000, 8000, 3)] {
+            let el = gen::gnm(n, m, seed);
+            let r = run(&el, 4);
+            assert_eq!(r.msf, kruskal_msf(&el), "n={n} m={m} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn rank_counts_agree() {
+        let el = gen::gnm(300, 1800, 17);
+        let oracle = kruskal_msf(&el);
+        for p in [1, 2, 3, 5, 8] {
+            let r = run(&el, p);
+            assert_eq!(r.msf, oracle, "p={p}");
+        }
+    }
+
+    #[test]
+    fn disconnected_and_degenerate_inputs() {
+        // Two far-apart cliques: forest has 2 components.
+        let mut el = EdgeList::new(100);
+        for c in [0u32, 50] {
+            for i in 0..8u32 {
+                for j in (i + 1)..8 {
+                    el.push(c + i, c + j, (i * 13 + j * 7 + c) % 97 + 1);
+                }
+            }
+        }
+        let r = run(&el, 4);
+        let oracle = kruskal_msf(&el);
+        assert_eq!(r.msf, oracle);
+        assert!(r.msf.num_components >= 2);
+
+        // Empty graph.
+        let empty = EdgeList::new(0);
+        let r = run(&empty, 3);
+        assert_eq!(r.msf.edges.len(), 0);
+
+        // Isolated vertices only.
+        let iso = EdgeList::new(7);
+        let r = run(&iso, 2);
+        assert_eq!(r.msf.num_components, 7);
+
+        // Single edge.
+        let mut one = EdgeList::new(2);
+        one.push(0, 1, 5);
+        let r = run(&one, 4);
+        assert_eq!(r.msf.weight, 5);
+    }
+
+    #[test]
+    fn mid_step_crash_recovers_byte_identical() {
+        use mnd_chaos::FaultPlan;
+        let el = gen::gnm(600, 3600, 31);
+        let oracle = kruskal_msf(&el);
+        let clean = run(&el, 4);
+        let plan = Arc::new(FaultPlan::new(3).with_mid_phase_crash(2, 1, 3));
+        let chaos = EngineChaos::from_plan(plan);
+        let r = spmsf_msf_chaos(
+            &el,
+            4,
+            &NodePlatform::amd_cluster(),
+            &SpmsfConfig::default(),
+            &chaos,
+        );
+        assert_eq!(r.msf, oracle);
+        assert_eq!(r.msf, clean.msf, "recovered forest must be byte-identical");
+        assert_eq!(r.rank_stats[2].checkpoint_restores, 1);
+        assert!(r.recovered_steps > 0, "interrupted epoch re-runs steps");
+        assert!(r.total_time > clean.total_time, "recovery costs time");
+        // Replayed inbound traffic is served from the log: the logical
+        // fabric counters match the fault-free run on every rank.
+        for (rank, (a, b)) in clean.rank_stats.iter().zip(&r.rank_stats).enumerate() {
+            assert_eq!(a.bytes_sent, b.bytes_sent, "rank {rank} bytes");
+            assert_eq!(a.messages_sent, b.messages_sent, "rank {rank} messages");
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let el = gen::gnm(2000, 12000, 23);
+        let r = run(&el, 4);
+        assert!(r.rounds > 0);
+        assert!(
+            r.rounds <= 12,
+            "Boruvka halves components per round, got {}",
+            r.rounds
+        );
+    }
+}

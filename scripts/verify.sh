@@ -59,11 +59,15 @@ echo "==> chaos recovery smoke (oracle-verified crash/replay grid)"
 cargo run --release -q -p mnd-bench --bin repro -- \
   --scale 65536 --nodes 4 --seed-grid 7,11 chaos
 
-echo "==> resilience smoke (D&C vs BSP under the same fault plans)"
+echo "==> resilience smoke (every registered engine under the same fault plans)"
 cargo run --release -q -p mnd-bench --bin repro -- \
   --scale 65536 --nodes 4 --seed-grid 7,11 resilience
 
-echo "==> perf snapshot (BENCH_4.json)"
-cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_4.json
+echo "==> checkpoint sweep smoke (cadence knob across the engine registry)"
+cargo run --release -q -p mnd-bench --bin repro -- \
+  --scale 65536 --nodes 4 checkpoint-sweep
+
+echo "==> perf snapshot (BENCH_5.json)"
+cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_5.json
 
 echo "verify: OK"

@@ -1,0 +1,113 @@
+//! The engine registry: every MSF engine on the shared fabric,
+//! constructed from one set of parameters.
+//!
+//! Three engines register today (DESIGN.md §6):
+//!
+//! - `"mnd-mst"` — the paper's divide-and-conquer driver
+//!   ([`mnd_mst::MndMstRunner`]),
+//! - `"bsp"` — the Pregel+-style bulk-synchronous baseline
+//!   ([`mnd_pregel::BspEngine`]),
+//! - `"spmsf"` — the min-plus sparse-matrix formulation
+//!   ([`mnd_spmsf::SpmsfEngine`]).
+//!
+//! Benches and agreement tests iterate [`registry`] instead of
+//! hand-rolling per-engine arms, so a fourth engine is one `Box::new`
+//! here and every comparison table grows a row.
+
+use mnd_device::NodePlatform;
+use mnd_engine::Engine;
+use mnd_hypar::HyParConfig;
+use mnd_mst::MndMstRunner;
+use mnd_pregel::{BspConfig, BspEngine};
+use mnd_spmsf::{SpmsfConfig, SpmsfEngine};
+
+/// Shared constructor parameters for every registered engine.
+#[derive(Clone, Debug)]
+pub struct EngineParams {
+    /// Simulated cluster size (ranks/workers).
+    pub nranks: usize,
+    /// Node hardware + interconnect, shared by all engines.
+    pub platform: NodePlatform,
+    /// D&C driver tunables.
+    pub hypar: HyParConfig,
+    /// BSP baseline tunables.
+    pub bsp: BspConfig,
+    /// Min-plus engine tunables.
+    pub spmsf: SpmsfConfig,
+}
+
+impl EngineParams {
+    /// Defaults on the AMD-cluster platform.
+    pub fn new(nranks: usize) -> Self {
+        EngineParams {
+            nranks,
+            platform: NodePlatform::amd_cluster(),
+            hypar: HyParConfig::default(),
+            bsp: BspConfig::default(),
+            spmsf: SpmsfConfig::default(),
+        }
+    }
+
+    /// Applies one simulation scale to all three engine configs.
+    pub fn with_sim_scale(mut self, scale: f64) -> Self {
+        self.hypar = self.hypar.with_sim_scale(scale);
+        self.bsp = self.bsp.with_sim_scale(scale);
+        self.spmsf.sim_scale = scale;
+        self
+    }
+
+    /// Applies one checkpoint cadence to all three engines. Each counts
+    /// progress in its own recovery unit — D&C recovery points, BSP
+    /// supersteps, min-plus collective steps — so the same interval means
+    /// "checkpoint every Nth recovery opportunity" everywhere.
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        let interval = interval.max(1);
+        self.hypar = self.hypar.with_checkpoint_interval(interval);
+        self.bsp.checkpoint_interval = interval;
+        self.spmsf.checkpoint_interval = interval;
+        self
+    }
+}
+
+/// Every registered engine, constructed from `params`.
+pub fn registry(params: &EngineParams) -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(
+            MndMstRunner::new(params.nranks)
+                .with_platform(params.platform.clone())
+                .with_config(params.hypar.clone()),
+        ),
+        Box::new(BspEngine {
+            nranks: params.nranks,
+            platform: params.platform.clone(),
+            cfg: params.bsp,
+        }),
+        Box::new(SpmsfEngine {
+            nranks: params.nranks,
+            platform: params.platform.clone(),
+            cfg: params.spmsf.clone(),
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let engines = registry(&EngineParams::new(4));
+        let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        assert_eq!(names, ["mnd-mst", "bsp", "spmsf"]);
+    }
+
+    #[test]
+    fn all_engines_agree_on_a_small_graph() {
+        let el = mnd_graph::gen::gnm(200, 1000, 5);
+        let oracle = mnd_kernels::kruskal_msf(&el);
+        for engine in registry(&EngineParams::new(3)) {
+            let r = engine.run(&el);
+            assert_eq!(r.msf, oracle, "{} != oracle", engine.name());
+        }
+    }
+}

@@ -11,9 +11,13 @@
 
 pub use mnd_chaos as chaos;
 pub use mnd_device as device;
+pub use mnd_engine as engine;
 pub use mnd_graph as graph;
 pub use mnd_hypar as hypar;
 pub use mnd_kernels as kernels;
 pub use mnd_mst as mst;
 pub use mnd_net as net;
 pub use mnd_pregel as pregel;
+pub use mnd_spmsf as spmsf;
+
+pub mod engines;

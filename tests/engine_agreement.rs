@@ -1,0 +1,116 @@
+//! Cross-engine agreement: every engine in the registry (D&C driver, BSP
+//! baseline, min-plus SpMV) computes the same forest over random graphs ×
+//! seeds — fault-free and under a shared [`FaultPlan`] — and that forest
+//! matches the Kruskal oracle. The registry is the single source of truth:
+//! a fourth engine added there is automatically held to the same contract.
+
+use std::sync::Arc;
+
+use mnd::chaos::FaultPlan;
+use mnd::engine::EngineChaos;
+use mnd::engines::{registry, EngineParams};
+use mnd::graph::{EdgeList, WEdge};
+use mnd::kernels::kruskal_msf;
+use proptest::prelude::*;
+
+/// Random canonical edge list over up to `max_v` vertices.
+fn arb_edge_list(max_v: u32, max_e: usize) -> impl Strategy<Value = EdgeList> {
+    (
+        2..max_v,
+        proptest::collection::vec((0u32..max_v, 0u32..max_v, 1u32..1000), 0..max_e),
+    )
+        .prop_map(|(n, raw)| {
+            let edges = raw
+                .into_iter()
+                .map(|(a, b, w)| WEdge::new(a % n, b % n, w))
+                .collect::<Vec<_>>();
+            EdgeList::from_raw(n, edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free: all registered engines agree with the oracle (and so
+    /// with each other) on arbitrary graphs and rank counts.
+    #[test]
+    fn engines_agree_fault_free(
+        el in arb_edge_list(100, 300),
+        nranks in 1usize..6,
+    ) {
+        let oracle = kruskal_msf(&el);
+        for engine in registry(&EngineParams::new(nranks)) {
+            let r = engine.run(&el);
+            prop_assert_eq!(
+                &r.msf, &oracle,
+                "{} disagrees with oracle on {} vertices",
+                engine.name(), el.num_vertices()
+            );
+        }
+    }
+
+    /// Under a shared fault plan (message faults + a mid-phase crash),
+    /// every engine still produces the oracle forest: whatever each
+    /// engine's recovery path replays, the result is byte-identical.
+    #[test]
+    fn engines_agree_under_shared_faults(
+        el in arb_edge_list(80, 240),
+        seed in 0u64..1000,
+    ) {
+        let nranks = 4;
+        let oracle = kruskal_msf(&el);
+        for engine in registry(&EngineParams::new(nranks)) {
+            let plan = Arc::new(
+                FaultPlan::new(seed)
+                    .with_drop_rate(0.02)
+                    .with_duplicates(0.02)
+                    .with_mid_phase_crash(seed as usize % nranks, 1, 1 + seed % 4),
+            );
+            let r = engine.run_chaos(&el, &EngineChaos::from_plan(plan));
+            prop_assert_eq!(
+                &r.msf, &oracle,
+                "{} under plan seed {} disagrees with oracle",
+                engine.name(), seed
+            );
+        }
+    }
+}
+
+/// The mid-phase crash grid of `tests/chaos_recovery.rs`/`tests/bsp_chaos.rs`,
+/// run through the registry: a crash at every early (epoch, op) cell must
+/// leave every engine's forest byte-identical to its fault-free run.
+#[test]
+fn crash_grid_is_byte_identical_across_engines() {
+    let el = mnd::graph::gen::gnm(400, 2400, 97);
+    let oracle = kruskal_msf(&el);
+    let nranks = 4;
+    for engine in registry(&EngineParams::new(nranks)) {
+        let clean = engine.run(&el);
+        assert_eq!(clean.msf, oracle, "{} fault-free != oracle", engine.name());
+        for epoch in [0u32, 1] {
+            for op in [1u64, 3, 7] {
+                let plan = Arc::new(FaultPlan::new(5).with_mid_phase_crash(2, epoch, op));
+                let r = engine.run_chaos(&el, &EngineChaos::from_plan(plan));
+                assert_eq!(
+                    r.msf,
+                    clean.msf,
+                    "{} crash@(epoch {epoch}, op {op}): forest not byte-identical",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+/// Engines accept the same `Arc<FaultPlan>` instance — the plan is shared
+/// infrastructure, not per-engine configuration.
+#[test]
+fn one_plan_instance_drives_every_engine() {
+    let el = mnd::graph::gen::gnm(300, 1500, 11);
+    let oracle = kruskal_msf(&el);
+    let plan = Arc::new(FaultPlan::new(23).with_drop_rate(0.05).with_reorder(0.05));
+    for engine in registry(&EngineParams::new(3)) {
+        let r = engine.run_chaos(&el, &EngineChaos::from_plan(plan.clone()));
+        assert_eq!(r.msf, oracle, "{} != oracle", engine.name());
+    }
+}
