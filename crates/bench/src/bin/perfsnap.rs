@@ -1,29 +1,30 @@
 //! `perfsnap` — writes a machine-readable perf snapshot of the build.
 //!
 //! ```text
-//! perfsnap [PATH]    # default BENCH_5.json
+//! perfsnap [PATH]    # default BENCH_6.json
 //! ```
 //!
 //! The snapshot records (a) the measured kernel-policy crossover table,
 //! (b) the seq-vs-par kernel sweep up to a million-plus-edge holding, and
 //! (c) wall-clock plus simulated times for verified end-to-end runs —
-//! the D&C driver at two node counts plus every registered engine
-//! (`mnd::engines`) at 4 nodes, so the bench trajectory across PRs lives
-//! in versioned JSON, not just in criterion's target directory. JSON is
-//! assembled by hand: every value is a number or a fixed identifier, no
-//! escaping needed.
+//! the D&C driver at two node counts, every registered engine
+//! (`mnd::engines`) at 4 nodes, and the serving plane's per-tenant p95
+//! latencies under the mixed serve-sweep workload (`serve:<tenant>`
+//! keys) — so the bench trajectory across PRs lives in versioned JSON,
+//! not just in criterion's target directory. JSON is assembled by hand:
+//! every value is a number or a fixed identifier, no escaping needed.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use mnd_bench::{engines_for, kernel_sweep, run_mnd, ExpContext, SWEEP_SIZES};
+use mnd_bench::{engines_for, kernel_sweep, run_mnd, serve_sweep, ExpContext, SWEEP_SIZES};
 use mnd_device::{calibrate_kernel_policy, NodePlatform};
 use mnd_graph::presets::Preset;
 
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".into());
+        .unwrap_or_else(|| "BENCH_6.json".into());
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -63,10 +64,25 @@ fn main() {
             r.total_time,
         ));
     }
+    // Serving plane: per-tenant p95 latencies from the serve sweep's
+    // default-engine incremental plane (`serve:<tenant>` keys) — the
+    // simulated p95 is deterministic, so bench_check gates the cache +
+    // incremental-MSF serving path like any engine row. (The sweep's
+    // oracle checks run here too; wall-clock is the whole sweep's.)
+    let t = Instant::now();
+    let serve = serve_sweep(&ctx, 4);
+    let serve_wall = t.elapsed().as_millis() as u64;
+    for row in serve
+        .tenants
+        .iter()
+        .filter(|r| r.plane == "mnd-mst/incremental")
+    {
+        e2e.push((format!("serve:{}", row.tenant), 4, serve_wall, row.p95));
+    }
 
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"pr\": 5,");
+    let _ = writeln!(j, "  \"pr\": 6,");
     let _ = writeln!(j, "  \"host_threads\": {host_threads},");
     let _ = writeln!(
         j,

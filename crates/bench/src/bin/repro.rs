@@ -10,7 +10,7 @@
 //!
 //! Experiments: table2 table3 table4 fig4 fig5 fig6 fig7 fig8
 //! ablation-group ablation-excp ablation-thresh calibration chaos
-//! resilience checkpoint-sweep traffic
+//! resilience checkpoint-sweep traffic engines serve-sweep
 //!
 //! `--trace PATH` streams every phase sample and chaos event as JSON
 //! lines to PATH (`-` = stdout) while the experiments run.
@@ -75,6 +75,7 @@ fn main() {
                 );
                 println!("             ablation-weights ablation-network calibration");
                 println!("             kernel-sweep chaos resilience checkpoint-sweep traffic");
+                println!("             engines serve-sweep");
                 println!(
                     "--trace PATH streams phase samples + chaos events as JSON lines (- = stdout)"
                 );
@@ -446,6 +447,7 @@ fn main() {
                     r.interval.to_string(),
                     secs(r.clean_exe),
                     r.writes.to_string(),
+                    r.ckpt_bytes.to_string(),
                     secs(r.crash_exe),
                     secs(r.recovery),
                     r.restores.to_string(),
@@ -457,13 +459,14 @@ fn main() {
         emit(
             "checkpoint_sweep",
             &format!(
-                "Checkpoint sweep: overhead vs recovery cost per cadence ({nranks} nodes, oracle-verified)"
+                "Checkpoint sweep: overhead vs recovery cost per cadence ({nranks} nodes, oracle-verified; spmsf-full = delta encoding off)"
             ),
             &[
                 "engine",
                 "interval",
                 "clean exe",
                 "writes",
+                "ckpt bytes",
                 "crash exe",
                 "recovery",
                 "restores",
@@ -471,6 +474,84 @@ fn main() {
                 "replayed comp",
             ],
             &flat,
+        );
+    }
+
+    if want("engines") {
+        let rows = engine_list(&ctx, nranks);
+        emit(
+            "engines",
+            "Registered engines (mnd::engines::registry)",
+            &["engine", "description"],
+            &rows
+                .iter()
+                .map(|r| vec![r.name.into(), r.description.into()])
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("serve-sweep") {
+        let sweep = serve_sweep(&ctx, nranks);
+        emit(
+            "serve_tenants",
+            &format!(
+                "Serve sweep: per-tenant latency/throughput ({nranks} ranks, mixed MST/CC/BFS/update workload, oracle-verified)"
+            ),
+            &[
+                "plane", "tenant", "weight", "jobs", "done", "rej", "hits", "p50", "p95", "p99",
+                "jobs/s",
+            ],
+            &sweep
+                .tenants
+                .iter()
+                .map(|t| {
+                    vec![
+                        t.plane.clone(),
+                        t.tenant.clone(),
+                        format!("{:.0}", t.weight),
+                        t.submitted.to_string(),
+                        t.completed.to_string(),
+                        t.rejected.to_string(),
+                        t.cache_hits.to_string(),
+                        secs(t.p50),
+                        secs(t.p95),
+                        secs(t.p99),
+                        format!("{:.4}", t.throughput),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        emit(
+            "serve_planes",
+            "Serve sweep: cache + update-path summary per plane",
+            &[
+                "plane",
+                "done",
+                "rej",
+                "hits",
+                "miss",
+                "saved",
+                "update exec",
+                "makespan",
+                "util",
+            ],
+            &sweep
+                .planes
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.plane.clone(),
+                        p.completed.to_string(),
+                        p.rejected.to_string(),
+                        p.cache_hits.to_string(),
+                        p.cache_misses.to_string(),
+                        secs(p.saved),
+                        secs(p.update_exec),
+                        secs(p.makespan),
+                        format!("{:.1}%", p.utilisation * 100.0),
+                    ]
+                })
+                .collect::<Vec<_>>(),
         );
     }
 

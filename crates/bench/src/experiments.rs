@@ -1,6 +1,7 @@
 //! One function per paper table/figure (and per ablation). Each returns
 //! structured rows; the `repro` binary formats them.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use mnd::engines::{registry, EngineParams};
@@ -9,6 +10,7 @@ use mnd_device::{calibrate_split, NodePlatform};
 use mnd_engine::{Engine, EngineChaos};
 use mnd_graph::presets::Preset;
 use mnd_graph::stats::graph_stats;
+use mnd_graph::types::{VertexId, WEdge, Weight};
 use mnd_graph::{CsrGraph, EdgeList};
 use mnd_hypar::observe::ObserverHook;
 use mnd_hypar::HyParConfig;
@@ -17,6 +19,11 @@ use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
 use mnd_mst::{MndMstReport, MndMstRunner};
 use mnd_net::Tag;
 use mnd_pregel::{pregel_msf, BspConfig, PregelReport};
+use mnd_serve::{
+    EngineBackend, JobKind, JobResult, JobSpec, ServeConfig, ServePlane, ServeReport, TenantSpec,
+    UpdateMode,
+};
+use mnd_spmsf::SpmsfEngine;
 
 /// Shared experiment parameters.
 #[derive(Clone, Debug)]
@@ -1147,6 +1154,9 @@ pub struct CheckpointSweepRow {
     pub clean_exe: f64,
     /// Checkpoint writes across ranks at this cadence.
     pub writes: u64,
+    /// Checkpoint bytes written across ranks in the clean run — the
+    /// column the spmsf delta-encoding saving shows up in.
+    pub ckpt_bytes: u64,
     /// Execution time with a mid-phase crash injected.
     pub crash_exe: f64,
     /// Recovery cost: `crash_exe - clean_exe`.
@@ -1164,7 +1174,11 @@ pub struct CheckpointSweepRow {
 /// increasing checkpoint intervals — fault-free (isolating checkpoint
 /// overhead) and under the same mid-phase crash (measuring how much
 /// re-execution a sparser cadence buys back). The classic recovery
-/// trade-off chart, three engines wide.
+/// trade-off chart, three engines wide, plus an `spmsf-full` arm per
+/// interval: the min-plus engine with delta-encoded component
+/// checkpoints disabled, so the bytes column shows exactly what the
+/// delta scheme saves (asserted when `ctx.verify`: same write count,
+/// fewer bytes, cheaper armed run).
 pub fn checkpoint_sweep(ctx: &ExpContext, nranks: usize) -> Vec<CheckpointSweepRow> {
     let el = ctx.graph(Preset::RoadUsa);
     let oracle = if ctx.verify {
@@ -1174,6 +1188,35 @@ pub fn checkpoint_sweep(ctx: &ExpContext, nranks: usize) -> Vec<CheckpointSweepR
     };
     let crash_rank = 1 % nranks;
 
+    let run_one = |label: &'static str, engine: &dyn Engine, interval: u64| {
+        let clean = engine.run_chaos(
+            &el,
+            &EngineChaos::from_plan(Arc::new(FaultPlan::new(ctx.seed))),
+        );
+        let crash = engine.run_chaos(
+            &el,
+            &EngineChaos::from_plan(Arc::new(
+                FaultPlan::new(ctx.seed).with_mid_phase_crash(crash_rank, 1, 3),
+            )),
+        );
+        if let Some(o) = &oracle {
+            assert_eq!(&clean.msf, o, "{label} clean@{interval} != oracle");
+            assert_eq!(&crash.msf, o, "{label} crash@{interval} != oracle");
+        }
+        CheckpointSweepRow {
+            engine: label,
+            interval,
+            clean_exe: clean.total_time,
+            writes: clean.sum_stat(|s| s.checkpoint_writes),
+            ckpt_bytes: clean.sum_stat(|s| s.checkpoint_bytes),
+            crash_exe: crash.total_time,
+            recovery: crash.total_time - clean.total_time,
+            restores: crash.sum_stat(|s| s.checkpoint_restores),
+            reexec: crash.recovered_units,
+            replayed_compute: crash.rank_stats.iter().map(|s| s.replayed_compute).sum(),
+        }
+    };
+
     let mut rows = Vec::new();
     for interval in [1u64, 2, 4, 8] {
         let mut params = EngineParams::new(nranks);
@@ -1182,44 +1225,428 @@ pub fn checkpoint_sweep(ctx: &ExpContext, nranks: usize) -> Vec<CheckpointSweepR
         params.spmsf.sim_scale = ctx.scale as f64;
         let params = params.with_checkpoint_interval(interval);
         for engine in registry(&params) {
-            let clean = engine.run_chaos(
-                &el,
-                &EngineChaos::from_plan(Arc::new(FaultPlan::new(ctx.seed))),
+            rows.push(run_one(engine.name(), engine.as_ref(), interval));
+        }
+        // The delta-encoding comparison arm: same engine, same cadence,
+        // full O(V) component vectors in every checkpoint.
+        let mut full_cfg = params.spmsf.clone();
+        full_cfg.delta_checkpoints = false;
+        let full_engine = SpmsfEngine {
+            nranks,
+            platform: params.platform.clone(),
+            cfg: full_cfg,
+        };
+        let full = run_one("spmsf-full", &full_engine, interval);
+        if ctx.verify {
+            let slim = rows
+                .iter()
+                .rev()
+                .find(|r| r.engine == "spmsf" && r.interval == interval)
+                .expect("spmsf row pushed above");
+            assert_eq!(
+                slim.writes, full.writes,
+                "delta encoding must not change the checkpoint cadence"
             );
-            let crash = engine.run_chaos(
-                &el,
-                &EngineChaos::from_plan(Arc::new(
-                    FaultPlan::new(ctx.seed).with_mid_phase_crash(crash_rank, 1, 3),
-                )),
+            // Delta segments fall back to the base encoding whenever the
+            // accumulated rewrites would outweigh the full vector, so
+            // the scheme never writes more...
+            assert!(
+                slim.ckpt_bytes <= full.ckpt_bytes,
+                "delta checkpoints@{interval}: {} bytes > {} full bytes",
+                slim.ckpt_bytes,
+                full.ckpt_bytes
             );
-            if let Some(o) = &oracle {
-                assert_eq!(
-                    &clean.msf,
-                    o,
-                    "{} clean@{interval} != oracle",
-                    engine.name()
+            assert!(
+                slim.clean_exe <= full.clean_exe,
+                "delta checkpoints@{interval} made the armed run dearer"
+            );
+            // ...and at the per-boundary cadence (where most segments
+            // rewrite little or nothing) it must save outright.
+            if interval == 1 && slim.writes > nranks as u64 {
+                assert!(
+                    slim.ckpt_bytes < full.ckpt_bytes,
+                    "delta checkpoints@1: {} bytes !< {} full bytes",
+                    slim.ckpt_bytes,
+                    full.ckpt_bytes
                 );
-                assert_eq!(
-                    &crash.msf,
-                    o,
-                    "{} crash@{interval} != oracle",
-                    engine.name()
+                assert!(
+                    slim.clean_exe < full.clean_exe,
+                    "delta checkpoints@1 did not cut the armed overhead"
                 );
             }
-            rows.push(CheckpointSweepRow {
-                engine: engine.name(),
-                interval,
-                clean_exe: clean.total_time,
-                writes: clean.sum_stat(|s| s.checkpoint_writes),
-                crash_exe: crash.total_time,
-                recovery: crash.total_time - clean.total_time,
-                restores: crash.sum_stat(|s| s.checkpoint_restores),
-                reexec: crash.recovered_units,
-                replayed_compute: crash.rank_stats.iter().map(|s| s.replayed_compute).sum(),
+        }
+        rows.push(full);
+    }
+    rows
+}
+
+// --------------------------------------------------------------------- //
+// Engines: the registry listing
+// --------------------------------------------------------------------- //
+
+/// One row of the `repro engines` listing.
+#[derive(Clone, Debug)]
+pub struct EngineListRow {
+    /// Registry name ([`Engine::name`]).
+    pub name: &'static str,
+    /// One-line description ([`Engine::description`]).
+    pub description: &'static str,
+}
+
+/// Lists every registered engine with its one-line description.
+pub fn engine_list(ctx: &ExpContext, nranks: usize) -> Vec<EngineListRow> {
+    engines_for(ctx, nranks)
+        .iter()
+        .map(|e| EngineListRow {
+            name: e.name(),
+            description: e.description(),
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------- //
+// Serve sweep: the multi-tenant serving plane under a mixed workload
+// --------------------------------------------------------------------- //
+
+/// The deterministic mixed workload `serve_sweep` drives through the
+/// serving plane.
+pub struct ServeWorkload {
+    /// Tenant table: `interactive` (weight 4, deep queue), `batch`
+    /// (weight 1, queue bound 3), `updates` (weight 2).
+    pub tenants: Vec<TenantSpec>,
+    /// Timed submissions.
+    pub jobs: Vec<JobSpec>,
+    /// The updates tenant's session graph after every mutation batch —
+    /// the oracle input for the final incremental forest.
+    pub final_graph: EdgeList,
+}
+
+/// Builds the mixed workload: an interactive tenant re-submitting the
+/// same road-network MST/CC/BFS queries (cache fodder — wave one is
+/// cold, everything after hits the fingerprint cache), a batch tenant
+/// bursting six distinct ad-hoc graphs at `t = 0` past its admission
+/// bound of three (three rejections, on the record), and an updates
+/// tenant streaming six insert/delete batches into its incremental-MSF
+/// session. A mirror edge map tracks the session's final graph so
+/// `serve_sweep` can oracle-check the last update's forest against a
+/// full Kruskal recompute.
+///
+/// The update session runs over a *dense* graph (`E = 32·V`) on
+/// purpose: incremental maintenance touches `O(V)` per tree search
+/// while a recompute reads all `E` edges over several rounds plus the
+/// cluster's communication constants, so density is what separates the
+/// two honestly. (On a road-like graph with `E ≈ 1.2·V` the per-op
+/// searches rival a recompute — the simulation reproduces that, so the
+/// sweep does not claim it.)
+pub fn serve_workload(ctx: &ExpContext) -> ServeWorkload {
+    let road = Arc::new(ctx.graph(Preset::RoadUsa));
+    let n = road.num_vertices();
+    let tenants = vec![
+        TenantSpec::new("interactive", 4.0, 16),
+        TenantSpec::new("batch", 1.0, 3),
+        TenantSpec::new("updates", 2.0, 16),
+    ];
+    let mut jobs = Vec::new();
+    for wave in 0..4 {
+        let t = wave as f64 * 0.5;
+        for (dt, kind) in [
+            (0.0, JobKind::Mst),
+            (0.1, JobKind::Cc),
+            (0.2, JobKind::Bfs { source: 0 }),
+        ] {
+            jobs.push(JobSpec {
+                tenant: 0,
+                kind,
+                graph: road.clone(),
+                submit: t + dt,
             });
         }
     }
-    rows
+    let bn = (n / 2).max(64);
+    for i in 0..6u64 {
+        let g = Arc::new(mnd_graph::gen::gnm(
+            bn,
+            bn as u64 * 3,
+            ctx.seed ^ (0xB0B0 + i),
+        ));
+        jobs.push(JobSpec {
+            tenant: 1,
+            kind: JobKind::Mst,
+            graph: g,
+            submit: 0.0,
+        });
+    }
+    // Update batches: 4 inserts + 2 deletes each, drawn from a
+    // splitmix64 stream seeded by the context. Inserts are applied
+    // before deletes in a batch, exactly as the session executes them.
+    let sn = (n / 2).max(64);
+    let session = Arc::new(mnd_graph::gen::gnm(sn, sn as u64 * 32, ctx.seed ^ 0xD1CE));
+    let mut mirror: BTreeMap<(VertexId, VertexId), Weight> =
+        session.edges().iter().map(|e| ((e.u, e.v), e.w)).collect();
+    let mut z = ctx.seed ^ 0x5EED_CAFE;
+    let mut next = move || {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mnd_graph::edgelist::splitmix64(z)
+    };
+    for batch in 0..6 {
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for _ in 0..4 {
+            let u = (next() % sn as u64) as VertexId;
+            let mut v = (next() % sn as u64) as VertexId;
+            if v == u {
+                v = (v + 1) % sn;
+            }
+            let w = (next() % 1_000_000) as Weight;
+            let (a, b) = (u.min(v), u.max(v));
+            inserts.push(WEdge::new(a, b, w));
+            mirror.insert((a, b), w);
+        }
+        for _ in 0..2 {
+            if mirror.is_empty() {
+                break;
+            }
+            let keys: Vec<(VertexId, VertexId)> = mirror.keys().copied().collect();
+            let k = keys[(next() % keys.len() as u64) as usize];
+            deletes.push(k);
+            mirror.remove(&k);
+        }
+        jobs.push(JobSpec {
+            tenant: 2,
+            kind: JobKind::Update { inserts, deletes },
+            graph: session.clone(),
+            submit: 1.0 + batch as f64,
+        });
+    }
+    let final_graph = EdgeList::from_raw(
+        sn,
+        mirror
+            .iter()
+            .map(|(&(u, v), &w)| WEdge::new(u, v, w))
+            .collect(),
+    );
+    ServeWorkload {
+        tenants,
+        jobs,
+        final_graph,
+    }
+}
+
+/// One per-tenant row of the serve sweep (one plane run × one tenant).
+#[derive(Clone, Debug)]
+pub struct ServeTenantRow {
+    /// Plane label: `"<engine>/incremental"` or `"mnd-mst/recompute"`.
+    pub plane: String,
+    /// Tenant name.
+    pub tenant: String,
+    /// Fair-share weight.
+    pub weight: f64,
+    /// Jobs submitted (admitted + rejected).
+    pub submitted: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs refused at admission.
+    pub rejected: usize,
+    /// Completions served from the result cache.
+    pub cache_hits: usize,
+    /// Median latency (simulated seconds at paper scale).
+    pub p50: f64,
+    /// 95th-percentile latency.
+    pub p95: f64,
+    /// 99th-percentile latency.
+    pub p99: f64,
+    /// Completed jobs per simulated second.
+    pub throughput: f64,
+}
+
+/// One summary row per plane run of the serve sweep.
+#[derive(Clone, Debug)]
+pub struct ServePlaneRow {
+    /// Plane label (backend engine / update mode).
+    pub plane: String,
+    /// Jobs completed across tenants.
+    pub completed: usize,
+    /// Jobs refused at admission.
+    pub rejected: usize,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Simulated seconds of cold compute the cache hits avoided.
+    pub saved: f64,
+    /// Total execution seconds of the update jobs — the
+    /// incremental-vs-recompute comparison column.
+    pub update_exec: f64,
+    /// Completion time of the last job.
+    pub makespan: f64,
+    /// Rank-seconds of execution over `makespan × nranks` capacity.
+    pub utilisation: f64,
+}
+
+/// The serve sweep's two tables.
+pub struct ServeSweep {
+    /// Per-tenant latency/throughput rows.
+    pub tenants: Vec<ServeTenantRow>,
+    /// Per-plane cache/update summaries.
+    pub planes: Vec<ServePlaneRow>,
+}
+
+/// Runs the workload through one backend engine in one update mode.
+fn serve_run(
+    ctx: &ExpContext,
+    nranks: usize,
+    engine: &'static str,
+    mode: UpdateMode,
+    wl: &ServeWorkload,
+) -> ServeReport {
+    let ctx2 = ctx.clone();
+    let backend = EngineBackend::new(
+        engine,
+        NodePlatform::amd_cluster(),
+        ctx.scale as f64,
+        move |ranks| {
+            let mut params = EngineParams::new(ranks);
+            params.hypar = ctx2.hypar();
+            params.bsp = ctx2.bsp();
+            params.spmsf.sim_scale = ctx2.scale as f64;
+            registry(&params)
+                .into_iter()
+                .find(|e| e.name() == engine)
+                .expect("engine registered")
+        },
+    );
+    let cfg = ServeConfig::new(nranks).with_update_mode(mode);
+    let mut plane = ServePlane::new(cfg, Box::new(backend), wl.tenants.clone());
+    plane.run(wl.jobs.clone())
+}
+
+/// The serve sweep (the serving-plane tentpole experiment): the mixed
+/// three-tenant workload through every registered backend engine with
+/// incremental update sessions, plus a recompute-mode arm on the default
+/// engine as the comparison baseline. When `ctx.verify`, every run's
+/// final session forest must byte-match a full Kruskal recompute of the
+/// mutated graph, the incremental and recompute arms must agree
+/// job-for-job on every update result, incremental updates must cost
+/// less than recomputes, and the cache-hit/rejection counts implied by
+/// the workload shape are asserted.
+pub fn serve_sweep(ctx: &ExpContext, nranks: usize) -> ServeSweep {
+    let wl = serve_workload(ctx);
+    let oracle = if ctx.verify {
+        Some(kruskal_msf(&wl.final_graph))
+    } else {
+        None
+    };
+    let engine_names: Vec<&'static str> =
+        engines_for(ctx, nranks).iter().map(|e| e.name()).collect();
+
+    let mut runs: Vec<(String, ServeReport)> = Vec::new();
+    for name in &engine_names {
+        runs.push((
+            format!("{name}/incremental"),
+            serve_run(ctx, nranks, name, UpdateMode::Incremental, &wl),
+        ));
+    }
+    runs.push((
+        "mnd-mst/recompute".into(),
+        serve_run(ctx, nranks, "mnd-mst", UpdateMode::Recompute, &wl),
+    ));
+
+    let update_forests = |r: &ServeReport| -> BTreeMap<usize, mnd_kernels::msf::MsfResult> {
+        r.completions
+            .iter()
+            .filter(|c| c.kind == "update")
+            .map(|c| match &c.result {
+                JobResult::Msf(m) => (c.job, (**m).clone()),
+                _ => unreachable!("update jobs return forests"),
+            })
+            .collect()
+    };
+    let update_exec = |r: &ServeReport| -> f64 {
+        r.completions
+            .iter()
+            .filter(|c| c.kind == "update")
+            .map(|c| c.exec_seconds)
+            .sum()
+    };
+
+    if ctx.verify {
+        for (plane, report) in &runs {
+            assert_eq!(
+                report.completed() + report.rejected,
+                wl.jobs.len(),
+                "{plane}: jobs lost"
+            );
+            assert!(
+                report.cache.hits > 0,
+                "{plane}: the repeat-heavy workload must produce cache hits"
+            );
+            assert_eq!(
+                report.rejected, 3,
+                "{plane}: the batch burst must overflow its admission bound"
+            );
+            let last = report
+                .completions
+                .iter()
+                .filter(|c| c.kind == "update")
+                .max_by_key(|c| c.job)
+                .expect("update jobs completed");
+            let JobResult::Msf(msf) = &last.result else {
+                unreachable!("update jobs return forests")
+            };
+            assert_eq!(
+                &**msf,
+                oracle.as_ref().unwrap(),
+                "{plane}: final session forest != full-recompute oracle"
+            );
+        }
+        // Incremental maintenance must agree with recompute job-for-job
+        // and beat it on cost.
+        let inc = &runs[0].1;
+        let rec = &runs.last().unwrap().1;
+        assert_eq!(
+            update_forests(inc),
+            update_forests(rec),
+            "incremental vs recompute: update forests diverge"
+        );
+        assert!(
+            update_exec(inc) < update_exec(rec),
+            "incremental updates must cost less than full recomputes"
+        );
+    }
+
+    let mut sweep = ServeSweep {
+        tenants: Vec::new(),
+        planes: Vec::new(),
+    };
+    for (plane, report) in &runs {
+        for (spec, t) in wl.tenants.iter().zip(&report.tenants) {
+            sweep.tenants.push(ServeTenantRow {
+                plane: plane.clone(),
+                tenant: t.name.clone(),
+                weight: spec.weight,
+                submitted: t.submitted,
+                completed: t.completed,
+                rejected: t.rejected,
+                cache_hits: t.cache_hits,
+                p50: t.p50,
+                p95: t.p95,
+                p99: t.p99,
+                throughput: t.throughput,
+            });
+        }
+        sweep.planes.push(ServePlaneRow {
+            plane: plane.clone(),
+            completed: report.completed(),
+            rejected: report.rejected,
+            cache_hits: report.cache.hits,
+            cache_misses: report.cache.misses,
+            saved: report.cache.saved_seconds,
+            update_exec: update_exec(report),
+            makespan: report.makespan,
+            utilisation: report.utilisation,
+        });
+    }
+    sweep
 }
 
 // --------------------------------------------------------------------- //
@@ -1377,6 +1804,81 @@ mod tests {
         assert!(tags.contains(&"leader merge (user 2)"), "{tags:?}");
         // 2% drops over the whole run should force at least one retry.
         assert!(rows.iter().map(|r| r.retries).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn checkpoint_sweep_reports_delta_checkpoint_savings() {
+        let rows = checkpoint_sweep(&tiny(), 4);
+        // 3 registry engines + the spmsf full-checkpoint arm, 4 cadences.
+        assert_eq!(rows.len(), 16);
+        // verify=true already asserted slim-vs-full per interval inside
+        // the sweep; spot-check the densest cadence here.
+        let slim = rows
+            .iter()
+            .find(|r| r.engine == "spmsf" && r.interval == 1)
+            .unwrap();
+        let full = rows
+            .iter()
+            .find(|r| r.engine == "spmsf-full" && r.interval == 1)
+            .unwrap();
+        assert_eq!(slim.writes, full.writes);
+        assert!(slim.ckpt_bytes < full.ckpt_bytes, "{slim:?} vs {full:?}");
+        assert!(slim.clean_exe < full.clean_exe);
+        for r in &rows {
+            assert!(r.writes == 0 || r.ckpt_bytes > 0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn engine_list_names_and_describes_every_engine() {
+        let rows = engine_list(&tiny(), 4);
+        let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["mnd-mst", "bsp", "spmsf"]);
+        for r in &rows {
+            assert!(!r.description.is_empty(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn serve_sweep_is_deterministic_and_favors_incremental() {
+        let ctx = tiny();
+        let a = serve_sweep(&ctx, 4);
+        // 3 incremental planes + the recompute arm, 3 tenants each.
+        assert_eq!(a.planes.len(), 4);
+        assert_eq!(a.tenants.len(), 12);
+        let inc = a
+            .planes
+            .iter()
+            .find(|p| p.plane == "mnd-mst/incremental")
+            .unwrap();
+        let rec = a
+            .planes
+            .iter()
+            .find(|p| p.plane == "mnd-mst/recompute")
+            .unwrap();
+        // Update-heavy streams: maintaining the forest beats recomputing
+        // it by a wide margin, not a hair.
+        assert!(
+            inc.update_exec < rec.update_exec / 2.0,
+            "incremental {} vs recompute {}",
+            inc.update_exec,
+            rec.update_exec
+        );
+        assert!(inc.cache_hits > 0 && inc.saved > 0.0, "{inc:?}");
+        assert_eq!(inc.rejected, 3, "{inc:?}");
+        // The interactive tenant's repeats land in the cache.
+        let t = a
+            .tenants
+            .iter()
+            .find(|t| t.plane == "mnd-mst/incremental" && t.tenant == "interactive")
+            .unwrap();
+        assert_eq!((t.submitted, t.completed), (12, 12), "{t:?}");
+        assert!(t.cache_hits >= 8, "{t:?}");
+        assert!(t.p50 > 0.0 && t.p95 >= t.p50 && t.p99 >= t.p95, "{t:?}");
+        // Determinism: a second sweep reproduces every number.
+        let b = serve_sweep(&ctx, 4);
+        assert_eq!(format!("{:?}", a.tenants), format!("{:?}", b.tenants));
+        assert_eq!(format!("{:?}", a.planes), format!("{:?}", b.planes));
     }
 
     #[test]

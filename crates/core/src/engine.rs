@@ -17,6 +17,10 @@ impl Engine for MndMstRunner {
         "mnd-mst"
     }
 
+    fn description(&self) -> &'static str {
+        "divide-and-conquer Boruvka across nodes with per-device local MSTs (the paper's algorithm)"
+    }
+
     fn run_chaos(&self, el: &EdgeList, chaos: &EngineChaos) -> EngineReport {
         let mut runner = self.clone();
         runner.faults = chaos.faults.clone();

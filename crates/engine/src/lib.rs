@@ -123,6 +123,13 @@ pub trait Engine {
     /// Short stable name for tables and traces (e.g. `"mnd-mst"`).
     fn name(&self) -> &'static str;
 
+    /// One-line human description for `repro engines` and the serving
+    /// plane's catalogue. Keep it to what distinguishes the execution
+    /// model, not marketing.
+    fn description(&self) -> &'static str {
+        ""
+    }
+
     /// Runs the engine with the chaos plane armed. With
     /// [`EngineChaos::none`] this must be exactly the fault-free run.
     fn run_chaos(&self, el: &EdgeList, chaos: &EngineChaos) -> EngineReport;
@@ -130,6 +137,65 @@ pub trait Engine {
     /// Fault-free run.
     fn run(&self, el: &EdgeList) -> EngineReport {
         self.run_chaos(el, &EngineChaos::none())
+    }
+}
+
+/// A long-lived serving handle around an [`Engine`]: the same run
+/// contract, plus cumulative utilisation accounting — how many jobs this
+/// backend has served and how many simulated seconds it has been busy.
+/// `mnd-serve` schedules `Service` values (one per granted rank-set size)
+/// instead of raw engines so multi-tenant reports can show backend
+/// utilisation next to per-tenant latency.
+pub struct Service {
+    engine: Box<dyn Engine>,
+    runs: std::cell::Cell<u64>,
+    busy: std::cell::Cell<f64>,
+}
+
+impl Service {
+    /// Wraps an engine into a serving handle with zeroed counters.
+    pub fn new(engine: Box<dyn Engine>) -> Self {
+        Service {
+            engine,
+            runs: std::cell::Cell::new(0),
+            busy: std::cell::Cell::new(0.0),
+        }
+    }
+
+    /// The wrapped engine's stable name.
+    pub fn name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// The wrapped engine's one-line description.
+    pub fn description(&self) -> &'static str {
+        self.engine.description()
+    }
+
+    /// Fault-free run, booked into the utilisation counters.
+    pub fn run(&self, el: &EdgeList) -> EngineReport {
+        let r = self.engine.run(el);
+        self.runs.set(self.runs.get() + 1);
+        self.busy.set(self.busy.get() + r.total_time);
+        r
+    }
+
+    /// Chaos-armed run, booked into the utilisation counters.
+    pub fn run_chaos(&self, el: &EdgeList, chaos: &EngineChaos) -> EngineReport {
+        let r = self.engine.run_chaos(el, chaos);
+        self.runs.set(self.runs.get() + 1);
+        self.busy.set(self.busy.get() + r.total_time);
+        r
+    }
+
+    /// Jobs served so far.
+    pub fn runs(&self) -> u64 {
+        self.runs.get()
+    }
+
+    /// Cumulative simulated seconds the backend spent executing jobs.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy.get()
     }
 }
 
@@ -257,7 +323,7 @@ impl<S: Clone + Wire> Recovery<'_, S> {
         let snap = target.capture();
         let bytes = snap.wire_bytes();
         self.comm.compute(checkpoint_seconds(bytes, self.sim_scale));
-        self.comm.note_checkpoint_write();
+        self.comm.note_checkpoint_write(bytes);
         self.emit(ChaosEventKind::CheckpointWrite, b, bytes);
         *self.checkpoint.borrow_mut() = Some((b, snap));
         // Commit: rollback can never re-enter epochs at or before this

@@ -12,7 +12,9 @@
 //! * Gemini-style degree-balanced contiguous **1D partitioning**
 //!   ([`partition`]),
 //! * degree/diameter **statistics** ([`stats`]), connectivity
-//!   ([`components`]), and edge-list **I/O** ([`io`]).
+//!   ([`components`]), and edge-list **I/O** ([`io`]),
+//! * stable 128-bit **fingerprints** ([`fingerprint`]) — the serving
+//!   plane's result-cache key.
 //!
 //! The paper evaluates on billion-edge web crawls (arabic-2005, uk-2007, …)
 //! and the road_usa network. Those inputs do not fit this environment, so
@@ -34,6 +36,7 @@
 pub mod components;
 pub mod csr;
 pub mod edgelist;
+pub mod fingerprint;
 pub mod gen;
 pub mod io;
 pub mod io_formats;
@@ -47,5 +50,6 @@ pub mod weights;
 pub use components::{connected_components, num_components};
 pub use csr::CsrGraph;
 pub use edgelist::EdgeList;
+pub use fingerprint::Fingerprint;
 pub use partition::{partition_1d, VertexRange};
 pub use types::{EdgeId, VertexId, WEdge, Weight};

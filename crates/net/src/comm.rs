@@ -206,10 +206,13 @@ impl Comm {
         s.stall_time += seconds;
     }
 
-    /// Counts one phase-boundary checkpoint write (the time cost is charged
-    /// separately by the caller, which knows the checkpoint's wire size).
-    pub fn note_checkpoint_write(&self) {
-        self.stats.borrow_mut().checkpoint_writes += 1;
+    /// Counts one phase-boundary checkpoint write of `bytes` wire bytes
+    /// (the time cost is charged separately by the caller, which owns the
+    /// storage model).
+    pub fn note_checkpoint_write(&self, bytes: u64) {
+        let mut s = self.stats.borrow_mut();
+        s.checkpoint_writes += 1;
+        s.checkpoint_bytes += bytes;
     }
 
     /// Counts one checkpoint restore after an injected crash.

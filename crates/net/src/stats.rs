@@ -73,6 +73,10 @@ pub struct RankStats {
     pub redeliveries: u64,
     /// Phase-boundary checkpoints this rank wrote.
     pub checkpoint_writes: u64,
+    /// Wire bytes those checkpoint writes charged to the storage model.
+    /// Engines with delta-encoded checkpoints (spmsf's component vector)
+    /// book the encoded size here, not the full state size.
+    pub checkpoint_bytes: u64,
     /// Checkpoint restores after an injected crash.
     pub checkpoint_restores: u64,
     /// Virtual seconds lost to injected stalls (a subset of `comm_time`).
@@ -151,6 +155,7 @@ impl RankStats {
         self.retries += other.retries;
         self.redeliveries += other.redeliveries;
         self.checkpoint_writes += other.checkpoint_writes;
+        self.checkpoint_bytes += other.checkpoint_bytes;
         self.checkpoint_restores += other.checkpoint_restores;
         self.stall_time += other.stall_time;
         self.replayed_compute += other.replayed_compute;
@@ -180,6 +185,7 @@ impl RankStats {
             retries: self.retries - earlier.retries,
             redeliveries: self.redeliveries - earlier.redeliveries,
             checkpoint_writes: self.checkpoint_writes - earlier.checkpoint_writes,
+            checkpoint_bytes: self.checkpoint_bytes - earlier.checkpoint_bytes,
             checkpoint_restores: self.checkpoint_restores - earlier.checkpoint_restores,
             stall_time: self.stall_time - earlier.stall_time,
             replayed_compute: self.replayed_compute - earlier.replayed_compute,
@@ -230,6 +236,7 @@ mod tests {
         a.record_retries(Tag::user(1), 3);
         a.record_redelivery(Tag::user(1));
         a.checkpoint_writes = 2;
+        a.checkpoint_bytes = 512;
         a.checkpoint_restores = 1;
         a.stall_time = 0.25;
         assert_eq!(a.retries, 3);

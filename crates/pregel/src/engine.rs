@@ -37,6 +37,10 @@ impl Engine for BspEngine {
         "bsp"
     }
 
+    fn description(&self) -> &'static str {
+        "Pregel+-style vertex-centric Boruvka baseline: supersteps with pointer-jumping contraction"
+    }
+
     fn run_chaos(&self, el: &EdgeList, chaos: &EngineChaos) -> EngineReport {
         let r = pregel_msf_chaos(el, self.nranks, &self.platform, &self.cfg, chaos);
         EngineReport {

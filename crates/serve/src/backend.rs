@@ -1,0 +1,157 @@
+//! Execution backends: how the serving plane turns a granted rank set
+//! into results and simulated seconds.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use mnd_device::NodePlatform;
+use mnd_engine::{Engine, Service};
+use mnd_graph::types::VertexId;
+use mnd_graph::EdgeList;
+use mnd_kernels::msf::MsfResult;
+use mnd_mst::bfs::distributed_bfs;
+
+/// What the scheduler needs from an execution backend: run a query on a
+/// granted number of ranks, report the result plus the simulated seconds
+/// it cost, and price frontend work (cache bookkeeping, incremental MSF
+/// maintenance) that runs outside the cluster.
+pub trait Backend {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes the MSF of `el` on `ranks` ranks; returns the forest and
+    /// the simulated makespan.
+    fn msf(&self, el: &EdgeList, ranks: usize) -> (MsfResult, f64);
+
+    /// Computes BFS hop distances from `source` on `ranks` ranks.
+    fn bfs(&self, el: &EdgeList, source: VertexId, ranks: usize) -> (Vec<u64>, f64);
+
+    /// Simulated seconds `work` frontend units cost on one service node.
+    fn frontend_seconds(&self, work: u64) -> f64;
+
+    /// Utilisation per granted rank count: `(ranks, jobs, busy_seconds)`
+    /// rows. Backends without per-size accounting return an empty list.
+    fn utilisation(&self) -> Vec<(usize, u64, f64)> {
+        Vec::new()
+    }
+}
+
+/// A [`Backend`] over any registered [`Engine`]: an engine factory is
+/// instantiated once per granted rank count and wrapped in a
+/// [`Service`], so the report can show jobs and busy seconds per size.
+/// BFS runs through `mnd_mst::bfs` on the same platform (BFS is not an
+/// engine-registry query).
+pub struct EngineBackend {
+    name: &'static str,
+    platform: NodePlatform,
+    sim_scale: f64,
+    #[allow(clippy::type_complexity)]
+    factory: Box<dyn Fn(usize) -> Box<dyn Engine>>,
+    services: RefCell<BTreeMap<usize, Service>>,
+}
+
+impl EngineBackend {
+    /// A backend from an engine factory (`ranks -> engine`). `name` must
+    /// match what the factory's engines report.
+    pub fn new(
+        name: &'static str,
+        platform: NodePlatform,
+        sim_scale: f64,
+        factory: impl Fn(usize) -> Box<dyn Engine> + 'static,
+    ) -> Self {
+        EngineBackend {
+            name,
+            platform,
+            sim_scale,
+            factory: Box::new(factory),
+            services: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// The default serving backend: the paper's D&C engine on the
+    /// AMD-cluster platform.
+    pub fn mnd_mst(sim_scale: f64) -> Self {
+        EngineBackend::new(
+            "mnd-mst",
+            NodePlatform::amd_cluster(),
+            sim_scale,
+            move |ranks| {
+                Box::new(
+                    mnd_mst::MndMstRunner::new(ranks)
+                        .with_config(mnd_hypar_config_with_scale(sim_scale)),
+                )
+            },
+        )
+    }
+
+    fn with_service<R>(&self, ranks: usize, f: impl FnOnce(&Service) -> R) -> R {
+        let mut services = self.services.borrow_mut();
+        let svc = services
+            .entry(ranks)
+            .or_insert_with(|| Service::new((self.factory)(ranks)));
+        f(svc)
+    }
+}
+
+fn mnd_hypar_config_with_scale(sim_scale: f64) -> mnd_hypar::HyParConfig {
+    mnd_hypar::HyParConfig::default().with_sim_scale(sim_scale)
+}
+
+impl Backend for EngineBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn msf(&self, el: &EdgeList, ranks: usize) -> (MsfResult, f64) {
+        self.with_service(ranks, |svc| {
+            let r = svc.run(el);
+            (r.msf, r.total_time)
+        })
+    }
+
+    fn bfs(&self, el: &EdgeList, source: VertexId, ranks: usize) -> (Vec<u64>, f64) {
+        let r = distributed_bfs(el, source, ranks, &self.platform, self.sim_scale);
+        (r.dist, r.total_time)
+    }
+
+    fn frontend_seconds(&self, work: u64) -> f64 {
+        let cpu = &self.platform.cpu;
+        work as f64 * self.sim_scale / (cpu.edge_throughput * cpu.efficiency)
+    }
+
+    fn utilisation(&self) -> Vec<(usize, u64, f64)> {
+        self.services
+            .borrow()
+            .iter()
+            .map(|(&ranks, svc)| (ranks, svc.runs(), svc.busy_seconds()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::gen;
+
+    #[test]
+    fn engine_backend_runs_and_books_utilisation() {
+        let backend = EngineBackend::mnd_mst(1.0);
+        let el = gen::gnm(200, 900, 3);
+        let (msf, secs) = backend.msf(&el, 2);
+        assert_eq!(msf, mnd_kernels::kruskal_msf(&el));
+        assert!(secs > 0.0);
+        let (msf4, _) = backend.msf(&el, 4);
+        assert_eq!(msf4, msf);
+        let util = backend.utilisation();
+        assert_eq!(util.len(), 2, "one service per granted size");
+        assert_eq!(util[0].0, 2);
+        assert_eq!(util[0].1, 1);
+        assert!(util[0].2 > 0.0);
+
+        let (dist, bfs_secs) = backend.bfs(&el, 0, 2);
+        assert_eq!(dist[0], 0);
+        assert!(bfs_secs > 0.0);
+        assert!(backend.frontend_seconds(1000) > 0.0);
+        assert_eq!(backend.name(), "mnd-mst");
+    }
+}

@@ -1,0 +1,189 @@
+//! The result cache: fingerprint-keyed memoisation of query results.
+//!
+//! Keys are [`Fingerprint`]s of the *canonical input* plus a query
+//! variant, so a repeat submission of the same weighted graph hits
+//! regardless of the edge order the tenant supplied, while
+//! isomorphic-but-relabelled graphs (which have different answers in
+//! vertex-id space) never alias. Entries remember the cold cost they
+//! saved so reports can show simulated seconds avoided.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mnd_graph::types::VertexId;
+use mnd_graph::Fingerprint;
+use mnd_kernels::msf::MsfResult;
+
+/// Which query a cache entry answers. `Cc` shares the `Msf` entry (labels
+/// derive from the forest on the frontend), so it has no variant of its
+/// own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Variant {
+    /// Minimum spanning forest.
+    Msf,
+    /// BFS distances from the given source.
+    Bfs(VertexId),
+}
+
+/// Full cache key: input fingerprint + query variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Fingerprint of the canonical input edge list.
+    pub fp: Fingerprint,
+    /// Query variant.
+    pub variant: Variant,
+}
+
+/// A memoised result.
+#[derive(Clone, Debug)]
+pub enum CachedValue {
+    /// Forest (serves `Mst` and, via frontend derivation, `Cc`).
+    Msf(Arc<MsfResult>),
+    /// BFS distances.
+    Bfs(Arc<Vec<u64>>),
+}
+
+/// A cache entry: the value plus the cold simulated cost it replaces.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The memoised result.
+    pub value: CachedValue,
+    /// Simulated seconds the cold computation took (what each hit saves).
+    pub cold_seconds: f64,
+}
+
+/// Hit/miss counters of a serve run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Simulated seconds of cold compute the hits avoided.
+    pub saved_seconds: f64,
+}
+
+/// The fingerprint-keyed result cache. Unbounded: the serving plane's
+/// working sets are preset graphs, far below any realistic memory bound,
+/// and an eviction policy would only obscure the determinism story.
+#[derive(Default)]
+pub struct ResultCache {
+    map: BTreeMap<CacheKey, CacheEntry>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks up a key, booking a hit (with its saved seconds) or a miss.
+    pub fn lookup(&mut self, key: CacheKey) -> Option<CacheEntry> {
+        match self.map.get(&key) {
+            Some(e) => {
+                self.stats.hits += 1;
+                self.stats.saved_seconds += e.cold_seconds;
+                Some(e.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry.
+    pub fn insert(&mut self, key: CacheKey, value: CachedValue, cold_seconds: f64) {
+        self.map.insert(
+            key,
+            CacheEntry {
+                value,
+                cold_seconds,
+            },
+        );
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnd_graph::EdgeList;
+
+    fn key(el: &EdgeList, variant: Variant) -> CacheKey {
+        CacheKey {
+            fp: el.fingerprint(),
+            variant,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1, 3);
+        el.push(1, 2, 5);
+        let mut cache = ResultCache::new();
+        let k = key(&el, Variant::Msf);
+        assert!(cache.lookup(k).is_none());
+        let msf = Arc::new(mnd_kernels::kruskal_msf(&el));
+        cache.insert(k, CachedValue::Msf(msf.clone()), 2.5);
+        let hit = cache.lookup(k).expect("inserted");
+        match hit.value {
+            CachedValue::Msf(m) => assert_eq!(*m, *msf),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.saved_seconds, 2.5);
+    }
+
+    #[test]
+    fn variants_do_not_alias() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1, 1);
+        let mut cache = ResultCache::new();
+        cache.insert(
+            key(&el, Variant::Bfs(0)),
+            CachedValue::Bfs(Arc::new(vec![0, 1, u64::MAX])),
+            1.0,
+        );
+        assert!(cache.lookup(key(&el, Variant::Msf)).is_none());
+        assert!(cache.lookup(key(&el, Variant::Bfs(1))).is_none());
+        assert!(cache.lookup(key(&el, Variant::Bfs(0))).is_some());
+    }
+
+    #[test]
+    fn isomorphic_but_relabelled_inputs_miss() {
+        // Same shape and weights under a vertex relabelling: the answers
+        // differ in id space, so the cache must not serve one for the
+        // other.
+        let mut a = EdgeList::new(3);
+        a.push(0, 1, 5);
+        a.push(1, 2, 6);
+        let mut b = EdgeList::new(3);
+        b.push(2, 1, 5);
+        b.push(1, 0, 6);
+        let mut cache = ResultCache::new();
+        cache.insert(
+            key(&a, Variant::Msf),
+            CachedValue::Msf(Arc::new(mnd_kernels::kruskal_msf(&a))),
+            1.0,
+        );
+        assert!(cache.lookup(key(&b, Variant::Msf)).is_none());
+    }
+}

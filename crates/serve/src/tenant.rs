@@ -1,0 +1,87 @@
+//! Tenants: admission limits, fair-share weights, and per-tenant
+//! latency/throughput reporting.
+
+/// A tenant of the serving plane.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name.
+    pub name: String,
+    /// Fair-share weight: a tenant with weight 2 drains its queue twice as
+    /// fast (in cost units) as one with weight 1 under contention.
+    pub weight: f64,
+    /// Admission bound: submissions arriving while this many jobs are
+    /// already queued (not yet dispatched) are rejected.
+    pub max_queue: usize,
+}
+
+impl TenantSpec {
+    /// A tenant with the given name, weight, and queue bound.
+    pub fn new(name: impl Into<String>, weight: f64, max_queue: usize) -> Self {
+        assert!(weight > 0.0, "fair-share weight must be positive");
+        assert!(max_queue >= 1, "a tenant must be able to queue one job");
+        TenantSpec {
+            name: name.into(),
+            weight,
+            max_queue,
+        }
+    }
+}
+
+/// Per-tenant outcome of a serve run.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Jobs submitted (admitted + rejected).
+    pub submitted: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs refused at admission.
+    pub rejected: usize,
+    /// Completions served from the result cache.
+    pub cache_hits: usize,
+    /// Median latency (seconds, nearest-rank).
+    pub p50: f64,
+    /// 95th-percentile latency.
+    pub p95: f64,
+    /// 99th-percentile latency.
+    pub p99: f64,
+    /// Mean latency.
+    pub mean_latency: f64,
+    /// Completed jobs per simulated second over the run's makespan.
+    pub throughput: f64,
+}
+
+/// Nearest-rank percentile (`p` in [0, 100]) over latency samples; 0 when
+/// empty. Sorts a copy — sample counts here are per-tenant job counts.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[], 95.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn zero_weight_is_rejected() {
+        TenantSpec::new("bad", 0.0, 1);
+    }
+}

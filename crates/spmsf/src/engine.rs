@@ -34,6 +34,10 @@ impl Engine for SpmsfEngine {
         "spmsf"
     }
 
+    fn description(&self) -> &'static str {
+        "min-plus SpMV MSF: Boruvka rounds as semiring matrix-vector products with delta checkpoints"
+    }
+
     fn run_chaos(&self, el: &EdgeList, chaos: &EngineChaos) -> EngineReport {
         let r = spmsf_msf_chaos(el, self.nranks, &self.platform, &self.cfg, chaos);
         EngineReport {

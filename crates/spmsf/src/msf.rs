@@ -7,6 +7,7 @@
 //! and rebuilt deterministically on re-execution; the per-round hook
 //! pointers are transient between boundaries and re-derived by the replay.
 
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -29,6 +30,14 @@ pub struct SpmsfConfig {
     /// armed. A round costs a handful of steps, so the default of 2
     /// checkpoints a few times per round; see `repro checkpoint-sweep`.
     pub checkpoint_interval: u64,
+    /// Delta-encode the replicated component vector in checkpoints:
+    /// after the base segment, each write charges only the entries the
+    /// relabel rewrote since the previous checkpoint (an `(index, root)`
+    /// pair per entry) instead of re-streaming all `O(V)` replicated
+    /// entries. On by default; the `false` arm exists so tests and
+    /// `repro checkpoint-sweep` can show the saving against the old
+    /// full-vector scheme.
+    pub delta_checkpoints: bool,
 }
 
 impl Default for SpmsfConfig {
@@ -36,6 +45,7 @@ impl Default for SpmsfConfig {
         SpmsfConfig {
             sim_scale: 1.0,
             checkpoint_interval: 2,
+            delta_checkpoints: true,
         }
     }
 }
@@ -89,21 +99,79 @@ struct SpmsfState {
     msf_local: Vec<WEdge>,
     /// Round/step counters.
     stats: SpmsfStats,
+    /// Delta-encode the component vector in checkpoints (from
+    /// [`SpmsfConfig::delta_checkpoints`]).
+    delta: bool,
+    /// Entries of `comp` the relabel rewrote since the last checkpoint
+    /// capture — the delta segment's size. `Cell` because
+    /// [`Recoverable::capture`] takes `&self` but must start a new
+    /// delta window.
+    comp_dirty: Cell<u64>,
+    /// Whether a base segment exists in this execution. The first
+    /// capture streams the full vector; a restore re-establishes the
+    /// base (the restored vector *is* the latest segment's content).
+    has_base: Cell<bool>,
 }
 
-impl Wire for SpmsfState {
+/// The min-plus engine's checkpoint payload. It carries the full state —
+/// restore must be exact — but *charges* the component vector at its
+/// encoded size: entries are only rewritten by the per-round relabel, so
+/// consecutive checkpoints differ in the merged entries alone, and the
+/// storage segment records `(index, new_root)` pairs against the resident
+/// base instead of re-streaming all `O(V)` replicated entries. Restores
+/// re-read the latest segment; the base stays resident in node-local
+/// storage across segments (log-structured store, compacted on restore).
+#[derive(Clone)]
+struct SpmsfCheckpoint {
+    comp: Vec<VertexId>,
+    rows: Vec<(VertexId, VertexId, Weight)>,
+    msf_local: Vec<WEdge>,
+    stats: SpmsfStats,
+    /// `None`: base segment (full vector). `Some(k)`: delta segment
+    /// rewriting `k` entries.
+    comp_delta: Option<u64>,
+}
+
+impl Wire for SpmsfCheckpoint {
     fn wire_bytes(&self) -> u64 {
-        self.comp.wire_bytes() + self.rows.wire_bytes() + self.msf_local.wire_bytes() + 3 * 8
+        // Delta segments charge an entry-count header plus an
+        // (index: u32, root: u32) pair per rewritten entry.
+        let comp_bytes = match self.comp_delta {
+            Some(k) => 8 + k * 8,
+            None => self.comp.wire_bytes(),
+        };
+        comp_bytes + self.rows.wire_bytes() + self.msf_local.wire_bytes() + 3 * 8
     }
 }
 
 impl Recoverable for SpmsfState {
-    type State = SpmsfState;
-    fn capture(&self) -> SpmsfState {
-        self.clone()
+    type State = SpmsfCheckpoint;
+    fn capture(&self) -> SpmsfCheckpoint {
+        // A delta segment only pays off while the rewrites since the
+        // last checkpoint stay under the full vector's footprint —
+        // sparse cadences can accumulate more rewrites than entries, at
+        // which point the base encoding is the smaller write.
+        let dirty = self.comp_dirty.get();
+        let comp_delta =
+            (self.delta && self.has_base.get() && 8 + dirty * 8 < self.comp.wire_bytes())
+                .then_some(dirty);
+        self.has_base.set(true);
+        self.comp_dirty.set(0);
+        SpmsfCheckpoint {
+            comp: self.comp.clone(),
+            rows: self.rows.clone(),
+            msf_local: self.msf_local.clone(),
+            stats: self.stats,
+            comp_delta,
+        }
     }
-    fn restore(&mut self, snapshot: SpmsfState) {
-        *self = snapshot;
+    fn restore(&mut self, snapshot: SpmsfCheckpoint) {
+        self.comp = snapshot.comp;
+        self.rows = snapshot.rows;
+        self.msf_local = snapshot.msf_local;
+        self.stats = snapshot.stats;
+        self.comp_dirty.set(0);
+        self.has_base.set(true);
     }
 }
 
@@ -195,7 +263,7 @@ fn worker_main(
     n: VertexId,
     platform: &NodePlatform,
     cfg: &SpmsfConfig,
-    rp: &mut Recovery<'_, SpmsfState>,
+    rp: &mut Recovery<'_, SpmsfCheckpoint>,
 ) -> (Option<MsfResult>, SpmsfStats) {
     let me = comm.rank();
     let p = comm.size();
@@ -213,6 +281,9 @@ fn worker_main(
             .collect(),
         msf_local: Vec::new(),
         stats: SpmsfStats::default(),
+        delta: cfg.delta_checkpoints,
+        comp_dirty: Cell::new(0),
+        has_base: Cell::new(false),
     };
     charge(comm, st.rows.len() as u64);
 
@@ -365,11 +436,14 @@ fn worker_main(
                 remap.insert(c, r);
             }
         }
+        let mut rewritten = 0u64;
         for cu in st.comp.iter_mut() {
             if let Some(&r) = remap.get(cu) {
                 *cu = r;
+                rewritten += 1;
             }
         }
+        st.comp_dirty.set(st.comp_dirty.get() + rewritten);
         charge(comm, n as u64);
 
         let before = st.rows.len() as u64;
@@ -481,6 +555,59 @@ mod tests {
             assert_eq!(a.bytes_sent, b.bytes_sent, "rank {rank} bytes");
             assert_eq!(a.messages_sent, b.messages_sent, "rank {rank} messages");
         }
+    }
+
+    #[test]
+    fn delta_checkpoints_shrink_the_bill_and_stay_recoverable() {
+        use mnd_chaos::FaultPlan;
+        let el = gen::gnm(2000, 12000, 41);
+        let oracle = kruskal_msf(&el);
+        let platform = NodePlatform::amd_cluster();
+        // Armed-but-clean plan: checkpoints are written, nothing crashes.
+        let clean_plan = || EngineChaos::from_plan(Arc::new(FaultPlan::new(9)));
+        let run_with = |delta: bool, chaos: &EngineChaos| {
+            let cfg = SpmsfConfig {
+                checkpoint_interval: 1,
+                delta_checkpoints: delta,
+                ..SpmsfConfig::default()
+            };
+            spmsf_msf_chaos(&el, 4, &platform, &cfg, chaos)
+        };
+        let full = run_with(false, &clean_plan());
+        let slim = run_with(true, &clean_plan());
+        assert_eq!(full.msf, oracle);
+        assert_eq!(slim.msf, oracle);
+        let writes = |r: &SpmsfReport| {
+            r.rank_stats
+                .iter()
+                .map(|s| s.checkpoint_writes)
+                .sum::<u64>()
+        };
+        let bytes = |r: &SpmsfReport| r.rank_stats.iter().map(|s| s.checkpoint_bytes).sum::<u64>();
+        assert_eq!(writes(&full), writes(&slim), "same boundaries taken");
+        assert!(writes(&slim) > 4, "interval 1 checkpoints every boundary");
+        // After the base segment every write saves nearly the whole 4n
+        // component vector (only merged entries are re-streamed), so the
+        // cumulative bill must drop by more than one full vector per rank.
+        let n = el.num_vertices() as u64;
+        assert!(
+            bytes(&slim) + 4 * n * 4 < bytes(&full),
+            "delta {} vs full {}",
+            bytes(&slim),
+            bytes(&full)
+        );
+        assert!(
+            slim.total_time < full.total_time,
+            "smaller writes cost less"
+        );
+
+        // The delta scheme must recover byte-identically through a
+        // mid-step crash, exactly like the full scheme always did.
+        let crash_plan =
+            EngineChaos::from_plan(Arc::new(FaultPlan::new(3).with_mid_phase_crash(1, 1, 1)));
+        let crashed = run_with(true, &crash_plan);
+        assert_eq!(crashed.msf, oracle);
+        assert!(crashed.rank_stats[1].checkpoint_restores >= 1);
     }
 
     #[test]

@@ -2,19 +2,21 @@
 # Performance regression gate, run by CI on pushes to main.
 #
 # Regenerates a fresh perf snapshot and diffs it against the committed
-# baseline (BENCH_5.json). The gate compares the *simulated* end-to-end
+# baseline (BENCH_6.json). The gate compares the *simulated* end-to-end
 # times (`sim_time_s`), which are deterministic — host wall-clock numbers
 # are printed for context but never gated on, since CI runners are noisy.
+# The snapshot's rows cover the D&C driver, every registered engine, and
+# the serving plane's per-tenant p95 latencies (`serve:<tenant>` keys).
 #
 # Usage: scripts/bench_check.sh [--threshold PCT] [--baseline FILE]
 #   --threshold PCT  max allowed sim-time regression, percent (default 25)
-#   --baseline FILE  committed snapshot to diff against (default BENCH_5.json)
+#   --baseline FILE  committed snapshot to diff against (default BENCH_6.json)
 
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
 THRESHOLD=25
-BASELINE=BENCH_5.json
+BASELINE=BENCH_6.json
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --threshold)

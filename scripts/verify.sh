@@ -67,7 +67,11 @@ echo "==> checkpoint sweep smoke (cadence knob across the engine registry)"
 cargo run --release -q -p mnd-bench --bin repro -- \
   --scale 65536 --nodes 4 checkpoint-sweep
 
-echo "==> perf snapshot (BENCH_5.json)"
-cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_5.json
+echo "==> serve sweep smoke (multi-tenant serving plane, oracle-verified)"
+cargo run --release -q -p mnd-bench --bin repro -- \
+  --scale 65536 --nodes 4 serve-sweep
+
+echo "==> perf snapshot (BENCH_6.json)"
+cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_6.json
 
 echo "verify: OK"

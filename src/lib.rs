@@ -18,6 +18,7 @@ pub use mnd_kernels as kernels;
 pub use mnd_mst as mst;
 pub use mnd_net as net;
 pub use mnd_pregel as pregel;
+pub use mnd_serve as serve;
 pub use mnd_spmsf as spmsf;
 
 pub mod engines;
