@@ -11,11 +11,12 @@
 //! what a result cache needs (a relabelled graph has a relabelled MSF).
 //!
 //! The hash is two independent splitmix64 chains (different seeds) over
-//! the same stream, giving 128 bits — collisions are out of reach for any
-//! workload the simulator can generate, and the chain construction makes
-//! the value order-dependent, so "same multiset of edges in a different
-//! canonical order" (impossible after canonicalisation anyway) cannot
-//! alias.
+//! the same stream, giving 128 bits. Each edge's endpoint pair and weight
+//! are absorbed in *separate* chained splitmix64 steps — never XOR-ed
+//! into the same state word — so no linear combination of field tweaks
+//! can cancel, and the chain construction makes the value
+//! order-dependent, so "same multiset of edges in a different canonical
+//! order" (impossible after canonicalisation anyway) cannot alias.
 
 use crate::edgelist::{splitmix64, EdgeList};
 
@@ -49,8 +50,12 @@ pub fn fingerprint(el: &EdgeList) -> Fingerprint {
     for e in el.edges() {
         let pair = ((e.u as u64) << 32) | e.v as u64;
         let w = e.w as u64;
-        lo = splitmix64(lo ^ pair ^ w.rotate_left(41));
-        hi = splitmix64(hi ^ pair.rotate_left(23) ^ w);
+        // `pair` and `w` are absorbed in separate chained steps: XOR-ing
+        // both into one state word would let a crafted (pair', w') pair
+        // cancel — splitmix64 between the two absorptions makes the
+        // combined edge contribution non-linear in either field.
+        lo = splitmix64(splitmix64(lo ^ pair) ^ w);
+        hi = splitmix64(splitmix64(hi ^ w) ^ pair);
     }
     Fingerprint { lo, hi }
 }
@@ -101,6 +106,19 @@ mod tests {
         // must not share a cache slot.
         let a = el(3, &[(0, 1, 5), (1, 2, 6)]);
         let b = el(3, &[(2, 1, 5), (1, 0, 6)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn crafted_rotation_cancelling_pair_does_not_collide() {
+        // Regression: an earlier construction absorbed `pair ^ rotl(w,41)`
+        // into one chain and `rotl(pair,23) ^ w` into the other; with
+        // 41 + 23 = 64 the rotations cancelled, so for any error word `e`
+        // the edge (pair ^ rotl(e,41), w ^ e) fed both chains identically.
+        // With e = 1 that maps (0,600,2) onto (512,600,3): 512<<32 is
+        // exactly rotl64(1,41). These must not share a cache slot.
+        let a = el(1000, &[(0, 600, 2)]);
+        let b = el(1000, &[(512, 600, 3)]);
         assert_ne!(a.fingerprint(), b.fingerprint());
     }
 

@@ -14,6 +14,18 @@
 //! from admission to dispatch, execution from the backend's simulated
 //! makespan (or the frontend's CPU model for cache hits and incremental
 //! updates).
+//!
+//! Results are materialised at *dispatch* time: the backend runs — and
+//! the result cache and update sessions are populated — the moment a
+//! job is dispatched; only the charged finish time is deferred to the
+//! sim clock. Consequently a duplicate job dispatched while its
+//! producer is still "running" is served from the cache at
+//! [`CACHE_HIT_SECONDS`] and can even retire before the job that
+//! computed the result. A real system would park the duplicate on the
+//! in-flight computation; modelling that would need cache inserts
+//! deferred to retirement. Serve-sweep workloads space duplicate
+//! submissions apart, so this is a documented modelling assumption, not
+//! an accuracy term in the reported latencies.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -187,10 +199,25 @@ impl ServePlane {
         ((edges as u64).div_ceil(self.cfg.edges_per_rank) as usize).clamp(1, self.cfg.nranks)
     }
 
-    /// SFQ cost estimate: proportional to input size, never zero.
+    /// Edges an `Update` job actually works over: the tenant's live
+    /// session if one exists (the stream has grown or shrunk it), else
+    /// the spec's base graph (the seeding job).
+    fn update_edges(&self, spec: &JobSpec) -> usize {
+        self.sessions
+            .get(&spec.tenant)
+            .map(|s| s.num_edges())
+            .unwrap_or(spec.graph.len())
+    }
+
+    /// SFQ cost estimate: proportional to input size, never zero. For
+    /// recompute-mode updates the input is the session's *current* edge
+    /// list, not the base graph the spec carries.
     fn cost_estimate(&self, spec: &JobSpec) -> f64 {
-        match &spec.kind {
-            JobKind::Update { .. } => (spec.kind.num_ops() + 1) as f64,
+        match (&spec.kind, self.cfg.update_mode) {
+            (JobKind::Update { .. }, UpdateMode::Incremental) => (spec.kind.num_ops() + 1) as f64,
+            (JobKind::Update { .. }, UpdateMode::Recompute) => {
+                (self.update_edges(spec) + spec.kind.num_ops() + 1) as f64
+            }
             _ => (spec.graph.len() + 1) as f64,
         }
     }
@@ -242,8 +269,11 @@ impl ServePlane {
                 let demand = match (&spec.kind, self.cfg.update_mode) {
                     // Incremental updates run on the frontend only.
                     (JobKind::Update { .. }, UpdateMode::Incremental) => 1,
+                    // Recompute runs over the session's current edge
+                    // list, which diverges from the base graph as the
+                    // stream applies — size the rank ask accordingly.
                     (JobKind::Update { .. }, UpdateMode::Recompute) => {
-                        self.demand(spec.graph.len())
+                        self.demand(self.update_edges(spec))
                     }
                     _ => self.demand(spec.graph.len()),
                 };

@@ -102,11 +102,21 @@ struct SpmsfState {
     /// Delta-encode the component vector in checkpoints (from
     /// [`SpmsfConfig::delta_checkpoints`]).
     delta: bool,
-    /// Entries of `comp` the relabel rewrote since the last checkpoint
-    /// capture — the delta segment's size. `Cell` because
+    /// Distinct entries of `comp` the relabel rewrote since the last
+    /// checkpoint capture — the delta segment's size. An entry
+    /// relabelled in several rounds within one window is a single
+    /// `(index, root)` pair in the segment (the latest root wins), so it
+    /// is counted on first touch only — see `comp_epoch`. `Cell` because
     /// [`Recoverable::capture`] takes `&self` but must start a new
     /// delta window.
     comp_dirty: Cell<u64>,
+    /// Per-entry delta-window stamp: `comp_epoch[u] == dirty_epoch`
+    /// means entry `u` is already counted in `comp_dirty` for the
+    /// current window.
+    comp_epoch: Vec<u64>,
+    /// The current delta window id; bumped by capture/restore so stale
+    /// stamps are invalidated without an `O(V)` clear.
+    dirty_epoch: Cell<u64>,
     /// Whether a base segment exists in this execution. The first
     /// capture streams the full vector; a restore re-establishes the
     /// base (the restored vector *is* the latest segment's content).
@@ -157,6 +167,7 @@ impl Recoverable for SpmsfState {
                 .then_some(dirty);
         self.has_base.set(true);
         self.comp_dirty.set(0);
+        self.dirty_epoch.set(self.dirty_epoch.get() + 1);
         SpmsfCheckpoint {
             comp: self.comp.clone(),
             rows: self.rows.clone(),
@@ -171,6 +182,7 @@ impl Recoverable for SpmsfState {
         self.msf_local = snapshot.msf_local;
         self.stats = snapshot.stats;
         self.comp_dirty.set(0);
+        self.dirty_epoch.set(self.dirty_epoch.get() + 1);
         self.has_base.set(true);
     }
 }
@@ -283,6 +295,8 @@ fn worker_main(
         stats: SpmsfStats::default(),
         delta: cfg.delta_checkpoints,
         comp_dirty: Cell::new(0),
+        comp_epoch: vec![0; n as usize],
+        dirty_epoch: Cell::new(1),
         has_base: Cell::new(false),
     };
     charge(comm, st.rows.len() as u64);
@@ -436,11 +450,18 @@ fn worker_main(
                 remap.insert(c, r);
             }
         }
+        let epoch = st.dirty_epoch.get();
         let mut rewritten = 0u64;
-        for cu in st.comp.iter_mut() {
+        for (cu, stamp) in st.comp.iter_mut().zip(st.comp_epoch.iter_mut()) {
             if let Some(&r) = remap.get(cu) {
                 *cu = r;
-                rewritten += 1;
+                // First touch in this delta window: one (index, root)
+                // pair in the next segment, however many more rounds
+                // relabel this entry before the capture.
+                if *stamp != epoch {
+                    *stamp = epoch;
+                    rewritten += 1;
+                }
             }
         }
         st.comp_dirty.set(st.comp_dirty.get() + rewritten);
