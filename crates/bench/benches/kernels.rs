@@ -86,10 +86,12 @@ fn bench_reductions(c: &mut Criterion) {
     grp.finish();
 }
 
-/// The parallel holding plane: seq vs chunk-parallel election scans and
-/// reductions across holding sizes up to a million-plus edges. Above the
-/// calibrated crossover on a multicore host the par rows should win; on a
-/// single core they show the rayon overhead the crossover exists to avoid.
+/// The parallel holding plane: seq vs chunk-merge vs lock-free election
+/// scans and reductions across holding sizes up to a million-plus edges.
+/// Above the calibrated crossover on a multicore host the parallel rows
+/// should win; on a single core they show the overhead the crossover
+/// exists to avoid — except the lock-free rows, which have no merge phase
+/// and can win on one core through the dense slot lookup alone.
 fn bench_holding_plane(c: &mut Criterion) {
     for rows in [1usize << 16, 1 << 20] {
         let el = gen::gnm((rows / 8) as u32, rows as u64, 77);
@@ -109,6 +111,33 @@ fn bench_holding_plane(c: &mut Criterion) {
                     b.iter(|| mnd_kernels::min_edge_scan_with(cg, &KernelPolicy::force_par(chunk)))
                 },
             );
+            grp.bench_with_input(
+                BenchmarkId::new(&format!("lockfree{chunk}"), rows),
+                &cg,
+                |b, cg| {
+                    b.iter(|| {
+                        mnd_kernels::min_edge_scan_with(cg, &KernelPolicy::force_lockfree(chunk))
+                    })
+                },
+            );
+        }
+        grp.finish();
+
+        let mut grp = c.benchmark_group("holding_plane_counts");
+        grp.throughput(Throughput::Elements(rows as u64));
+        grp.sample_size(10);
+        for (name, policy) in [
+            ("seq", KernelPolicy::seq()),
+            ("par4096", KernelPolicy::force_par(4096)),
+            ("lockfree4096", KernelPolicy::force_lockfree(4096)),
+        ] {
+            grp.bench_with_input(BenchmarkId::new(name, rows), &cg, |b, cg| {
+                b.iter_batched(
+                    || cg.clone(),
+                    |mut cg| cg.incident_counts_with(&policy).to_vec(),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
         }
         grp.finish();
 

@@ -1,7 +1,7 @@
 //! `perfsnap` — writes a machine-readable perf snapshot of the build.
 //!
 //! ```text
-//! perfsnap [PATH]    # default BENCH_6.json
+//! perfsnap [PATH]    # default BENCH_7.json
 //! ```
 //!
 //! The snapshot records (a) the measured kernel-policy crossover table,
@@ -18,19 +18,19 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use mnd_bench::{engines_for, kernel_sweep, run_mnd, serve_sweep, ExpContext, SWEEP_SIZES};
-use mnd_device::{calibrate_kernel_policy, NodePlatform};
+use mnd_device::{calibrate_kernel_policy, variant_name, NodePlatform};
 use mnd_graph::presets::Preset;
 
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".into());
+        .unwrap_or_else(|| "BENCH_7.json".into());
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
     let cal = calibrate_kernel_policy(42);
-    let sweep = kernel_sweep(42, &SWEEP_SIZES);
+    let sweep = kernel_sweep(42, &SWEEP_SIZES, &cal.policy);
 
     // End-to-end: verified runs at the default scale divisor, under the
     // policy just calibrated (results are policy-invariant; wall-clock is
@@ -82,15 +82,18 @@ fn main() {
 
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"pr\": 6,");
+    let _ = writeln!(j, "  \"pr\": 8,");
     let _ = writeln!(j, "  \"host_threads\": {host_threads},");
     let _ = writeln!(
         j,
-        "  \"policy\": {{\"par_threshold\": {}, \"reduce_par_threshold\": {}, \"relabel_par_threshold\": {}, \"chunk_rows\": {}}},",
+        "  \"policy\": {{\"par_threshold\": {}, \"reduce_par_threshold\": {}, \"count_par_threshold\": {}, \"relabel_par_threshold\": {}, \"chunk_rows\": {}, \"election_variant\": \"{}\", \"count_variant\": \"{}\"}},",
         cal.policy.par_threshold,
         cal.policy.reduce_par_threshold,
+        cal.policy.count_par_threshold,
         cal.policy.relabel_par_threshold,
-        cal.policy.chunk_rows
+        cal.policy.chunk_rows,
+        variant_name(cal.policy.election_variant),
+        variant_name(cal.policy.count_variant)
     );
     j.push_str("  \"crossover\": [\n");
     for (i, row) in cal.table.iter().enumerate() {
@@ -99,11 +102,15 @@ fn main() {
             .iter()
             .map(|(chunk, ns)| format!("{{\"chunk\": {chunk}, \"ns\": {ns}}}"))
             .collect();
+        let lf = row
+            .lockfree_ns
+            .map_or("null".to_string(), |ns| ns.to_string());
         let _ = write!(
             j,
-            "    {{\"rows\": {}, \"seq_ns\": {}, \"par\": [{}]}}",
+            "    {{\"rows\": {}, \"seq_ns\": {}, \"lockfree_ns\": {}, \"par\": [{}]}}",
             row.rows,
             row.seq_ns,
+            lf,
             pars.join(", ")
         );
         j.push_str(if i + 1 < cal.table.len() { ",\n" } else { "\n" });
@@ -112,8 +119,8 @@ fn main() {
     for (i, r) in sweep.iter().enumerate() {
         let _ = write!(
             j,
-            "    {{\"kernel\": \"{}\", \"rows\": {}, \"chunk\": {}, \"seq_ns\": {}, \"par_ns\": {}, \"speedup\": {:.3}}}",
-            r.kernel, r.rows, r.chunk, r.seq_ns, r.par_ns, r.speedup()
+            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"rows\": {}, \"chunk\": {}, \"seq_ns\": {}, \"par_ns\": {}, \"speedup\": {:.3}, \"selected\": {}}}",
+            r.kernel, r.variant, r.rows, r.chunk, r.seq_ns, r.par_ns, r.speedup(), r.selected
         );
         j.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
     }

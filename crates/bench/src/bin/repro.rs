@@ -24,10 +24,19 @@ fn main() {
     let mut nranks = 16usize;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut seed_grid: Vec<u64> = Vec::new();
+    let mut variant_filter: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--variant" => {
+                let v = it.next().expect("--variant seq|chunk-merge|lockfree");
+                assert!(
+                    matches!(v.as_str(), "seq" | "chunk-merge" | "lockfree"),
+                    "--variant must be seq, chunk-merge or lockfree (got {v})"
+                );
+                variant_filter = Some(v);
+            }
             "--csv" => {
                 csv_dir = Some(it.next().expect("--csv DIR").into());
             }
@@ -76,6 +85,7 @@ fn main() {
                 println!("             ablation-weights ablation-network calibration");
                 println!("             kernel-sweep chaos resilience checkpoint-sweep traffic");
                 println!("             engines serve-sweep");
+                println!("--variant seq|chunk-merge|lockfree filters the kernel-sweep rows");
                 println!(
                     "--trace PATH streams phase samples + chaos events as JSON lines (- = stdout)"
                 );
@@ -110,11 +120,21 @@ fn main() {
         ctx.scale, ctx.seed, ctx.verify
     );
     println!("(times are simulated seconds at paper scale; see DESIGN.md)");
+    let thr = |t: usize| {
+        if t == usize::MAX {
+            "=seq".to_string() // clamped: parallel never won in calibration
+        } else {
+            format!(">{t}")
+        }
+    };
     println!(
-        "(kernel policy: election>{} reduce>{} relabel>{} chunk={}, cached per host)",
-        ctx.kernel_policy.par_threshold,
-        ctx.kernel_policy.reduce_par_threshold,
-        ctx.kernel_policy.relabel_par_threshold,
+        "(kernel policy: election{} [{}] reduce{} count{} [{}] relabel{} chunk={}, cached per host)",
+        thr(ctx.kernel_policy.par_threshold),
+        mnd_device::variant_name(ctx.kernel_policy.election_variant),
+        thr(ctx.kernel_policy.reduce_par_threshold),
+        thr(ctx.kernel_policy.count_par_threshold),
+        mnd_device::variant_name(ctx.kernel_policy.count_variant),
+        thr(ctx.kernel_policy.relabel_par_threshold),
         ctx.kernel_policy.chunk_rows
     );
 
@@ -581,13 +601,16 @@ fn main() {
         emit(
             "kernel-crossover",
             &format!(
-                "Kernel crossover calibration (election>{}, reduce>{}, relabel>{}, chunk_rows={})",
-                cal.policy.par_threshold,
-                cal.policy.reduce_par_threshold,
-                cal.policy.relabel_par_threshold,
+                "Kernel crossover calibration (election{} [{}], reduce{}, count{} [{}], relabel{}, chunk_rows={})",
+                thr(cal.policy.par_threshold),
+                mnd_device::variant_name(cal.policy.election_variant),
+                thr(cal.policy.reduce_par_threshold),
+                thr(cal.policy.count_par_threshold),
+                mnd_device::variant_name(cal.policy.count_variant),
+                thr(cal.policy.relabel_par_threshold),
                 cal.policy.chunk_rows
             ),
-            &["rows", "seq ns", "best par ns", "best chunk"],
+            &["rows", "seq ns", "best par ns", "best chunk", "lockfree ns"],
             &cal.table
                 .iter()
                 .map(|r| {
@@ -597,28 +620,54 @@ fn main() {
                         r.seq_ns.to_string(),
                         ns.to_string(),
                         chunk.to_string(),
+                        r.lockfree_ns.map_or("-".into(), |ns| ns.to_string()),
                     ]
                 })
                 .collect::<Vec<_>>(),
         );
-        let rows = kernel_sweep(ctx.seed, &SWEEP_SIZES);
+        let rows = kernel_sweep(ctx.seed, &SWEEP_SIZES, &ctx.kernel_policy);
+        // Display rows: one `seq` baseline row per kernel/size plus one row
+        // per measured parallel variant; `--variant` filters on the column.
+        let mut flat: Vec<Vec<String>> = Vec::new();
+        let keep = |v: &str| variant_filter.as_deref().is_none_or(|f| f == v);
+        for r in &rows {
+            // The chunk-merge row is always the first per kernel/size, so
+            // hang the shared seq baseline row off it.
+            if r.variant == "chunk-merge" && keep("seq") {
+                let seq_selected = !rows
+                    .iter()
+                    .any(|o| o.kernel == r.kernel && o.rows == r.rows && o.selected);
+                flat.push(vec![
+                    r.kernel.into(),
+                    "seq".into(),
+                    r.rows.to_string(),
+                    r.seq_ns.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "1.00x".into(),
+                    if seq_selected { "yes" } else { "" }.to_string(),
+                ]);
+            }
+            if keep(r.variant) {
+                flat.push(vec![
+                    r.kernel.into(),
+                    r.variant.into(),
+                    r.rows.to_string(),
+                    r.seq_ns.to_string(),
+                    r.par_ns.to_string(),
+                    r.chunk.to_string(),
+                    format!("{:.2}x", r.speedup()),
+                    if r.selected { "yes" } else { "" }.to_string(),
+                ]);
+            }
+        }
         emit(
             "kernel-sweep",
-            "Kernel sweep: seq vs chunk-parallel holding-plane kernels",
-            &["kernel", "rows", "seq ns", "par ns", "chunk", "speedup"],
-            &rows
-                .iter()
-                .map(|r| {
-                    vec![
-                        r.kernel.into(),
-                        r.rows.to_string(),
-                        r.seq_ns.to_string(),
-                        r.par_ns.to_string(),
-                        r.chunk.to_string(),
-                        format!("{:.2}x", r.speedup()),
-                    ]
-                })
-                .collect::<Vec<_>>(),
+            "Kernel sweep: seq vs chunk-merge vs lock-free holding-plane kernels",
+            &[
+                "kernel", "variant", "rows", "seq ns", "par ns", "chunk", "speedup", "selected",
+            ],
+            &flat,
         );
     }
 

@@ -28,7 +28,8 @@ pub mod platform;
 
 pub use calibrate::{
     calibrate_kernel_policy, calibrate_kernel_policy_cached, calibrate_split,
-    calibrated_recursion_threshold, CrossoverRow, DeviceSplit, KernelCalibration,
+    calibrated_recursion_threshold, variant_name, CrossoverRow, DeviceSplit, KernelCalibration,
+    LOCKFREE_CHUNK,
 };
 pub use exec::{ExecDevice, IndCompRun};
 pub use model::{DeviceKind, DeviceModel};

@@ -64,11 +64,14 @@ pub struct HyParConfig {
     pub max_exchange_rounds: usize,
     /// Deterministic seed for calibration sampling.
     pub seed: u64,
-    /// Seq/par crossover and chunk size for the holding-plane kernels
-    /// (election, reductions, relabels, incident counts). Populate from
-    /// `mnd_device::calibrate_kernel_policy` for measured numbers; the
-    /// default is a conservative uncalibrated fallback. Results never
-    /// depend on this — only wall-clock does.
+    /// Seq/par crossover, parallel-variant choice (chunk-merge vs the
+    /// lock-free atomic plane) and chunk size for the holding-plane
+    /// kernels (election, reductions, relabels, incident counts).
+    /// Populate from `mnd_device::calibrate_kernel_policy` for measured
+    /// numbers — it times all three paths per class and clamps a class
+    /// whose parallel variants never win to sequential-only; the default
+    /// is a conservative uncalibrated fallback. Results never depend on
+    /// this — only wall-clock does.
     pub kernel_policy: KernelPolicy,
     /// Optional phase observer: fired by the driver at every phase boundary
     /// with the phase's time/traffic sample (see [`crate::observe`]).

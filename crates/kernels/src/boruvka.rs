@@ -17,25 +17,43 @@
 //!
 //! ## Deterministic parallel election
 //!
-//! Above the [`KernelPolicy`] crossover the election sweeps worklist chunks
-//! on rayon workers, each producing a partial winner table; partials merge
-//! in chunk order under the total order `(original edge, worklist row)`, so
-//! the merged table is byte-identical to the sequential sweep for any
-//! chunking. The union-find is fully path-compressed before each election
-//! (`MinDsu::compress_all`), so workers can resolve roots through the
-//! shared `&MinDsu` without mutation. Contraction then visits winner slots
-//! in root-index order — safe because the elected edges form a forest under
+//! Above the [`KernelPolicy`] crossover the election runs the policy's
+//! variant. **Chunk-merge**: worklist chunks sweep on rayon workers, each
+//! producing a partial winner table; partials merge in chunk order under
+//! the total order `(original edge, worklist row)`, so the merged table is
+//! byte-identical to the sequential sweep for any chunking. The union-find
+//! is fully path-compressed before each election (`compress_all`), so
+//! workers can resolve roots through a shared reference without mutation.
+//! **Lock-free**: workers CAS packed `(weight << 32) | row` words into one
+//! atomic slot per root ([`crate::lockfree::fetch_min_edge`], weight ties
+//! falling back to the full edge key) and resolve roots through the
+//! concurrent [`AtomicDisjointSets`] — no partial tables, no merge phase.
+//! A fetch-min under a total order is commutative, so every interleaving
+//! elects the same winners as the sequential sweep.
+//!
+//! Either way, contraction then visits winner slots sequentially in
+//! root-index order — safe because the elected edges form a forest under
 //! the total edge order (mutual elections are the same edge), so the union
 //! *set* is order-independent, and making the order fixed makes the whole
 //! kernel deterministic across policies and thread counts.
+//!
+//! Election scratch — the atomic min-edge array, its decoded winner buffer
+//! and the DSU parent array — is allocated once per invocation and *reset*
+//! (the drain swaps slots back to empty) per round, mirroring the
+//! `incident_counts_with` scratch pattern.
+
+use std::sync::atomic::AtomicU64;
 
 use mnd_graph::types::WEdge;
 use rayon::prelude::*;
 
 use crate::cgraph::{CGraph, CompId};
+use crate::dsu::AtomicDisjointSets;
+use crate::lockfree::{fetch_min_edge, pack, row_of, NONE_KEY};
 use crate::msf::MsfResult;
 use crate::policy::{
-    ExcpCond, FreezePolicy, IterWork, KernelClass, KernelPolicy, StopPolicy, WorkProfile,
+    ExcpCond, FreezePolicy, IterWork, KernelClass, KernelPolicy, ParVariant, StopPolicy,
+    WorkProfile,
 };
 
 /// Output of one `indComp` invocation on a holding.
@@ -97,7 +115,20 @@ pub fn local_boruvka_with(
     // Local dense index per resident component.
     let index_of = |c: CompId| -> Option<u32> { resident.binary_search(&c).ok().map(|i| i as u32) };
 
-    let mut dsu = MinDsu::new(n);
+    // The election mode is fixed per invocation (the DSU flavour must not
+    // switch mid-run): lock-free when the policy routes elections through
+    // the atomic plane and the initial worklist clears the crossover —
+    // worklists only shrink, and late small rounds cost the same either way.
+    let lockfree = policy.variant_for(KernelClass::Election) == ParVariant::LockFree
+        && policy.use_par_for(KernelClass::Election, cg.num_edges());
+    let mut dsu = if lockfree {
+        ElectionDsu::LockFree(AtomicDisjointSets::new(n))
+    } else {
+        ElectionDsu::Seq(MinDsu::new(n))
+    };
+    // Lock-free election scratch: allocated once here, reset per round (the
+    // drain swaps every hit slot back to NONE_KEY; winners are refilled).
+    let mut lf_scratch = lockfree.then(|| LockFreeElection::new(n));
     let mut frozen = vec![false; n];
     // Freeze marks surviving from a previous invocation stay sticky.
     for f in cg.frozen() {
@@ -134,39 +165,56 @@ pub fn local_boruvka_with(
     let mut prev_cost: Option<u64> = None;
     loop {
         // --- Min-edge election ------------------------------------------
-        // Roots are fully compressed up front so the sweep — sequential or
-        // chunked across workers — resolves them through &MinDsu in one hop.
+        // Roots are fully compressed up front so the sweep — sequential,
+        // chunked across workers, or atomic — resolves them in ~one hop.
         dsu.compress_all();
         let scanned = worklist.len() as u64;
-        let best: Vec<Option<Winner>> = if policy.use_par_for(KernelClass::Election, worklist.len())
-        {
-            let dsu_ref = &dsu;
-            let frozen_ref = &frozen;
-            let rows: &[CEdgeLocal] = &worklist;
-            let partials: Vec<Vec<Option<Winner>>> = policy
-                .chunk_ranges(rows.len())
-                .into_par_iter()
-                .map(|(lo, hi)| {
-                    let mut part = vec![None; n];
-                    elect_rows(&rows[lo..hi], lo, dsu_ref, frozen_ref, freeze, &mut part);
-                    part
-                })
-                .collect();
-            // Merge partial tables in chunk order; the (edge, row) key makes
-            // the merge associative, so this equals the sequential sweep.
-            let mut best = vec![None; n];
-            for part in partials {
-                for (slot, cand) in best.iter_mut().zip(part) {
-                    if let Some(w) = cand {
-                        take_winner(slot, w);
-                    }
-                }
+        let best_owned: Vec<Option<Winner>>;
+        let best: &[Option<Winner>] = match &mut lf_scratch {
+            Some(lf) => {
+                let adsu = match &dsu {
+                    ElectionDsu::LockFree(d) => d,
+                    ElectionDsu::Seq(_) => unreachable!("scratch without lock-free DSU"),
+                };
+                lf.elect(&worklist, policy, adsu, &frozen, freeze);
+                &lf.winners
             }
-            best
-        } else {
-            let mut best = vec![None; n];
-            elect_rows(&worklist, 0, &dsu, &frozen, freeze, &mut best);
-            best
+            None => {
+                let dsu_seq = match &dsu {
+                    ElectionDsu::Seq(d) => d,
+                    ElectionDsu::LockFree(_) => unreachable!("lock-free mode without scratch"),
+                };
+                best_owned = if policy.use_par_for(KernelClass::Election, worklist.len()) {
+                    let frozen_ref = &frozen;
+                    let rows: &[CEdgeLocal] = &worklist;
+                    let partials: Vec<Vec<Option<Winner>>> = policy
+                        .chunk_ranges(rows.len())
+                        .into_par_iter()
+                        .map(|(lo, hi)| {
+                            let mut part = vec![None; n];
+                            elect_rows(&rows[lo..hi], lo, dsu_seq, frozen_ref, freeze, &mut part);
+                            part
+                        })
+                        .collect();
+                    // Merge partial tables in chunk order; the (edge, row)
+                    // key makes the merge associative, so this equals the
+                    // sequential sweep.
+                    let mut best = vec![None; n];
+                    for part in partials {
+                        for (slot, cand) in best.iter_mut().zip(part) {
+                            if let Some(w) = cand {
+                                take_winner(slot, w);
+                            }
+                        }
+                    }
+                    best
+                } else {
+                    let mut best = vec![None; n];
+                    elect_rows(&worklist, 0, dsu_seq, &frozen, freeze, &mut best);
+                    best
+                };
+                &best_owned
+            }
         };
 
         // --- Contraction / freezing -------------------------------------
@@ -289,9 +337,127 @@ pub fn boruvka_msf(el: &mnd_graph::EdgeList) -> MsfResult {
 }
 
 /// A per-root election winner: the elected original edge, its worklist row
-/// (tie-break making the election order-free), and the root-resolved
-/// endpoints so contraction needs no re-lookup.
+/// (tie-break making the election order-free), and the edge's local
+/// endpoint indices (election-time roots in the chunk-merge plane, raw
+/// locals in the lock-free drain — contraction re-resolves through the
+/// union-find either way, so the two are interchangeable).
 type Winner = (WEdge, u32, Option<u32>, Option<u32>);
+
+/// The per-invocation union-find in the flavour the election mode needs:
+/// sequential [`MinDsu`] for the seq/chunk-merge plane, the concurrent
+/// [`AtomicDisjointSets`] for the lock-free plane. Both orient unions
+/// larger-root-under-smaller, so roots — and therefore every output byte —
+/// are identical across modes.
+enum ElectionDsu {
+    Seq(MinDsu),
+    LockFree(AtomicDisjointSets),
+}
+
+impl ElectionDsu {
+    #[inline]
+    fn find(&mut self, x: u32) -> u32 {
+        match self {
+            ElectionDsu::Seq(d) => d.find(x),
+            ElectionDsu::LockFree(d) => d.find(x),
+        }
+    }
+
+    #[inline]
+    fn find_const(&self, x: u32) -> u32 {
+        match self {
+            ElectionDsu::Seq(d) => d.find_const(x),
+            // The atomic find is interior-mutable and thread-safe, so it
+            // serves as the shared-reference find (relabel workers may call
+            // this concurrently).
+            ElectionDsu::LockFree(d) => d.find(x),
+        }
+    }
+
+    #[inline]
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        match self {
+            ElectionDsu::Seq(d) => d.union(a, b),
+            ElectionDsu::LockFree(d) => d.union(a, b),
+        }
+    }
+
+    fn compress_all(&mut self) {
+        match self {
+            ElectionDsu::Seq(d) => d.compress_all(),
+            ElectionDsu::LockFree(d) => d.compress_all(),
+        }
+    }
+}
+
+/// Reusable lock-free election scratch: one packed atomic word per root
+/// plus the decoded winner table the shared contraction loop reads. Both
+/// buffers are allocated once per invocation; [`LockFreeElection::elect`]
+/// leaves every `best` slot back at [`NONE_KEY`], so rounds reuse the
+/// arrays without reallocating.
+struct LockFreeElection {
+    best: Vec<AtomicU64>,
+    winners: Vec<Option<Winner>>,
+}
+
+impl LockFreeElection {
+    fn new(n: usize) -> Self {
+        LockFreeElection {
+            best: (0..n).map(|_| AtomicU64::new(NONE_KEY)).collect(),
+            winners: vec![None; n],
+        }
+    }
+
+    /// One round's election: a chunked parallel sweep CASes packed
+    /// `(weight << 32) | row` keys into `best` (weight ties fall back to
+    /// the full `(edge, row)` order, so winners equal the sequential
+    /// sweep's for any interleaving), then a sequential drain decodes the
+    /// winner table — swapping each hit slot back to [`NONE_KEY`], which
+    /// is exactly the reset the next round needs.
+    fn elect(
+        &mut self,
+        rows: &[CEdgeLocal],
+        policy: &KernelPolicy,
+        dsu: &AtomicDisjointSets,
+        frozen: &[bool],
+        freeze: FreezePolicy,
+    ) {
+        let best = &self.best;
+        let orig_of = |row: u32| rows[row as usize].orig;
+        policy
+            .chunk_ranges(rows.len())
+            .into_par_iter()
+            .for_each(|(lo, hi)| {
+                for (k, e) in rows[lo..hi].iter().enumerate() {
+                    let row = (lo + k) as u32;
+                    // No unions race the election (contraction is a later,
+                    // sequential phase), so every concurrent find resolves
+                    // to the round's unique root.
+                    let ra = e.a.map(|i| dsu.find(i));
+                    let rb = e.b.map(|i| dsu.find(i));
+                    if let (Some(x), Some(y)) = (ra, rb) {
+                        if x == y {
+                            continue; // self edge at current contraction
+                        }
+                    }
+                    let key = pack(e.orig.w, row);
+                    for r in [ra, rb].into_iter().flatten() {
+                        if frozen[r as usize] && freeze == FreezePolicy::Sticky {
+                            continue;
+                        }
+                        fetch_min_edge(&best[r as usize], key, &orig_of);
+                    }
+                }
+            });
+        for (slot, win) in self.best.iter().zip(self.winners.iter_mut()) {
+            let key = slot.swap(NONE_KEY, std::sync::atomic::Ordering::Relaxed);
+            *win = (key != NONE_KEY).then(|| {
+                let row = row_of(key);
+                let e = &rows[row as usize];
+                (e.orig, row, e.a, e.b)
+            });
+        }
+    }
+}
 
 /// Elects over `rows` (worklist rows starting at global index `lo`) into
 /// `best`, one slot per resident root. Reads the union-find through

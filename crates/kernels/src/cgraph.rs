@@ -40,7 +40,8 @@ use mnd_graph::{CsrGraph, EdgeList};
 use mnd_wire::Wire;
 use rayon::prelude::*;
 
-use crate::policy::{KernelClass, KernelPolicy};
+use crate::lockfree::{as_atomic_u64, SlotLookup};
+use crate::policy::{KernelClass, KernelPolicy, ParVariant};
 
 /// A component identifier. Components are named by the smallest original
 /// vertex they contain, so ids stay globally consistent without any central
@@ -546,9 +547,12 @@ impl CGraph {
     /// touching `resident()[i]`; a self edge counts twice, matching a
     /// per-endpoint tally). The column lives in reusable scratch so the
     /// repeated callers — device splitting, skew estimation, segment
-    /// choice — stop rebuilding a hash map per call; above the policy
-    /// crossover the tally is a chunked parallel column reduction whose
-    /// per-chunk partial counts are summed in chunk order.
+    /// choice — stop rebuilding a hash map per call. Above the `Count`
+    /// crossover the tally follows the policy's count variant: lock-free
+    /// `fetch_add`s straight into the scratch column (viewed atomically,
+    /// slots resolved through the dense [`SlotLookup`]) or the chunked
+    /// reduction whose per-chunk partial counts are summed in chunk order.
+    /// Additions commute, so every path is byte-identical.
     pub fn incident_counts_with(&mut self, policy: &KernelPolicy) -> &[u64] {
         let n = self.resident.len();
         let rows = self.ea.len();
@@ -564,19 +568,40 @@ impl CGraph {
                 }
             }
         };
-        if policy.use_par_for(KernelClass::Reduce, rows) {
-            let partials: Vec<Vec<u64>> = policy
-                .chunk_ranges(rows)
-                .into_par_iter()
-                .map(|range| {
-                    let mut part = vec![0u64; n];
-                    tally(range, &mut part);
-                    part
-                })
-                .collect();
-            for part in partials {
-                for (dst, v) in counts.iter_mut().zip(part) {
-                    *dst += v;
+        if policy.use_par_for(KernelClass::Count, rows) {
+            match policy.variant_for(KernelClass::Count) {
+                ParVariant::LockFree => {
+                    let lookup = SlotLookup::new(&self.resident);
+                    let slots = as_atomic_u64(&mut counts);
+                    policy
+                        .chunk_ranges(rows)
+                        .into_par_iter()
+                        .for_each(|(lo, hi)| {
+                            for i in lo..hi {
+                                for c in [self.ea[i], self.eb[i]] {
+                                    if let Some(slot) = lookup.get(c) {
+                                        slots[slot as usize]
+                                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        });
+                }
+                ParVariant::ChunkMerge => {
+                    let partials: Vec<Vec<u64>> = policy
+                        .chunk_ranges(rows)
+                        .into_par_iter()
+                        .map(|range| {
+                            let mut part = vec![0u64; n];
+                            tally(range, &mut part);
+                            part
+                        })
+                        .collect();
+                    for part in partials {
+                        for (dst, v) in counts.iter_mut().zip(part) {
+                            *dst += v;
+                        }
+                    }
                 }
             }
         } else {

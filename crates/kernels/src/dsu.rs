@@ -174,6 +174,19 @@ impl AtomicDisjointSets {
         }
     }
 
+    /// Wait-free full path compaction: afterwards (quiescent) every parent
+    /// pointer aims directly at its root, so the next election round's
+    /// concurrent finds resolve in one hop. Plain stores, no CAS — safe
+    /// even with racing unions, because a union only ever links a *root*
+    /// under another node: `r` stays an ancestor of `x` forever, so
+    /// `parent[x] = r` can never skip past a newer link.
+    pub fn compress_all(&self) {
+        for x in 0..self.len() as u32 {
+            let r = self.find(x);
+            self.parent[x as usize].store(r, Ordering::Release);
+        }
+    }
+
     /// Snapshot of all roots (call only when no unions are racing).
     pub fn roots(&self) -> Vec<u32> {
         (0..self.len() as u32).map(|x| self.find(x)).collect()
@@ -233,6 +246,19 @@ mod tests {
         d.union(3, 1);
         d.union(1, 0);
         assert_eq!(d.find(3), 0);
+    }
+
+    #[test]
+    fn compress_all_flattens_to_one_hop() {
+        let d = AtomicDisjointSets::new(8);
+        d.union(7, 6);
+        d.union(6, 5);
+        d.union(5, 4);
+        d.compress_all();
+        for x in 4..8u32 {
+            assert_eq!(d.parent[x as usize].load(Ordering::Relaxed), 4);
+        }
+        assert_eq!(d.num_sets(), 5);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod cgraph;
 pub mod contraction;
 pub mod dsu;
 pub mod filter_kruskal;
+pub mod lockfree;
 pub mod msf;
 pub mod oracle;
 pub mod parallel;
@@ -38,9 +39,11 @@ pub mod scan;
 pub use boruvka::{boruvka_msf, local_boruvka, local_boruvka_with, LocalOutput};
 pub use cgraph::{CEdge, CGraph, CompId};
 pub use contraction::contraction_boruvka_msf;
-pub use dsu::DisjointSets;
+pub use dsu::{AtomicDisjointSets, DisjointSets};
 pub use filter_kruskal::filter_kruskal_msf;
 pub use msf::{verify_msf, MsfResult};
 pub use oracle::{kruskal_msf, prim_mst};
-pub use policy::{ExcpCond, KernelClass, KernelPolicy, StopPolicy};
-pub use scan::{min_edge_scan, min_edge_scan_par, min_edge_scan_seq, min_edge_scan_with};
+pub use policy::{ExcpCond, KernelClass, KernelPolicy, ParVariant, StopPolicy};
+pub use scan::{
+    min_edge_scan, min_edge_scan_lockfree, min_edge_scan_par, min_edge_scan_seq, min_edge_scan_with,
+};

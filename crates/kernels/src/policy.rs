@@ -17,32 +17,58 @@
 //! `tests/parallel_plane_oracle.rs` assert this across adversarial
 //! chunkings.
 
-/// The three kernel families of the holding plane, each with its own
+/// The four kernel families of the holding plane, each with its own
 /// seq/par crossover: their per-row work differs by an order of magnitude
-/// (an election row is a compare, a reduction row may hash, a relabel row
-/// is two table lookups plus a write), so one shared threshold either
-/// under-parallelises elections or thrashes relabels.
+/// (an election row is a compare, a reduction row may hash, a count row is
+/// two lookups + increments, a relabel row is two table lookups plus a
+/// write), so one shared threshold either under-parallelises elections or
+/// thrashes relabels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum KernelClass {
     /// Min-edge election scans (the per-iteration winner search).
     Election,
-    /// Reductions and permutations: compaction, key sorts, incident counts.
+    /// Reductions and permutations: compaction, key sorts.
     Reduce,
+    /// Incident-count tallies (device splitting, skew estimation).
+    Count,
     /// Ghost/parent relabels (two lookups + write per row).
     Relabel,
 }
 
-/// Seq/par crossover sizes and chunk granularity for the holding-plane
-/// kernels (election scans, permutation sorts, compactions, relabels).
+/// How a class's parallel path is implemented. Both variants are
+/// byte-identical to sequential (the determinism contract); they differ
+/// only in cost structure, so calibration picks per class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ParVariant {
+    /// Per-chunk partial tables merged in chunk order (the PR 3 plane).
+    /// Pays one table allocation + one merge pass per chunk.
+    ChunkMerge,
+    /// One CAS'd atomic word per slot (packed `(weight << 32) | row`
+    /// fetch-min; `fetch_add` counts) — no partial tables, no merge phase.
+    #[default]
+    LockFree,
+}
+
+/// Seq/par crossover sizes, per-class parallel variants and chunk
+/// granularity for the holding-plane kernels (election scans, permutation
+/// sorts, compactions, counts, relabels).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KernelPolicy {
     /// Row count at or below which election kernels stay sequential
     /// (thread spawn + partial-table merge would dominate).
     pub par_threshold: usize,
-    /// Crossover for reduction kernels (compaction, sorts, counts).
+    /// Crossover for reduction kernels (compaction, sorts).
     pub reduce_par_threshold: usize,
+    /// Crossover for incident-count kernels. Separate from `Reduce` so a
+    /// calibration clamp on one (see `calibrate_kernel_policy`) cannot
+    /// disable a profitable parallel path on the other.
+    pub count_par_threshold: usize,
     /// Crossover for relabel kernels.
     pub relabel_par_threshold: usize,
+    /// Parallel implementation for election sweeps above the crossover.
+    pub election_variant: ParVariant,
+    /// Parallel implementation for count sweeps above the crossover.
+    pub count_variant: ParVariant,
     /// Rows per parallel chunk above the threshold.
     pub chunk_rows: usize,
 }
@@ -50,12 +76,15 @@ pub struct KernelPolicy {
 impl Default for KernelPolicy {
     /// Uncalibrated fallback: one default chunk of slack before going
     /// parallel, 4K-row chunks (matches the pre-policy scan constant), all
-    /// three classes at the same conservative crossover.
+    /// classes at the same conservative crossover, lock-free variants.
     fn default() -> Self {
         KernelPolicy {
             par_threshold: 4096,
             reduce_par_threshold: 4096,
+            count_par_threshold: 4096,
             relabel_par_threshold: 4096,
+            election_variant: ParVariant::LockFree,
+            count_variant: ParVariant::LockFree,
             chunk_rows: 4096,
         }
     }
@@ -69,20 +98,51 @@ impl KernelPolicy {
         KernelPolicy {
             par_threshold: usize::MAX,
             reduce_par_threshold: usize::MAX,
+            count_par_threshold: usize::MAX,
             relabel_par_threshold: usize::MAX,
+            election_variant: ParVariant::LockFree,
+            count_variant: ParVariant::LockFree,
             chunk_rows: usize::MAX,
         }
     }
 
-    /// A policy that parallelises everything with the given chunk size
-    /// (tests use this to force the par path onto tiny fixtures).
+    /// A policy that parallelises everything with the given chunk size via
+    /// the chunk-and-merge variants (tests use this to force that path
+    /// onto tiny fixtures).
     pub fn force_par(chunk_rows: usize) -> Self {
         assert!(chunk_rows > 0, "chunk_rows must be positive");
         KernelPolicy {
             par_threshold: 0,
             reduce_par_threshold: 0,
+            count_par_threshold: 0,
             relabel_par_threshold: 0,
+            election_variant: ParVariant::ChunkMerge,
+            count_variant: ParVariant::ChunkMerge,
             chunk_rows,
+        }
+    }
+
+    /// As [`KernelPolicy::force_par`], but routing every class that has a
+    /// lock-free implementation through it (tests use this to force the
+    /// atomic path onto tiny fixtures).
+    pub fn force_lockfree(chunk_rows: usize) -> Self {
+        KernelPolicy {
+            election_variant: ParVariant::LockFree,
+            count_variant: ParVariant::LockFree,
+            ..KernelPolicy::force_par(chunk_rows)
+        }
+    }
+
+    /// The parallel implementation a class routes through above its
+    /// crossover. Reduce and relabel only have the chunked path (their
+    /// sorts/compactions have no slot to CAS; the chunked relabel is
+    /// already merge-free).
+    #[inline]
+    pub fn variant_for(&self, class: KernelClass) -> ParVariant {
+        match class {
+            KernelClass::Election => self.election_variant,
+            KernelClass::Count => self.count_variant,
+            KernelClass::Reduce | KernelClass::Relabel => ParVariant::ChunkMerge,
         }
     }
 
@@ -101,6 +161,7 @@ impl KernelPolicy {
         let threshold = match class {
             KernelClass::Election => self.par_threshold,
             KernelClass::Reduce => self.reduce_par_threshold,
+            KernelClass::Count => self.count_par_threshold,
             KernelClass::Relabel => self.relabel_par_threshold,
         };
         rows > threshold
@@ -251,17 +312,37 @@ mod tests {
         let p = KernelPolicy {
             par_threshold: 10,
             reduce_par_threshold: 100,
+            count_par_threshold: 500,
             relabel_par_threshold: 1000,
-            chunk_rows: 8,
+            ..KernelPolicy::default()
         };
         assert!(p.use_par_for(KernelClass::Election, 11));
         assert!(!p.use_par_for(KernelClass::Reduce, 11));
         assert!(!p.use_par_for(KernelClass::Relabel, 11));
         assert!(p.use_par_for(KernelClass::Reduce, 101));
+        assert!(!p.use_par_for(KernelClass::Count, 101));
         assert!(!p.use_par_for(KernelClass::Relabel, 101));
+        assert!(p.use_par_for(KernelClass::Count, 501));
         assert!(p.use_par_for(KernelClass::Relabel, 1001));
         // The legacy single-threshold query is the election class.
         assert_eq!(p.use_par(11), p.use_par_for(KernelClass::Election, 11));
+    }
+
+    #[test]
+    fn variants_route_per_class() {
+        let par = KernelPolicy::force_par(8);
+        let lf = KernelPolicy::force_lockfree(8);
+        assert_eq!(
+            par.variant_for(KernelClass::Election),
+            ParVariant::ChunkMerge
+        );
+        assert_eq!(lf.variant_for(KernelClass::Election), ParVariant::LockFree);
+        assert_eq!(lf.variant_for(KernelClass::Count), ParVariant::LockFree);
+        // Classes without a lock-free implementation always report the
+        // chunked path, whatever the policy says about the others.
+        assert_eq!(lf.variant_for(KernelClass::Reduce), ParVariant::ChunkMerge);
+        assert_eq!(lf.variant_for(KernelClass::Relabel), ParVariant::ChunkMerge);
+        assert!(lf.use_par_for(KernelClass::Count, 1));
     }
 
     #[test]

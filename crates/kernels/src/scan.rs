@@ -3,20 +3,27 @@
 //! The hottest loop of every Boruvka variant is the per-component
 //! lightest-edge election. This module provides it as a standalone kernel
 //! over [`CGraph`]'s column storage: [`min_edge_scan_seq`] is the
-//! sequential reference, [`min_edge_scan_par`] splits the endpoint columns
+//! sequential reference, and there are two parallel implementations —
+//! [`min_edge_scan_par`] splits the endpoint columns
 //! ([`CGraph::endpoint_cols`]) into row chunks, elects per-chunk winners on
-//! rayon workers, and merges the partial tables.
+//! rayon workers and merges the partial tables, while
+//! [`min_edge_scan_lockfree`] races CAS fetch-min loops against one packed
+//! atomic word per resident slot (no partial tables, no merge phase; see
+//! [`crate::lockfree`]).
 //!
 //! Winners are ordered by `(edge, row index)` — a total order even with
-//! multi-edges — so the parallel merge is associative and the two scans
-//! return *identical* tables regardless of chunking (the oracle test
-//! asserts this).
+//! multi-edges — so the parallel merge is associative, the atomic fetch-min
+//! is commutative, and all three scans return *identical* tables regardless
+//! of chunking or thread count (the oracle tests assert this).
+
+use std::sync::atomic::AtomicU64;
 
 use mnd_graph::types::WEdge;
 use rayon::prelude::*;
 
 use crate::cgraph::{CGraph, CompId};
-use crate::policy::{KernelClass, KernelPolicy};
+use crate::lockfree::{fetch_min_edge, pack, row_of, SlotLookup, NONE_KEY};
+use crate::policy::{KernelClass, KernelPolicy, ParVariant};
 
 /// Default row-chunk size for [`min_edge_scan`]: big enough that the
 /// per-chunk winner table amortizes, small enough to load-balance.
@@ -61,19 +68,63 @@ pub fn min_edge_scan_par(cg: &CGraph, chunk_rows: usize) -> Vec<Option<u32>> {
     best
 }
 
+/// As [`min_edge_scan_seq`], but with workers CAS-ing packed
+/// `(weight << 32) | row` words into one atomic slot per resident
+/// component — the lock-free plane. No per-chunk winner tables, no merge
+/// pass, and resident slots resolve through the dense [`SlotLookup`]
+/// instead of a per-endpoint binary search. Weight ties fall back to the
+/// full `(edge, row)` order, so the table is byte-identical to the
+/// sequential scan for any chunking and thread count.
+pub fn min_edge_scan_lockfree(cg: &CGraph, chunk_rows: usize) -> Vec<Option<u32>> {
+    assert!(chunk_rows > 0, "chunk_rows must be positive");
+    let m = cg.num_edges();
+    let best: Vec<AtomicU64> = (0..cg.num_resident())
+        .map(|_| AtomicU64::new(NONE_KEY))
+        .collect();
+    let lookup = SlotLookup::new(cg.resident());
+    let (ca, cb) = cg.endpoint_cols();
+    let orig = cg.orig_col();
+    let orig_of = |row: u32| orig[row as usize];
+    let ranges: Vec<(usize, usize)> = (0..m)
+        .step_by(chunk_rows)
+        .map(|lo| (lo, (lo + chunk_rows).min(m)))
+        .collect();
+    ranges.into_par_iter().for_each(|(lo, hi)| {
+        for row in lo..hi {
+            if ca[row] == cb[row] {
+                continue;
+            }
+            let key = pack(orig[row].w, row as u32);
+            for c in [ca[row], cb[row]] {
+                if let Some(slot) = lookup.get(c) {
+                    fetch_min_edge(&best[slot as usize], key, &orig_of);
+                }
+            }
+        }
+    });
+    best.into_iter()
+        .map(|slot| {
+            let key = slot.into_inner();
+            (key != NONE_KEY).then(|| row_of(key))
+        })
+        .collect()
+}
+
 /// The election with the default parallel policy: sequential for holdings
-/// under one chunk of edges (thread spawn would dominate), chunked-parallel
-/// above.
+/// under one chunk of edges (thread spawn would dominate), parallel above.
 pub fn min_edge_scan(cg: &CGraph) -> Vec<Option<u32>> {
     min_edge_scan_with(cg, &KernelPolicy::default())
 }
 
 /// The election under an explicit (typically calibrated) [`KernelPolicy`]:
-/// sequential at or below the crossover, chunked-parallel with the policy's
-/// chunk size above it. Identical output either way.
+/// sequential at or below the crossover, the policy's election variant
+/// (lock-free or chunk-and-merge) above it. Identical output every way.
 pub fn min_edge_scan_with(cg: &CGraph, policy: &KernelPolicy) -> Vec<Option<u32>> {
     if policy.use_par_for(KernelClass::Election, cg.num_edges()) {
-        min_edge_scan_par(cg, policy.chunk_rows.max(1))
+        match policy.variant_for(KernelClass::Election) {
+            ParVariant::LockFree => min_edge_scan_lockfree(cg, policy.chunk_rows.max(1)),
+            ParVariant::ChunkMerge => min_edge_scan_par(cg, policy.chunk_rows.max(1)),
+        }
     } else {
         min_edge_scan_seq(cg)
     }
@@ -137,6 +188,20 @@ mod tests {
                 assert_eq!(min_edge_scan_par(&cg, chunk), seq, "chunk={chunk}");
             }
             assert_eq!(min_edge_scan(&cg), seq);
+        }
+    }
+
+    #[test]
+    fn lockfree_matches_sequential_for_all_chunkings() {
+        for cg in holdings() {
+            let seq = min_edge_scan_seq(&cg);
+            for chunk in [1, 3, 64, DEFAULT_CHUNK_ROWS, usize::MAX] {
+                assert_eq!(min_edge_scan_lockfree(&cg, chunk), seq, "chunk={chunk}");
+            }
+            assert_eq!(
+                min_edge_scan_with(&cg, &KernelPolicy::force_lockfree(7)),
+                seq
+            );
         }
     }
 

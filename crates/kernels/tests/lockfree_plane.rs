@@ -1,0 +1,208 @@
+//! Oracle tests for the lock-free kernel plane (DESIGN.md §5h).
+//!
+//! The determinism contract extends to the atomic variants: the packed
+//! fetch-min election, the lock-free incident counts and the concurrent
+//! DSU must all produce output **byte-identical** to the sequential
+//! reference — for any chunk size, any rayon worker count, and adversarial
+//! weight ties (where the packed fast path is insufficient and the full
+//! edge-key fallback must kick in).
+
+use proptest::prelude::*;
+
+use mnd_graph::edgelist::splitmix64;
+use mnd_graph::partition::partition_1d;
+use mnd_graph::{gen, CsrGraph, EdgeList};
+use mnd_kernels::boruvka::local_boruvka_with;
+use mnd_kernels::cgraph::CGraph;
+use mnd_kernels::dsu::AtomicDisjointSets;
+use mnd_kernels::policy::{ExcpCond, FreezePolicy, KernelPolicy, StopPolicy};
+use mnd_kernels::scan::min_edge_scan_with;
+use rayon::prelude::*;
+
+/// Adversarial chunk sizes: degenerate single-row chunks, a prime that
+/// never divides the fixture sizes, and one chunk covering everything.
+const CHUNKS: [usize; 3] = [1, 13, usize::MAX];
+
+fn fixtures() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        ("rmat", gen::rmat(512, 4096, gen::RmatProbs::GRAPH500, 41)),
+        ("er", gen::gnm(400, 2400, 42)),
+        ("road", gen::road_grid(20, 20, 0.02, 0.38, 43)),
+    ]
+}
+
+/// An adversarial all-ties fixture: every edge has the same weight, so the
+/// packed `(weight << 32) | row` comparison ties on its fast path for
+/// *every* pair of candidates and the election is decided entirely by the
+/// `(edge key, row)` fallback.
+fn all_ties_fixture() -> EdgeList {
+    let mut el = EdgeList::new(120);
+    let mut s = 7u64;
+    for i in 0..700u32 {
+        s = splitmix64(s ^ i as u64);
+        let a = (s % 120) as u32;
+        let b = ((s >> 16) % 120) as u32;
+        if a != b {
+            el.push(a, b, 5); // one shared weight: maximal tie pressure
+        }
+    }
+    el
+}
+
+fn partitioned(el: &EdgeList) -> Vec<CGraph> {
+    let csr = CsrGraph::from_edge_list(el);
+    partition_1d(&csr, 4, 1.0)
+        .into_iter()
+        .map(|r| CGraph::from_partition(&csr, r))
+        .collect()
+}
+
+#[test]
+fn lockfree_scan_and_counts_match_seq_for_any_chunking() {
+    for (name, el) in fixtures().into_iter().chain([("ties", all_ties_fixture())]) {
+        let mut cg = CGraph::from_edge_list(&el);
+        let expect_scan = min_edge_scan_with(&cg, &KernelPolicy::seq());
+        let expect_counts = cg.incident_counts_with(&KernelPolicy::seq()).to_vec();
+        for chunk in CHUNKS {
+            let policy = KernelPolicy::force_lockfree(chunk);
+            assert_eq!(
+                min_edge_scan_with(&cg, &policy),
+                expect_scan,
+                "{name} chunk={chunk}"
+            );
+            assert_eq!(
+                cg.incident_counts_with(&policy).to_vec(),
+                expect_counts,
+                "{name} chunk={chunk}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lockfree_boruvka_matches_seq_for_any_chunking() {
+    for (name, el) in fixtures().into_iter().chain([("ties", all_ties_fixture())]) {
+        for freeze in [FreezePolicy::Sticky, FreezePolicy::Recheck] {
+            for (part, base) in partitioned(&el).into_iter().enumerate() {
+                let mut expect_cg = base.clone();
+                let expect = local_boruvka_with(
+                    &mut expect_cg,
+                    &KernelPolicy::seq(),
+                    ExcpCond::BorderEdge,
+                    freeze,
+                    StopPolicy::Exhaustive,
+                );
+                for chunk in CHUNKS {
+                    let mut got_cg = base.clone();
+                    let got = local_boruvka_with(
+                        &mut got_cg,
+                        &KernelPolicy::force_lockfree(chunk),
+                        ExcpCond::BorderEdge,
+                        freeze,
+                        StopPolicy::Exhaustive,
+                    );
+                    let tag = format!("{name} {freeze:?} part={part} chunk={chunk}");
+                    assert_eq!(got.msf_edges, expect.msf_edges, "{tag}");
+                    assert_eq!(got.relabel, expect.relabel, "{tag}");
+                    assert_eq!(got.work, expect.work, "{tag}");
+                    assert_eq!(got_cg, expect_cg, "{tag}");
+                    assert_eq!(got_cg.frozen(), expect_cg.frozen(), "{tag}");
+                }
+            }
+        }
+    }
+}
+
+/// Worker count must not change anything: the same forced-lock-free
+/// pipeline run under 1, 2 and 8 rayon threads yields one answer. The shim
+/// reads `RAYON_NUM_THREADS` per call, so a single test can sweep it.
+#[test]
+fn lockfree_thread_count_does_not_change_results() {
+    let el = gen::rmat(512, 4096, gen::RmatProbs::GRAPH500, 47);
+    let run = || -> (Vec<CGraph>, Vec<mnd_graph::WEdge>) {
+        let policy = KernelPolicy::force_lockfree(13);
+        let mut holdings = partitioned(&el);
+        let mut msf = Vec::new();
+        for cg in &mut holdings {
+            let out = local_boruvka_with(
+                cg,
+                &policy,
+                ExcpCond::BorderEdge,
+                FreezePolicy::Sticky,
+                StopPolicy::Exhaustive,
+            );
+            msf.extend(out.msf_edges);
+            cg.incident_counts_with(&policy);
+        }
+        (holdings, msf)
+    };
+    let mut results = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        results.push(run());
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let (first_holdings, first_msf) = &results[0];
+    for (i, (holdings, msf)) in results.iter().enumerate().skip(1) {
+        assert_eq!(holdings, first_holdings, "thread sweep entry {i}");
+        assert_eq!(msf, first_msf, "thread sweep entry {i}");
+    }
+}
+
+/// Sequential min-root reference: the semantics `MinDsu` (and the atomic
+/// DSU's union-by-smaller-id orientation) guarantee — every element's
+/// representative is the smallest member of its component, regardless of
+/// union order or interleaving.
+fn min_root_reference(n: u32, ops: &[(u32, u32)]) -> Vec<u32> {
+    let mut parent: Vec<u32> = (0..n).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let gp = parent[parent[x as usize] as usize];
+            parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    for &(a, b) in ops {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n).map(|x| find(&mut parent, x)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent DSU stress: seeded random union batches executed across a
+    /// swept `RAYON_NUM_THREADS` must land on exactly the components (and
+    /// exactly the min-root representatives) the sequential reference
+    /// computes — for any interleaving the scheduler happens to produce.
+    #[test]
+    fn concurrent_dsu_matches_sequential_min_dsu(
+        n in 2u32..300,
+        seed in 0u64..u64::MAX,
+        ops_len in 1usize..500,
+    ) {
+        let ops: Vec<(u32, u32)> = (0..ops_len)
+            .map(|i| {
+                let s = splitmix64(seed ^ i as u64);
+                ((s % n as u64) as u32, ((s >> 24) % n as u64) as u32)
+            })
+            .collect();
+        let expect = min_root_reference(n, &ops);
+        for threads in ["1", "3", "8"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let d = AtomicDisjointSets::new(n as usize);
+            ops.par_iter().for_each(|&(a, b)| {
+                d.union(a, b);
+            });
+            d.compress_all();
+            let got: Vec<u32> = (0..n).map(|x| d.find(x)).collect();
+            prop_assert_eq!(&got, &expect, "threads={}", threads);
+        }
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
+}

@@ -2,21 +2,27 @@
 # Performance regression gate, run by CI on pushes to main.
 #
 # Regenerates a fresh perf snapshot and diffs it against the committed
-# baseline (BENCH_6.json). The gate compares the *simulated* end-to-end
+# baseline (BENCH_7.json). The gate compares the *simulated* end-to-end
 # times (`sim_time_s`), which are deterministic — host wall-clock numbers
 # are printed for context but never gated on, since CI runners are noisy.
 # The snapshot's rows cover the D&C driver, every registered engine, and
 # the serving plane's per-tenant p95 latencies (`serve:<tenant>` keys).
 #
+# The committed baseline's kernel-sweep rows are also gated: any row the
+# calibrated policy *selected* (it would actually route that kernel at
+# that size down that parallel variant) must show speedup >= 1.0 at the
+# million-row tier — a selected sub-1.0x variant means calibration chose
+# a losing path (the BENCH_4 incident_counts 0.58x regression).
+#
 # Usage: scripts/bench_check.sh [--threshold PCT] [--baseline FILE]
 #   --threshold PCT  max allowed sim-time regression, percent (default 25)
-#   --baseline FILE  committed snapshot to diff against (default BENCH_6.json)
+#   --baseline FILE  committed snapshot to diff against (default BENCH_7.json)
 
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
 THRESHOLD=25
-BASELINE=BENCH_6.json
+BASELINE=BENCH_7.json
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --threshold)
@@ -42,6 +48,24 @@ if [[ ! -f "$BASELINE" ]]; then
   echo "bench_check.sh: baseline $BASELINE not found" >&2
   exit 2
 fi
+
+echo "==> kernel-sweep gate: selected parallel variants at the 1M-row tier ($BASELINE)"
+BAD=$(jq -r '
+  [.kernel_sweep[]?
+   | select(.rows == 1048576 and .selected == true and .speedup < 1.0)
+   | "\(.kernel)[\(.variant)] speedup \(.speedup)"] | join("\n")
+' "$BASELINE")
+if [[ -n "$BAD" ]]; then
+  echo "bench_check: FAIL — calibrated policy selected a sub-1.0x parallel variant:"
+  echo "$BAD"
+  exit 1
+fi
+jq -r '
+  .kernel_sweep[]?
+  | select(.rows == 1048576 and .selected == true)
+  | "  \(.kernel)[\(.variant)]: \(.speedup)x"
+' "$BASELINE"
+echo "kernel-sweep gate: OK"
 
 FRESH=$(mktemp --suffix=.json)
 trap 'rm -f "$FRESH"' EXIT

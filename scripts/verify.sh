@@ -71,7 +71,7 @@ echo "==> serve sweep smoke (multi-tenant serving plane, oracle-verified)"
 cargo run --release -q -p mnd-bench --bin repro -- \
   --scale 65536 --nodes 4 serve-sweep
 
-echo "==> perf snapshot (BENCH_6.json)"
-cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_6.json
+echo "==> perf snapshot (BENCH_7.json)"
+cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_7.json
 
 echo "verify: OK"
