@@ -1,30 +1,34 @@
 //! `perfsnap` — writes a machine-readable perf snapshot of the build.
 //!
 //! ```text
-//! perfsnap [PATH]    # default BENCH_7.json
+//! perfsnap [PATH]    # default BENCH_8.json
 //! ```
 //!
 //! The snapshot records (a) the measured kernel-policy crossover table,
-//! (b) the seq-vs-par kernel sweep up to a million-plus-edge holding, and
+//! (b) the seq-vs-par kernel sweep up to a million-plus-edge holding,
 //! (c) wall-clock plus simulated times for verified end-to-end runs —
 //! the D&C driver at two node counts, every registered engine
 //! (`mnd::engines`) at 4 nodes, and the serving plane's per-tenant p95
 //! latencies under the mixed serve-sweep workload (`serve:<tenant>`
-//! keys) — so the bench trajectory across PRs lives in versioned JSON,
-//! not just in criterion's target directory. JSON is assembled by hand:
-//! every value is a number or a fixed identifier, no escaping needed.
+//! keys) — and (d) the comm-sweep traffic table (dense vs sparse
+//! exchange, compression, filter-Boruvka), so the bench trajectory
+//! across PRs lives in versioned JSON, not just in criterion's target
+//! directory. JSON is assembled by hand: every value is a number or a
+//! fixed identifier, no escaping needed.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use mnd_bench::{engines_for, kernel_sweep, run_mnd, serve_sweep, ExpContext, SWEEP_SIZES};
+use mnd_bench::{
+    comm_sweep, engines_for, kernel_sweep, run_mnd, serve_sweep, ExpContext, SWEEP_SIZES,
+};
 use mnd_device::{calibrate_kernel_policy, variant_name, NodePlatform};
 use mnd_graph::presets::Preset;
 
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_7.json".into());
+        .unwrap_or_else(|| "BENCH_8.json".into());
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -82,7 +86,7 @@ fn main() {
 
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"pr\": 8,");
+    let _ = writeln!(j, "  \"pr\": 9,");
     let _ = writeln!(j, "  \"host_threads\": {host_threads},");
     let _ = writeln!(
         j,
@@ -131,6 +135,19 @@ fn main() {
             "    {{\"graph\": \"{graph}\", \"nodes\": {nodes}, \"wall_ms\": {wall_ms}, \"sim_time_s\": {sim_s:.3}}}"
         );
         j.push_str(if i + 1 < e2e.len() { ",\n" } else { "\n" });
+    }
+    // Comm sweep (DESIGN.md §8): every row is oracle-verified, so the gate
+    // in bench_check.sh can hold sparse message counts at <= dense without
+    // re-running the experiment.
+    let comm = comm_sweep(&ctx, 8);
+    j.push_str("  ],\n  \"comm_sweep\": [\n");
+    for (i, r) in comm.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"preset\": \"{}\", \"variant\": \"{}\", \"messages\": {}, \"wire_mb\": {:.4}, \"payload_msgs\": {}, \"header_msgs\": {}, \"sim_time_s\": {:.3}}}",
+            r.preset, r.variant, r.messages, r.wire_mb, r.payload_msgs, r.header_msgs, r.exe
+        );
+        j.push_str(if i + 1 < comm.len() { ",\n" } else { "\n" });
     }
     j.push_str("  ]\n}\n");
 

@@ -10,7 +10,7 @@
 //!
 //! Experiments: table2 table3 table4 fig4 fig5 fig6 fig7 fig8
 //! ablation-group ablation-excp ablation-thresh calibration chaos
-//! resilience checkpoint-sweep traffic engines serve-sweep
+//! resilience checkpoint-sweep traffic engines serve-sweep comm-sweep
 //!
 //! `--trace PATH` streams every phase sample and chaos event as JSON
 //! lines to PATH (`-` = stdout) while the experiments run.
@@ -84,7 +84,7 @@ fn main() {
                 );
                 println!("             ablation-weights ablation-network calibration");
                 println!("             kernel-sweep chaos resilience checkpoint-sweep traffic");
-                println!("             engines serve-sweep");
+                println!("             engines serve-sweep comm-sweep");
                 println!("--variant seq|chunk-merge|lockfree filters the kernel-sweep rows");
                 println!(
                     "--trace PATH streams phase samples + chaos events as JSON lines (- = stdout)"
@@ -685,6 +685,64 @@ fn main() {
                         format!("{:.2}x", r.gpu_speedup),
                         format!("{:.2}", r.cpu_fraction),
                         r.memory_limited.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("comm-sweep") {
+        let rows = comm_sweep(&ctx, nranks);
+        emit(
+            "comm_sweep",
+            &format!(
+                "Comm sweep: dense vs sparse exchange, compression, filter-Boruvka ({nranks} nodes, oracle-verified)"
+            ),
+            &[
+                "preset",
+                "variant",
+                "messages",
+                "wire MB",
+                "alltoall msgs",
+                "header msgs",
+                "exe",
+            ],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.preset.into(),
+                        r.variant.clone(),
+                        r.messages.to_string(),
+                        format!("{:.3}", r.wire_mb),
+                        r.payload_msgs.to_string(),
+                        r.header_msgs.to_string(),
+                        secs(r.exe),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let cal = comm_calibration(&ctx);
+        emit(
+            "comm_calibration",
+            "Comm calibration: assumed vs measured per-round exchange messages",
+            &[
+                "nodes",
+                "rounds",
+                "assumed msgs",
+                "measured msgs",
+                "assumed thresh",
+                "measured thresh",
+            ],
+            &cal.iter()
+                .map(|r| {
+                    vec![
+                        r.nranks.to_string(),
+                        r.exchange_rounds.to_string(),
+                        format!("{:.1}", r.assumed_msgs),
+                        format!("{:.1}", r.measured_msgs),
+                        r.assumed_threshold.to_string(),
+                        r.measured_threshold.to_string(),
                     ]
                 })
                 .collect::<Vec<_>>(),

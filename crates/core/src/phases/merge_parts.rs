@@ -4,9 +4,10 @@
 use mnd_hypar::observe::PhaseKind;
 use mnd_kernels::cgraph::CompId;
 use mnd_kernels::reduce::{apply_ghost_parents_with, ghost_parent_message, reduce_holding_with};
+use mnd_wire::PackedPairs;
 
 use crate::ghost::relabel_buckets;
-use crate::phases::{Phase, RankCtx, RankRecovery};
+use crate::phases::{exchange_mode, Phase, RankCtx, RankRecovery};
 
 /// Consumes the relabels of the preceding `indComp` (stored in
 /// [`MergeParts::relabel`] by the caller), exchanges ghost parents, and
@@ -32,8 +33,22 @@ impl Phase for MergeParts {
             ghost_parent_message(&mut relabel);
 
             let policy = cx.runner.config.kernel_policy;
+            let cfg = cx.cfg();
             let buckets = relabel_buckets(&cx.cg, &relabel, &cx.dir, comm.rank(), comm.size());
-            let received = comm.alltoallv_phased(buckets, cx.runner.ghost_phase_size);
+            let received = if cfg.compressed_relabels {
+                // Rename pairs reference few surviving components per
+                // round: the dictionary codec densifies them to small
+                // indexes on the wire, inverted on receipt.
+                comm.alltoallv_phased_enc(
+                    buckets,
+                    cx.runner.ghost_phase_size,
+                    exchange_mode(cfg),
+                    PackedPairs::encode,
+                    PackedPairs::into_pairs,
+                )
+            } else {
+                comm.alltoallv_phased_with(buckets, cx.runner.ghost_phase_size, exchange_mode(cfg))
+            };
             cx.dir.apply_relabels(&relabel);
             for pairs in &received {
                 if !pairs.is_empty() {

@@ -5,9 +5,11 @@ use mnd_graph::partition::partition_1d_by_degrees;
 use mnd_hypar::api::part_graph;
 use mnd_hypar::observe::PhaseKind;
 use mnd_kernels::cgraph::{CGraph, CompId};
+use mnd_kernels::filter::filter_holding;
+use mnd_wire::PackedIds;
 
 use crate::ghost::GhostDirectory;
-use crate::phases::{Phase, RankCtx, RankRecovery};
+use crate::phases::{exchange_mode, Phase, RankCtx, RankRecovery};
 
 /// `partGraph`: leaves the context with a level-0 holding, a seeded ghost
 /// directory, and the calibrated CPU/GPU split.
@@ -61,6 +63,19 @@ impl Phase for Partition {
             // Holding + ghost information.
             cx.cg = CGraph::from_partition(cx.csr, my_range);
             comm.compute(runner.sweep_seconds(cx.cg.num_edges() as u64));
+
+            // Filter-Boruvka (DESIGN.md §8): prune provably-non-MST
+            // internal edges from the level-0 holding before any exchange
+            // pays for them. Cut edges are exempt inside filter_holding —
+            // they are duplicated on both endpoint owners and the
+            // ghost-parent protocol needs both copies alive.
+            if cfg.filter_sample_prob > 0.0 {
+                let before = cx.cg.num_edges() as u64;
+                // One ascending sweep: a sort plus a DSU pass.
+                comm.compute(runner.sweep_seconds(before));
+                filter_holding(&mut cx.cg, cfg.filter_sample_prob, cfg.seed);
+            }
+
             cx.dir = GhostDirectory::from_ranges(ranges);
             cx.note_holding();
 
@@ -85,7 +100,20 @@ impl Phase for Partition {
                 b.sort_unstable();
                 b.dedup();
             }
-            let received = comm.alltoallv_phased(buckets, runner.ghost_phase_size);
+            let mode = exchange_mode(cfg);
+            let received = if cfg.compressed_relabels {
+                // Boundary ids are sorted + deduplicated per bucket, the
+                // shape the delta-varint codec compresses best.
+                comm.alltoallv_phased_enc(
+                    buckets,
+                    runner.ghost_phase_size,
+                    mode,
+                    PackedIds::encode,
+                    PackedIds::into_ids,
+                )
+            } else {
+                comm.alltoallv_phased_with(buckets, runner.ghost_phase_size, mode)
+            };
             // Consistency: every vertex a neighbour reports as its boundary
             // must be non-resident here and owned by that neighbour.
             for (src, verts) in received.iter().enumerate() {

@@ -463,9 +463,27 @@ const RECURSION_AMORTIZATION_ROUNDS: f64 = 128.0;
 /// lands at ~4×10⁷ edges — the paper's order of magnitude — and shrinks on
 /// the low-latency Cray Aries fabric, where recursing is cheaper.
 pub fn calibrated_recursion_threshold(platform: &NodePlatform, nranks: usize) -> u64 {
+    recursion_threshold_for_round_msgs(platform, assumed_round_msgs(nranks))
+}
+
+/// The per-rank fixed-cost message count one recursion round is assumed to
+/// pay: a dense alltoallv (`p − 1` peer messages) plus two tree allreduces
+/// (`2⌈log₂ p⌉` hops). `repro comm-sweep`'s calibration arm validates this
+/// against the *measured* per-round message count of the sparse exchange —
+/// see `mnd_bench::comm_calibration`, which retired the standing
+/// alltoall-sweep item by confirming the assumption is an upper bound once
+/// empty buckets stop shipping.
+pub fn assumed_round_msgs(nranks: usize) -> f64 {
     let p = nranks.max(2) as f64;
-    let msgs = (p - 1.0) + 2.0 * p.log2().ceil();
-    let round_seconds = msgs * (platform.network.latency + platform.network.overhead);
+    (p - 1.0) + 2.0 * p.log2().ceil()
+}
+
+/// [`calibrated_recursion_threshold`] with an explicit per-round message
+/// count, so the threshold can be re-derived from *measured* exchange
+/// traffic (the sparse schedule ships fewer messages per round than the
+/// dense assumption, lowering the break-even edge volume).
+pub fn recursion_threshold_for_round_msgs(platform: &NodePlatform, round_msgs: f64) -> u64 {
+    let round_seconds = round_msgs * (platform.network.latency + platform.network.overhead);
     let edges_per_second = platform.cpu.edge_throughput * platform.cpu.efficiency;
     let threshold = round_seconds * edges_per_second * RECURSION_AMORTIZATION_ROUNDS;
     (threshold.ceil() as u64).max(1)

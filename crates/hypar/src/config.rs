@@ -81,6 +81,23 @@ pub struct HyParConfig {
     /// [`crate::chaos`]). When unset the driver skips all checkpointing, so
     /// fault-free runs are byte-identical to pre-chaos builds.
     pub chaos: ChaosHook,
+    /// Use the sparse all-to-all schedule (bitmap count header, only
+    /// non-empty buckets ship) for the boundary exchanges. `false` restores
+    /// the dense oracle path that pays for empty buckets; results are
+    /// byte-identical either way, only traffic changes (DESIGN.md §8).
+    pub sparse_exchange: bool,
+    /// Ship boundary/relabel payloads through the compressed-relabeling
+    /// codecs (`mnd_wire::pack`): delta-varint boundary ids and
+    /// dictionary-densified rename pairs, inverted on receipt. Affects wire
+    /// bytes only, never routed contents.
+    pub compressed_relabels: bool,
+    /// Filter-Boruvka sampling probability applied to each rank's level-0
+    /// holding before the first exchange (DESIGN.md §8). `0.0` (default)
+    /// disables the filter; `1.0` degenerates to a full local Kruskal
+    /// filter. Any value is exact — only provably-non-MST edges are
+    /// dropped — but nonzero values change which edges the pipeline
+    /// carries, so fixtures pinning traffic byte counts keep it off.
+    pub filter_sample_prob: f64,
     /// Recovery points between checkpoints when a chaos schedule is armed:
     /// the driver reaches a recovery point after partitioning and after
     /// every mergeParts pass, and takes every `checkpoint_interval`-th one
@@ -112,6 +129,9 @@ impl Default for HyParConfig {
             kernel_policy: KernelPolicy::default(),
             observer: ObserverHook::none(),
             chaos: ChaosHook::none(),
+            sparse_exchange: true,
+            compressed_relabels: true,
+            filter_sample_prob: 0.0,
             checkpoint_interval: 1,
         }
     }
@@ -172,6 +192,35 @@ impl HyParConfig {
         self.checkpoint_interval = interval.max(1);
         self
     }
+
+    /// Chooses between the sparse exchange schedule and the dense oracle
+    /// (see [`HyParConfig::sparse_exchange`]).
+    pub fn with_sparse_exchange(mut self, sparse: bool) -> Self {
+        self.sparse_exchange = sparse;
+        self
+    }
+
+    /// Toggles the compressed relabeling codecs (see
+    /// [`HyParConfig::compressed_relabels`]).
+    pub fn with_compressed_relabels(mut self, compressed: bool) -> Self {
+        self.compressed_relabels = compressed;
+        self
+    }
+
+    /// Sets the filter-Boruvka sampling probability (see
+    /// [`HyParConfig::filter_sample_prob`]).
+    pub fn with_filter_sample_prob(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability in [0, 1]");
+        self.filter_sample_prob = prob;
+        self
+    }
+
+    /// The `mnd_net::ExchangeMode`-shaped view of
+    /// [`HyParConfig::sparse_exchange`] is derived by the drivers; this
+    /// helper keeps the boolean the single source of truth for tests.
+    pub fn exchange_is_sparse(&self) -> bool {
+        self.sparse_exchange
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +238,23 @@ mod tests {
         );
         assert_eq!(c.excp, ExcpCond::BorderEdge);
         assert!((0.0..1.0).contains(&c.calibration_frac));
+        // Communication engineering (DESIGN.md §8): sparse exchanges and
+        // compressed relabels are pure wire-cost changes, on by default;
+        // the filter changes carried edge sets, so it is opt-in.
+        assert!(c.sparse_exchange);
+        assert!(c.compressed_relabels);
+        assert_eq!(c.filter_sample_prob, 0.0);
+    }
+
+    #[test]
+    fn comm_knob_builders() {
+        let c = HyParConfig::default()
+            .with_sparse_exchange(false)
+            .with_compressed_relabels(false)
+            .with_filter_sample_prob(0.25);
+        assert!(!c.exchange_is_sparse());
+        assert!(!c.compressed_relabels);
+        assert_eq!(c.filter_sample_prob, 0.25);
     }
 
     #[test]

@@ -421,6 +421,16 @@ impl CGraph {
         self.truncate_rows(w);
     }
 
+    /// Keeps exactly the rows whose flag is `true` (one flag per current
+    /// row, storage order preserved). The external-mask companion to the
+    /// predicate-driven reductions: callers that computed a keep decision
+    /// elsewhere (e.g. the filter-Boruvka sweep) compact through the same
+    /// write-cursor path.
+    pub fn retain_edge_rows(&mut self, keep: &[bool]) {
+        assert_eq!(keep.len(), self.num_edges(), "one flag per edge row");
+        self.retain_rows_with(&KernelPolicy::default(), |_, i| keep[i]);
+    }
+
     /// Drops every row past `w` from the three columns.
     fn truncate_rows(&mut self, w: usize) {
         self.ea.truncate(w);

@@ -3,6 +3,8 @@
 //! Everything algorithmic that runs *inside one device* lives here:
 //!
 //! * [`dsu`] — sequential and lock-free concurrent union-find,
+//! * [`filter`] — filter-Boruvka sampling: exact, deterministic pruning of
+//!   provably-non-MST edges before the distributed pipeline,
 //! * [`oracle`] — Kruskal and Prim reference implementations (the
 //!   correctness oracles every distributed test compares against), plus
 //!   [`filter_kruskal`] as the practical sequential baseline,
@@ -27,6 +29,7 @@ pub mod boruvka;
 pub mod cgraph;
 pub mod contraction;
 pub mod dsu;
+pub mod filter;
 pub mod filter_kruskal;
 pub mod lockfree;
 pub mod msf;
@@ -40,6 +43,7 @@ pub use boruvka::{boruvka_msf, local_boruvka, local_boruvka_with, LocalOutput};
 pub use cgraph::{CEdge, CGraph, CompId};
 pub use contraction::contraction_boruvka_msf;
 pub use dsu::{AtomicDisjointSets, DisjointSets};
+pub use filter::{filter_edge_list, filter_holding, FilterStats};
 pub use filter_kruskal::filter_kruskal_msf;
 pub use msf::{verify_msf, MsfResult};
 pub use oracle::{kruskal_msf, prim_mst};

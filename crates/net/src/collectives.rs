@@ -18,11 +18,30 @@ const TAG_GATHER: Tag = tag(3);
 const TAG_ALLTOALL: Tag = tag(4);
 const TAG_REDUCE_VEC: Tag = tag(5);
 const TAG_PHASED: Tag = tag(6);
+const TAG_SPARSE: Tag = tag(7);
 
 /// Builds a tag in the reserved collective space (upper half of the tag
 /// range, which [`Tag::user`] rejects).
 const fn tag(id: u32) -> Tag {
     Tag(0x8000_0000 | id)
+}
+
+/// How an all-to-all exchange treats empty buckets.
+///
+/// [`ExchangeMode::Dense`] is the textbook schedule: every rank ships one
+/// message to every other rank, empty or not — p(p−1) messages per round,
+/// kept as the oracle against which the sparse path is verified.
+/// [`ExchangeMode::Sparse`] first allreduces a small header on the
+/// `sparse_hdr` tag so every pair agrees on who sends without an extra
+/// handshake round, then ships only non-empty buckets: the one-shot
+/// exchange uses a p×⌈p/64⌉-word sender bitmap, the phased exchange a p×p
+/// count matrix that covers **all** phases with a single collective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeMode {
+    /// Send every bucket, including empty ones (the oracle path).
+    Dense,
+    /// Exchange a sender bitmap first, then send only non-empty buckets.
+    Sparse,
 }
 
 impl Comm {
@@ -52,18 +71,31 @@ impl Comm {
 
     /// Element-wise vector allreduce (e.g. the Gemini-style global degree
     /// computation of §3.1). All ranks must pass equal-length vectors.
-    pub fn allreduce_vec_u64(&self, mut value: Vec<u64>, op: impl Fn(u64, u64) -> u64) -> Vec<u64> {
+    pub fn allreduce_vec_u64(&self, value: Vec<u64>, op: impl Fn(u64, u64) -> u64) -> Vec<u64> {
+        self.allreduce_vec_with_tags(value, op, TAG_REDUCE_VEC, TAG_BCAST)
+    }
+
+    /// Vector allreduce on explicit tags, so protocol-internal uses (the
+    /// sparse exchange header) account their traffic under their own tag
+    /// instead of polluting the `reduce_vec`/`bcast` rows.
+    fn allreduce_vec_with_tags(
+        &self,
+        mut value: Vec<u64>,
+        op: impl Fn(u64, u64) -> u64,
+        reduce_tag: Tag,
+        bcast_tag: Tag,
+    ) -> Vec<u64> {
         let p = self.size();
         let me = self.rank();
         // Binomial tree reduce to 0.
         let mut k = 1usize;
         while k < p {
             if me & k != 0 {
-                self.send(me - k, TAG_REDUCE_VEC, value);
+                self.send(me - k, reduce_tag, value);
                 value = Vec::new();
                 break;
             } else if me + k < p {
-                let other: Vec<u64> = self.recv(me + k, TAG_REDUCE_VEC);
+                let other: Vec<u64> = self.recv(me + k, reduce_tag);
                 assert_eq!(other.len(), value.len(), "allreduce_vec length mismatch");
                 for (a, b) in value.iter_mut().zip(other) {
                     *a = op(*a, b);
@@ -72,7 +104,7 @@ impl Comm {
             k <<= 1;
         }
         // Broadcast the result.
-        self.broadcast_from(0, (me == 0).then_some(value), TAG_BCAST)
+        self.broadcast_from(0, (me == 0).then_some(value), bcast_tag)
     }
 
     fn reduce_u64_with_tag(
@@ -175,33 +207,117 @@ impl Comm {
     /// the ranks run as many all-to-all rounds as the globally largest
     /// bucket requires. This is the paper's multi-phase boundary exchange
     /// (§3.1/§3.3: boundary data is "communicated in multiple phases" to
-    /// bound message sizes).
+    /// bound message sizes). Uses the sparse schedule, so ranks whose
+    /// buckets are exhausted stop contributing payload messages instead of
+    /// shipping empty chunks for every remaining global phase.
     pub fn alltoallv_phased<T: Wire + Clone>(
+        &self,
+        per_dest: Vec<Vec<T>>,
+        phase_size: usize,
+    ) -> Vec<Vec<T>> {
+        self.alltoallv_phased_with(per_dest, phase_size, ExchangeMode::Sparse)
+    }
+
+    /// [`Comm::alltoallv_phased`] with an explicit [`ExchangeMode`].
+    pub fn alltoallv_phased_with<T: Wire + Clone>(
+        &self,
+        per_dest: Vec<Vec<T>>,
+        phase_size: usize,
+        mode: ExchangeMode,
+    ) -> Vec<Vec<T>> {
+        self.alltoallv_phased_enc(per_dest, phase_size, mode, |chunk| chunk, |chunk| chunk)
+    }
+
+    /// Phased exchange through a per-message codec: each non-empty chunk is
+    /// passed through `enc` before it hits the wire (so the cost model
+    /// charges the *encoded* size) and through `dec` on receipt. This is
+    /// how the phase drivers ship compressed relabeling payloads
+    /// ([`mnd_wire::PackedIds`]/[`mnd_wire::PackedPairs`]) without the
+    /// collective layer knowing about component ids.
+    pub fn alltoallv_phased_enc<T, W>(
         &self,
         mut per_dest: Vec<Vec<T>>,
         phase_size: usize,
-    ) -> Vec<Vec<T>> {
+        mode: ExchangeMode,
+        enc: impl Fn(Vec<T>) -> W,
+        dec: impl Fn(W) -> Vec<T>,
+    ) -> Vec<Vec<T>>
+    where
+        T: Send + 'static,
+        W: Wire + Clone,
+    {
         assert!(phase_size >= 1);
         let p = self.size();
+        let me = self.rank();
         assert_eq!(per_dest.len(), p, "alltoallv needs one bucket per rank");
-        let my_phases = per_dest
-            .iter()
-            .map(|b| b.len().div_ceil(phase_size))
-            .max()
-            .unwrap_or(0) as u64;
-        let phases = self.reduce_u64_with_tag(my_phases, u64::max, 0, TAG_PHASED);
-        let phases = self.broadcast_from(0, (self.rank() == 0).then_some(phases), TAG_PHASED);
+        // Sparse: one count header for the *whole* phased exchange — entry
+        // `d*p + s` is the number of items rank `s` ships to rank `d`.
+        // Contributions occupy disjoint slots, so a sum-allreduce assembles
+        // the full matrix everywhere. Chunks drain front-to-back, so sender
+        // `s` hits destination `d` in exactly the first ⌈count/phase_size⌉
+        // phases: every rank derives the global phase count *and* its
+        // per-phase receive schedule locally, with no per-phase handshakes
+        // (the dense path's TAG_PHASED max-round is subsumed too).
+        let counts: Option<Vec<u64>> = match mode {
+            ExchangeMode::Dense => None,
+            ExchangeMode::Sparse => {
+                let mut header = vec![0u64; p * p];
+                for (d, b) in per_dest.iter().enumerate() {
+                    if d != me {
+                        header[d * p + me] = b.len() as u64;
+                    }
+                }
+                Some(self.allreduce_vec_with_tags(header, |a, b| a + b, TAG_SPARSE, TAG_SPARSE))
+            }
+        };
+        let phases = match &counts {
+            None => {
+                let my_phases = per_dest
+                    .iter()
+                    .map(|b| b.len().div_ceil(phase_size))
+                    .max()
+                    .unwrap_or(0) as u64;
+                let phases = self.reduce_u64_with_tag(my_phases, u64::max, 0, TAG_PHASED);
+                self.broadcast_from(0, (self.rank() == 0).then_some(phases), TAG_PHASED) as usize
+            }
+            Some(h) => {
+                // Global max over the matrix covers every inter-rank chunk;
+                // the own-rank bucket never travels, so it only extends the
+                // local drain loop (extra iterations send/receive nothing).
+                let global = h
+                    .iter()
+                    .map(|&c| (c as usize).div_ceil(phase_size))
+                    .max()
+                    .unwrap_or(0);
+                global.max(per_dest[me].len().div_ceil(phase_size))
+            }
+        };
         let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
-        for _ in 0..phases {
-            let chunk: Vec<Vec<T>> = per_dest
+        for ph in 0..phases {
+            let items: Vec<Option<W>> = per_dest
                 .iter_mut()
                 .map(|b| {
                     let take = b.len().min(phase_size);
-                    b.drain(..take).collect()
+                    let chunk: Vec<T> = b.drain(..take).collect();
+                    match mode {
+                        ExchangeMode::Dense => Some(enc(chunk)),
+                        ExchangeMode::Sparse => (!chunk.is_empty()).then(|| enc(chunk)),
+                    }
                 })
                 .collect();
-            for (src, items) in self.alltoallv(chunk).into_iter().enumerate() {
-                out[src].extend(items);
+            let routed = match &counts {
+                None => self.alltoallv_items(items, ExchangeMode::Dense),
+                Some(h) => {
+                    let recv_mask: Vec<bool> = (0..p)
+                        .map(|s| s != me && (h[me * p + s] as usize).div_ceil(phase_size) > ph)
+                        .collect();
+                    self.exchange_masked(items, &recv_mask, ExchangeMode::Sparse)
+                }
+            };
+            for (src, item) in routed.into_iter().enumerate() {
+                if let Some(w) = item {
+                    out[src].extend(dec(w));
+                }
             }
         }
         out
@@ -211,6 +327,12 @@ impl Comm {
     /// returns what every rank sent to us (`result[s]` came from rank `s`).
     /// The entry for our own rank is passed through locally.
     ///
+    /// Default is the **sparse** schedule: a small bitmap header (one
+    /// vector allreduce on the `sparse_hdr` tag) tells every pair who
+    /// sends, and empty buckets cost nothing on the wire. The previous
+    /// always-send behaviour survives as [`Comm::alltoallv_dense`], the
+    /// oracle the sparse path is tested against.
+    ///
     /// # Panics
     ///
     /// If `per_dest.len() != self.size()` (one bucket per rank required),
@@ -218,22 +340,109 @@ impl Comm {
     ///
     /// This is the paper's multi-phase ghost-vertex exchange primitive: the
     /// driver calls it once per phase with bounded message sizes.
-    pub fn alltoallv<T: Wire + Clone>(&self, mut per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Wire + Clone>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        self.alltoallv_with(per_dest, ExchangeMode::Sparse)
+    }
+
+    /// Dense oracle: ships all p−1 buckets unconditionally, empty or not.
+    pub fn alltoallv_dense<T: Wire + Clone>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        self.alltoallv_with(per_dest, ExchangeMode::Dense)
+    }
+
+    /// [`Comm::alltoallv`] with an explicit [`ExchangeMode`].
+    pub fn alltoallv_with<T: Wire + Clone>(
+        &self,
+        per_dest: Vec<Vec<T>>,
+        mode: ExchangeMode,
+    ) -> Vec<Vec<T>> {
+        assert_eq!(
+            per_dest.len(),
+            self.size(),
+            "alltoallv needs one bucket per rank"
+        );
+        let items: Vec<Option<Vec<T>>> = per_dest
+            .into_iter()
+            .map(|b| match mode {
+                ExchangeMode::Dense => Some(b),
+                ExchangeMode::Sparse => (!b.is_empty()).then_some(b),
+            })
+            .collect();
+        self.alltoallv_items(items, mode)
+            .into_iter()
+            .map(Option::unwrap_or_default)
+            .collect()
+    }
+
+    /// The one exchange core both modes share: one optional item per rank.
+    ///
+    /// Dense mode requires every non-self slot to be `Some` and ships all
+    /// of them. Sparse mode first OR-allreduces a p×⌈p/64⌉-word sender
+    /// bitmap — row `d` holds the senders targeting rank `d` — so both
+    /// sides of every pair agree on the schedule from one header
+    /// collective, then sends only `Some` buckets over the same shifted
+    /// schedule (step `s`: send to `me+s`, receive from `me−s`) the dense
+    /// path uses.
+    fn alltoallv_items<W: Wire + Clone>(
+        &self,
+        per_dest: Vec<Option<W>>,
+        mode: ExchangeMode,
+    ) -> Vec<Option<W>> {
         let p = self.size();
         let me = self.rank();
         assert_eq!(per_dest.len(), p, "alltoallv needs one bucket per rank");
-        let mine = std::mem::take(&mut per_dest[me]);
+        let recv_mask: Vec<bool> = match mode {
+            ExchangeMode::Dense => (0..p).map(|s| s != me).collect(),
+            ExchangeMode::Sparse => {
+                let words = p.div_ceil(64);
+                let mut header = vec![0u64; p * words];
+                for (d, bucket) in per_dest.iter().enumerate() {
+                    if d != me && bucket.is_some() {
+                        header[d * words + me / 64] |= 1 << (me % 64);
+                    }
+                }
+                let header =
+                    self.allreduce_vec_with_tags(header, |a, b| a | b, TAG_SPARSE, TAG_SPARSE);
+                (0..p)
+                    .map(|s| s != me && header[me * words + s / 64] >> (s % 64) & 1 == 1)
+                    .collect()
+            }
+        };
+        self.exchange_masked(per_dest, &recv_mask, mode)
+    }
+
+    /// The shifted send/receive schedule both modes and both header kinds
+    /// share. `recv_mask[s]` says whether rank `s` has a message for us
+    /// this round — the caller has already agreed on it collectively (the
+    /// dense all-ones mask, the bitmap header, or one row of the phased
+    /// count matrix).
+    fn exchange_masked<W: Wire + Clone>(
+        &self,
+        mut per_dest: Vec<Option<W>>,
+        recv_mask: &[bool],
+        mode: ExchangeMode,
+    ) -> Vec<Option<W>> {
+        let p = self.size();
+        let me = self.rank();
+        let mine = per_dest[me].take();
         // Shifted schedule avoids hot-spotting rank 0 in the model: in step
         // s we send to (me + s) and receive from (me - s).
         for s in 1..p {
             let dst = (me + s) % p;
-            self.send(dst, TAG_ALLTOALL, std::mem::take(&mut per_dest[dst]));
+            match (mode, per_dest[dst].take()) {
+                (_, Some(payload)) => self.send(dst, TAG_ALLTOALL, payload),
+                (ExchangeMode::Dense, None) => {
+                    panic!("dense alltoallv requires a payload for every rank")
+                }
+                (ExchangeMode::Sparse, None) => {}
+            }
         }
-        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        let mut out: Vec<Option<W>> = (0..p).map(|_| None).collect();
         out[me] = mine;
         for s in 1..p {
             let src = (me + p - s) % p;
-            out[src] = self.recv(src, TAG_ALLTOALL);
+            if recv_mask[src] {
+                out[src] = Some(self.recv(src, TAG_ALLTOALL));
+            }
         }
         out
     }
@@ -241,6 +450,7 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
+    use super::{ExchangeMode, TAG_ALLTOALL, TAG_SPARSE};
     use crate::cluster::Cluster;
     use crate::cost::CostModel;
 
@@ -320,24 +530,69 @@ mod tests {
         }
     }
 
+    /// Ragged fixture: rank `me`'s bucket for destination `d` holds
+    /// `(me * 5 + d * 3) % 11` elements — lengths differ per (src, dst)
+    /// pair, several buckets are empty, and ranks exhaust their payload in
+    /// different phases.
+    fn ragged_buckets(me: u32, p: u32) -> Vec<Vec<u32>> {
+        (0..p)
+            .map(|d| {
+                let len = (me * 5 + d * 3) % 11;
+                (0..len).map(|i| me * 1000 + d * 100 + i).collect()
+            })
+            .collect()
+    }
+
     #[test]
     fn phased_alltoallv_matches_unphased() {
         for phase_size in [1usize, 3, 100] {
-            let out = Cluster::new(4, CostModel::free()).run(move |c| {
-                let me = c.rank() as u32;
-                let per_dest: Vec<Vec<u32>> = (0..4)
-                    .map(|d| (0..7).map(|i| me * 100 + d as u32 * 10 + i).collect())
-                    .collect();
-                c.alltoallv_phased(per_dest, phase_size)
-            });
-            for (me, o) in out.iter().enumerate() {
-                for (src, bucket) in o.result.iter().enumerate() {
-                    let expect: Vec<u32> = (0..7)
-                        .map(|i| src as u32 * 100 + me as u32 * 10 + i)
+            for mode in [ExchangeMode::Dense, ExchangeMode::Sparse] {
+                let out = Cluster::new(4, CostModel::free()).run(move |c| {
+                    let me = c.rank() as u32;
+                    let per_dest: Vec<Vec<u32>> = (0..4)
+                        .map(|d| (0..7).map(|i| me * 100 + d as u32 * 10 + i).collect())
                         .collect();
-                    assert_eq!(bucket, &expect, "phase_size {phase_size}");
+                    c.alltoallv_phased_with(per_dest, phase_size, mode)
+                });
+                for (me, o) in out.iter().enumerate() {
+                    for (src, bucket) in o.result.iter().enumerate() {
+                        let expect: Vec<u32> = (0..7)
+                            .map(|i| src as u32 * 100 + me as u32 * 10 + i)
+                            .collect();
+                        assert_eq!(bucket, &expect, "phase_size {phase_size} mode {mode:?}");
+                    }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn phased_alltoallv_matches_unphased_on_ragged_buckets() {
+        let oracle = Cluster::new(5, CostModel::free())
+            .run(|c| c.alltoallv_dense(ragged_buckets(c.rank() as u32, 5)));
+        for phase_size in [1usize, 2, 4, 64] {
+            for mode in [ExchangeMode::Dense, ExchangeMode::Sparse] {
+                let out = Cluster::new(5, CostModel::free()).run(move |c| {
+                    c.alltoallv_phased_with(ragged_buckets(c.rank() as u32, 5), phase_size, mode)
+                });
+                for (rank, (o, expect)) in out.iter().zip(&oracle).enumerate() {
+                    assert_eq!(
+                        o.result, expect.result,
+                        "rank {rank} phase_size {phase_size} mode {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_alltoallv_matches_dense_on_ragged_buckets() {
+        let dense = Cluster::new(5, CostModel::free())
+            .run(|c| c.alltoallv_dense(ragged_buckets(c.rank() as u32, 5)));
+        let sparse = Cluster::new(5, CostModel::free())
+            .run(|c| c.alltoallv(ragged_buckets(c.rank() as u32, 5)));
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert_eq!(d.result, s.result);
         }
     }
 
@@ -362,6 +617,123 @@ mod tests {
         });
         for o in &out {
             assert!(o.result.iter().all(|b| b.is_empty()));
+        }
+    }
+
+    /// Regression for the empty-bucket bug: an all-empty sparse exchange
+    /// must ship **zero** payload messages on the `alltoall` tag — only the
+    /// 2(p−1) header messages of the bitmap allreduce remain.
+    #[test]
+    fn all_empty_sparse_exchange_ships_no_payload_messages() {
+        let p = 4;
+        let out = Cluster::new(p, CostModel::default_cluster()).run(move |c| {
+            let per_dest: Vec<Vec<u32>> = vec![Vec::new(); 4];
+            let got = c.alltoallv(per_dest);
+            assert!(got.iter().all(|b| b.is_empty()));
+            let stats = c.stats();
+            let tag_msgs = |t| stats.by_tag.get(&t).map_or(0, |tr| tr.messages_sent);
+            (tag_msgs(TAG_ALLTOALL), tag_msgs(TAG_SPARSE))
+        });
+        let payload: u64 = out.iter().map(|o| o.result.0).sum();
+        let header: u64 = out.iter().map(|o| o.result.1).sum();
+        assert_eq!(payload, 0, "empty buckets must not become messages");
+        assert_eq!(header, 2 * (p as u64 - 1), "reduce + bcast of the bitmap");
+    }
+
+    /// The dense oracle still pays p(p−1) messages for the same all-empty
+    /// exchange — the delta the sparse path exists to eliminate.
+    #[test]
+    fn dense_oracle_still_ships_empty_buckets() {
+        let p = 4usize;
+        let out = Cluster::new(p, CostModel::default_cluster()).run(move |c| {
+            let per_dest: Vec<Vec<u32>> = vec![Vec::new(); 4];
+            c.alltoallv_dense(per_dest);
+            c.stats()
+                .by_tag
+                .get(&TAG_ALLTOALL)
+                .map_or(0, |tr| tr.messages_sent)
+        });
+        let payload: u64 = out.iter().map(|o| o.result).sum();
+        assert_eq!(payload, (p * (p - 1)) as u64);
+    }
+
+    /// Satellite 2: a rank whose buckets are exhausted stops contributing
+    /// payload messages to later phases. Rank 0 ships 6 items to everyone
+    /// (3 phases at size 2); the other ranks have nothing, so the sparse
+    /// schedule carries exactly rank 0's 3 × (p−1) chunk messages instead
+    /// of the dense 3 × p(p−1).
+    #[test]
+    fn phased_exhausted_ranks_stop_contributing_payload() {
+        let run = |mode: ExchangeMode| {
+            Cluster::new(4, CostModel::default_cluster()).run(move |c| {
+                let per_dest: Vec<Vec<u32>> = (0..4)
+                    .map(|d| {
+                        if c.rank() == 0 && d != 0 {
+                            (0..6).map(|i| d as u32 * 10 + i).collect()
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .collect();
+                let got = c.alltoallv_phased_with(per_dest, 2, mode);
+                let payload_msgs = c
+                    .stats()
+                    .by_tag
+                    .get(&TAG_ALLTOALL)
+                    .map_or(0, |tr| tr.messages_sent);
+                (got, payload_msgs)
+            })
+        };
+        let dense = run(ExchangeMode::Dense);
+        let sparse = run(ExchangeMode::Sparse);
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert_eq!(d.result.0, s.result.0, "routing must not change");
+        }
+        let dense_msgs: u64 = dense.iter().map(|o| o.result.1).sum();
+        let sparse_msgs: u64 = sparse.iter().map(|o| o.result.1).sum();
+        assert_eq!(dense_msgs, 3 * 4 * 3, "3 phases of p(p-1) dense messages");
+        assert_eq!(sparse_msgs, 3 * 3, "only rank 0's non-empty chunks ship");
+    }
+
+    /// The phased codec hook charges the encoded size: a codec that models
+    /// 1-byte-per-element compression moves fewer wire bytes than the raw
+    /// 4-byte path, and the decoded routing is unchanged.
+    #[test]
+    fn phased_enc_charges_encoded_bytes() {
+        #[derive(Clone)]
+        struct Squeezed(Vec<u32>);
+        impl mnd_wire::Wire for Squeezed {
+            fn wire_bytes(&self) -> u64 {
+                self.0.len() as u64
+            }
+        }
+        let run = |encode: bool| {
+            Cluster::new(3, CostModel::default_cluster()).run(move |c| {
+                let per_dest = ragged_buckets(c.rank() as u32, 3);
+                let got = if encode {
+                    c.alltoallv_phased_enc(
+                        per_dest,
+                        4,
+                        ExchangeMode::Sparse,
+                        Squeezed,
+                        |w: Squeezed| w.0,
+                    )
+                } else {
+                    c.alltoallv_phased_with(per_dest, 4, ExchangeMode::Sparse)
+                };
+                (got, c.stats().bytes_sent)
+            })
+        };
+        let raw = run(false);
+        let packed = run(true);
+        for (r, pk) in raw.iter().zip(&packed) {
+            assert_eq!(r.result.0, pk.result.0, "codec must round-trip");
+            assert!(
+                pk.result.1 < r.result.1,
+                "encoded {} < raw {}",
+                pk.result.1,
+                r.result.1
+            );
         }
     }
 }

@@ -17,6 +17,10 @@
 //! (`mnd-graph`, `mnd-kernels`, `mnd-core`, ...) can implement `Wire` for
 //! their own message types without orphan-rule friction.
 
+pub mod pack;
+
+pub use pack::{PackedIds, PackedPairs};
+
 /// A type that can travel across the simulated fabric.
 ///
 /// Implementors report the number of bytes their serialized form occupies;

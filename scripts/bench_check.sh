@@ -2,7 +2,7 @@
 # Performance regression gate, run by CI on pushes to main.
 #
 # Regenerates a fresh perf snapshot and diffs it against the committed
-# baseline (BENCH_7.json). The gate compares the *simulated* end-to-end
+# baseline (BENCH_8.json). The gate compares the *simulated* end-to-end
 # times (`sim_time_s`), which are deterministic — host wall-clock numbers
 # are printed for context but never gated on, since CI runners are noisy.
 # The snapshot's rows cover the D&C driver, every registered engine, and
@@ -14,15 +14,19 @@
 # million-row tier — a selected sub-1.0x variant means calibration chose
 # a losing path (the BENCH_4 incident_counts 0.58x regression).
 #
+# The fresh snapshot's comm_sweep rows are gated too: on every preset the
+# sparse exchange schedule must ship no more messages (total and on the
+# alltoall payload tag) than the dense oracle.
+#
 # Usage: scripts/bench_check.sh [--threshold PCT] [--baseline FILE]
 #   --threshold PCT  max allowed sim-time regression, percent (default 25)
-#   --baseline FILE  committed snapshot to diff against (default BENCH_7.json)
+#   --baseline FILE  committed snapshot to diff against (default BENCH_8.json)
 
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
 THRESHOLD=25
-BASELINE=BENCH_7.json
+BASELINE=BENCH_8.json
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --threshold)
@@ -72,6 +76,35 @@ trap 'rm -f "$FRESH"' EXIT
 
 echo "==> regenerating perf snapshot"
 cargo run --release -q -p mnd-bench --bin perfsnap -- "$FRESH"
+
+echo
+echo "==> comm-sweep gate: sparse exchange must not ship more messages than dense"
+# Pair each preset's sparse row with its dense row: the sparse schedule
+# exists to shed empty-bucket messages, so on the skewed web-crawl presets
+# its total and alltoall-tag message counts must never exceed the dense
+# oracle's.
+BAD=$(jq -r '
+  [.comm_sweep[]? | select(.variant == "dense")] as $dense
+  | [.comm_sweep[]? | select(.variant == "sparse")
+     | . as $s
+     | ($dense[] | select(.preset == $s.preset)) as $d
+     | select($s.messages > $d.messages or $s.payload_msgs > $d.payload_msgs)
+     | "\($s.preset): sparse \($s.messages)/\($s.payload_msgs) msgs vs dense \($d.messages)/\($d.payload_msgs)"]
+  | join("\n")
+' "$FRESH")
+if [[ -n "$BAD" ]]; then
+  echo "bench_check: FAIL — sparse exchange shipped more messages than the dense oracle:"
+  echo "$BAD"
+  exit 1
+fi
+jq -r '
+  [.comm_sweep[]? | select(.variant == "dense")] as $dense
+  | .comm_sweep[]? | select(.variant == "sparse")
+  | . as $s
+  | ($dense[] | select(.preset == $s.preset)) as $d
+  | "  \($s.preset): sparse \($s.messages) msgs <= dense \($d.messages) msgs"
+' "$FRESH"
+echo "comm-sweep gate: OK"
 
 echo
 echo "==> end-to-end sim time vs $BASELINE (gate: +${THRESHOLD}%)"

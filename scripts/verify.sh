@@ -71,7 +71,11 @@ echo "==> serve sweep smoke (multi-tenant serving plane, oracle-verified)"
 cargo run --release -q -p mnd-bench --bin repro -- \
   --scale 65536 --nodes 4 serve-sweep
 
-echo "==> perf snapshot (BENCH_7.json)"
-cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_7.json
+echo "==> comm sweep smoke (sparse exchange vs dense oracle, oracle-verified)"
+cargo run --release -q -p mnd-bench --bin repro -- \
+  --scale 65536 --nodes 8 comm-sweep
+
+echo "==> perf snapshot (BENCH_8.json)"
+cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_8.json
 
 echo "verify: OK"

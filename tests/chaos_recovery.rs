@@ -27,7 +27,17 @@ fn run_with_plan(
     plan: Arc<FaultPlan>,
     log: Option<Arc<ChaosLog>>,
 ) -> MndMstReport {
-    let mut cfg = HyParConfig::default().with_chaos(plan.clone());
+    run_with_plan_cfg(el, nranks, HyParConfig::default(), plan, log)
+}
+
+fn run_with_plan_cfg(
+    el: &EdgeList,
+    nranks: usize,
+    cfg: HyParConfig,
+    plan: Arc<FaultPlan>,
+    log: Option<Arc<ChaosLog>>,
+) -> MndMstReport {
+    let mut cfg = cfg.with_chaos(plan.clone());
     if let Some(log) = log {
         cfg = cfg.with_observer(log);
     }
@@ -157,6 +167,39 @@ fn mid_phase_recovery_path_is_deterministic() {
         assert_eq!(ra.stall_time, rb.stall_time);
     }
     assert_eq!(log_a.events_sorted(), log_b.events_sorted());
+}
+
+/// The full communication-engineering stack (sparse exchange, compressed
+/// relabels, filter-Boruvka sampling) recovers from a mid-phase crash with
+/// the forest *and* the fabric counters byte-identical to its own
+/// fault-free run: replayed sparse headers and packed payloads come out of
+/// the replay log, never re-charged.
+#[test]
+fn sparse_packed_filtered_recovery_matches_fault_free_counters() {
+    let el = gen::web_crawl(1500, 11_000, gen::CrawlParams::default(), 37);
+    let oracle = kruskal_msf(&el);
+    let cfg = HyParConfig::default().with_filter_sample_prob(0.25);
+    assert!(cfg.sparse_exchange && cfg.compressed_relabels);
+
+    let clean = run_with_plan_cfg(&el, 4, cfg.clone(), Arc::new(FaultPlan::new(5)), None);
+    let log = Arc::new(ChaosLog::new());
+    let plan = Arc::new(
+        FaultPlan::new(5)
+            .with_drop_rate(0.01)
+            .with_mid_phase_crash(2, 1, 5),
+    );
+    let r = run_with_plan_cfg(&el, 4, cfg, plan, Some(log.clone()));
+
+    assert_eq!(r.msf, oracle);
+    assert_eq!(r.msf, clean.msf, "recovered forest must be byte-identical");
+    assert_eq!(log.count(ChaosEventKind::MidPhaseCrash), 1);
+    assert!(r.rank_stats[2].replayed_in_bytes > 0);
+    for (rank, (s, c)) in r.rank_stats.iter().zip(&clean.rank_stats).enumerate() {
+        assert_eq!(s.bytes_sent, c.bytes_sent, "rank {rank}");
+        assert_eq!(s.bytes_received, c.bytes_received, "rank {rank}");
+        assert_eq!(s.messages_sent, c.messages_sent, "rank {rank}");
+        assert_eq!(s.messages_received, c.messages_received, "rank {rank}");
+    }
 }
 
 /// Mid-phase crashes compose with message-plane faults and boundary
