@@ -1,26 +1,29 @@
 //! `perfsnap` — writes a machine-readable perf snapshot of the build.
 //!
 //! ```text
-//! perfsnap [PATH]    # default BENCH_8.json
+//! perfsnap [PATH]    # default BENCH_9.json
 //! ```
 //!
 //! The snapshot records (a) the measured kernel-policy crossover table,
 //! (b) the seq-vs-par kernel sweep up to a million-plus-edge holding,
 //! (c) wall-clock plus simulated times for verified end-to-end runs —
 //! the D&C driver at two node counts, every registered engine
-//! (`mnd::engines`) at 4 nodes, and the serving plane's per-tenant p95
+//! (`mnd::engines`) at 4 nodes, the serving plane's per-tenant p95
 //! latencies under the mixed serve-sweep workload (`serve:<tenant>`
-//! keys) — and (d) the comm-sweep traffic table (dense vs sparse
-//! exchange, compression, filter-Boruvka), so the bench trajectory
-//! across PRs lives in versioned JSON, not just in criterion's target
-//! directory. JSON is assembled by hand: every value is a number or a
-//! fixed identifier, no escaping needed.
+//! keys), and every engine over the geometric presets
+//! (`emst:<preset>:<engine>` keys, the bounded-degree regime) — and
+//! (d) the comm-sweep traffic table (dense vs sparse exchange,
+//! compression, filter-Boruvka), so the bench trajectory across PRs
+//! lives in versioned JSON, not just in criterion's target directory.
+//! JSON is assembled by hand: every value is a number or a fixed
+//! identifier, no escaping needed.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use mnd_bench::{
-    comm_sweep, engines_for, kernel_sweep, run_mnd, serve_sweep, ExpContext, SWEEP_SIZES,
+    comm_sweep, emst_sweep, engines_for, kernel_sweep, run_mnd, serve_sweep, ExpContext,
+    SWEEP_SIZES,
 };
 use mnd_device::{calibrate_kernel_policy, variant_name, NodePlatform};
 use mnd_graph::presets::Preset;
@@ -28,7 +31,7 @@ use mnd_graph::presets::Preset;
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_8.json".into());
+        .unwrap_or_else(|| "BENCH_9.json".into());
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -83,10 +86,26 @@ fn main() {
     {
         e2e.push((format!("serve:{}", row.tenant), 4, serve_wall, row.p95));
     }
+    // Geometric regime: every engine over every geo preset
+    // (`emst:<preset>:<engine>` keys). The sweep brute-force-verifies
+    // the small-n EMST oracle and cross-checks all engines before any
+    // row lands, so gated sim times are times of *correct* runs here
+    // too. (Wall-clock is the whole sweep's.)
+    let t = Instant::now();
+    let emst = emst_sweep(&ctx, 4);
+    let emst_wall = t.elapsed().as_millis() as u64;
+    for row in &emst.rows {
+        e2e.push((
+            format!("emst:{}:{}", row.preset, row.engine),
+            4,
+            emst_wall,
+            row.exe,
+        ));
+    }
 
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"pr\": 9,");
+    let _ = writeln!(j, "  \"pr\": 10,");
     let _ = writeln!(j, "  \"host_threads\": {host_threads},");
     let _ = writeln!(
         j,

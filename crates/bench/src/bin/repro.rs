@@ -11,6 +11,7 @@
 //! Experiments: table2 table3 table4 fig4 fig5 fig6 fig7 fig8
 //! ablation-group ablation-excp ablation-thresh calibration chaos
 //! resilience checkpoint-sweep traffic engines serve-sweep comm-sweep
+//! emst-sweep
 //!
 //! `--trace PATH` streams every phase sample and chaos event as JSON
 //! lines to PATH (`-` = stdout) while the experiments run.
@@ -84,7 +85,7 @@ fn main() {
                 );
                 println!("             ablation-weights ablation-network calibration");
                 println!("             kernel-sweep chaos resilience checkpoint-sweep traffic");
-                println!("             engines serve-sweep comm-sweep");
+                println!("             engines serve-sweep comm-sweep emst-sweep");
                 println!("--variant seq|chunk-merge|lockfree filters the kernel-sweep rows");
                 println!(
                     "--trace PATH streams phase samples + chaos events as JSON lines (- = stdout)"
@@ -688,6 +689,96 @@ fn main() {
                     ]
                 })
                 .collect::<Vec<_>>(),
+        );
+    }
+
+    if want("emst-sweep") {
+        let sweep = emst_sweep(&ctx, nranks);
+        if ctx.verify {
+            println!(
+                "(EMST oracle: brute-force EMST on {} points per preset matched the k-NN MST \
+                 and every engine; max inclusion threshold k* = {})",
+                sweep.oracle_points, sweep.oracle_kstar
+            );
+        }
+        emit(
+            "emst_sweep",
+            &format!(
+                "EMST sweep: every engine over the geometric presets ({nranks} nodes, oracle-verified)"
+            ),
+            &[
+                "preset", "engine", "|V|", "|E|", "avg deg", "max deg", "k", "exe", "comm",
+            ],
+            &sweep
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.preset.into(),
+                        r.engine.into(),
+                        r.vertices.to_string(),
+                        r.edges.to_string(),
+                        format!("{:.2}", r.avg_degree),
+                        r.max_degree.to_string(),
+                        r.k.to_string(),
+                        secs(r.exe),
+                        secs(r.comm),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        emit(
+            "emst_devices",
+            "EMST device calibration: occupancy/split/recursion on bounded-degree inputs vs crawls",
+            &[
+                "graph",
+                "skew",
+                "occ binned",
+                "occ unbinned",
+                "gpu speedup",
+                "cpu frac",
+                "paper |E|",
+                "rec. thresh",
+                "recurses",
+            ],
+            &sweep
+                .devices
+                .iter()
+                .map(|d| {
+                    vec![
+                        d.graph.clone(),
+                        format!("{:.3}", d.skew),
+                        format!("{:.3}", d.occ_binned),
+                        format!("{:.3}", d.occ_unbinned),
+                        format!("{:.2}x", d.gpu_speedup),
+                        format!("{:.2}", d.cpu_fraction),
+                        d.paper_edges.to_string(),
+                        d.recursion_threshold.to_string(),
+                        d.recurses.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let serve = emst_serve_session(&ctx, nranks);
+        emit(
+            "emst_serve",
+            "EMST serve session: point insertions through the incremental plane (oracle-verified)",
+            &[
+                "preset",
+                "points",
+                "batches",
+                "inserts",
+                "forest edges",
+                "update exec",
+            ],
+            &[vec![
+                serve.preset.into(),
+                serve.points.to_string(),
+                serve.batches.to_string(),
+                serve.inserts.to_string(),
+                serve.forest_edges.to_string(),
+                secs(serve.update_exec),
+            ]],
         );
     }
 

@@ -8,6 +8,7 @@ use mnd::engines::{registry, EngineParams};
 use mnd_chaos::FaultPlan;
 use mnd_device::{calibrate_split, NodePlatform};
 use mnd_engine::{Engine, EngineChaos};
+use mnd_graph::gen::GeoPreset;
 use mnd_graph::presets::Preset;
 use mnd_graph::stats::graph_stats;
 use mnd_graph::types::{VertexId, WEdge, Weight};
@@ -1937,6 +1938,391 @@ pub fn comm_calibration(ctx: &ExpContext) -> Vec<CommCalibrationRow> {
     rows
 }
 
+// --------------------------------------------------------------------- //
+// Euclidean MST: the geometric workload family (ROADMAP item 5)
+// --------------------------------------------------------------------- //
+
+/// One (preset × engine) row of the emst sweep.
+#[derive(Clone, Debug)]
+pub struct EmstSweepRow {
+    /// Geometric preset name (`geo-uniform-2d`, …).
+    pub preset: &'static str,
+    /// Engine label ([`Engine::name`]).
+    pub engine: &'static str,
+    /// Points in the cloud (= vertices).
+    pub vertices: u64,
+    /// Undirected k-NN edges.
+    pub edges: u64,
+    /// Average degree — concentrates near `2k` on geometric inputs.
+    pub avg_degree: f64,
+    /// Maximum degree — bounded (no hubs), the defining contrast with
+    /// the crawls.
+    pub max_degree: u64,
+    /// The k that connected the preset (base k, doubled if needed).
+    pub k: usize,
+    /// Execution time (simulated seconds, paper scale).
+    pub exe: f64,
+    /// Communication time (simulated seconds, paper scale).
+    pub comm: f64,
+}
+
+/// One device-calibration row of the emst sweep: where the occupancy
+/// model, the §4.3.1 split, and the calibrated recursion threshold land
+/// on a bounded-degree geometric input (crawl reference rows included
+/// for contrast).
+#[derive(Clone, Debug)]
+pub struct EmstDeviceRow {
+    /// Graph label: a geo preset or a crawl reference.
+    pub graph: String,
+    /// Degree-skew fraction from the binned schedule (crawls: large;
+    /// k-NN graphs: ~0 — every vertex lands in the low bins).
+    pub skew: f64,
+    /// GPU occupancy under hierarchical binning at this skew.
+    pub occ_binned: f64,
+    /// GPU occupancy with binning ablated.
+    pub occ_unbinned: f64,
+    /// §4.3.1 sampled GPU:CPU speed ratio.
+    pub gpu_speedup: f64,
+    /// §4.3.1 CPU partition share.
+    pub cpu_fraction: f64,
+    /// Paper-scale edge count (`edges × scale`).
+    pub paper_edges: u64,
+    /// Calibrated recursion threshold for the platform at this rank
+    /// count (paper-scale edges).
+    pub recursion_threshold: u64,
+    /// Whether the D&C driver would recurse on the paper-scale instance.
+    pub recurses: bool,
+}
+
+/// The emst sweep: per-engine rows, device-calibration rows, and the
+/// small-n oracle record.
+#[derive(Clone, Debug)]
+pub struct EmstSweep {
+    /// Engine rows (preset-major, registry order within a preset).
+    pub rows: Vec<EmstSweepRow>,
+    /// Device rows: every geo preset plus two crawl references.
+    pub devices: Vec<EmstDeviceRow>,
+    /// Points in each small-n oracle instance.
+    pub oracle_points: u32,
+    /// Max EMST inclusion threshold k* observed across presets: the
+    /// smallest k for which the mirrored k-NN graph is guaranteed to
+    /// contain every EMST edge.
+    pub oracle_kstar: usize,
+}
+
+/// The EMST inclusion threshold k* of a cloud: for each brute-force EMST
+/// edge `(u, v)`, the edge appears in the mirrored k-NN graph iff `v` is
+/// within `u`'s first k neighbours *or* vice versa; k* is the max over
+/// EMST edges of that minimum rank. For k ≥ k* the k-NN graph contains
+/// the whole EMST, so (weights being exact squared distances) its MSF
+/// *is* the EMST.
+fn emst_inclusion_threshold(cloud: &mnd_graph::gen::PointCloud, emst: &[WEdge]) -> usize {
+    let n = cloud.len() as VertexId;
+    let rank = |from: VertexId, to: VertexId| -> usize {
+        let d = (cloud.sq_dist(from, to), to);
+        (0..n)
+            .filter(|&j| j != from)
+            .filter(|&j| (cloud.sq_dist(from, j), j) < d)
+            .count()
+            + 1
+    };
+    emst.iter()
+        .map(|e| rank(e.u, e.v).min(rank(e.v, e.u)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The small-n EMST-correctness oracle for one preset: brute-force the
+/// true EMST from the complete squared-distance graph, derive k*, and
+/// assert (a) the k-NN MST matches the EMST exactly once k clears k*,
+/// and (b) every registry engine run on the k-NN graph returns it too.
+/// Returns `(k*, connected k used)`.
+fn emst_oracle_check(ctx: &ExpContext, preset: GeoPreset, n: u32) -> usize {
+    let cloud = preset.points(n, ctx.seed);
+    let brute = kruskal_msf(&cloud.complete_graph());
+    assert_eq!(
+        brute.num_components,
+        1,
+        "{}: complete graph must be connected",
+        preset.name()
+    );
+    let kstar = emst_inclusion_threshold(&cloud, &brute.edges);
+    let k = kstar.max(preset.base_k());
+    let knn = cloud.knn_graph(k);
+    assert_eq!(
+        kruskal_msf(&knn),
+        brute,
+        "{}: k-NN MST (k = {k} ≥ k* = {kstar}) != brute-force EMST",
+        preset.name()
+    );
+    for engine in engines_for(ctx, 4) {
+        let r = engine.run(&knn);
+        assert_eq!(
+            r.msf,
+            brute,
+            "{}: engine {} != brute-force EMST",
+            preset.name(),
+            engine.name()
+        );
+    }
+    kstar
+}
+
+/// The emst sweep (ROADMAP item 5): every registry engine over every
+/// geometric preset at the context's scale, oracle-verified two ways —
+/// brute-force EMST equality on small instances (when `ctx.verify`),
+/// Kruskal + cross-engine forest equality on the large ones — plus the
+/// device-calibration table answering the motivating question: where do
+/// the occupancy model, the §4.3.1 split, and the calibrated recursion
+/// threshold land on bounded-degree inputs vs the crawls?
+pub fn emst_sweep(ctx: &ExpContext, nranks: usize) -> EmstSweep {
+    // Small-n oracle arm: cheap (complete graphs on ORACLE_N points), so
+    // it runs whenever verification is on.
+    const ORACLE_N: u32 = 160;
+    let mut oracle_kstar = 0;
+    if ctx.verify {
+        for p in GeoPreset::ALL {
+            oracle_kstar = oracle_kstar.max(emst_oracle_check(ctx, p, ORACLE_N));
+        }
+    }
+
+    let platform = NodePlatform::amd_cluster();
+    let threshold = mnd_device::calibrated_recursion_threshold(&platform, nranks);
+    let cpu = mnd_device::DeviceModel::cpu_xeon_ivybridge();
+    let (gpu, gpu_unbinned) = (
+        mnd_device::DeviceModel::gpu_k40(),
+        mnd_device::DeviceModel::gpu_k40_unbinned(),
+    );
+    let mut rows = Vec::new();
+    let mut devices = Vec::new();
+    let mut device_row = |name: String, el: &EdgeList| {
+        let g = CsrGraph::from_edge_list(el);
+        let skew = mnd_kernels::binning::bin_graph(&g).skew_fraction();
+        let split = calibrate_split(&g, &cpu, &gpu, 3, 0.25, ctx.seed);
+        let paper_edges = el.len() as u64 * ctx.scale;
+        devices.push(EmstDeviceRow {
+            graph: name,
+            skew,
+            occ_binned: gpu.occupancy(skew),
+            occ_unbinned: gpu_unbinned.occupancy(skew),
+            gpu_speedup: split.gpu_speedup,
+            cpu_fraction: split.cpu_fraction,
+            paper_edges,
+            recursion_threshold: threshold,
+            recurses: paper_edges > threshold,
+        });
+    };
+
+    for p in GeoPreset::ALL {
+        let (el, k) = p.generate_with_k(ctx.scale, ctx.seed);
+        let g = CsrGraph::from_edge_list(&el);
+        let s = graph_stats(&g, 1, ctx.seed);
+        let oracle = if ctx.verify {
+            Some(kruskal_msf(&el))
+        } else {
+            None
+        };
+        let mut forests: Vec<(&'static str, mnd_kernels::msf::MsfResult)> = Vec::new();
+        for engine in engines_for(ctx, nranks) {
+            let r = engine.run(&el);
+            if let Some(o) = &oracle {
+                assert_eq!(
+                    &r.msf,
+                    o,
+                    "{}: engine {} != oracle",
+                    p.name(),
+                    engine.name()
+                );
+            }
+            if let Some((first, msf)) = forests.first() {
+                assert_eq!(
+                    &r.msf,
+                    msf,
+                    "{}: engines {first} and {} disagree",
+                    p.name(),
+                    engine.name()
+                );
+            }
+            rows.push(EmstSweepRow {
+                preset: p.name(),
+                engine: engine.name(),
+                vertices: s.num_vertices,
+                edges: s.num_edges,
+                avg_degree: s.avg_degree,
+                max_degree: s.max_degree,
+                k,
+                exe: r.total_time,
+                comm: r.comm_time,
+            });
+            forests.push((engine.name(), r.msf));
+        }
+        device_row(p.name().to_string(), &el);
+    }
+    // Crawl reference rows: the regime the thresholds were calibrated on.
+    for p in [Preset::Arabic2005, Preset::Gsh2015Tpd] {
+        let el = ctx.graph(p);
+        device_row(p.name().to_string(), &el);
+    }
+    EmstSweep {
+        rows,
+        devices,
+        oracle_points: ORACLE_N,
+        oracle_kstar,
+    }
+}
+
+/// Summary of the geometric incremental-serve session.
+#[derive(Clone, Debug)]
+pub struct EmstServeRow {
+    /// Geometric preset the session ran over.
+    pub preset: &'static str,
+    /// Points in the final cloud.
+    pub points: u32,
+    /// Update batches streamed into the session.
+    pub batches: usize,
+    /// Total edges inserted across batches.
+    pub inserts: usize,
+    /// Final-forest edge count.
+    pub forest_edges: usize,
+    /// Total update execution seconds charged to the session.
+    pub update_exec: f64,
+}
+
+/// Streams point insertions through `mnd-serve`'s incremental sessions
+/// on a geometric preset: the session opens on the k-NN graph over the
+/// first `5/8` of a cloud, then each batch appends points by inserting
+/// edges to their k nearest *already-present* neighbours. A new point's
+/// first edge attaches a fresh component; each further edge closes a
+/// cycle, so the batch exercises cycle-max replacement on a low-degree
+/// graph (the crawls exercise it on hubs). When `ctx.verify`, the final
+/// session forest must byte-match a Kruskal recompute of the mirrored
+/// edge map.
+pub fn emst_serve_session(ctx: &ExpContext, nranks: usize) -> EmstServeRow {
+    let preset = GeoPreset::Uniform2d;
+    let n: u32 = 512;
+    let n0: u32 = n * 5 / 8;
+    let k = preset.base_k();
+    let cloud = preset.points(n, ctx.seed);
+
+    // Initial graph: k-NN restricted to the first n0 points, carried on
+    // the full n-vertex id space (later points start isolated).
+    let knn = |j: VertexId, present: VertexId| -> Vec<WEdge> {
+        let mut cands: Vec<(u64, VertexId)> = (0..present)
+            .filter(|&i| i != j)
+            .map(|i| (cloud.sq_dist(j, i), i))
+            .collect();
+        cands.sort_unstable();
+        cands
+            .iter()
+            .take(k)
+            .map(|&(d, i)| WEdge::new(j.min(i), j.max(i), d as Weight))
+            .collect()
+    };
+    let mut initial = EdgeList::new(n);
+    for j in 0..n0 {
+        for e in knn(j, n0) {
+            initial.push(e.u, e.v, e.w);
+        }
+    }
+    initial.canonicalize();
+    let mut mirror: BTreeMap<(VertexId, VertexId), Weight> =
+        initial.edges().iter().map(|e| ((e.u, e.v), e.w)).collect();
+    let session = Arc::new(initial);
+
+    // One update batch per 16 appended points; each point's edges go to
+    // its k nearest among the points already present.
+    let mut jobs = Vec::new();
+    let mut total_inserts = 0usize;
+    let batch_pts = 16u32;
+    let mut batch = 0usize;
+    let mut next_pt = n0;
+    while next_pt < n {
+        let mut inserts = Vec::new();
+        for j in next_pt..(next_pt + batch_pts).min(n) {
+            for e in knn(j, j) {
+                mirror.insert((e.u, e.v), e.w);
+                inserts.push(e);
+            }
+        }
+        total_inserts += inserts.len();
+        jobs.push(JobSpec {
+            tenant: 0,
+            kind: JobKind::Update {
+                inserts,
+                deletes: Vec::new(),
+            },
+            graph: session.clone(),
+            submit: batch as f64,
+        });
+        next_pt += batch_pts;
+        batch += 1;
+    }
+
+    let ctx2 = ctx.clone();
+    let backend = EngineBackend::new(
+        "mnd-mst",
+        NodePlatform::amd_cluster(),
+        ctx.scale as f64,
+        move |ranks| {
+            let mut params = EngineParams::new(ranks);
+            params.hypar = ctx2.hypar();
+            params.bsp = ctx2.bsp();
+            params.spmsf.sim_scale = ctx2.scale as f64;
+            registry(&params)
+                .into_iter()
+                .find(|e| e.name() == "mnd-mst")
+                .expect("engine registered")
+        },
+    );
+    let cfg = ServeConfig::new(nranks).with_update_mode(UpdateMode::Incremental);
+    let mut plane = ServePlane::new(
+        cfg,
+        Box::new(backend),
+        vec![TenantSpec::new("geo", 1.0, jobs.len().max(1))],
+    );
+    let report = plane.run(jobs.clone());
+
+    let last = report
+        .completions
+        .iter()
+        .filter(|c| c.kind == "update")
+        .max_by_key(|c| c.job)
+        .expect("update jobs completed");
+    let JobResult::Msf(msf) = &last.result else {
+        unreachable!("update jobs return forests")
+    };
+    if ctx.verify {
+        assert_eq!(report.completed(), jobs.len(), "geo session: jobs lost");
+        let final_graph = EdgeList::from_raw(
+            n,
+            mirror
+                .iter()
+                .map(|(&(u, v), &w)| WEdge::new(u, v, w))
+                .collect(),
+        );
+        let oracle = kruskal_msf(&final_graph);
+        assert_eq!(
+            &**msf, &oracle,
+            "geo session: final forest != full-recompute oracle"
+        );
+        // All n points present and the cloud connected ⇒ a spanning tree.
+        assert_eq!(oracle.num_components, 1, "geo session must end connected");
+    }
+    EmstServeRow {
+        preset: preset.name(),
+        points: n,
+        batches: batch,
+        inserts: total_inserts,
+        forest_edges: msf.edges.len(),
+        update_exec: report
+            .completions
+            .iter()
+            .filter(|c| c.kind == "update")
+            .map(|c| c.exec_seconds)
+            .sum(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2206,6 +2592,85 @@ mod tests {
             filter_won_somewhere,
             "filter never shed wire bytes: {rows:?}"
         );
+    }
+
+    #[test]
+    fn emst_sweep_runs_every_engine_over_every_preset() {
+        let ctx = tiny(); // 2^24/65536 = 256 points per preset
+        let sweep = emst_sweep(&ctx, 4);
+        // 4 geo presets × 3 registry engines; the sweep itself asserted
+        // the brute-force oracle (small n) and cross-engine equality.
+        assert_eq!(sweep.rows.len(), 12);
+        assert!(sweep.oracle_kstar >= 1);
+        for r in &sweep.rows {
+            assert!(r.exe > 0.0 && r.comm > 0.0, "{r:?}");
+            assert!(r.k >= 8, "{r:?}");
+            // Bounded degree: no hubs on any geometric preset.
+            assert!(r.max_degree <= 8 * r.k as u64, "{r:?}");
+        }
+        // Device table: 4 geo rows + 2 crawl references. Geometric inputs
+        // must land in the no-skew regime (full GPU occupancy, binned or
+        // not); the crawls must not.
+        assert_eq!(sweep.devices.len(), 6);
+        let crawl = sweep
+            .devices
+            .iter()
+            .find(|d| d.graph == "gsh-2015-tpd")
+            .unwrap();
+        for d in &sweep.devices {
+            assert!((0.0..=1.0).contains(&d.cpu_fraction), "{d:?}");
+            assert!(d.gpu_speedup > 0.0, "{d:?}");
+            if d.graph.starts_with("geo-uniform") {
+                // The pure bounded-degree regime: every vertex lands in
+                // the thread-sized bin, occupancy is full, binned or not.
+                assert!(d.skew < 0.05, "{d:?}");
+                assert!(d.occ_binned > 0.99 && d.occ_unbinned > 0.95, "{d:?}");
+            } else if d.graph.starts_with("geo-cluster") {
+                // Clustered clouds may push some vertices warp-sized at
+                // tiny scales (k doubles to bridge blobs), but stay far
+                // below the crawls and keep near-full binned occupancy.
+                assert!(d.skew < crawl.skew, "{d:?} vs crawl {}", crawl.skew);
+                assert!(d.occ_binned > 0.9, "{d:?}");
+            }
+        }
+        assert!(crawl.skew > 0.3, "{crawl:?}");
+        assert!(crawl.occ_unbinned < crawl.occ_binned, "{crawl:?}");
+    }
+
+    #[test]
+    fn emst_serve_session_replaces_cycle_max_edges() {
+        let row = emst_serve_session(&tiny(), 4);
+        // 512 - 320 = 192 appended points in batches of 16.
+        assert_eq!(row.batches, 12);
+        // Each appended point inserts k = 8 edges; only one can attach
+        // the new component, so the rest exercised cycle-max replacement.
+        assert_eq!(row.inserts, 192 * 8);
+        // Connected at the end (asserted against the oracle inside).
+        assert_eq!(row.forest_edges, 511);
+        assert!(row.update_exec > 0.0);
+    }
+
+    #[test]
+    fn emst_oracle_rejects_corrupted_forest() {
+        // The oracle machinery must actually discriminate: corrupt the
+        // correct EMST two ways and watch both checks fire.
+        let cloud = GeoPreset::Uniform2d.points(96, 7);
+        let el = cloud.complete_graph();
+        let good = kruskal_msf(&el);
+        assert!(mnd_kernels::msf::verify_msf(&el, &good).is_ok());
+        // (a) Swap a forest edge for a non-graph edge: foreign.
+        let mut forged = good.clone();
+        forged.edges[0].w = forged.edges[0].w.wrapping_add(1);
+        assert!(mnd_kernels::msf::verify_msf(&el, &forged).is_err());
+        // (b) Keep membership but break minimality: replace the lightest
+        // forest edge with the heaviest graph edge (weight changes, and
+        // equality against the oracle must fail too).
+        let mut heavier = good.clone();
+        let heavy = *el.edges().iter().max_by_key(|e| (e.w, e.u, e.v)).unwrap();
+        assert!(!heavier.edges.contains(&heavy), "degenerate fixture");
+        heavier.edges[0] = heavy;
+        assert!(mnd_kernels::msf::verify_msf(&el, &heavier).is_err());
+        assert_ne!(heavier, good);
     }
 
     #[test]

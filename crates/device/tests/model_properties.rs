@@ -129,6 +129,53 @@ fn exec_device_result_is_model_independent() {
 }
 
 #[test]
+fn geometric_regime_keeps_the_gpu_occupied() {
+    // The Euclidean k-NN family is the bounded-degree counterpoint to the
+    // web crawls: no hubs, so binning has (almost) nothing to fix and the
+    // occupancy model must sit near 1.0 on both GPU variants. A crawl of
+    // comparable size anchors the other end of the regime axis.
+    use mnd_graph::gen::GeoPreset;
+    use mnd_kernels::binning::bin_graph;
+
+    let geo = CsrGraph::from_edge_list(&GeoPreset::Uniform2d.generate(1 << 15, 42));
+    let geo_skew = bin_graph(&geo).skew_fraction();
+    assert!(geo_skew < 0.05, "uniform k-NN skew {geo_skew} not near 0");
+
+    let crawl =
+        CsrGraph::from_edge_list(&mnd_graph::presets::Preset::Arabic2005.generate(1 << 15, 42));
+    let crawl_skew = bin_graph(&crawl).skew_fraction();
+    assert!(crawl_skew > 0.3, "crawl skew {crawl_skew} unexpectedly low");
+
+    let binned = DeviceModel::gpu_k40();
+    let unbinned = DeviceModel::gpu_k40_unbinned();
+    assert!(binned.occupancy(geo_skew) > 0.99);
+    assert!(unbinned.occupancy(geo_skew) > 0.95);
+    // On the crawl, skipping binning costs real occupancy; on geometry it
+    // must not (that is the point of the bounded-degree regime).
+    assert!(unbinned.occupancy(crawl_skew) < binned.occupancy(crawl_skew));
+    assert!(unbinned.occupancy(geo_skew) - unbinned.occupancy(crawl_skew) > 0.2);
+
+    // Calibration stays sensible on geometry, and skipping binning there
+    // costs (almost) nothing: binned and unbinned GPUs calibrate to
+    // near-identical speedups. (The crawl's skew penalty is asserted at
+    // the occupancy level above — §4.3.1 sampling at this scale prunes
+    // hub degrees below the bin limit, so the split can't see it.)
+    let cpu = DeviceModel::cpu_xeon_ivybridge();
+    let geo_b = calibrate_split(&geo, &cpu, &binned, 3, 0.25, 42);
+    let geo_u = calibrate_split(&geo, &cpu, &unbinned, 3, 0.25, 42);
+    for s in [&geo_b, &geo_u] {
+        assert!((0.0..=1.0).contains(&s.cpu_fraction));
+        assert!(s.gpu_speedup > 0.0);
+    }
+    assert!(
+        geo_u.gpu_speedup > geo_b.gpu_speedup * 0.95,
+        "geo unbinned {} vs binned {}",
+        geo_u.gpu_speedup,
+        geo_b.gpu_speedup
+    );
+}
+
+#[test]
 fn platform_presets_are_internally_consistent() {
     for plat in [
         NodePlatform::amd_cluster(),

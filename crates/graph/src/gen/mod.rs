@@ -13,6 +13,7 @@
 mod ba;
 mod crawl;
 mod er;
+mod geometric;
 mod rmat;
 mod road;
 mod smallworld;
@@ -21,6 +22,7 @@ mod special;
 pub use ba::barabasi_albert;
 pub use crawl::{cut_fraction, web_crawl, CrawlParams};
 pub use er::gnm;
+pub use geometric::{GeoPreset, PointCloud, SIDE};
 pub use rmat::{rmat, RmatProbs};
 pub use road::road_grid;
 pub use smallworld::watts_strogatz;

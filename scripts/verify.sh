@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Repo verification gate: formatting, lints, then the tier-1 suite
 # (ROADMAP.md: `cargo build --release && cargo test -q`), and — in full
-# mode — the bench smoke, the chaos/resilience recovery grids, and a
-# fresh perf snapshot.
+# mode — the bench smoke, the chaos/resilience recovery grids, the
+# checkpoint/serve/comm/emst sweeps, and a fresh perf snapshot.
 #
 # Usage: scripts/verify.sh [--quick]
 #   --quick  lints + debug tests only: skips the release build, the
-#            criterion smoke, the chaos and resilience sweeps, and the
+#            criterion smoke, the chaos and resilience sweeps, the
+#            repro sweeps (checkpoint, serve, comm, emst), and the
 #            perf snapshot. This is the PR gate in CI; the full run
 #            gates pushes to main.
 #
@@ -23,7 +24,7 @@ for arg in "$@"; do
       QUICK=1
       ;;
     -h | --help)
-      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,12p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -48,7 +49,7 @@ echo "==> cargo test -q"
 cargo test -q --workspace
 
 if [[ "$QUICK" -eq 1 ]]; then
-  echo "verify: OK (quick: skipped release build, bench smoke, chaos/resilience sweeps, perf snapshot)"
+  echo "verify: OK (quick: skipped release build, bench smoke, chaos/resilience sweeps, repro sweeps, perf snapshot)"
   exit 0
 fi
 
@@ -75,7 +76,11 @@ echo "==> comm sweep smoke (sparse exchange vs dense oracle, oracle-verified)"
 cargo run --release -q -p mnd-bench --bin repro -- \
   --scale 65536 --nodes 8 comm-sweep
 
-echo "==> perf snapshot (BENCH_8.json)"
-cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_8.json
+echo "==> emst sweep smoke (geometric presets, brute-force EMST oracle)"
+cargo run --release -q -p mnd-bench --bin repro -- \
+  --scale 65536 --nodes 4 emst-sweep
+
+echo "==> perf snapshot (BENCH_9.json)"
+cargo run --release -q -p mnd-bench --bin perfsnap -- BENCH_9.json
 
 echo "verify: OK"

@@ -1,0 +1,100 @@
+//! Property-based tests for the Euclidean workload family: generation
+//! determinism, mirror invariance of the exact k-NN construction,
+//! fingerprint sensitivity, and the EMST oracle's ability to reject
+//! corrupted forests.
+
+use mnd::graph::gen::{GeoPreset, PointCloud};
+use mnd::graph::CsrGraph;
+use mnd::kernels::{kruskal_msf, verify_msf};
+use proptest::prelude::*;
+
+fn arb_preset() -> impl Strategy<Value = GeoPreset> {
+    (0usize..GeoPreset::ALL.len()).prop_map(|i| GeoPreset::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same (preset, seed, scale) ⇒ bit-identical edge list; a different
+    /// seed must move at least one edge (the weight space is squared
+    /// distances over fresh points, a collision across the whole list is
+    /// astronomically unlikely).
+    #[test]
+    fn generation_is_deterministic_per_seed(p in arb_preset(), seed in 0u64..1000) {
+        let a = p.generate(1 << 16, seed);
+        let b = p.generate(1 << 16, seed);
+        prop_assert_eq!(&a, &b);
+        let c = p.generate(1 << 16, seed ^ 0x9E37);
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// Reflecting every point through the lattice preserves all pairwise
+    /// distances and all ids, so the exact k-NN graph — selection,
+    /// tie-breaks, weights — must be identical edge-for-edge. This pins
+    /// the construction to geometry: any hidden dependence on coordinate
+    /// values (hash order, grid traversal order) would break it.
+    #[test]
+    fn knn_adjacency_survives_mirroring(
+        p in arb_preset(),
+        n in 64u32..256,
+        k in 3usize..12,
+        seed in 0u64..1000,
+    ) {
+        let cloud = p.points(n, seed);
+        prop_assert_eq!(cloud.knn_graph(k), cloud.mirrored().knn_graph(k));
+    }
+
+    /// The serving plane caches by graph fingerprint: distinct seeds must
+    /// produce distinct fingerprints or cached MSTs would cross tenants.
+    #[test]
+    fn fingerprints_differ_across_seeds(p in arb_preset(), seed in 0u64..1000) {
+        let a = p.generate(1 << 16, seed);
+        let b = p.generate(1 << 16, seed ^ 0x5EED);
+        prop_assert_ne!(a.fingerprint(), b.fingerprint());
+        // ... and are stable for equal inputs.
+        prop_assert_eq!(a.fingerprint(), p.generate(1 << 16, seed).fingerprint());
+    }
+
+    /// The EMST oracle must discriminate, not just accept: corrupting one
+    /// forest edge (weight nudge = foreign edge, or swapping in the
+    /// heaviest graph edge = broken minimality/structure) must fail
+    /// verification against the input graph.
+    #[test]
+    fn emst_oracle_rejects_corrupted_forest(
+        n in 32u32..96,
+        seed in 0u64..1000,
+        victim in 0usize..1000,
+    ) {
+        let cloud = PointCloud::uniform(n, 2, seed);
+        let el = cloud.complete_graph();
+        let good = kruskal_msf(&el);
+        prop_assert!(verify_msf(&el, &good).is_ok());
+        prop_assert!(!good.edges.is_empty());
+        let victim = victim % good.edges.len();
+
+        // Foreign edge: same endpoints, off-by-one weight.
+        let mut forged = good.clone();
+        forged.edges[victim].w = forged.edges[victim].w.wrapping_add(1);
+        prop_assert!(verify_msf(&el, &forged).is_err());
+
+        // Heaviest graph edge in place of a forest edge: wrong weight sum
+        // (and usually a cycle); either way the oracle must reject.
+        let heavy = *el.edges().iter().max_by_key(|e| (e.w, e.u, e.v)).unwrap();
+        if !good.edges.contains(&heavy) {
+            let mut swapped = good.clone();
+            swapped.edges[victim] = heavy;
+            prop_assert!(verify_msf(&el, &swapped).is_err());
+        }
+    }
+
+    /// The connectivity-doubling constructor returns what it promises: a
+    /// connected graph, at a k no smaller than requested.
+    #[test]
+    fn knn_connected_always_connects(p in arb_preset(), seed in 0u64..1000) {
+        let cloud = p.points(192, seed);
+        let (el, k) = cloud.knn_connected(p.base_k());
+        prop_assert!(k >= p.base_k().min(191));
+        let g = CsrGraph::from_edge_list(&el);
+        prop_assert_eq!(mnd::graph::num_components(&g), 1);
+    }
+}
